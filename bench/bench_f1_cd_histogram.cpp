@@ -1,0 +1,68 @@
+// Experiment F1 — distribution of extracted gate CDs, pre- vs post-OPC.
+//
+// Reproduces the paper's CD-population figure: without OPC the printed gate
+// CDs sit far from drawn with a wide context-driven spread; model-based OPC
+// recentres the population at the drawn target and tightens it, leaving the
+// residual distribution the timing flow consumes.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+
+using namespace poc;
+
+namespace {
+
+std::vector<double> gate_cds(PostOpcFlow& flow) {
+  std::vector<double> cds;
+  for (const GateExtraction& ge : flow.extract({})) {
+    for (const DeviceCd& dev : ge.devices) {
+      cds.push_back(dev.profile.mean_cd());
+    }
+  }
+  return cds;
+}
+
+}  // namespace
+
+int main() {
+  PlacedDesign design = bench::make_design("adder4");
+  PostOpcFlow flow = bench::make_flow(design);
+
+  bench::section("F1: gate CD distribution without OPC (drawn = 90 nm)");
+  flow.run_opc(OpcMode::kNone);
+  const auto raw = gate_cds(flow);
+  std::printf("%s", Histogram::build(raw, 55.0, 105.0, 25).render().c_str());
+  RunningStats raw_stats;
+  for (double v : raw) raw_stats.add(v);
+  std::printf("n=%zu mean=%.2f sigma=%.2f\n", raw_stats.count(),
+              raw_stats.mean(), raw_stats.stddev());
+
+  bench::section("F1: gate CD distribution after rule-based OPC");
+  flow.run_opc(OpcMode::kRuleBased);
+  const auto ruled = gate_cds(flow);
+  std::printf("%s", Histogram::build(ruled, 55.0, 105.0, 25).render().c_str());
+  RunningStats rule_stats;
+  for (double v : ruled) rule_stats.add(v);
+  std::printf("n=%zu mean=%.2f sigma=%.2f\n", rule_stats.count(),
+              rule_stats.mean(), rule_stats.stddev());
+
+  bench::section("F1: gate CD distribution after model-based OPC");
+  flow.run_opc(OpcMode::kModelBased);
+  const auto corrected = gate_cds(flow);
+  std::printf("%s",
+              Histogram::build(corrected, 55.0, 105.0, 25).render().c_str());
+  RunningStats opc_stats;
+  for (double v : corrected) opc_stats.add(v);
+  std::printf("n=%zu mean=%.2f sigma=%.2f\n", opc_stats.count(),
+              opc_stats.mean(), opc_stats.stddev());
+
+  std::printf(
+      "\nShape check (paper): no-OPC population is far off target; OPC\n"
+      "recentres near 90 nm; model-based beats rule-based on both centring\n"
+      "(|mean-90|: %.2f vs %.2f) and spread (%.2f vs %.2f).\n",
+      std::abs(opc_stats.mean() - 90.0), std::abs(rule_stats.mean() - 90.0),
+      opc_stats.stddev(), rule_stats.stddev());
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Experiment F3 — OPC convergence and correction-style comparison.
+//
+// Per-iteration max/RMS edge-placement error of the model-based engine on a
+// representative cell window, the effect of the feedback damping factor
+// (DESIGN.md ablation 4), and the final residual of no-OPC / rule-based /
+// model-based / model+SRAF corrections on an isolated line.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/geom/polygon_ops.h"
+#include "src/opc/opc_engine.h"
+#include "src/opc/orc.h"
+#include "src/opc/rule_opc.h"
+
+using namespace poc;
+
+int main() {
+  const LithoSimulator sim;
+
+  // A NAND3-like window: three fingers with landing pads plus an isolated
+  // neighbour line.
+  std::vector<Polygon> targets;
+  const StdCellLibrary& lib = bench::library();
+  const CellLayout cell = lib.layout("NAND3_X1", Tech::default_tech());
+  for (const Shape& s : cell.shapes) {
+    if (s.layer == Layer::kPoly) targets.push_back(s.poly);
+  }
+  targets.push_back(Polygon::from_rect({-500, 200, -410, 2300}));
+  const Rect window = cell.boundary.inflated(650);
+
+  bench::section("F3: model-based OPC convergence (NAND3 window)");
+  {
+    Table table({"iteration", "max |EPE| body (nm)", "rms EPE body (nm)"});
+    OpcEngine engine(sim, OpcOptions{});
+    const OpcResult r = engine.correct(targets, window);
+    for (std::size_t i = 0; i < r.max_epe_history.size(); ++i) {
+      table.add_row({std::to_string(i + 1),
+                     Table::num(r.max_epe_history[i], 2),
+                     Table::num(r.rms_epe_history[i], 2)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("fragments: %zu (corner fragments excluded from body EPE)\n",
+                r.fragments.size());
+  }
+
+  bench::section("F3: damping-factor ablation (final body EPE)");
+  {
+    Table table({"damping", "iterations", "max |EPE| (nm)", "rms (nm)"});
+    for (double damping : {0.3, 0.5, 0.6, 0.8, 1.0}) {
+      OpcOptions opts;
+      opts.damping = damping;
+      OpcEngine engine(sim, opts);
+      const OpcResult r = engine.correct(targets, window);
+      table.add_row({Table::num(damping, 1), std::to_string(r.iterations),
+                     Table::num(r.max_abs_epe_body_nm, 2),
+                     Table::num(r.rms_epe_body_nm, 2)});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+
+  bench::section("F3: correction styles on an isolated line (ORC at nominal)");
+  {
+    const Polygon line = Polygon::from_rect({0, -500, 90, 500});
+    const Rect iso_window{-800, -1150, 890, 1150};
+    OpcEngine engine(sim, OpcOptions{});
+    Table table({"style", "max |EPE| (nm)", "rms (nm)", "violations"});
+
+    const auto report_style = [&](const char* name,
+                                  const std::vector<Rect>& mask) {
+      const OrcReport orc =
+          run_orc(sim, engine, {line}, mask, iso_window, {});
+      table.add_row({name, Table::num(orc.max_abs_epe_nm, 2),
+                     Table::num(orc.rms_epe_nm, 2),
+                     std::to_string(orc.violations.size())});
+    };
+
+    report_style("no OPC", decompose(line));
+    {
+      std::vector<Fragment> frags = fragment_polygons({line});
+      const auto ruled = rule_based_opc({line}, frags, RuleOpcTable{});
+      std::vector<Rect> mask;
+      for (const Polygon& p : ruled) {
+        for (const Rect& r : decompose(p)) mask.push_back(r);
+      }
+      report_style("rule-based", mask);
+    }
+    {
+      const OpcResult r = engine.correct({line}, iso_window);
+      report_style("model-based", r.mask_rects());
+    }
+    {
+      OpcOptions opts;
+      opts.insert_srafs = true;
+      OpcEngine with_sraf(sim, opts);
+      const OpcResult r = with_sraf.correct({line}, iso_window);
+      report_style("model + SRAF", r.mask_rects());
+      std::printf("SRAFs inserted: %zu\n", r.srafs.size());
+    }
+    std::printf("%s", table.render().c_str());
+  }
+  std::printf(
+      "\nShape check: EPE drops monotonically and converges within the\n"
+      "iteration budget; over-damped (1.0) feedback oscillates or overshoots\n"
+      "relative to ~0.6; model-based < rule-based < no OPC on residual.\n");
+  return 0;
+}

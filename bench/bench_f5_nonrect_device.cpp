@@ -1,0 +1,108 @@
+// Experiment F5 — non-rectangular transistor modelling (DESIGN.md
+// ablation 2, after Poppe et al., cited by the paper's flow).
+//
+// A litho-printed gate is not a rectangle: its CD varies along the channel
+// width.  This bench extracts real slice profiles from simulated contours
+// through focus and compares three device abstractions: naive mean-CD,
+// drive-equivalent length, and leakage-equivalent length — showing why the
+// flow carries TWO equivalent lengths per device.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/cdx/cd_extract.h"
+#include "src/device/nonrect.h"
+#include "src/opc/opc_engine.h"
+#include "src/geom/polygon_ops.h"
+#include "src/var/variation.h"
+
+using namespace poc;
+
+int main() {
+  const LithoSimulator sim;
+  const StdCellLibrary& lib = bench::library();
+  const CharParams& cp = lib.char_params();
+
+  // Post-OPC mask of an inverter window: the realistic input to the device
+  // model (mild residual non-rectangularity at nominal, growing rounding
+  // into the channel through focus).
+  const CellLayout cell = lib.layout("INV_X1", Tech::default_tech());
+  std::vector<Polygon> targets;
+  for (const Shape& s : cell.shapes) {
+    if (s.layer == Layer::kPoly) targets.push_back(s.poly);
+  }
+  const Rect window = cell.boundary.inflated(650);
+  const OpcEngine opc(sim, OpcOptions{});
+  const std::vector<Rect> mask = opc.correct(targets, window).mask_rects();
+
+  bench::section("F5: slice CD profile of the NMOS gate through focus");
+  CdExtractOptions cdx;
+  cdx.num_slices = 9;
+  cdx.edge_trim_fraction = 0.05;  // deliberately include near-edge slices
+  Table prof_table({"focus (nm)", "slice CDs along width (nm)", "min", "max"});
+  for (double focus : {0.0, 100.0, 150.0}) {
+    const Image2D latent =
+        sim.latent(mask, window, {focus, 1.0}, LithoQuality::kFine);
+    const GateInfo& gi = cell.gates[0];  // MN_A_0
+    const GateCdProfile prof = extract_gate_cd(
+        latent, sim.print_threshold(), gi.region, true, cdx);
+    std::string slices;
+    for (double cd : prof.slice_cd_nm) slices += Table::num(cd, 1) + " ";
+    prof_table.add_row({Table::num(focus, 0), slices,
+                        Table::num(prof.min_cd(), 2),
+                        Table::num(prof.max_cd(), 2)});
+  }
+  std::printf("%s", prof_table.render().c_str());
+
+  bench::section("F5: equivalent-gate abstractions vs naive mean CD");
+  Table eq_table({"focus (nm)", "mean CD", "Leff drive", "Leff leak",
+                  "Ion err % (mean-CD model)", "Ioff err % (mean-CD model)"});
+  for (double focus : {0.0, 100.0, 150.0}) {
+    const Image2D latent =
+        sim.latent(mask, window, {focus, 1.0}, LithoQuality::kFine);
+    const GateInfo& gi = cell.gates[0];
+    const GateCdProfile prof = extract_gate_cd(
+        latent, sim.print_threshold(), gi.region, true, cdx);
+    if (prof.mean_cd() <= 0.0) {
+      eq_table.add_row({Table::num(focus, 0), "did not print", "-", "-", "-",
+                        "-"});
+      continue;
+    }
+    const EquivalentGate eq =
+        equivalent_gate(prof, static_cast<double>(gi.drawn_w), cp.nmos);
+    // The naive model treats the gate as a rectangle of the mean CD.
+    const double ion_naive =
+        cp.nmos.ion_per_um(eq.l_mean_nm) * eq.width_um;
+    const double ioff_naive =
+        cp.nmos.ioff_per_um(eq.l_mean_nm) * eq.width_um;
+    eq_table.add_row(
+        {Table::num(focus, 0), Table::num(eq.l_mean_nm, 2),
+         Table::num(eq.l_eff_drive_nm, 2), Table::num(eq.l_eff_leak_nm, 2),
+         Table::num((ion_naive / eq.ion_ua - 1.0) * 100.0, 2),
+         Table::num((ioff_naive / eq.ioff_ua - 1.0) * 100.0, 2)});
+  }
+  std::printf("%s", eq_table.render().c_str());
+
+  bench::section("F5: synthetic sweep — CD spread vs equivalent-length split");
+  Table sweep({"slice spread (nm, +/-)", "Leff drive", "Leff leak",
+               "leak underestimate of mean-CD model %"});
+  for (double spread : {0.0, 2.0, 4.0, 6.0, 8.0, 10.0}) {
+    GateCdProfile prof;
+    prof.drawn_cd_nm = 90.0;
+    prof.slice_width_nm = 120.0;
+    for (int s = -2; s <= 2; ++s) {
+      prof.slice_cd_nm.push_back(90.0 + spread * static_cast<double>(s) / 2.0);
+    }
+    const EquivalentGate eq = equivalent_gate(prof, 600.0, cp.nmos);
+    const double ioff_naive = cp.nmos.ioff_per_um(eq.l_mean_nm) * eq.width_um;
+    sweep.add_row({Table::num(spread, 1), Table::num(eq.l_eff_drive_nm, 2),
+                   Table::num(eq.l_eff_leak_nm, 2),
+                   Table::num((1.0 - ioff_naive / eq.ioff_ua) * 100.0, 2)});
+  }
+  std::printf("%s", sweep.render().c_str());
+  std::printf(
+      "\nShape check: the two equivalent lengths split apart as the CD\n"
+      "profile spreads; the naive mean-CD model is nearly exact for drive\n"
+      "but underestimates leakage increasingly (exponential weighting of\n"
+      "short slices) — the reason the flow back-annotates them separately.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Google-benchmark micro-benchmarks for the compute kernels that dominate
+// the flow's runtime: 2-D FFT, mask rasterization, aerial-image formation,
+// one model-based OPC window, per-gate CD extraction, and a full-design STA
+// pass.  These quantify the scalability claims in DESIGN.md (selective
+// extraction exists because litho windows are ~1e6 x an STA pass).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/cdx/cd_extract.h"
+#include "src/common/fft.h"
+#include "src/geom/polygon_ops.h"
+#include "src/litho/imaging.h"
+#include "src/litho/mask.h"
+#include "src/opc/opc_engine.h"
+
+namespace poc {
+namespace {
+
+void BM_Fft2D(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<Cplx> data(n * n);
+  Rng rng(1);
+  for (auto& c : data) c = {rng.uniform(), 0.0};
+  for (auto _ : state) {
+    fft_2d(data, n, n, false);
+    fft_2d(data, n, n, true);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_Fft2D)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_RasterizeMask(benchmark::State& state) {
+  std::vector<Rect> lines;
+  for (int k = -8; k <= 8; ++k) lines.push_back({k * 250, -1000, k * 250 + 90, 1000});
+  const Rect window{-2200, -1200, 2290, 1200};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rasterize_mask(lines, window, 8.0));
+  }
+}
+BENCHMARK(BM_RasterizeMask);
+
+void BM_AerialImage(benchmark::State& state) {
+  std::vector<Rect> lines;
+  for (int k = -3; k <= 3; ++k) lines.push_back({k * 250, -600, k * 250 + 90, 600});
+  const Image2D mask = rasterize_mask(lines, {-900, -700, 990, 700}, 8.0);
+  OpticalSettings opt;
+  opt.source_rings = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aerial_image_blurred(mask, opt, 0.0, 25.0));
+  }
+}
+BENCHMARK(BM_AerialImage)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_OpcWindow(benchmark::State& state) {
+  const LithoSimulator sim;
+  const poc::StdCellLibrary& lib = bench::library();
+  const CellLayout cell = lib.layout("NAND2_X1", Tech::default_tech());
+  std::vector<Polygon> targets;
+  for (const Shape& s : cell.shapes) {
+    if (s.layer == Layer::kPoly) targets.push_back(s.poly);
+  }
+  const Rect window = cell.boundary.inflated(600);
+  const OpcEngine engine(sim, OpcOptions{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.correct(targets, window));
+  }
+}
+BENCHMARK(BM_OpcWindow)->Unit(benchmark::kMillisecond);
+
+void BM_GateCdExtraction(benchmark::State& state) {
+  const LithoSimulator sim;
+  const poc::StdCellLibrary& lib = bench::library();
+  const CellLayout cell = lib.layout("NAND2_X1", Tech::default_tech());
+  std::vector<Rect> mask;
+  for (const Shape& s : cell.shapes) {
+    if (s.layer == Layer::kPoly) {
+      for (const Rect& r : decompose(s.poly)) mask.push_back(r);
+    }
+  }
+  const Rect window = cell.boundary.inflated(600);
+  const Image2D latent = sim.latent(mask, window, {}, LithoQuality::kStandard);
+  for (auto _ : state) {
+    for (const GateInfo& g : cell.gates) {
+      benchmark::DoNotOptimize(
+          extract_gate_cd(latent, sim.print_threshold(), g.region, true));
+    }
+  }
+}
+BENCHMARK(BM_GateCdExtraction);
+
+void BM_StaFullDesign(benchmark::State& state) {
+  static PlacedDesign design = bench::make_design("rand200");
+  static PostOpcFlow flow = bench::make_flow(design);
+  StaEngine engine = flow.make_sta();
+  const StaOptions opts = flow.options().sta;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(opts));
+  }
+}
+BENCHMARK(BM_StaFullDesign)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace poc
+
+BENCHMARK_MAIN();

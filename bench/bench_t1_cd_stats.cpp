@@ -1,0 +1,55 @@
+// Experiment T1 — residual post-OPC CD error statistics per gate.
+//
+// Reproduces the paper's extraction table: for every transistor gate of a
+// placed-and-routed design, the post-OPC printed CD is measured and compared
+// against the drawn 90 nm, at nominal exposure and at the four litho
+// corners.  The paper's point: even after OPC the extracted CDs carry a
+// systematic, context-dependent residual worth propagating into timing.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/var/variation.h"
+
+using namespace poc;
+
+int main() {
+  bench::section("T1: post-OPC gate CD residual statistics (drawn = 90 nm)");
+  Table table({"design", "condition", "devices", "mean CD", "sigma",
+               "min", "max", "mean |resid|", "worst resid"});
+
+  for (const char* name : {"c17", "adder8"}) {
+    PlacedDesign design = bench::make_design(name);
+    PostOpcFlow flow = bench::make_flow(design);
+    flow.run_opc(OpcMode::kModelBased);
+    for (const ProcessCorner& corner : standard_corners()) {
+      RunningStats cd, resid_abs;
+      double worst_resid = 0.0;
+      for (const GateExtraction& ge : flow.extract(corner.exposure)) {
+        for (const DeviceCd& dev : ge.devices) {
+          cd.add(dev.profile.mean_cd());
+          const double r = dev.profile.residual_nm();
+          resid_abs.add(std::abs(r));
+          if (std::abs(r) > std::abs(worst_resid)) worst_resid = r;
+        }
+      }
+      table.add_row({name, corner.name, std::to_string(cd.count()),
+                     Table::num(cd.mean(), 2), Table::num(cd.stddev(), 2),
+                     Table::num(cd.min(), 2), Table::num(cd.max(), 2),
+                     Table::num(resid_abs.mean(), 2),
+                     Table::num(worst_resid, 2)});
+    }
+    const OpcStats& st = flow.opc_stats();
+    std::printf("[%s] OPC: %zu windows, %zu fragments, worst body EPE %.2f "
+                "nm, mean rms %.2f nm\n",
+                name, st.windows, st.fragments, st.max_abs_epe_nm,
+                st.windows ? st.rms_epe_sum / static_cast<double>(st.windows)
+                           : 0.0);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape check (paper): nominal residuals are a few nm with visible\n"
+      "context spread (sigma > 0); corner conditions widen both the mean\n"
+      "shift (dose) and the spread (defocus).\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Experiment T2 — the headline result: drawn-CD STA vs post-OPC-CD STA.
+//
+// The paper reports "substantial differences in the silicon-based timing
+// simulations, both in terms of a significant reordering of speed path
+// criticality and a 36.4 % increase in worst-case slack".  This bench runs
+// the full flow (OPC -> extraction -> equivalent-gate back-annotation ->
+// STA) on three designs and prints the same comparison: worst arrival,
+// worst slack, slack change %, leakage change %, and the rank-correlation
+// summary of the top speed paths.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sta/paths.h"
+
+using namespace poc;
+
+int main() {
+  bench::section("T2: drawn-CD vs post-OPC-CD timing");
+  Table table({"design", "gates", "clock (ps)", "drawn WNS arr", "drawn WS",
+               "annot WS", "WS change %", "leak change %", "spearman",
+               "top10 displaced"});
+
+  for (const char* name : {"adder8", "mult4", "rand200"}) {
+    PlacedDesign design = bench::make_design(name);
+    FlowOptions fopt;
+    fopt.sta.max_paths = 64;
+    fopt.sta.path_window = 60.0;
+    PostOpcFlow flow = bench::make_flow(design, 0.12, fopt);
+    flow.run_opc(OpcMode::kModelBased);
+    const TimingComparison cmp = flow.compare_timing();
+
+    table.add_row({name, std::to_string(design.netlist.num_gates()),
+                   Table::num(flow.options().sta.clock_period, 1),
+                   Table::num(cmp.drawn.worst_arrival, 1),
+                   Table::num(cmp.drawn.worst_slack, 1),
+                   Table::num(cmp.annotated.worst_slack, 1),
+                   Table::num(cmp.worst_slack_change_pct, 1),
+                   Table::num(cmp.leakage_change_pct, 1),
+                   Table::num(cmp.ranks.spearman, 3),
+                   std::to_string(cmp.ranks.top10_displaced)});
+
+    std::printf("[%s] worst drawn path:     %s\n", name,
+                format_path(design.netlist, cmp.drawn.paths[0]).c_str());
+    std::printf("[%s] worst annotated path: %s\n", name,
+                format_path(design.netlist, cmp.annotated.paths[0]).c_str());
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape check (paper): worst-case slack magnitude shifts by tens of\n"
+      "percent (paper: 36.4%% on its industrial design) because the slack is\n"
+      "a small difference of large arrival numbers; path ranking visibly\n"
+      "reshuffles (spearman < 1, top-10 membership changes).\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Experiment T3 — corner-based worst-case guardbands vs realistic
+// process-window distributions.
+//
+// The paper argues that "worst-case scenario" corner modelling yields
+// overly pessimistic results, and that realistic systematic + random CD
+// distributions should replace it.  This bench fits per-gate CD response
+// surfaces over the (focus, dose) window — using the paper's selective
+// extraction on tagged critical gates to keep litho cost bounded — then
+// compares 4-corner analysis against a 300-sample Monte Carlo with per-gate
+// ACLV noise.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/var/variation.h"
+
+using namespace poc;
+
+int main() {
+  PlacedDesign design = bench::make_design("adder8");
+  PostOpcFlow flow = bench::make_flow(design, 0.15);
+  flow.run_opc(OpcMode::kModelBased);
+
+  // Paper step 1: tag critical gates; only they get process-window litho.
+  const std::vector<GateIdx> critical = flow.tag_critical_gates(40.0);
+  std::printf("tagged %zu / %zu gates as timing-critical\n", critical.size(),
+              design.netlist.num_gates());
+  const auto responses = flow.fit_responses(critical);
+
+  bench::section("T3: corner analysis (extraction at litho corners)");
+  Table corner_table({"corner", "worst slack (ps)", "leakage (uA)"});
+  double corner_wns = 1e9;
+  double four_corner_wns = 1e9;  // the naive two-axis (+/-f, +/-d) stack
+  double corner_leak = 0.0;
+  for (const ProcessCorner& corner : standard_corners()) {
+    const auto ext = flow.extract(corner.exposure, critical);
+    const auto ann = flow.annotate(ext);
+    const StaReport r = flow.run_sta(&ann);
+    corner_table.add_row({corner.name, Table::num(r.worst_slack, 2),
+                          Table::num(r.total_leakage_ua, 3)});
+    corner_wns = std::min(corner_wns, r.worst_slack);
+    if (corner.exposure.focus_nm != 0.0 && corner.exposure.dose != 1.0) {
+      four_corner_wns = std::min(four_corner_wns, r.worst_slack);
+    }
+    corner_leak = std::max(corner_leak, r.total_leakage_ua);
+  }
+  std::printf("%s", corner_table.render().c_str());
+  std::printf(
+      "note: the classic 4-corner (+/-focus x +/-dose) stack reports %.2f ps\n"
+      "while the true worst condition is a single-axis dose corner at %.2f ps\n"
+      "— through-focus CD is non-monotonic, so 2-axis stacks can be unsafe,\n"
+      "another argument for distribution-based analysis.\n",
+      four_corner_wns, corner_wns);
+
+  bench::section("T3: Monte Carlo over the joint (focus, dose, ACLV) model");
+  const VariationModel model;
+  Rng rng(20260705);
+  RunningStats slack_stats, leak_stats;
+  std::vector<double> slacks;
+  const int kSamples = 300;
+  for (int s = 0; s < kSamples; ++s) {
+    const Exposure e = model.sample_exposure(rng);
+    const auto ext =
+        flow.mc_extraction(responses, e, model.aclv_sigma_nm, rng);
+    const auto ann = flow.annotate(ext);
+    const StaReport r = flow.run_sta(&ann);
+    slack_stats.add(r.worst_slack);
+    leak_stats.add(r.total_leakage_ua);
+    slacks.push_back(r.worst_slack);
+  }
+  Table mc_table({"statistic", "worst slack (ps)"});
+  mc_table.add_row({"mean", Table::num(slack_stats.mean(), 2)});
+  mc_table.add_row({"sigma", Table::num(slack_stats.stddev(), 2)});
+  mc_table.add_row({"median (p50)", Table::num(percentile(slacks, 0.50), 2)});
+  mc_table.add_row({"p10", Table::num(percentile(slacks, 0.10), 2)});
+  mc_table.add_row({"p1", Table::num(percentile(slacks, 0.01), 2)});
+  mc_table.add_row({"p0.1", Table::num(percentile(slacks, 0.001), 2)});
+  std::printf("%s", mc_table.render().c_str());
+  std::printf("leakage: mean %.3f uA, sigma %.3f uA, max observed %.3f uA\n",
+              leak_stats.mean(), leak_stats.stddev(), leak_stats.max());
+
+  bench::section("T3: guardband pessimism");
+  std::printf(
+      "corner-based worst slack:   %8.2f ps   (design must be signed off here)\n"
+      "MC median die:              %8.2f ps\n"
+      "MC 1%%-ile die:              %8.2f ps\n"
+      "MC 0.1%%-ile die:            %8.2f ps\n"
+      "=> the corner sits at the extreme tail of the realistic distribution:\n"
+      "   the median die has %.1fx the corner's slack, i.e. %.2f ps of\n"
+      "   performance is guardbanded away from essentially every part.\n"
+      "corner max leakage: %.3f uA vs MC mean %.3f uA (x%.2f guardband)\n",
+      corner_wns, percentile(slacks, 0.50), percentile(slacks, 0.01),
+      percentile(slacks, 0.001), percentile(slacks, 0.50) / corner_wns,
+      percentile(slacks, 0.50) - corner_wns, corner_leak, leak_stats.mean(),
+      corner_leak / leak_stats.mean());
+  std::printf(
+      "\nShape check (paper): worst-case corner modelling is overly\n"
+      "pessimistic against the realistic systematic+random CD distribution;\n"
+      "the flow's per-gate extraction enables the distribution-based\n"
+      "analysis the paper advocates.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Experiment T4 — design-intent-driven (selective) OPC.
+//
+// The paper's extension: "by passing design intent to process/OPC
+// engineers, selective OPC can be applied to improve CD variation control
+// based on gates' functions such as critical gates".  This bench compares
+// three OPC policies on cost (fragments, litho iterations — the mask/CPU
+// cost drivers) and on the timing the flow reports afterwards.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sta/paths.h"
+
+using namespace poc;
+
+namespace {
+
+struct PolicyResult {
+  std::string name;
+  OpcStats stats;
+  Ps worst_slack;
+  double mean_abs_resid_crit;  // mean |CD residual| over critical gates
+};
+
+}  // namespace
+
+int main() {
+  PlacedDesign design = bench::make_design("adder8");
+  PostOpcFlow flow = bench::make_flow(design, 0.12);
+  const std::vector<GateIdx> critical = flow.tag_critical_gates(30.0);
+  std::printf("critical gates: %zu / %zu\n", critical.size(),
+              design.netlist.num_gates());
+
+  std::vector<PolicyResult> results;
+  const auto run_policy = [&](const std::string& name, auto&& run_opc) {
+    run_opc();
+    PolicyResult pr;
+    pr.name = name;
+    pr.stats = flow.opc_stats();
+    const auto ext = flow.extract({});
+    const auto ann = flow.annotate(ext);
+    pr.worst_slack = flow.run_sta(&ann).worst_slack;
+    double resid = 0.0;
+    std::size_t n = 0;
+    for (GateIdx g : critical) {
+      for (const DeviceCd& dev : ext[g].devices) {
+        resid += std::abs(dev.profile.residual_nm());
+        ++n;
+      }
+    }
+    pr.mean_abs_resid_crit = n ? resid / static_cast<double>(n) : 0.0;
+    results.push_back(pr);
+  };
+
+  run_policy("rule-based everywhere",
+             [&] { flow.run_opc(OpcMode::kRuleBased); });
+  run_policy("selective (model on critical)",
+             [&] { flow.run_opc_selective(critical); });
+  run_policy("model-based everywhere",
+             [&] { flow.run_opc(OpcMode::kModelBased); });
+
+  bench::section("T4: OPC policy cost vs timing fidelity");
+  Table table({"policy", "model windows", "litho iterations",
+               "crit |resid| (nm)", "worst slack (ps)"});
+  for (const PolicyResult& pr : results) {
+    table.add_row({pr.name,
+                   std::to_string(pr.stats.model_based_windows) + "/" +
+                       std::to_string(pr.stats.windows),
+                   std::to_string(pr.stats.iterations),
+                   Table::num(pr.mean_abs_resid_crit, 2),
+                   Table::num(pr.worst_slack, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const double full_cost = static_cast<double>(results[2].stats.iterations);
+  const double sel_cost = static_cast<double>(results[1].stats.iterations);
+  std::printf(
+      "\nselective OPC spends %.0f%% of full model-based litho iterations\n"
+      "while keeping critical-gate CD residual at %.2f nm (vs %.2f full,\n"
+      "%.2f rule-based) and worst slack within %.2f ps of full treatment.\n",
+      full_cost > 0 ? 100.0 * sel_cost / full_cost : 0.0,
+      results[1].mean_abs_resid_crit, results[2].mean_abs_resid_crit,
+      results[0].mean_abs_resid_crit,
+      std::abs(results[1].worst_slack - results[2].worst_slack));
+  std::printf(
+      "\nShape check (paper): design-intent targeting recovers nearly all of\n"
+      "the timing fidelity of full model-based OPC at a fraction of the\n"
+      "correction cost.\n");
+  return 0;
+}

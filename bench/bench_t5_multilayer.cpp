@@ -1,0 +1,76 @@
+// Experiment T5 — multi-layer extraction (the paper's proposed extension).
+//
+// Gate poly is not the only litho-distorted layer: routed metal prints off
+// its drawn width too, shifting wire RC.  This bench measures printed M1/M2
+// linewidths over the routed design at nominal and defocused conditions,
+// folds the width ratios into parasitic extraction, and reports the timing
+// movement from wires alone and combined with the poly back-annotation.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/metal_flow.h"
+#include "src/sta/paths.h"
+
+using namespace poc;
+
+int main() {
+  PlacedDesign design = bench::make_design("adder8");
+  PostOpcFlow flow = bench::make_flow(design, 0.12);
+  flow.run_opc(OpcMode::kModelBased);
+  const LithoSimulator sim;
+  const StaOptions sta_opts = flow.options().sta;
+
+  const auto sta_with_metal = [&](const MetalCdScale& scale,
+                                  const std::vector<DelayAnnotation>* ann) {
+    StaEngine engine(design.netlist, bench::library());
+    const Extractor ex(design.tech, scale);
+    engine.set_parasitics(ex.extract_design(design));
+    if (ann != nullptr) engine.set_annotations(*ann);
+    return engine.run(sta_opts);
+  };
+
+  bench::section("T5: printed metal linewidths (no metal OPC)");
+  Table cd_table({"condition", "M1 printed (nm / drawn 120)",
+                  "M2 printed (nm / drawn 140)", "M1 ratio", "M2 ratio"});
+  MetalCdScale nominal_scale, defocus_scale;
+  for (const auto& [name, exposure] :
+       std::vector<std::pair<std::string, Exposure>>{
+           {"nominal", {0.0, 1.0}}, {"defocus 120nm", {120.0, 1.0}}}) {
+    const MetalCdReport rep = extract_metal_cds(design, sim, exposure, 10);
+    cd_table.add_row({name, Table::num(rep.m1_mean_printed_nm, 1),
+                      Table::num(rep.m2_mean_printed_nm, 1),
+                      Table::num(rep.scale.m1_width_ratio, 3),
+                      Table::num(rep.scale.m2_width_ratio, 3)});
+    if (name == "nominal") nominal_scale = rep.scale;
+    else defocus_scale = rep.scale;
+  }
+  std::printf("%s", cd_table.render().c_str());
+
+  bench::section("T5: timing impact of metal CD extraction");
+  const StaReport drawn = sta_with_metal(MetalCdScale{}, nullptr);
+  const StaReport metal_nom = sta_with_metal(nominal_scale, nullptr);
+  const StaReport metal_def = sta_with_metal(defocus_scale, nullptr);
+  const auto poly_ann = flow.annotate(flow.extract({}));
+  const StaReport both = sta_with_metal(nominal_scale, &poly_ann);
+  const StaReport poly_only = sta_with_metal(MetalCdScale{}, &poly_ann);
+
+  Table t({"analysis", "worst arrival (ps)", "worst slack (ps)",
+           "WS shift vs drawn (ps)"});
+  const auto row = [&](const char* name, const StaReport& r) {
+    t.add_row({name, Table::num(r.worst_arrival, 2),
+               Table::num(r.worst_slack, 2),
+               Table::num(r.worst_slack - drawn.worst_slack, 2)});
+  };
+  row("drawn everything", drawn);
+  row("metal CDs @ nominal", metal_nom);
+  row("metal CDs @ defocus", metal_def);
+  row("poly CDs only", poly_only);
+  row("poly + metal CDs (full multi-layer)", both);
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nShape check (paper extension): metal linewidth extraction adds a\n"
+      "second, independent timing shift on top of the poly CDs; the full\n"
+      "multi-layer analysis differs from poly-only, motivating extraction\n"
+      "on every patterned layer of the critical paths.\n");
+  return 0;
+}

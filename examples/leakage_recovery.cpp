@@ -1,0 +1,82 @@
+// Selective gate-length biasing (design-intent DFM): swap every gate with
+// slack to spare onto its long-channel "_LL" variant, then re-run the FULL
+// post-OPC flow — place & route, window OPC, CD extraction, silicon-
+// calibrated STA — to verify the leakage saving survives lithography.
+//
+//   ./leakage_recovery [benchmark] [slack_window_ps]   (default: adder8 25)
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "src/common/log.h"
+#include "src/core/flow.h"
+#include "src/core/gate_bias.h"
+#include "src/netlist/generators.h"
+
+using namespace poc;
+
+namespace {
+
+struct SiliconNumbers {
+  Ps worst_slack;
+  double leakage_ua;
+};
+
+SiliconNumbers silicon_timing(const Netlist& nl, const StdCellLibrary& lib,
+                              Ps clock) {
+  const PlacedDesign design = place_and_route(nl, lib);
+  FlowOptions opts;
+  opts.sta.clock_period = clock;
+  PostOpcFlow flow(design, lib, LithoSimulator{}, opts);
+  flow.run_opc(OpcMode::kModelBased);
+  const auto ann = flow.annotate(flow.extract({}));
+  const StaReport r = flow.run_sta(&ann);
+  return {r.worst_slack, r.total_leakage_ua};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  const std::string bench = argc > 1 ? argv[1] : "adder8";
+  const double window_ps = argc > 2 ? std::atof(argv[2]) : 25.0;
+
+  const StdCellLibrary lib = StdCellLibrary::load_or_characterize(
+      (std::filesystem::temp_directory_path() / "poc_cells_example.lib")
+          .string());
+  const Netlist base = make_benchmark(bench);
+
+  // Clock from the drawn baseline with a 12 % margin.
+  Ps clock = 0.0;
+  std::vector<GateIdx> critical;
+  {
+    const PlacedDesign design = place_and_route(base, lib);
+    PostOpcFlow probe(design, lib);
+    FlowOptions opts;
+    opts.sta.clock_period = probe.run_sta(nullptr).worst_arrival * 1.12;
+    clock = opts.sta.clock_period;
+    PostOpcFlow tagger(design, lib, LithoSimulator{}, opts);
+    critical = tagger.tag_critical_gates(window_ps);
+  }
+  std::printf("design %s: %zu gates, %zu kept fast (slack window %.0f ps), "
+              "clock %.1f ps\n",
+              bench.c_str(), base.num_gates(), critical.size(), window_ps,
+              clock);
+
+  const Netlist biased = with_long_gate_bias(base, critical);
+  std::printf("running full silicon-calibrated flow on both variants ...\n");
+  const SiliconNumbers before = silicon_timing(base, lib, clock);
+  const SiliconNumbers after = silicon_timing(biased, lib, clock);
+
+  std::printf("\n                      worst slack (ps)   leakage (uA)\n");
+  std::printf("all fast (drawn 90)   %12.2f     %10.3f\n", before.worst_slack,
+              before.leakage_ua);
+  std::printf("selective L-bias      %12.2f     %10.3f\n", after.worst_slack,
+              after.leakage_ua);
+  std::printf("\nleakage saved: %.1f %%   slack cost: %.2f ps%s\n",
+              (1.0 - after.leakage_ua / before.leakage_ua) * 100.0,
+              before.worst_slack - after.worst_slack,
+              after.worst_slack >= 0.0 ? "  (still meets timing)" : "");
+  return 0;
+}

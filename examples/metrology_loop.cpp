@@ -1,0 +1,66 @@
+// Design-driven metrology loop: generate a CD-SEM plan from the design
+// database, "measure" the silicon, quantify the OPC model's prediction
+// error, and recalibrate the model dose against the measurements — the
+// production feedback loop that keeps extraction "silicon-calibrated".
+//
+//   ./metrology_loop [benchmark] [sites]       (default: c17 16)
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "src/common/log.h"
+#include "src/metro/metrology.h"
+#include "src/netlist/generators.h"
+
+using namespace poc;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kInfo);
+  const std::string bench = argc > 1 ? argv[1] : "c17";
+  const std::size_t sites = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  const StdCellLibrary lib = StdCellLibrary::load_or_characterize(
+      (std::filesystem::temp_directory_path() / "poc_cells_example.lib")
+          .string());
+  const Netlist nl = make_benchmark(bench);
+  const PlacedDesign design = place_and_route(nl, lib);
+  PostOpcFlow flow(design, lib);
+  flow.run_opc(OpcMode::kModelBased);
+
+  // 1. Measurement plan straight from the design database.
+  const MetrologyPlan plan = design_driven_plan(design, sites);
+  std::printf("design-driven plan: %zu sites (from %zu gates)\n",
+              plan.sites.size(), nl.num_gates());
+  for (std::size_t i = 0; i < std::min<std::size_t>(4, plan.sites.size());
+       ++i) {
+    const MeasurementSite& s = plan.sites[i];
+    std::printf("  site %zu: %-14s at (%lld, %lld), target %.0f nm\n", i,
+                s.device.c_str(), static_cast<long long>(s.location.x),
+                static_cast<long long>(s.location.y), s.target_cd_nm);
+  }
+
+  // 2. CD-SEM run on the (simulated) silicon.
+  CdSemParams sem;
+  Rng rng(2026);
+  const auto measurements = simulate_cdsem(flow, plan, {0.0, 1.0}, sem, rng);
+  double mean = 0.0;
+  for (const auto& m : measurements) mean += m.measured_cd_nm;
+  mean /= static_cast<double>(measurements.size());
+  std::printf("\nmeasured mean CD: %.2f nm (drawn 90, SEM noise %.1f nm)\n",
+              mean, sem.noise_sigma_nm);
+
+  // 3-4. Model error and dose recalibration.
+  const CalibrationResult cal = calibrate_model_dose(flow, measurements);
+  std::printf("OPC model error before calibration: %+.2f nm\n",
+              cal.mean_error_before_nm);
+  std::printf("fitted dose correction:             x%.4f\n",
+              cal.dose_correction);
+  std::printf("OPC model error after calibration:  %+.2f nm\n",
+              cal.mean_error_after_nm);
+  std::printf(
+      "\nWith the recalibrated model, the next mask revision's OPC converges\n"
+      "on silicon instead of on a stale model — the feedback that keeps\n"
+      "post-OPC timing extraction honest.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Visual gallery: renders SVGs of a cell's poly layer showing the drawn
+// target, the model-based OPC mask (serifs, hammerheads, jogs), and the
+// simulated print contours at nominal exposure and at a defocus corner.
+//
+//   ./opc_gallery [cell] [outdir]          (default: NAND2_X1 .)
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/cdx/contour.h"
+#include "src/common/log.h"
+#include "src/geom/polygon_ops.h"
+#include "src/layout/svg_dump.h"
+#include "src/litho/simulator.h"
+#include "src/opc/opc_engine.h"
+#include "src/stdcell/library.h"
+
+using namespace poc;
+
+namespace {
+
+SvgContour to_svg_contour(const ContourPath& path, const char* color) {
+  SvgContour c;
+  c.stroke = color;
+  c.closed = path.closed;
+  for (const ContourPoint& p : path.points) c.points.emplace_back(p.x, p.y);
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kInfo);
+  const std::string cell_name = argc > 1 ? argv[1] : "NAND2_X1";
+  const std::string outdir = argc > 2 ? argv[2] : ".";
+
+  const StdCellLibrary lib = StdCellLibrary::load_or_characterize(
+      (std::filesystem::temp_directory_path() / "poc_cells_example.lib")
+          .string());
+  const CellLayout cell = lib.layout(cell_name, Tech::default_tech());
+
+  std::vector<Polygon> targets;
+  for (const Shape& s : cell.shapes) {
+    if (s.layer == Layer::kPoly) targets.push_back(s.poly);
+  }
+  const Rect window = cell.boundary.inflated(400);
+
+  const LithoSimulator sim;
+  const OpcEngine engine(sim, OpcOptions{});
+  const OpcResult opc = engine.correct(targets, window);
+  std::printf("OPC: %zu fragments, residual body EPE %.2f nm\n",
+              opc.fragments.size(), opc.max_abs_epe_body_nm);
+
+  const auto contours_at = [&](const std::vector<Rect>& mask,
+                               const Exposure& e) {
+    const Image2D latent = sim.latent(mask, window, e, LithoQuality::kFine);
+    return trace_contours(latent, sim.print_threshold());
+  };
+
+  const auto render = [&](const std::string& file,
+                          const std::vector<Polygon>& mask_polys,
+                          const std::vector<Rect>& mask_rects,
+                          const char* contour_color, const Exposure& e) {
+    std::vector<SvgLayer> layers;
+    layers.push_back({"target", "#9ecae1", "#3182bd", 0.5, targets});
+    layers.push_back({"mask", "none", "#e6550d", 1.0, mask_polys});
+    std::vector<SvgContour> overlays;
+    for (const ContourPath& p : contours_at(mask_rects, e)) {
+      overlays.push_back(to_svg_contour(p, contour_color));
+    }
+    std::ofstream os(outdir + "/" + file);
+    write_svg(os, window, layers, overlays);
+    std::printf("wrote %s/%s\n", outdir.c_str(), file.c_str());
+  };
+
+  std::vector<Rect> drawn_rects;
+  for (const Polygon& p : targets) {
+    for (const Rect& r : decompose(p)) drawn_rects.push_back(r);
+  }
+  render(cell_name + "_no_opc.svg", {}, drawn_rects, "#31a354", {});
+  render(cell_name + "_opc_nominal.svg", opc.corrected, opc.mask_rects(),
+         "#31a354", {});
+  render(cell_name + "_opc_defocus.svg", opc.corrected, opc.mask_rects(),
+         "#756bb1", {150.0, 1.05});
+  return 0;
+}

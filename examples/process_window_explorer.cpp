@@ -1,0 +1,72 @@
+// Process-window exploration: sweep the exposure (focus, dose) plane, run
+// the silicon-calibrated STA at every point, and print a timing-yield map —
+// which part of the litho process window actually meets the clock.
+//
+//   ./process_window_explorer [benchmark] [clock_margin]  (default: adder4 0.12)
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/common/log.h"
+#include "src/core/flow.h"
+#include "src/netlist/generators.h"
+#include "src/var/variation.h"
+
+using namespace poc;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  const std::string bench = argc > 1 ? argv[1] : "adder4";
+  const double margin = argc > 2 ? std::atof(argv[2]) : 0.12;
+
+  const StdCellLibrary lib = StdCellLibrary::load_or_characterize(
+      (std::filesystem::temp_directory_path() / "poc_cells_example.lib")
+          .string());
+  const Netlist nl = make_benchmark(bench);
+  const PlacedDesign design = place_and_route(nl, lib);
+
+  FlowOptions opts;
+  {
+    PostOpcFlow probe(design, lib);
+    opts.sta.clock_period = probe.run_sta(nullptr).worst_arrival *
+                            (1.0 + margin);
+  }
+  PostOpcFlow flow(design, lib, LithoSimulator{}, opts);
+  flow.run_opc(OpcMode::kModelBased);
+
+  // Response surfaces for every gate keep the sweep cheap: 9 litho
+  // extractions total, then each sweep point is a model evaluation + STA.
+  std::printf("fitting CD response surfaces (9 litho conditions) ...\n");
+  const auto responses = flow.fit_responses();
+
+  const std::vector<double> focus_axis{-150, -120, -90, -60, -30, 0,
+                                       30, 60, 90, 120, 150};
+  const std::vector<double> dose_axis{0.94, 0.96, 0.98, 1.00,
+                                      1.02, 1.04, 1.06};
+  std::printf("\nworst slack (ps) over the process window "
+              "[clock %.1f ps; '#' = violation]\n",
+              opts.sta.clock_period);
+  std::printf("dose\\focus");
+  for (double f : focus_axis) std::printf("%7.0f", f);
+  std::printf("\n");
+
+  Rng rng(7);
+  for (double dose : dose_axis) {
+    std::printf("%9.2f ", dose);
+    for (double focus : focus_axis) {
+      const auto ext =
+          flow.mc_extraction(responses, {focus, dose}, 0.0, rng);
+      const auto ann = flow.annotate(ext);
+      const Ps slack = flow.run_sta(&ann).worst_slack;
+      std::printf("%6.1f%s", slack, slack < 0.0 ? "#" : " ");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nThe usable process window for timing is the region of positive\n"
+      "slack — typically an ellipse centred near nominal, shrinking with\n"
+      "tighter clock margins.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: the library in ~60 lines.
+//
+// One inverter cell: simulate its poly layer through lithography, run OPC,
+// extract the printed gate CD, build the equivalent transistor, and see the
+// delay shift the back-annotation would apply.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "src/cdx/cd_extract.h"
+#include "src/device/nonrect.h"
+#include "src/geom/polygon_ops.h"
+#include "src/litho/simulator.h"
+#include "src/opc/opc_engine.h"
+#include "src/stdcell/layout_gen.h"
+
+using namespace poc;
+
+int main() {
+  // 1. A standard-cell layout (procedurally generated INV_X1).
+  const CellSpec inv = find_spec(standard_cell_specs(), "INV_X1");
+  const Tech& tech = Tech::default_tech();
+  const CellLayout cell = generate_cell_layout(inv, tech);
+  std::printf("cell %s: %zu shapes, %zu annotated transistor gates\n",
+              cell.name.c_str(), cell.shapes.size(), cell.gates.size());
+
+  // 2. Collect the poly-layer polygons and pick a litho window.
+  std::vector<Polygon> poly;
+  for (const Shape& s : cell.shapes) {
+    if (s.layer == Layer::kPoly) poly.push_back(s.poly);
+  }
+  const Rect window = cell.boundary.inflated(600);
+
+  // 3. Model-based OPC, then patterning simulation of the corrected mask.
+  const LithoSimulator sim;  // 193 nm, NA 0.75, annular 0.5/0.8
+  const OpcEngine opc(sim, OpcOptions{});
+  const OpcResult corrected = opc.correct(poly, window);
+  std::printf("OPC: %zu fragments, %zu iterations, residual body EPE %.2f nm\n",
+              corrected.fragments.size(), corrected.iterations,
+              corrected.max_abs_epe_body_nm);
+  const Image2D latent =
+      sim.latent(corrected.mask_rects(), window, Exposure{0.0, 1.0});
+
+  // 4. Post-OPC extraction of the NMOS gate's critical dimension.
+  const GateInfo& gate = cell.gates[0];  // MN_A_0
+  const GateCdProfile profile = extract_gate_cd(
+      latent, sim.print_threshold(), gate.region, /*vertical_poly=*/true);
+  std::printf("gate %s: drawn %.0f nm, printed mean %.2f nm "
+              "(slices %.2f..%.2f)\n",
+              gate.device.c_str(), profile.drawn_cd_nm, profile.mean_cd(),
+              profile.min_cd(), profile.max_cd());
+
+  // 5. Equivalent rectangular transistor (separate drive/leakage lengths).
+  const MosfetParams nmos = MosfetParams::nmos();
+  const EquivalentGate eq =
+      equivalent_gate(profile, static_cast<double>(gate.drawn_w), nmos);
+  std::printf("equivalent gate: Leff(drive) %.2f nm, Leff(leak) %.2f nm\n",
+              eq.l_eff_drive_nm, eq.l_eff_leak_nm);
+  std::printf("back-annotation: delay x%.4f, leakage x%.4f vs drawn\n",
+              1.0 / eq.drive_ratio_vs(profile.drawn_cd_nm, nmos),
+              eq.leak_ratio_vs(profile.drawn_cd_nm, nmos));
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "src/ckt/circuit.h"
+
+#include "src/common/check.h"
+
+namespace poc {
+
+Circuit::Circuit() : num_nodes_(1) {}
+
+NodeId Circuit::add_node() { return num_nodes_++; }
+
+void Circuit::add_cap(NodeId node, Ff value) {
+  POC_EXPECTS(node < num_nodes_);
+  POC_EXPECTS(value >= 0.0);
+  caps_.push_back({node, value});
+}
+
+void Circuit::add_res(NodeId a, NodeId b, Ohm value) {
+  POC_EXPECTS(a < num_nodes_ && b < num_nodes_);
+  POC_EXPECTS(value > 0.0);
+  resistors_.push_back({a, b, value});
+}
+
+void Circuit::add_vsource(NodeId node, Pwl waveform) {
+  POC_EXPECTS(node < num_nodes_);
+  POC_EXPECTS(node != kGround);
+  vsources_.push_back({node, std::move(waveform)});
+}
+
+void Circuit::add_mosfet(const MosfetInst& m) {
+  POC_EXPECTS(m.drain < num_nodes_ && m.gate < num_nodes_ &&
+              m.source < num_nodes_);
+  POC_EXPECTS(m.width_um > 0.0 && m.l_nm > 0.0);
+  mosfets_.push_back(m);
+}
+
+Ff Circuit::node_cap(NodeId node) const {
+  Ff total = 0.0;
+  for (const Capacitor& c : caps_) {
+    if (c.node == node) total += c.value;
+  }
+  return total;
+}
+
+bool Circuit::is_driven(NodeId node) const {
+  for (const VSource& v : vsources_) {
+    if (v.node == node) return true;
+  }
+  return false;
+}
+
+}  // namespace poc

@@ -1,0 +1,70 @@
+// Circuit netlist for the transient simulator: grounded capacitors,
+// two-terminal resistors, ideal voltage sources (PWL to ground) and
+// alpha-power MOSFETs.  Node 0 is ground.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/ckt/waveform.h"
+#include "src/device/mosfet.h"
+
+namespace poc {
+
+using NodeId = std::size_t;
+constexpr NodeId kGround = 0;
+
+struct Capacitor {
+  NodeId node = kGround;
+  Ff value = 0.0;
+};
+
+struct Resistor {
+  NodeId a = kGround, b = kGround;
+  Ohm value = 0.0;
+};
+
+struct VSource {
+  NodeId node = kGround;
+  Pwl waveform;
+};
+
+struct MosfetInst {
+  MosfetParams params;
+  double width_um = 1.0;
+  double l_nm = 90.0;
+  NodeId drain = kGround, gate = kGround, source = kGround;
+};
+
+class Circuit {
+ public:
+  Circuit();  ///< creates ground
+
+  NodeId add_node();
+  std::size_t num_nodes() const { return num_nodes_; }
+
+  void add_cap(NodeId node, Ff value);
+  void add_res(NodeId a, NodeId b, Ohm value);
+  void add_vsource(NodeId node, Pwl waveform);
+  void add_mosfet(const MosfetInst& m);
+
+  const std::vector<Capacitor>& caps() const { return caps_; }
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<VSource>& vsources() const { return vsources_; }
+  const std::vector<MosfetInst>& mosfets() const { return mosfets_; }
+
+  /// Total grounded capacitance on a node (fF).
+  Ff node_cap(NodeId node) const;
+
+  /// True if the node is pinned by a voltage source.
+  bool is_driven(NodeId node) const;
+
+ private:
+  std::size_t num_nodes_ = 0;
+  std::vector<Capacitor> caps_;
+  std::vector<Resistor> resistors_;
+  std::vector<VSource> vsources_;
+  std::vector<MosfetInst> mosfets_;
+};
+
+}  // namespace poc

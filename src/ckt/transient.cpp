@@ -1,0 +1,173 @@
+#include "src/ckt/transient.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/linalg.h"
+
+namespace poc {
+namespace {
+
+class Solver {
+ public:
+  Solver(const Circuit& ckt, const TransientOptions& opts)
+      : ckt_(ckt), opts_(opts) {
+    const std::size_t n = ckt.num_nodes();
+    node_cap_.assign(n, opts.cmin);
+    for (const Capacitor& c : ckt.caps()) node_cap_[c.node] += c.value;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (!ckt.is_driven(i)) unknowns_.push_back(i);
+    }
+  }
+
+  const std::vector<NodeId>& unknowns() const { return unknowns_; }
+
+  /// Residual (net current leaving each unknown node, uA) for candidate
+  /// voltages `v` at time t, given previous-step voltages `v_prev`.
+  void residual(const std::vector<double>& v, const std::vector<double>& v_prev,
+                std::vector<double>& f_out) const {
+    f_out.assign(unknowns_.size(), 0.0);
+    // Map from node to unknown slot (-1 if pinned).
+    // (Built once lazily would be fine; circuit sizes make this cheap.)
+    for (std::size_t u = 0; u < unknowns_.size(); ++u) {
+      const NodeId node = unknowns_[u];
+      // Capacitor displacement current: 1000 converts fF*V/ps to uA.
+      f_out[u] += 1000.0 * node_cap_[node] * (v[node] - v_prev[node]) /
+                  opts_.dt;
+      // gmin keeps floating nodes numerically defined.
+      f_out[u] += opts_.gmin_ua_per_v * v[node];
+    }
+    for (const Resistor& r : ckt_.resistors()) {
+      const double i_ab = 1e6 * (v[r.a] - v[r.b]) / r.value;  // uA
+      add_current(f_out, r.a, i_ab);
+      add_current(f_out, r.b, -i_ab);
+    }
+    for (const MosfetInst& m : ckt_.mosfets()) {
+      double i = 0.0;  // conventional current into the "high" terminal
+      NodeId from = m.drain, to = m.source;
+      if (m.params.is_nmos) {
+        if (v[m.drain] >= v[m.source]) {
+          i = m.params.id_per_um(v[m.gate] - v[m.source],
+                                 v[m.drain] - v[m.source], m.l_nm) *
+              m.width_um;
+        } else {  // symmetric device: terminals swap roles
+          from = m.source;
+          to = m.drain;
+          i = m.params.id_per_um(v[m.gate] - v[m.drain],
+                                 v[m.source] - v[m.drain], m.l_nm) *
+              m.width_um;
+        }
+      } else {
+        if (v[m.source] >= v[m.drain]) {
+          from = m.source;
+          to = m.drain;
+          i = m.params.id_per_um(v[m.source] - v[m.gate],
+                                 v[m.source] - v[m.drain], m.l_nm) *
+              m.width_um;
+        } else {
+          from = m.drain;
+          to = m.source;
+          i = m.params.id_per_um(v[m.drain] - v[m.gate],
+                                 v[m.drain] - v[m.source], m.l_nm) *
+              m.width_um;
+        }
+      }
+      // Current flows from `from` to `to`: it leaves `from`, enters `to`.
+      add_current(f_out, from, i);
+      add_current(f_out, to, -i);
+    }
+  }
+
+  /// One backward-Euler step; v is updated in place.  Returns Newton
+  /// convergence.
+  bool step(std::vector<double>& v, const std::vector<double>& v_prev) const {
+    const std::size_t n = unknowns_.size();
+    if (n == 0) return true;
+    std::vector<double> f(n), f2(n), jac(n * n), delta(n);
+    std::vector<double> v_try = v;
+    for (int it = 0; it < opts_.max_newton; ++it) {
+      residual(v_try, v_prev, f);
+      double worst = 0.0;
+      for (double x : f) worst = std::max(worst, std::abs(x));
+      // Numeric Jacobian, column per unknown.
+      const double dv = 1e-4;
+      for (std::size_t c = 0; c < n; ++c) {
+        const NodeId node = unknowns_[c];
+        const double saved = v_try[node];
+        v_try[node] = saved + dv;
+        residual(v_try, v_prev, f2);
+        v_try[node] = saved;
+        for (std::size_t r = 0; r < n; ++r) {
+          jac[r * n + c] = (f2[r] - f[r]) / dv;
+        }
+      }
+      delta = f;
+      std::vector<double> jac_copy = jac;
+      if (!solve_dense(jac_copy, delta, n)) return false;
+      double max_step = 0.0;
+      for (std::size_t u = 0; u < n; ++u) {
+        // Damped Newton: cap per-iteration voltage moves.
+        const double d = std::clamp(delta[u], -0.3, 0.3);
+        v_try[unknowns_[u]] -= d;
+        max_step = std::max(max_step, std::abs(d));
+      }
+      if (max_step < opts_.vtol) {
+        v = v_try;
+        return true;
+      }
+    }
+    v = v_try;  // accept best effort; caller records non-convergence
+    return false;
+  }
+
+ private:
+  void add_current(std::vector<double>& f, NodeId node, double i_ua) const {
+    for (std::size_t u = 0; u < unknowns_.size(); ++u) {
+      if (unknowns_[u] == node) {
+        f[u] += i_ua;
+        return;
+      }
+    }
+  }
+
+  const Circuit& ckt_;
+  const TransientOptions& opts_;
+  std::vector<Ff> node_cap_;
+  std::vector<NodeId> unknowns_;
+};
+
+}  // namespace
+
+TransientResult simulate(const Circuit& circuit,
+                         const TransientOptions& options) {
+  POC_EXPECTS(options.dt > 0.0);
+  POC_EXPECTS(options.t_end > options.dt);
+  const std::size_t n = circuit.num_nodes();
+  const auto steps = static_cast<std::size_t>(options.t_end / options.dt);
+
+  Solver solver(circuit, options);
+  TransientResult result;
+  result.traces.assign(n, Trace{options.dt, {}});
+  for (Trace& t : result.traces) t.v.reserve(steps + 1);
+
+  std::vector<double> v(n, 0.0);
+  // Initial condition: sources at t=0; characterization decks hold inputs
+  // steady long enough for internal nodes to settle from 0 V.
+  for (const VSource& s : circuit.vsources()) v[s.node] = s.waveform.at(0.0);
+  for (std::size_t node = 0; node < n; ++node) result.traces[node].v.push_back(v[node]);
+
+  std::vector<double> v_prev = v;
+  for (std::size_t k = 1; k <= steps; ++k) {
+    const Ps t = options.dt * static_cast<double>(k);
+    for (const VSource& s : circuit.vsources()) v[s.node] = s.waveform.at(t);
+    if (!solver.step(v, v_prev)) result.converged = false;
+    v_prev = v;
+    for (std::size_t node = 0; node < n; ++node) {
+      result.traces[node].v.push_back(v[node]);
+    }
+  }
+  return result;
+}
+
+}  // namespace poc

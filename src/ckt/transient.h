@@ -1,0 +1,30 @@
+// Backward-Euler transient analysis with Newton iteration and numeric
+// Jacobian.  Circuits here are standard-cell sized (a handful of nodes), so
+// dense Gaussian elimination is the right tool.  Units: ps / fF / ohm / V;
+// branch currents in microamperes.
+#pragma once
+
+#include <vector>
+
+#include "src/ckt/circuit.h"
+
+namespace poc {
+
+struct TransientOptions {
+  Ps dt = 0.5;
+  Ps t_end = 2000.0;
+  Ff cmin = 0.05;            ///< floor capacitance added to every node
+  double gmin_ua_per_v = 1e-3;  ///< leak to ground keeping nodes defined
+  int max_newton = 60;
+  double vtol = 1e-5;
+};
+
+struct TransientResult {
+  std::vector<Trace> traces;  ///< one per node (index = NodeId)
+  bool converged = true;      ///< false if any step failed Newton
+};
+
+TransientResult simulate(const Circuit& circuit,
+                         const TransientOptions& options);
+
+}  // namespace poc

@@ -1,0 +1,68 @@
+#include "src/ckt/waveform.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace poc {
+
+Pwl::Pwl(std::vector<std::pair<Ps, Volt>> points) : pts_(std::move(points)) {
+  POC_EXPECTS(!pts_.empty());
+  POC_EXPECTS(std::is_sorted(
+      pts_.begin(), pts_.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+}
+
+Pwl Pwl::constant(Volt v) { return Pwl({{0.0, v}}); }
+
+Pwl Pwl::ramp(Ps t0, Ps transition, Volt v0, Volt v1) {
+  POC_EXPECTS(transition > 0.0);
+  return Pwl({{t0, v0}, {t0 + transition, v1}});
+}
+
+Volt Pwl::at(Ps t) const {
+  POC_EXPECTS(!pts_.empty());
+  if (t <= pts_.front().first) return pts_.front().second;
+  if (t >= pts_.back().first) return pts_.back().second;
+  for (std::size_t i = 0; i + 1 < pts_.size(); ++i) {
+    if (t <= pts_[i + 1].first) {
+      const auto& [t0, v0] = pts_[i];
+      const auto& [t1, v1] = pts_[i + 1];
+      const double f = (t - t0) / (t1 - t0);
+      return v0 + (v1 - v0) * f;
+    }
+  }
+  return pts_.back().second;
+}
+
+Ps Pwl::last_time() const {
+  POC_EXPECTS(!pts_.empty());
+  return pts_.back().first;
+}
+
+std::optional<Ps> Trace::cross_time(Volt level, bool rising, Ps t_from) const {
+  const auto start = static_cast<std::size_t>(std::max(0.0, t_from / dt));
+  for (std::size_t i = start; i + 1 < v.size(); ++i) {
+    const Volt a = v[i];
+    const Volt b = v[i + 1];
+    const bool crossed = rising ? (a < level && b >= level)
+                                : (a > level && b <= level);
+    if (crossed) {
+      const double f = (level - a) / (b - a);
+      return dt * (static_cast<double>(i) + f);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Ps> Trace::slew(Volt vdd, bool rising, Ps t_from) const {
+  const Volt lo = 0.2 * vdd;
+  const Volt hi = 0.8 * vdd;
+  const auto t_first = cross_time(rising ? lo : hi, rising, t_from);
+  if (!t_first) return std::nullopt;
+  const auto t_second = cross_time(rising ? hi : lo, rising, *t_first);
+  if (!t_second) return std::nullopt;
+  return (*t_second - *t_first) / 0.6;
+}
+
+}  // namespace poc

@@ -1,0 +1,49 @@
+// Piecewise-linear waveforms and trace measurements (threshold crossing
+// times, 20-80 % slew) used by cell characterization.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace poc {
+
+/// Piecewise-linear voltage source waveform; flat before the first and
+/// after the last breakpoint.
+class Pwl {
+ public:
+  Pwl() = default;
+  Pwl(std::vector<std::pair<Ps, Volt>> points);
+
+  static Pwl constant(Volt v);
+  /// Step-like ramp from v0 to v1 starting at t0, with the given 0-100 %
+  /// transition time.
+  static Pwl ramp(Ps t0, Ps transition, Volt v0, Volt v1);
+
+  Volt at(Ps t) const;
+  Ps last_time() const;
+
+ private:
+  std::vector<std::pair<Ps, Volt>> pts_;
+};
+
+/// A simulated node voltage trace on a uniform time grid.
+struct Trace {
+  Ps dt = 1.0;
+  std::vector<Volt> v;
+
+  Ps time_of(std::size_t i) const { return dt * static_cast<double>(i); }
+
+  /// First time the trace crosses `level` in the given direction after
+  /// t_from, linearly interpolated; nullopt if it never does.
+  std::optional<Ps> cross_time(Volt level, bool rising, Ps t_from = 0.0) const;
+
+  /// 20-80 % transition time scaled to a full-swing equivalent (x 1/0.6),
+  /// the convention NLDM slew tables use here.
+  std::optional<Ps> slew(Volt vdd, bool rising, Ps t_from = 0.0) const;
+
+  Volt final_value() const { return v.empty() ? 0.0 : v.back(); }
+};
+
+}  // namespace poc

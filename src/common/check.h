@@ -1,0 +1,33 @@
+// Lightweight precondition / invariant checking in the spirit of the
+// Core Guidelines' Expects/Ensures.  Violations throw, so tests can assert
+// on misuse, and release builds keep the checks (they are cheap relative to
+// the simulation work this library does).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace poc {
+
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void check_fail(const char* kind, const char* expr,
+                                    const char* file, int line) {
+  throw CheckError(std::string(kind) + " failed: " + expr + " at " + file +
+                   ":" + std::to_string(line));
+}
+
+}  // namespace poc
+
+#define POC_EXPECTS(cond)                                      \
+  do {                                                         \
+    if (!(cond)) ::poc::check_fail("Expects", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define POC_ENSURES(cond)                                      \
+  do {                                                         \
+    if (!(cond)) ::poc::check_fail("Ensures", #cond, __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,75 @@
+#include "src/common/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/check.h"
+
+namespace poc {
+
+bool is_pow2(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_1d(std::vector<Cplx>& data, bool inverse) {
+  const std::size_t n = data.size();
+  POC_EXPECTS(is_pow2(n));
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const Cplx wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cplx u = data[i + k];
+        const Cplx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+void fft_2d(std::vector<Cplx>& data, std::size_t nx, std::size_t ny,
+            bool inverse) {
+  POC_EXPECTS(data.size() == nx * ny);
+  POC_EXPECTS(is_pow2(nx) && is_pow2(ny));
+  // Rows.
+  std::vector<Cplx> row(nx);
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) row[x] = data[y * nx + x];
+    fft_1d(row, inverse);
+    for (std::size_t x = 0; x < nx; ++x) data[y * nx + x] = row[x];
+  }
+  // Columns.
+  std::vector<Cplx> col(ny);
+  for (std::size_t x = 0; x < nx; ++x) {
+    for (std::size_t y = 0; y < ny; ++y) col[y] = data[y * nx + x];
+    fft_1d(col, inverse);
+    for (std::size_t y = 0; y < ny; ++y) data[y * nx + x] = col[y];
+  }
+}
+
+long long fft_freq_index(std::size_t k, std::size_t n) {
+  const long long kk = static_cast<long long>(k);
+  const long long nn = static_cast<long long>(n);
+  return kk < nn / 2 ? kk : kk - nn;
+}
+
+}  // namespace poc

@@ -1,0 +1,34 @@
+// Radix-2 FFT used by the lithography simulator (mask spectrum, coherent
+// imaging, resist diffusion convolution).  Sizes must be powers of two;
+// Image2D in src/litho pads accordingly.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace poc {
+
+using Cplx = std::complex<double>;
+
+/// True if n is a power of two (and > 0).
+bool is_pow2(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+/// In-place iterative radix-2 FFT.  inverse=true applies the conjugate
+/// transform and divides by n (so fft(fft(x), inverse) == x).
+void fft_1d(std::vector<Cplx>& data, bool inverse);
+
+/// 2-D FFT over a row-major nx*ny grid (nx columns, ny rows); both
+/// dimensions must be powers of two.
+void fft_2d(std::vector<Cplx>& data, std::size_t nx, std::size_t ny,
+            bool inverse);
+
+/// fftshift-style index mapping: converts a spatial-frequency index
+/// k in [0, n) to the signed frequency it represents, in cycles per
+/// (n * dx) when multiplied by the caller's 1/(n*dx).
+long long fft_freq_index(std::size_t k, std::size_t n);
+
+}  // namespace poc

@@ -1,0 +1,60 @@
+#include "src/common/linalg.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace poc {
+
+bool solve_dense(std::vector<double>& a, std::vector<double>& b,
+                 std::size_t n) {
+  POC_EXPECTS(a.size() == n * n && b.size() == n);
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r * n + col]) > std::abs(a[pivot * n + col])) pivot = r;
+    }
+    if (std::abs(a[pivot * n + col]) < 1e-18) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a[col * n + c], a[pivot * n + c]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    const double d = a[col * n + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] / d;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= a[i * n + c] * b[c];
+    b[i] = s / a[i * n + i];
+  }
+  return true;
+}
+
+std::vector<double> least_squares(const std::vector<double>& x,
+                                  const std::vector<double>& y,
+                                  std::size_t rows, std::size_t cols) {
+  POC_EXPECTS(x.size() == rows * cols && y.size() == rows);
+  POC_EXPECTS(rows >= cols);
+  std::vector<double> ata(cols * cols, 0.0);
+  std::vector<double> aty(cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      aty[i] += x[r * cols + i] * y[r];
+      for (std::size_t j = 0; j < cols; ++j) {
+        ata[i * cols + j] += x[r * cols + i] * x[r * cols + j];
+      }
+    }
+  }
+  const bool ok = solve_dense(ata, aty, cols);
+  POC_ENSURES(ok);
+  return aty;
+}
+
+}  // namespace poc

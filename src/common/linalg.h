@@ -1,0 +1,23 @@
+// Small dense linear algebra: Gaussian elimination with partial pivoting
+// and least-squares via normal equations.  Systems here are tiny (circuit
+// nodes, response-surface fits), so dense direct solves are appropriate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace poc {
+
+/// Solves A x = b in place (A row-major n*n, b length n; b becomes x).
+/// Returns false if A is numerically singular.
+bool solve_dense(std::vector<double>& a, std::vector<double>& b,
+                 std::size_t n);
+
+/// Least squares: minimizes |X beta - y| for row-major X (rows x cols).
+/// Returns beta (length cols).  Throws CheckError if the normal equations
+/// are singular.
+std::vector<double> least_squares(const std::vector<double>& x,
+                                  const std::vector<double>& y,
+                                  std::size_t rows, std::size_t cols);
+
+}  // namespace poc

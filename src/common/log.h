@@ -1,0 +1,45 @@
+// Minimal leveled logger.  Flow code reports progress at Info; inner loops
+// stay silent.  Output goes to stderr so bench tables on stdout stay clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace poc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_message(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  detail::log_fmt(LogLevel::kDebug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  detail::log_fmt(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  detail::log_fmt(LogLevel::kWarn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  detail::log_fmt(LogLevel::kError, args...);
+}
+
+}  // namespace poc

@@ -1,0 +1,43 @@
+// Deterministic random number generation.  Every stochastic stage takes an
+// explicit Rng so experiments are reproducible and independently seedable.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace poc {
+
+/// Thin wrapper around a fixed-algorithm engine (mt19937_64) so results are
+/// identical across standard libraries and platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled to (mean, sigma).
+  double normal(double mean = 0.0, double sigma = 1.0) {
+    return std::normal_distribution<double>(mean, sigma)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derive an independent child stream (useful for per-gate noise).
+  Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace poc

@@ -1,0 +1,161 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace poc {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+double RunningStats::mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+
+double RunningStats::variance() const {
+  if (n_ == 0) return 0.0;
+  const double m = mean();
+  const double v = sum_sq_ / static_cast<double>(n_) - m * m;
+  return v > 0.0 ? v : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+double RunningStats::min() const { return min_; }
+double RunningStats::max() const { return max_; }
+
+double percentile(std::vector<double> values, double p) {
+  POC_EXPECTS(!values.empty());
+  POC_EXPECTS(p >= 0.0 && p <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double idx = p * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<double> ranks_of(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Average rank for the tie group [i, j].
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  POC_EXPECTS(a.size() == b.size());
+  POC_EXPECTS(a.size() >= 2);
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double spearman(std::span<const double> a, std::span<const double> b) {
+  const auto ra = ranks_of(a);
+  const auto rb = ranks_of(b);
+  return pearson(ra, rb);
+}
+
+double kendall_tau(std::span<const double> a, std::span<const double> b) {
+  POC_EXPECTS(a.size() == b.size());
+  const std::size_t n = a.size();
+  POC_EXPECTS(n >= 2);
+  long long concordant = 0, discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      const double prod = da * db;
+      if (prod > 0) ++concordant;
+      else if (prod < 0) ++discordant;
+    }
+  }
+  const double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+Histogram Histogram::build(std::span<const double> values, double lo, double hi,
+                           std::size_t n_bins) {
+  POC_EXPECTS(hi > lo);
+  POC_EXPECTS(n_bins > 0);
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.bins.assign(n_bins, 0);
+  const double width = (hi - lo) / static_cast<double>(n_bins);
+  for (double v : values) {
+    auto idx = static_cast<long long>((v - lo) / width);
+    idx = std::clamp<long long>(idx, 0, static_cast<long long>(n_bins) - 1);
+    ++h.bins[static_cast<std::size_t>(idx)];
+  }
+  return h;
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::size_t peak = 1;
+  for (auto c : bins) peak = std::max(peak, c);
+  const double width = (hi - lo) / static_cast<double>(bins.size());
+  std::ostringstream os;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const double b_lo = lo + width * static_cast<double>(i);
+    const double b_hi = b_lo + width;
+    const std::size_t bar =
+        bins[i] == 0 ? 0
+                     : std::max<std::size_t>(1, bins[i] * max_width / peak);
+    os.setf(std::ios::fixed);
+    os.precision(2);
+    os << "[" << b_lo << ", " << b_hi << ")\t" << bins[i] << "\t"
+       << std::string(bar, '#') << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace poc

@@ -1,0 +1,63 @@
+// Descriptive statistics and rank-correlation helpers used by the CD
+// extraction reports and the path-reordering analysis (experiment F4).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace poc {
+
+/// Streaming accumulator for mean / sigma / min / max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Population variance and standard deviation (n, not n-1).
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p in [0,1]; linear interpolation between order statistics.
+double percentile(std::vector<double> values, double p);
+
+/// Ranks with average tie-handling (1-based average ranks).
+std::vector<double> ranks_of(std::span<const double> values);
+
+/// Spearman rank correlation of two equal-length samples.
+double spearman(std::span<const double> a, std::span<const double> b);
+
+/// Kendall tau-a rank correlation (O(n^2), fine for path lists).
+double kendall_tau(std::span<const double> a, std::span<const double> b);
+
+/// Pearson linear correlation.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Histogram with fixed bin count over [lo, hi]; values outside are clamped
+/// into the end bins.  Used to print CD distributions (experiment F1).
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> bins;
+
+  static Histogram build(std::span<const double> values, double lo, double hi,
+                         std::size_t n_bins);
+  /// ASCII rendering, one line per bin: "[lo, hi) count ####".
+  std::string render(std::size_t max_width = 50) const;
+};
+
+}  // namespace poc

@@ -1,0 +1,50 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace poc {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  POC_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  POC_EXPECTS(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace poc

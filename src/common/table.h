@@ -1,0 +1,28 @@
+// Plain-text table printer shared by the bench harnesses so every
+// reproduced table/figure prints with consistent, aligned formatting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace poc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Renders with column alignment and a separator under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace poc

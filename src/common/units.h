@@ -1,0 +1,42 @@
+// Unit conventions used throughout the library.
+//
+// All layout geometry is held in integer nanometres (DbUnit).  Physical
+// simulation (lithography, devices, circuits) uses double-precision values
+// in the base units below.  Conversion helpers keep the boundary explicit.
+#pragma once
+
+#include <cstdint>
+
+namespace poc {
+
+/// Database unit: 1 DbUnit == 1 nm of layout.
+using DbUnit = std::int64_t;
+
+/// Lengths in physical code are double nanometres.
+using Nm = double;
+/// Micrometres (used for wire-length bookkeeping).
+using Um = double;
+
+/// Time in picoseconds.
+using Ps = double;
+/// Capacitance in femtofarads.
+using Ff = double;
+/// Resistance in ohms.
+using Ohm = double;
+/// Voltage in volts, current in microamperes.
+using Volt = double;
+using MicroAmp = double;
+
+constexpr double kNmPerUm = 1000.0;
+
+constexpr Nm to_nm(DbUnit u) { return static_cast<Nm>(u); }
+constexpr DbUnit to_db(Nm nm) {
+  return static_cast<DbUnit>(nm >= 0 ? nm + 0.5 : nm - 0.5);
+}
+constexpr Um nm_to_um(Nm nm) { return nm / kNmPerUm; }
+constexpr Nm um_to_nm(Um um) { return um * kNmPerUm; }
+
+/// RC product in ohm*fF is femtoseconds; convert to ps.
+constexpr Ps rc_to_ps(Ohm r, Ff c) { return r * c * 1e-3; }
+
+}  // namespace poc

@@ -1,0 +1,416 @@
+#include "src/core/flow.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+#include "src/geom/polygon_ops.h"
+#include "src/opc/rule_opc.h"
+
+namespace poc {
+namespace {
+
+/// Drive ratios below this are treated as broken devices (pinched gates)
+/// rather than fed to the delay scaler as near-zero divisors.
+constexpr double kMinDriveRatio = 0.05;
+
+double safe_ratio(double r) { return std::max(r, kMinDriveRatio); }
+
+}  // namespace
+
+PostOpcFlow::PostOpcFlow(const PlacedDesign& design, const StdCellLibrary& lib,
+                         LithoSimulator sim, FlowOptions options)
+    : design_(&design), lib_(&lib), sim_(sim), options_(options) {
+  POC_EXPECTS(design.layout.frozen());
+  // The silicon reference is the OPC model perturbed by the calibration
+  // mismatch; with the mismatch disabled they are identical.
+  ResistModel silicon_resist = sim.resist();
+  if (options_.silicon.enabled) {
+    silicon_resist.diffusion_nm += options_.silicon.diffusion_delta_nm;
+    silicon_resist.threshold += options_.silicon.threshold_delta;
+  }
+  silicon_sim_ = LithoSimulator(sim.optics(), silicon_resist);
+}
+
+Exposure PostOpcFlow::silicon_exposure(const Exposure& e) const {
+  if (!options_.silicon.enabled) return e;
+  return {e.focus_nm + options_.silicon.focus_bias_nm,
+          e.dose * options_.silicon.dose_scale};
+}
+
+StaEngine PostOpcFlow::make_sta() const {
+  StaEngine engine(design_->netlist, *lib_);
+  if (options_.use_parasitics && !design_->routes.empty()) {
+    Extractor ex(design_->tech);
+    engine.set_parasitics(ex.extract_design(*design_));
+  }
+  return engine;
+}
+
+StaReport PostOpcFlow::run_sta(
+    const std::vector<DelayAnnotation>* annotations) const {
+  StaEngine engine = make_sta();
+  if (annotations != nullptr) engine.set_annotations(*annotations);
+  return engine.run(options_.sta);
+}
+
+std::vector<GateIdx> PostOpcFlow::tag_critical_gates(Ps slack_window) const {
+  StaEngine engine = make_sta();
+  return engine.critical_gates(options_.sta, slack_window);
+}
+
+void PostOpcFlow::opc_window(std::size_t instance, OpcMode mode) {
+  const Instance& inst = design_->layout.instance(instance);
+  const Rect boundary =
+      inst.transform.apply(design_->layout.cell(inst.cell).boundary);
+  const Rect window = boundary.inflated(options_.ambit_nm);
+  const std::vector<Polygon> targets =
+      design_->layout.flatten_layer_polys(window, Layer::kPoly);
+  if (targets.empty()) {
+    masks_[instance] = {};
+    return;
+  }
+  ++opc_stats_.windows;
+  switch (mode) {
+    case OpcMode::kNone: {
+      std::vector<Rect> rects;
+      for (const Polygon& p : targets) {
+        for (const Rect& r : decompose(p)) rects.push_back(r);
+      }
+      masks_[instance] = disjoint_union(rects);
+      break;
+    }
+    case OpcMode::kRuleBased: {
+      std::vector<Fragment> frags =
+          fragment_polygons(targets, options_.opc.fragmentation);
+      const std::vector<Polygon> corrected =
+          rule_based_opc(targets, frags, RuleOpcTable{});
+      std::vector<Rect> rects;
+      for (const Polygon& p : corrected) {
+        for (const Rect& r : decompose(p)) rects.push_back(r);
+      }
+      masks_[instance] = disjoint_union(rects);
+      opc_stats_.fragments += frags.size();
+      break;
+    }
+    case OpcMode::kModelBased: {
+      OpcEngine engine(sim_, options_.opc);
+      const OpcResult result = engine.correct(targets, window);
+      masks_[instance] = result.mask_rects();
+      ++opc_stats_.model_based_windows;
+      opc_stats_.fragments += result.fragments.size();
+      opc_stats_.iterations += result.iterations;
+      opc_stats_.max_abs_epe_nm =
+          std::max(opc_stats_.max_abs_epe_nm, result.max_abs_epe_body_nm);
+      opc_stats_.rms_epe_sum += result.rms_epe_body_nm;
+      break;
+    }
+  }
+}
+
+void PostOpcFlow::run_opc(OpcMode mode) {
+  masks_.clear();
+  opc_stats_ = {};
+  for (std::size_t i = 0; i < design_->layout.num_instances(); ++i) {
+    opc_window(i, mode);
+  }
+  log_info("OPC done: ", opc_stats_.windows, " windows, ",
+           opc_stats_.fragments, " fragments, max EPE ",
+           opc_stats_.max_abs_epe_nm, " nm");
+}
+
+void PostOpcFlow::run_opc_selective(
+    const std::vector<GateIdx>& critical_gates) {
+  masks_.clear();
+  opc_stats_ = {};
+  std::vector<bool> is_critical_instance(design_->layout.num_instances(),
+                                         false);
+  for (GateIdx g : critical_gates) {
+    is_critical_instance[design_->gate_to_instance[g]] = true;
+  }
+  for (std::size_t i = 0; i < design_->layout.num_instances(); ++i) {
+    opc_window(i, is_critical_instance[i] ? OpcMode::kModelBased
+                                          : OpcMode::kRuleBased);
+  }
+  log_info("selective OPC done: ", opc_stats_.model_based_windows, "/",
+           opc_stats_.windows, " windows model-based");
+}
+
+const std::vector<Rect>& PostOpcFlow::mask_for_instance(
+    std::size_t instance) const {
+  const auto it = masks_.find(instance);
+  POC_EXPECTS(it != masks_.end());
+  return it->second;
+}
+
+GateExtraction PostOpcFlow::extract_gate(GateIdx gate, const Image2D& latent,
+                                         double threshold) const {
+  GateExtraction ext;
+  ext.gate = gate;
+  const CharParams& cp = lib_->char_params();
+  for (const PlacedGate* pg : design_->gates_of(gate)) {
+    const Instance& inst = design_->layout.instance(pg->instance);
+    const GateInfo& info =
+        design_->layout.cell(inst.cell).gates[pg->gate_in_cell];
+    DeviceCd dev;
+    dev.device = info.device;
+    dev.is_nmos = info.is_nmos;
+    dev.drawn_l_nm = static_cast<double>(info.drawn_l);
+    dev.drawn_w_nm = static_cast<double>(info.drawn_w);
+    dev.profile = extract_gate_cd(latent, threshold, pg->region,
+                                  pg->vertical_poly, options_.cdx);
+    dev.eq = equivalent_gate(dev.profile, dev.drawn_w_nm,
+                             dev.is_nmos ? cp.nmos : cp.pmos);
+    ext.devices.push_back(std::move(dev));
+  }
+  return ext;
+}
+
+namespace {
+
+std::vector<GateIdx> all_or_subset(
+    const Netlist& nl, const std::optional<std::vector<GateIdx>>& subset) {
+  if (subset) return *subset;
+  std::vector<GateIdx> gates(nl.num_gates());
+  for (GateIdx g = 0; g < gates.size(); ++g) gates[g] = g;
+  return gates;
+}
+
+}  // namespace
+
+std::vector<GateExtraction> PostOpcFlow::extract(
+    const Exposure& exposure,
+    const std::optional<std::vector<GateIdx>>& subset) const {
+  POC_EXPECTS(!masks_.empty());  // run_opc first
+  std::vector<GateExtraction> out;
+  const Exposure silicon = silicon_exposure(exposure);
+  for (GateIdx g : all_or_subset(design_->netlist, subset)) {
+    const std::size_t instance = design_->gate_to_instance[g];
+    const Rect window = design_->litho_window(g, options_.ambit_nm);
+    const Image2D latent =
+        silicon_sim_.latent(mask_for_instance(instance), window, silicon,
+                            options_.extract_quality);
+    out.push_back(extract_gate(g, latent, silicon_sim_.print_threshold()));
+  }
+  return out;
+}
+
+std::vector<GateExtraction> PostOpcFlow::extract_with_model(
+    const Exposure& exposure,
+    const std::optional<std::vector<GateIdx>>& subset) const {
+  POC_EXPECTS(!masks_.empty());  // run_opc first
+  std::vector<GateExtraction> out;
+  for (GateIdx g : all_or_subset(design_->netlist, subset)) {
+    const std::size_t instance = design_->gate_to_instance[g];
+    const Rect window = design_->litho_window(g, options_.ambit_nm);
+    const Image2D latent = sim_.latent(mask_for_instance(instance), window,
+                                       exposure, options_.extract_quality);
+    out.push_back(extract_gate(g, latent, sim_.print_threshold()));
+  }
+  return out;
+}
+
+namespace {
+
+/// Recomputes the equivalent gate with a uniform CD offset (ACLV noise).
+EquivalentGate eq_with_offset(const DeviceCd& dev, double offset_nm,
+                              const MosfetParams& params) {
+  GateCdProfile shifted = dev.profile;
+  for (double& cd : shifted.slice_cd_nm) {
+    if (cd > 0.0) cd = std::max(1.0, cd + offset_nm);
+  }
+  return equivalent_gate(shifted, dev.drawn_w_nm, params);
+}
+
+}  // namespace
+
+std::vector<DelayAnnotation> PostOpcFlow::annotate(
+    const std::vector<GateExtraction>& extractions) const {
+  Rng no_noise(0);
+  return annotate_with_aclv(extractions, 0.0, no_noise);
+}
+
+std::vector<DelayAnnotation> PostOpcFlow::annotate_with_aclv(
+    const std::vector<GateExtraction>& extractions, double aclv_sigma_nm,
+    Rng& rng) const {
+  const Netlist& nl = design_->netlist;
+  const CharParams& cp = lib_->char_params();
+  std::vector<DelayAnnotation> ann(nl.num_gates());
+  for (const GateExtraction& ext : extractions) {
+    POC_EXPECTS(ext.gate < ann.size());
+    const double offset =
+        aclv_sigma_nm > 0.0 ? rng.normal(0.0, aclv_sigma_nm) : 0.0;
+    double n_drive = 0.0, p_drive = 0.0, leak_num = 0.0, leak_den = 0.0;
+    std::size_t n_count = 0, p_count = 0;
+    for (const DeviceCd& dev : ext.devices) {
+      const MosfetParams& mp = dev.is_nmos ? cp.nmos : cp.pmos;
+      const EquivalentGate eq =
+          offset == 0.0 ? dev.eq : eq_with_offset(dev, offset, mp);
+      const double drive = eq.drive_ratio_vs(dev.drawn_l_nm, mp);
+      const double leak = eq.leak_ratio_vs(dev.drawn_l_nm, mp);
+      if (dev.is_nmos) {
+        n_drive += drive;
+        ++n_count;
+      } else {
+        p_drive += drive;
+        ++p_count;
+      }
+      // Weight leakage ratios by the device's drawn leakage contribution.
+      const double base = mp.ioff_per_um(dev.drawn_l_nm) * eq.width_um;
+      leak_num += leak * base;
+      leak_den += base;
+    }
+    DelayAnnotation& a = ann[ext.gate];
+    if (n_count > 0) {
+      a.fall_scale = 1.0 / safe_ratio(n_drive / static_cast<double>(n_count));
+    }
+    if (p_count > 0) {
+      a.rise_scale = 1.0 / safe_ratio(p_drive / static_cast<double>(p_count));
+    }
+    if (leak_den > 0.0) a.leak_scale = leak_num / leak_den;
+  }
+  return ann;
+}
+
+TimingComparison PostOpcFlow::compare_timing(const Exposure& exposure) {
+  TimingComparison cmp;
+  cmp.drawn = run_sta(nullptr);
+  const std::vector<GateExtraction> ext = extract(exposure);
+  // Silicon CDs carry the across-chip random component on top of the
+  // systematic residual; deterministic in the flow seed.
+  Rng rng(options_.seed);
+  const std::vector<DelayAnnotation> ann = annotate_with_aclv(
+      ext, options_.silicon.enabled ? options_.silicon.aclv_sigma_nm : 0.0,
+      rng);
+  cmp.annotated = run_sta(&ann);
+  cmp.ranks =
+      compare_path_ranks(design_->netlist, cmp.drawn.paths,
+                         cmp.annotated.paths);
+  if (cmp.drawn.worst_slack != 0.0) {
+    cmp.worst_slack_change_pct =
+        (cmp.annotated.worst_slack - cmp.drawn.worst_slack) /
+        std::abs(cmp.drawn.worst_slack) * 100.0;
+  }
+  if (cmp.drawn.total_leakage_ua > 0.0) {
+    cmp.leakage_change_pct = (cmp.annotated.total_leakage_ua -
+                              cmp.drawn.total_leakage_ua) /
+                             cmp.drawn.total_leakage_ua * 100.0;
+  }
+  return cmp;
+}
+
+PostOpcFlow::HotspotReport PostOpcFlow::scan_hotspots(
+    const std::vector<ProcessCorner>& conditions,
+    const OrcOptions& orc_options) const {
+  POC_EXPECTS(!masks_.empty());  // run_opc first
+  HotspotReport report;
+  const OpcEngine engine(sim_, options_.opc);
+  for (std::size_t i = 0; i < design_->layout.num_instances(); ++i) {
+    const Instance& inst = design_->layout.instance(i);
+    const Rect window =
+        inst.transform.apply(design_->layout.cell(inst.cell).boundary)
+            .inflated(options_.ambit_nm);
+    const std::vector<Polygon> targets =
+        design_->layout.flatten_layer_polys(window, Layer::kPoly);
+    if (targets.empty()) continue;
+    ++report.windows_checked;
+    for (const ProcessCorner& corner : conditions) {
+      // Hotspots are judged against the silicon reference, not the model.
+      const OrcReport orc =
+          run_orc(silicon_sim_, engine, targets, mask_for_instance(i), window,
+                  silicon_exposure(corner.exposure), orc_options);
+      for (const OrcViolation& v : orc.violations) {
+        switch (v.kind) {
+          case OrcViolation::Kind::kPinch: ++report.pinches; break;
+          case OrcViolation::Kind::kBridge: ++report.bridges; break;
+          case OrcViolation::Kind::kEpe: ++report.epe_violations; break;
+        }
+        report.hotspots.push_back({i, corner.name, v});
+      }
+    }
+  }
+  log_info("hotspot scan: ", report.hotspots.size(), " violations over ",
+           report.windows_checked, " windows x ", conditions.size(),
+           " conditions");
+  return report;
+}
+
+std::vector<PostOpcFlow::DeviceResponse> PostOpcFlow::fit_responses(
+    const std::optional<std::vector<GateIdx>>& subset) const {
+  const std::vector<Exposure> grid = response_fit_grid();
+  // Extraction per grid point; nominal (focus 0, dose 1) provides the slice
+  // shape.
+  std::vector<std::vector<GateExtraction>> per_exposure;
+  per_exposure.reserve(grid.size());
+  for (const Exposure& e : grid) {
+    per_exposure.push_back(extract(e, subset));
+  }
+  std::size_t nominal_idx = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (grid[i].focus_nm == 0.0 && grid[i].dose == 1.0) nominal_idx = i;
+  }
+  std::vector<DeviceResponse> out;
+  const std::size_t num_gates = per_exposure.front().size();
+  for (std::size_t gi = 0; gi < num_gates; ++gi) {
+    const GateExtraction& nominal = per_exposure[nominal_idx][gi];
+    for (std::size_t di = 0; di < nominal.devices.size(); ++di) {
+      DeviceResponse resp;
+      resp.gate = nominal.gate;
+      resp.device = nominal.devices[di].device;
+      resp.is_nmos = nominal.devices[di].is_nmos;
+      resp.drawn_l_nm = nominal.devices[di].drawn_l_nm;
+      resp.drawn_w_nm = nominal.devices[di].drawn_w_nm;
+      std::vector<std::pair<Exposure, double>> samples;
+      for (std::size_t e = 0; e < grid.size(); ++e) {
+        samples.emplace_back(grid[e],
+                             per_exposure[e][gi].devices[di].profile.mean_cd());
+      }
+      resp.mean_cd = fit_cd_response(samples);
+      const GateCdProfile& prof = nominal.devices[di].profile;
+      const double mean = prof.mean_cd();
+      for (double cd : prof.slice_cd_nm) {
+        resp.slice_offsets_nm.push_back(cd > 0.0 ? cd - mean : 0.0);
+      }
+      resp.slice_width_nm = prof.slice_width_nm;
+      out.push_back(std::move(resp));
+    }
+  }
+  return out;
+}
+
+std::vector<GateExtraction> PostOpcFlow::mc_extraction(
+    const std::vector<DeviceResponse>& responses, const Exposure& exposure,
+    double aclv_sigma_nm, Rng& rng) const {
+  const CharParams& cp = lib_->char_params();
+  std::vector<GateExtraction> out;
+  std::unordered_map<std::size_t, std::size_t> gate_slot;
+  std::unordered_map<std::size_t, double> gate_aclv;
+  for (const DeviceResponse& r : responses) {
+    if (!gate_slot.contains(r.gate)) {
+      gate_slot[r.gate] = out.size();
+      gate_aclv[r.gate] =
+          aclv_sigma_nm > 0.0 ? rng.normal(0.0, aclv_sigma_nm) : 0.0;
+      GateExtraction ext;
+      ext.gate = r.gate;
+      out.push_back(std::move(ext));
+    }
+    DeviceCd dev;
+    dev.device = r.device;
+    dev.is_nmos = r.is_nmos;
+    dev.drawn_l_nm = r.drawn_l_nm;
+    dev.drawn_w_nm = r.drawn_w_nm;
+    const double mean = r.mean_cd.eval(exposure) + gate_aclv[r.gate];
+    dev.profile.drawn_cd_nm = r.drawn_l_nm;
+    dev.profile.slice_width_nm = r.slice_width_nm;
+    for (double off : r.slice_offsets_nm) {
+      dev.profile.slice_cd_nm.push_back(std::max(1.0, mean + off));
+    }
+    dev.eq = equivalent_gate(dev.profile, dev.drawn_w_nm,
+                             dev.is_nmos ? cp.nmos : cp.pmos);
+    out[gate_slot[r.gate]].devices.push_back(std::move(dev));
+  }
+  return out;
+}
+
+}  // namespace poc

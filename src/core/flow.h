@@ -1,0 +1,214 @@
+// The paper's contribution: an automated flow that (1) tags critical gates
+// from a baseline STA, (2) runs OPC and patterning simulation over each
+// placed instance's layout window, (3) extracts per-gate post-OPC critical
+// dimensions, (4) back-annotates silicon-calibrated device strengths into
+// the netlist through the equivalent-gate model, and (5) re-runs timing to
+// expose the drawn-vs-printed discrepancy (speed-path reordering, worst-
+// slack shift).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cdx/cd_extract.h"
+#include "src/device/nonrect.h"
+#include "src/litho/simulator.h"
+#include "src/opc/opc_engine.h"
+#include "src/opc/orc.h"
+#include "src/pnr/design.h"
+#include "src/sta/paths.h"
+#include "src/sta/sta.h"
+#include "src/var/variation.h"
+
+namespace poc {
+
+enum class OpcMode { kNone, kRuleBased, kModelBased };
+
+/// OPC-model-to-silicon calibration mismatch.  The paper's flow exists
+/// because the mask is corrected against an (imperfect) OPC model while the
+/// silicon prints with the real process: the residual CD error it extracts
+/// is dominated by exactly this gap.  The defaults are a representative
+/// 2005-era model-accuracy budget: a couple of nm of resist-diffusion
+/// mis-calibration, a fraction of a percent on the development threshold,
+/// tens of nm of uncorrected focus offset and ~1 % dose calibration error.
+/// Setting enabled=false makes the extraction simulator identical to the
+/// OPC model (residuals collapse to the sub-nm convergence floor — see the
+/// ablation in bench_t2).
+struct SiliconMismatch {
+  bool enabled = true;
+  double diffusion_delta_nm = 1.5;
+  double threshold_delta = -0.002;
+  double focus_bias_nm = 30.0;
+  double dose_scale = 1.006;
+  /// Across-chip linewidth variation of the silicon (random per-gate CD
+  /// component measured on top of the systematic residual); applied by
+  /// compare_timing and the Monte-Carlo mode.
+  double aclv_sigma_nm = 1.8;
+};
+
+struct FlowOptions {
+  OpcOptions opc;
+  CdExtractOptions cdx;
+  LithoQuality extract_quality = LithoQuality::kStandard;
+  DbUnit ambit_nm = 600;        ///< optical context around each instance
+  StaOptions sta;
+  bool use_parasitics = true;
+  std::uint64_t seed = 42;      ///< ACLV noise stream
+  SiliconMismatch silicon;
+};
+
+/// Aggregate OPC cost/quality over all instance windows.
+struct OpcStats {
+  std::size_t windows = 0;
+  std::size_t model_based_windows = 0;
+  std::size_t fragments = 0;
+  std::size_t iterations = 0;   ///< summed litho-simulated iterations
+  double max_abs_epe_nm = 0.0;
+  double rms_epe_sum = 0.0;     ///< sum over windows (divide by windows)
+};
+
+/// Extracted CDs and equivalent-gate model for one transistor.
+struct DeviceCd {
+  std::string device;
+  bool is_nmos = true;
+  double drawn_l_nm = 0.0;
+  double drawn_w_nm = 0.0;
+  GateCdProfile profile;
+  EquivalentGate eq;
+};
+
+/// All devices of one netlist gate instance.
+struct GateExtraction {
+  GateIdx gate = kNoIndex;
+  std::vector<DeviceCd> devices;
+};
+
+/// Drawn-vs-annotated STA comparison (the headline result, T2/F4).
+struct TimingComparison {
+  StaReport drawn;
+  StaReport annotated;
+  PathRankComparison ranks;
+  /// Relative growth of the worst-case slack magnitude: the paper reports
+  /// +36.4 % on its test design.
+  double worst_slack_change_pct = 0.0;
+  double leakage_change_pct = 0.0;
+};
+
+class PostOpcFlow {
+ public:
+  PostOpcFlow(const PlacedDesign& design, const StdCellLibrary& lib,
+              LithoSimulator sim = {}, FlowOptions options = {});
+
+  const FlowOptions& options() const { return options_; }
+  const OpcStats& opc_stats() const { return opc_stats_; }
+  const PlacedDesign& design() const { return *design_; }
+
+  /// The "silicon truth" simulator extraction verifies against (the OPC
+  /// model plus the configured calibration mismatch).
+  const LithoSimulator& silicon_sim() const { return silicon_sim_; }
+  /// Maps a requested scanner condition onto the silicon simulator's frame
+  /// (adds the mismatch's focus/dose calibration error).
+  Exposure silicon_exposure(const Exposure& e) const;
+
+  /// Step 1 (paper): tag critical gates from the drawn-CD baseline STA.
+  std::vector<GateIdx> tag_critical_gates(Ps slack_window) const;
+
+  /// Step 2: OPC the poly layer window-by-window.  `mode` applies to all
+  /// instances; the selective variant uses model-based OPC only on windows
+  /// containing tagged gates and rule-based elsewhere (experiment T4).
+  void run_opc(OpcMode mode);
+  void run_opc_selective(const std::vector<GateIdx>& critical_gates);
+
+  /// Step 3: post-OPC patterning simulation + CD extraction at `exposure`
+  /// for all gates, or only `subset` (the paper's selective extraction).
+  std::vector<GateExtraction> extract(
+      const Exposure& exposure,
+      const std::optional<std::vector<GateIdx>>& subset = std::nullopt) const;
+
+  /// Same extraction but through the OPC model's own simulator (no silicon
+  /// mismatch, no exposure remapping) — what the model *predicts* will
+  /// print.  Metrology-driven calibration compares this against measured
+  /// silicon (src/metro).
+  std::vector<GateExtraction> extract_with_model(
+      const Exposure& exposure,
+      const std::optional<std::vector<GateIdx>>& subset = std::nullopt) const;
+
+  /// Step 4: equivalent-gate back-annotation.  Gates without extraction
+  /// keep drawn-CD timing (scale 1.0).  `aclv_nm` adds a per-gate random CD
+  /// offset before the device model (Monte-Carlo mode).
+  std::vector<DelayAnnotation> annotate(
+      const std::vector<GateExtraction>& extractions) const;
+  std::vector<DelayAnnotation> annotate_with_aclv(
+      const std::vector<GateExtraction>& extractions, double aclv_sigma_nm,
+      Rng& rng) const;
+
+  /// Step 5: drawn vs post-OPC timing (runs steps 3-4 at the exposure).
+  TimingComparison compare_timing(const Exposure& exposure = {});
+
+  /// STA engine preloaded with this design's parasitics.
+  StaEngine make_sta() const;
+  StaReport run_sta(const std::vector<DelayAnnotation>* annotations) const;
+
+  /// Process-window response surfaces: fits cd(focus, dose) per device from
+  /// a 3x3 exposure grid so Monte-Carlo timing needs no further litho
+  /// simulation.  Returns per-gate fitted extractions evaluable via
+  /// mc_extraction().
+  struct DeviceResponse {
+    GateIdx gate = kNoIndex;
+    std::string device;
+    bool is_nmos = true;
+    double drawn_l_nm = 0.0;
+    double drawn_w_nm = 0.0;
+    CdResponse mean_cd;
+    std::vector<double> slice_offsets_nm;  ///< nominal slice - mean shape
+    double slice_width_nm = 0.0;
+  };
+  std::vector<DeviceResponse> fit_responses(
+      const std::optional<std::vector<GateIdx>>& subset = std::nullopt) const;
+
+  /// Evaluates fitted responses at an exposure (+ per-gate ACLV noise) into
+  /// extraction records suitable for annotate().
+  std::vector<GateExtraction> mc_extraction(
+      const std::vector<DeviceResponse>& responses, const Exposure& exposure,
+      double aclv_sigma_nm, Rng& rng) const;
+
+  /// Post-OPC mask rectangles for one instance's window (after run_opc).
+  const std::vector<Rect>& mask_for_instance(std::size_t instance) const;
+
+  /// Full-chip litho hotspot scan: verifies every instance window (post-OPC
+  /// mask vs drawn targets) at each exposure and collects ORC violations —
+  /// the physical-verification side of the paper's methodology.
+  struct Hotspot {
+    std::size_t instance = 0;
+    std::string exposure_name;
+    OrcViolation violation;
+  };
+  struct HotspotReport {
+    std::vector<Hotspot> hotspots;
+    std::size_t windows_checked = 0;
+    std::size_t pinches = 0;
+    std::size_t bridges = 0;
+    std::size_t epe_violations = 0;
+  };
+  HotspotReport scan_hotspots(const std::vector<ProcessCorner>& conditions,
+                              const OrcOptions& orc_options = {}) const;
+
+ private:
+  void opc_window(std::size_t instance, OpcMode mode);
+  GateExtraction extract_gate(GateIdx gate, const Image2D& latent,
+                              double threshold) const;
+
+  const PlacedDesign* design_;
+  const StdCellLibrary* lib_;
+  LithoSimulator sim_;          ///< the model OPC converges against
+  LithoSimulator silicon_sim_;  ///< the process extraction measures
+  FlowOptions options_;
+
+  /// Per layout instance: corrected poly mask for its window.
+  std::unordered_map<std::size_t, std::vector<Rect>> masks_;
+  OpcStats opc_stats_;
+};
+
+}  // namespace poc

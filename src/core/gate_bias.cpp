@@ -1,0 +1,31 @@
+#include "src/core/gate_bias.h"
+
+#include <algorithm>
+
+#include "src/stdcell/cell_spec.h"
+
+namespace poc {
+
+Netlist with_long_gate_bias(const Netlist& nl,
+                            const std::vector<GateIdx>& keep_fast) {
+  std::vector<bool> fast(nl.num_gates(), false);
+  for (GateIdx g : keep_fast) {
+    if (g < fast.size()) fast[g] = true;
+  }
+  Netlist out(nl.name() + "_lbias");
+  for (NetIdx n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(n);
+    out.add_net(net.name);
+    if (net.is_primary_input) out.mark_primary_input(n);
+    if (net.is_primary_output) out.mark_primary_output(n);
+  }
+  for (GateIdx g = 0; g < nl.num_gates(); ++g) {
+    const GateInst& inst = nl.gate(g);
+    const std::string cell =
+        fast[g] ? inst.cell : long_gate_variant(inst.cell);
+    out.add_gate(inst.name, cell, inst.inputs, inst.output);
+  }
+  return out;
+}
+
+}  // namespace poc

@@ -1,0 +1,22 @@
+// Selective gate-length biasing: a design-intent DFM optimization the
+// paper's flow enables.  Gates with timing slack to spare are swapped to
+// their long-channel "_LL" library variants (drawn L 90 -> 98 nm), trading
+// a small delay increase for an exponential subthreshold-leakage saving;
+// timing-critical gates keep the fast drawn length.  Because the swap
+// changes drawn geometry, the full litho/OPC/extraction flow re-verifies
+// the result — no model shortcut.
+#pragma once
+
+#include <vector>
+
+#include "src/netlist/netlist.h"
+
+namespace poc {
+
+/// Returns a copy of `nl` in which every gate NOT listed in `keep_fast` is
+/// replaced by its "_LL" long-gate variant.  Connectivity and names are
+/// preserved.
+Netlist with_long_gate_bias(const Netlist& nl,
+                            const std::vector<GateIdx>& keep_fast);
+
+}  // namespace poc

@@ -1,0 +1,88 @@
+#include "src/core/metal_flow.h"
+
+#include <algorithm>
+
+#include "src/cdx/cd_extract.h"
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace poc {
+namespace {
+
+struct SegmentSample {
+  Rect rect;
+  bool horizontal_cd = true;  ///< CD measured across x (vertical wire)
+};
+
+/// Picks up to n long segments of `layer`, spread across the route list.
+std::vector<SegmentSample> pick_segments(const PlacedDesign& design,
+                                         Layer layer, std::size_t n) {
+  std::vector<SegmentSample> all;
+  for (const NetRoute& route : design.routes) {
+    for (const SinkRoute& sr : route.sinks) {
+      for (const RouteSegment& seg : sr.segments) {
+        if (seg.layer != layer) continue;
+        const bool vertical_wire = seg.rect.height() >= seg.rect.width();
+        const DbUnit len =
+            vertical_wire ? seg.rect.height() : seg.rect.width();
+        if (len < 800) continue;  // need a straight run to measure mid-wire
+        all.push_back({seg.rect, vertical_wire});
+      }
+    }
+  }
+  if (all.size() <= n) return all;
+  std::vector<SegmentSample> picked;
+  for (std::size_t i = 0; i < n; ++i) {
+    picked.push_back(all[i * all.size() / n]);
+  }
+  return picked;
+}
+
+}  // namespace
+
+MetalCdReport extract_metal_cds(const PlacedDesign& design,
+                                const LithoSimulator& sim,
+                                const Exposure& exposure,
+                                std::size_t max_samples,
+                                LithoQuality quality) {
+  MetalCdReport report;
+  for (Layer layer : {Layer::kMetal1, Layer::kMetal2}) {
+    const DbUnit drawn = layer == Layer::kMetal1 ? design.tech.m1_width
+                                                 : design.tech.m2_width;
+    double sum_printed = 0.0;
+    std::size_t count = 0;
+    for (const SegmentSample& s : pick_segments(design, layer, max_samples)) {
+      const Point mid = s.rect.center();
+      const Rect window = Rect::from_center(mid, 1600, 1600);
+      const std::vector<Rect> features =
+          design.layout.flatten_layer(window, layer);
+      const Image2D latent = sim.latent(features, window, exposure, quality);
+      const auto cd = extract_wire_cd(latent, sim.print_threshold(),
+                                      s.rect.intersection(window),
+                                      s.horizontal_cd);
+      if (cd) {
+        sum_printed += *cd;
+        ++count;
+      }
+    }
+    if (count > 0) {
+      const double mean = sum_printed / static_cast<double>(count);
+      const double ratio = mean / static_cast<double>(drawn);
+      if (layer == Layer::kMetal1) {
+        report.m1_samples = count;
+        report.m1_mean_printed_nm = mean;
+        report.scale.m1_width_ratio = ratio;
+      } else {
+        report.m2_samples = count;
+        report.m2_mean_printed_nm = mean;
+        report.scale.m2_width_ratio = ratio;
+      }
+    }
+  }
+  log_info("metal CD extraction: m1 ", report.m1_mean_printed_nm, " nm (",
+           report.m1_samples, " samples), m2 ", report.m2_mean_printed_nm,
+           " nm (", report.m2_samples, " samples)");
+  return report;
+}
+
+}  // namespace poc

@@ -1,0 +1,33 @@
+// Multi-layer extension of the extraction flow (experiment T5): measure
+// printed metal linewidths over a sample of routed wire segments and fold
+// them into the parasitic extractor as width ratios, shifting wire RC and
+// therefore stage delays.
+#pragma once
+
+#include <cstddef>
+
+#include "src/litho/simulator.h"
+#include "src/pex/extractor.h"
+#include "src/pnr/design.h"
+
+namespace poc {
+
+struct MetalCdReport {
+  MetalCdScale scale;
+  std::size_t m1_samples = 0;
+  std::size_t m2_samples = 0;
+  double m1_mean_printed_nm = 0.0;
+  double m2_mean_printed_nm = 0.0;
+};
+
+/// Simulates printing of sampled M1/M2 segments (no metal OPC — the flow
+/// measures the uncorrected systematic bias, the worst case the paper's
+/// multi-layer extension guards against) and returns mean printed/drawn
+/// width ratios.  `max_samples` caps litho cost per layer.
+MetalCdReport extract_metal_cds(const PlacedDesign& design,
+                                const LithoSimulator& sim,
+                                const Exposure& exposure,
+                                std::size_t max_samples = 12,
+                                LithoQuality quality = LithoQuality::kStandard);
+
+}  // namespace poc

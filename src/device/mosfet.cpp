@@ -1,0 +1,56 @@
+#include "src/device/mosfet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace poc {
+
+MosfetParams MosfetParams::nmos() { return MosfetParams{}; }
+
+MosfetParams MosfetParams::pmos() {
+  MosfetParams p;
+  p.is_nmos = false;
+  p.vth_long = 0.42;
+  p.k_ua_per_um = 370.0;  // ~2x mobility penalty vs NMOS
+  p.i0_leak_ua_per_um = 41.0;
+  return p;
+}
+
+double MosfetParams::vth(double l_nm) const {
+  POC_EXPECTS(l_nm > 0.0);
+  return vth_long - dvt_rolloff * std::exp(-l_nm / rolloff_lc_nm);
+}
+
+double MosfetParams::ion_per_um(double l_nm) const {
+  return id_per_um(vdd, vdd, l_nm);
+}
+
+double MosfetParams::ioff_per_um(double l_nm) const {
+  return i0_leak_ua_per_um * (l_ref_nm / l_nm) *
+         std::exp(-vth(l_nm) / (subthreshold_n * temp_vt));
+}
+
+double MosfetParams::id_per_um(double vgs, double vds, double l_nm) const {
+  POC_EXPECTS(l_nm > 0.0);
+  if (vds <= 0.0) return 0.0;
+  const double vt_l = vth(l_nm);
+  const double nvt = subthreshold_n * temp_vt;
+  const double vds_factor = 1.0 - std::exp(-vds / temp_vt);
+  if (vgs <= vt_l) {
+    // Subthreshold: exponential in Vgs, saturating in Vds.
+    return i0_leak_ua_per_um * (l_ref_nm / l_nm) *
+           std::exp((vgs - vt_l) / nvt) * vds_factor;
+  }
+  // Strong inversion, with the subthreshold current pinned at its Vth value
+  // added so the surface is continuous across the threshold.
+  const double vov = vgs - vt_l;
+  const double idsat = k_ua_per_um * (l_ref_nm / l_nm) * std::pow(vov, alpha);
+  const double vdsat = kv_sat * std::pow(vov, alpha / 2.0);
+  const double x = vds / vdsat;
+  const double strong = vds >= vdsat ? idsat : idsat * x * (2.0 - x);
+  return strong + i0_leak_ua_per_um * (l_ref_nm / l_nm) * vds_factor;
+}
+
+}  // namespace poc

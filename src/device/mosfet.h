@@ -1,0 +1,44 @@
+// Alpha-power-law MOSFET model (Sakurai-Newton) with channel-length
+// dependent threshold (Vth roll-off).  This is the repo's BSIM substitute:
+// it reproduces the two behaviours the paper's timing flow depends on —
+// drive current rising roughly as 1/L (delay) and leakage rising
+// exponentially as L shrinks (power) — without a proprietary model card.
+#pragma once
+
+#include "src/common/units.h"
+
+namespace poc {
+
+struct MosfetParams {
+  bool is_nmos = true;
+  double vdd = 1.2;           ///< supply (V)
+  double vth_long = 0.40;     ///< long-channel threshold magnitude (V)
+  double dvt_rolloff = 1.0;   ///< roll-off amplitude (V)
+  double rolloff_lc_nm = 30.0;  ///< roll-off decay length
+  double alpha = 1.30;        ///< velocity-saturation exponent
+  double k_ua_per_um = 740.0;  ///< drive factor: Ion at L_ref, (Vdd-Vth)=1V
+  double l_ref_nm = 90.0;     ///< reference channel length
+  double kv_sat = 0.9;        ///< Vdsat = kv_sat * (Vgs-Vth)^(alpha/2)
+  double subthreshold_n = 1.5;  ///< subthreshold slope factor
+  double i0_leak_ua_per_um = 82.0;  ///< Ioff prefactor (uA/um)
+  double temp_vt = 0.0259;    ///< kT/q at 300 K
+
+  static MosfetParams nmos();
+  static MosfetParams pmos();
+
+  /// Threshold magnitude at channel length L (nm); shorter L -> lower Vth.
+  double vth(double l_nm) const;
+
+  /// Saturation drive current per um of width at |Vgs| = Vdd (uA/um).
+  double ion_per_um(double l_nm) const;
+
+  /// Subthreshold leakage per um of width at |Vgs| = 0 (uA/um).
+  double ioff_per_um(double l_nm) const;
+
+  /// Full I-V surface (uA/um): terminal voltages are magnitudes for the
+  /// carrier type (for PMOS pass |Vgs|, |Vds|).  Continuous across the
+  /// linear/saturation boundary; smooth subthreshold floor below Vth.
+  double id_per_um(double vgs, double vds, double l_nm) const;
+};
+
+}  // namespace poc

@@ -1,0 +1,92 @@
+#include "src/device/nonrect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace poc {
+namespace {
+
+/// Generic monotone-decreasing bisection solve of f(L) == target.
+template <typename F>
+double solve_decreasing(F f, double target, double lo, double hi) {
+  POC_EXPECTS(hi > lo);
+  // f decreases with L; clamp targets outside the bracket.
+  if (target >= f(lo)) return lo;
+  if (target <= f(hi)) return hi;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    if (f(mid) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace
+
+double solve_length_for_ion(const MosfetParams& params, double ion_per_um,
+                            double lo_nm, double hi_nm) {
+  return solve_decreasing(
+      [&](double l) { return params.ion_per_um(l); }, ion_per_um, lo_nm,
+      hi_nm);
+}
+
+double solve_length_for_ioff(const MosfetParams& params, double ioff_per_um,
+                             double lo_nm, double hi_nm) {
+  return solve_decreasing(
+      [&](double l) { return params.ioff_per_um(l); }, ioff_per_um, lo_nm,
+      hi_nm);
+}
+
+EquivalentGate equivalent_gate(const GateCdProfile& profile, double width_nm,
+                               const MosfetParams& params) {
+  POC_EXPECTS(!profile.slice_cd_nm.empty());
+  POC_EXPECTS(width_nm > 0.0);
+  EquivalentGate eq;
+  eq.width_um = nm_to_um(width_nm);
+  const double slice_w_um =
+      eq.width_um / static_cast<double>(profile.slice_cd_nm.size());
+
+  double cd_sum = 0.0;
+  for (double cd : profile.slice_cd_nm) {
+    if (cd <= 0.0) {
+      // A pinched slice conducts no drive current and adds no leakage; it
+      // also marks the device as electrically suspect.
+      eq.functional = false;
+      continue;
+    }
+    eq.ion_ua += slice_w_um * params.ion_per_um(cd);
+    eq.ioff_ua += slice_w_um * params.ioff_per_um(cd);
+    cd_sum += cd;
+  }
+  const std::size_t printed =
+      static_cast<std::size_t>(std::count_if(profile.slice_cd_nm.begin(),
+                                             profile.slice_cd_nm.end(),
+                                             [](double c) { return c > 0.0; }));
+  eq.l_mean_nm = printed ? cd_sum / static_cast<double>(printed) : 0.0;
+  if (eq.ion_ua > 0.0) {
+    eq.l_eff_drive_nm = solve_length_for_ion(params, eq.ion_ua / eq.width_um);
+  }
+  if (eq.ioff_ua > 0.0) {
+    eq.l_eff_leak_nm = solve_length_for_ioff(params, eq.ioff_ua / eq.width_um);
+  }
+  return eq;
+}
+
+double EquivalentGate::drive_ratio_vs(double drawn_l_nm,
+                                      const MosfetParams& p) const {
+  const double base = p.ion_per_um(drawn_l_nm) * width_um;
+  return base > 0.0 ? ion_ua / base : 0.0;
+}
+
+double EquivalentGate::leak_ratio_vs(double drawn_l_nm,
+                                     const MosfetParams& p) const {
+  const double base = p.ioff_per_um(drawn_l_nm) * width_um;
+  return base > 0.0 ? ioff_ua / base : 0.0;
+}
+
+}  // namespace poc

@@ -1,0 +1,45 @@
+// Non-rectangular transistor model (after Poppe, Wu, Neureuther, Capodieci,
+// "From poly line to transistor", SPIE 2006, referenced by the paper's
+// flow): the litho-printed gate is decomposed into slices along the channel
+// width, each slice conducting as a rectangular device of its measured CD.
+// Summed slice currents define TWO equivalent rectangular lengths — one
+// matching total drive current (delay analysis) and one matching total
+// leakage (power/noise analysis).  They differ because leakage weights
+// short-CD slices exponentially.
+#pragma once
+
+#include "src/cdx/cd_extract.h"
+#include "src/device/mosfet.h"
+
+namespace poc {
+
+struct EquivalentGate {
+  double width_um = 0.0;        ///< total channel width
+  double ion_ua = 0.0;          ///< summed slice drive current
+  double ioff_ua = 0.0;         ///< summed slice leakage
+  double l_eff_drive_nm = 0.0;  ///< rectangular L matching ion_ua
+  double l_eff_leak_nm = 0.0;   ///< rectangular L matching ioff_ua
+  double l_mean_nm = 0.0;       ///< naive average CD (the model the paper's
+                                ///< approach replaces)
+  bool functional = true;       ///< false if any slice failed to print
+
+  /// Drive ratio vs the drawn-device baseline (>1 = faster than drawn).
+  double drive_ratio_vs(double drawn_l_nm, const MosfetParams& p) const;
+  /// Leakage ratio vs the drawn-device baseline.
+  double leak_ratio_vs(double drawn_l_nm, const MosfetParams& p) const;
+};
+
+/// Builds the equivalent gate from a measured CD profile.
+/// `width_nm` is the drawn channel width the profile spans.
+EquivalentGate equivalent_gate(const GateCdProfile& profile, double width_nm,
+                               const MosfetParams& params);
+
+/// Solves Ion(L) == target for L by bisection over [lo, hi] nm.
+double solve_length_for_ion(const MosfetParams& params, double ion_per_um,
+                            double lo_nm = 40.0, double hi_nm = 250.0);
+
+/// Solves Ioff(L) == target for L by bisection over [lo, hi] nm.
+double solve_length_for_ioff(const MosfetParams& params, double ioff_per_um,
+                             double lo_nm = 40.0, double hi_nm = 250.0);
+
+}  // namespace poc

@@ -1,0 +1,54 @@
+#include "src/geom/grid_index.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace poc {
+
+GridIndex::GridIndex(DbUnit bin_size) : bin_size_(bin_size) {
+  POC_EXPECTS(bin_size > 0);
+}
+
+long long GridIndex::bin_of(DbUnit v) const {
+  // Floor division for negative coordinates.
+  long long q = v / bin_size_;
+  if (v % bin_size_ != 0 && v < 0) --q;
+  return q;
+}
+
+void GridIndex::insert(const Rect& r, std::size_t id) {
+  POC_EXPECTS(r.valid());
+  const long long bx0 = bin_of(r.xlo), bx1 = bin_of(r.xhi);
+  const long long by0 = bin_of(r.ylo), by1 = bin_of(r.yhi);
+  for (long long bx = bx0; bx <= bx1; ++bx) {
+    for (long long by = by0; by <= by1; ++by) {
+      bins_[{bx, by}].emplace_back(r, id);
+    }
+  }
+  ++count_;
+}
+
+std::vector<std::size_t> GridIndex::query(const Rect& window) const {
+  std::vector<std::size_t> out;
+  const long long bx0 = bin_of(window.xlo), bx1 = bin_of(window.xhi);
+  const long long by0 = bin_of(window.ylo), by1 = bin_of(window.yhi);
+  for (long long bx = bx0; bx <= bx1; ++bx) {
+    for (long long by = by0; by <= by1; ++by) {
+      const auto it = bins_.find({bx, by});
+      if (it == bins_.end()) continue;
+      for (const auto& [rect, id] : it->second) {
+        // Closed-interval intersection: abutting shapes are context too.
+        if (rect.xlo <= window.xhi && rect.xhi >= window.xlo &&
+            rect.ylo <= window.yhi && rect.yhi >= window.ylo) {
+          out.push_back(id);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace poc

@@ -1,0 +1,47 @@
+// Uniform-grid spatial index over rectangles.  Used to gather the litho
+// context around a tagged gate (all shapes within the optical ambit) and for
+// neighbour/spacing queries, without an O(n) scan per window.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "src/geom/rect.h"
+
+namespace poc {
+
+class GridIndex {
+ public:
+  /// bin_size: grid pitch in database units; pick ~ the typical query size.
+  explicit GridIndex(DbUnit bin_size = 2000);
+
+  /// Inserts a rectangle with a caller-supplied id (e.g. shape index).
+  void insert(const Rect& r, std::size_t id);
+
+  /// Ids of all inserted rects whose closed bbox intersects the query
+  /// window (deduplicated, unordered).
+  std::vector<std::size_t> query(const Rect& window) const;
+
+  std::size_t size() const { return count_; }
+
+ private:
+  struct BinKey {
+    long long bx, by;
+    bool operator==(const BinKey&) const = default;
+  };
+  struct BinHash {
+    std::size_t operator()(const BinKey& k) const {
+      return std::hash<long long>()(k.bx * 1000003LL + k.by);
+    }
+  };
+
+  long long bin_of(DbUnit v) const;
+
+  DbUnit bin_size_;
+  std::size_t count_ = 0;
+  std::unordered_map<BinKey, std::vector<std::pair<Rect, std::size_t>>, BinHash>
+      bins_;
+};
+
+}  // namespace poc

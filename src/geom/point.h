@@ -1,0 +1,52 @@
+// Integer-nanometre points and vectors.  All layout geometry is Manhattan
+// and snapped to a 1 nm grid, which keeps Boolean-lite operations exact.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "src/common/units.h"
+
+namespace poc {
+
+struct Point {
+  DbUnit x = 0;
+  DbUnit y = 0;
+
+  friend constexpr Point operator+(Point a, Point b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point operator-(Point a, Point b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr bool operator==(Point a, Point b) = default;
+  friend constexpr auto operator<=>(Point a, Point b) = default;
+};
+
+/// Axis directions for Manhattan edges and normals.
+enum class Axis { kHorizontal, kVertical };
+
+/// One of the four Manhattan directions, used for edge normals.
+enum class Dir { kEast, kNorth, kWest, kSouth };
+
+constexpr Point dir_vec(Dir d) {
+  switch (d) {
+    case Dir::kEast: return {1, 0};
+    case Dir::kNorth: return {0, 1};
+    case Dir::kWest: return {-1, 0};
+    case Dir::kSouth: return {0, -1};
+  }
+  return {0, 0};
+}
+
+constexpr Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::kEast: return Dir::kWest;
+    case Dir::kNorth: return Dir::kSouth;
+    case Dir::kWest: return Dir::kEast;
+    case Dir::kSouth: return Dir::kNorth;
+  }
+  return Dir::kEast;
+}
+
+}  // namespace poc

@@ -1,0 +1,203 @@
+#include "src/geom/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace poc {
+namespace {
+
+double shoelace(const std::vector<Point>& v) {
+  double a = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const Point& p = v[i];
+    const Point& q = v[(i + 1) % v.size()];
+    a += static_cast<double>(p.x) * static_cast<double>(q.y) -
+         static_cast<double>(q.x) * static_cast<double>(p.y);
+  }
+  return a / 2.0;
+}
+
+/// Removes consecutive duplicates and merges collinear runs.
+std::vector<Point> simplify(std::vector<Point> v) {
+  // Drop exact duplicates.
+  std::vector<Point> out;
+  for (const Point& p : v) {
+    if (out.empty() || !(out.back() == p)) out.push_back(p);
+  }
+  if (out.size() > 1 && out.front() == out.back()) out.pop_back();
+  // Merge collinear triples (both segments horizontal or both vertical).
+  bool changed = true;
+  while (changed && out.size() > 4) {
+    changed = false;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const Point& prev = out[(i + out.size() - 1) % out.size()];
+      const Point& cur = out[i];
+      const Point& next = out[(i + 1) % out.size()];
+      const bool h1 = prev.y == cur.y, h2 = cur.y == next.y;
+      const bool v1 = prev.x == cur.x, v2 = cur.x == next.x;
+      if ((h1 && h2) || (v1 && v2)) {
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(i));
+        changed = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Polygon::Polygon(std::vector<Point> vertices) {
+  verts_ = simplify(std::move(vertices));
+  POC_EXPECTS(verts_.size() >= 4);
+  POC_EXPECTS(verts_.size() % 2 == 0);
+  if (shoelace(verts_) < 0) std::reverse(verts_.begin(), verts_.end());
+  // Validate Manhattan alternation.
+  for (std::size_t i = 0; i < verts_.size(); ++i) {
+    const Point& p = verts_[i];
+    const Point& q = verts_[(i + 1) % verts_.size()];
+    POC_EXPECTS((p.x == q.x) != (p.y == q.y));
+  }
+  POC_ENSURES(shoelace(verts_) > 0);
+}
+
+Polygon Polygon::from_rect(const Rect& r) {
+  POC_EXPECTS(!r.empty());
+  return Polygon({{r.xlo, r.ylo}, {r.xhi, r.ylo}, {r.xhi, r.yhi}, {r.xlo, r.yhi}});
+}
+
+double Polygon::area() const { return verts_.empty() ? 0.0 : shoelace(verts_); }
+
+double Polygon::perimeter() const {
+  double p = 0.0;
+  for (std::size_t i = 0; i < verts_.size(); ++i) {
+    const Point& a = verts_[i];
+    const Point& b = verts_[(i + 1) % verts_.size()];
+    p += static_cast<double>(std::abs(a.x - b.x) + std::abs(a.y - b.y));
+  }
+  return p;
+}
+
+Rect Polygon::bbox() const {
+  POC_EXPECTS(!verts_.empty());
+  Rect r{verts_[0].x, verts_[0].y, verts_[0].x, verts_[0].y};
+  for (const Point& p : verts_) {
+    r.xlo = std::min(r.xlo, p.x);
+    r.ylo = std::min(r.ylo, p.y);
+    r.xhi = std::max(r.xhi, p.x);
+    r.yhi = std::max(r.yhi, p.y);
+  }
+  return r;
+}
+
+PolyEdge Polygon::edge(std::size_t i) const {
+  POC_EXPECTS(i < verts_.size());
+  PolyEdge e;
+  e.a = verts_[i];
+  e.b = verts_[(i + 1) % verts_.size()];
+  if (e.a.y == e.b.y) {
+    e.axis = Axis::kHorizontal;
+    // CCW: interior lies to the left of travel, so outward is to the right.
+    e.outward = e.b.x > e.a.x ? Dir::kSouth : Dir::kNorth;
+  } else {
+    e.axis = Axis::kVertical;
+    e.outward = e.b.y > e.a.y ? Dir::kEast : Dir::kWest;
+  }
+  return e;
+}
+
+std::vector<PolyEdge> Polygon::edges() const {
+  std::vector<PolyEdge> out;
+  out.reserve(verts_.size());
+  for (std::size_t i = 0; i < verts_.size(); ++i) out.push_back(edge(i));
+  return out;
+}
+
+bool Polygon::contains(Point p) const {
+  // Boundary check first (ray casting is ambiguous on edges).
+  for (std::size_t i = 0; i < verts_.size(); ++i) {
+    const Point& a = verts_[i];
+    const Point& b = verts_[(i + 1) % verts_.size()];
+    if (a.y == b.y && p.y == a.y && p.x >= std::min(a.x, b.x) &&
+        p.x <= std::max(a.x, b.x)) {
+      return true;
+    }
+    if (a.x == b.x && p.x == a.x && p.y >= std::min(a.y, b.y) &&
+        p.y <= std::max(a.y, b.y)) {
+      return true;
+    }
+  }
+  // Cast a ray in +x; count crossings of vertical edges.
+  bool inside = false;
+  for (std::size_t i = 0; i < verts_.size(); ++i) {
+    const Point& a = verts_[i];
+    const Point& b = verts_[(i + 1) % verts_.size()];
+    if (a.x != b.x) continue;  // only vertical edges can cross the ray
+    const DbUnit ylo = std::min(a.y, b.y);
+    const DbUnit yhi = std::max(a.y, b.y);
+    // Half-open rule avoids double-counting at vertices.
+    if (p.y >= ylo && p.y < yhi && a.x > p.x) inside = !inside;
+  }
+  return inside;
+}
+
+Polygon Polygon::translated(Point v) const {
+  std::vector<Point> out = verts_;
+  for (Point& p : out) p = p + v;
+  Polygon poly;
+  poly.verts_ = std::move(out);
+  return poly;
+}
+
+Polygon Polygon::with_edge_moves(const std::vector<DbUnit>& moves) const {
+  POC_EXPECTS(moves.size() == verts_.size());
+  const std::size_t n = verts_.size();
+  // Each edge, displaced along its outward normal, stays axis-aligned at a
+  // new coordinate.  Vertex i is the corner of edge (i-1) and edge i; its new
+  // position takes x from whichever of the two edges is vertical and y from
+  // the horizontal one.
+  std::vector<DbUnit> coord(n);  // the fixed coordinate of each moved edge
+  std::vector<bool> horiz(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PolyEdge e = edge(i);
+    const Point nvec = dir_vec(e.outward);
+    horiz[i] = e.axis == Axis::kHorizontal;
+    coord[i] = horiz[i] ? e.a.y + nvec.y * moves[i] : e.a.x + nvec.x * moves[i];
+  }
+  std::vector<Point> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t prev = (i + n - 1) % n;
+    DbUnit x = 0, y = 0;
+    if (horiz[prev]) {
+      POC_EXPECTS(!horiz[i]);
+      y = coord[prev];
+      x = coord[i];
+    } else {
+      POC_EXPECTS(horiz[i]);
+      x = coord[prev];
+      y = coord[i];
+    }
+    out[i] = {x, y};
+  }
+  // Excessive moves make edges pass through each other; the result can
+  // still be a well-formed ring, so detect inversion directly: every moved
+  // edge must keep its original direction of travel (zero length allowed).
+  for (std::size_t i = 0; i < n; ++i) {
+    const PolyEdge orig = edge(i);
+    const Point& a = out[i];
+    const Point& b = out[(i + 1) % n];
+    if (orig.axis == Axis::kHorizontal) {
+      const bool fwd = orig.b.x > orig.a.x;
+      POC_ENSURES(fwd ? b.x >= a.x : b.x <= a.x);
+    } else {
+      const bool fwd = orig.b.y > orig.a.y;
+      POC_ENSURES(fwd ? b.y >= a.y : b.y <= a.y);
+    }
+  }
+  Polygon result(std::move(out));
+  return result;
+}
+
+}  // namespace poc

@@ -1,0 +1,68 @@
+// Rectilinear (Manhattan) polygon with counter-clockwise vertex order.
+// Adjacent edges alternate horizontal/vertical; this invariant is checked at
+// construction and makes per-edge normal displacement (the OPC primitive)
+// exact: every vertex is the corner of one horizontal and one vertical edge.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/geom/point.h"
+#include "src/geom/rect.h"
+
+namespace poc {
+
+/// Directed polygon edge with its outward normal.
+struct PolyEdge {
+  Point a;
+  Point b;
+  Axis axis = Axis::kHorizontal;
+  Dir outward = Dir::kSouth;
+
+  DbUnit length() const {
+    return axis == Axis::kHorizontal ? (b.x > a.x ? b.x - a.x : a.x - b.x)
+                                     : (b.y > a.y ? b.y - a.y : a.y - b.y);
+  }
+  Point midpoint() const { return {(a.x + b.x) / 2, (a.y + b.y) / 2}; }
+};
+
+class Polygon {
+ public:
+  Polygon() = default;
+
+  /// Vertices must be >= 4, closed implicitly (last connects to first),
+  /// alternate H/V segments, and wind counter-clockwise.  Clockwise input is
+  /// reversed; collinear duplicate vertices are merged.
+  explicit Polygon(std::vector<Point> vertices);
+
+  static Polygon from_rect(const Rect& r);
+
+  const std::vector<Point>& vertices() const { return verts_; }
+  std::size_t size() const { return verts_.size(); }
+  bool empty() const { return verts_.empty(); }
+
+  /// Signed shoelace area is positive after normalization.
+  double area() const;
+  double perimeter() const;
+  Rect bbox() const;
+
+  /// Edge i runs from vertex i to vertex (i+1) % size, with outward normal.
+  PolyEdge edge(std::size_t i) const;
+  std::vector<PolyEdge> edges() const;
+
+  /// Point-in-polygon (boundary counts as inside).
+  bool contains(Point p) const;
+
+  Polygon translated(Point v) const;
+
+  /// Rebuilds the polygon after moving each edge by moves[i] database units
+  /// along its outward normal (negative = inward).  The caller is
+  /// responsible for keeping moves small enough to avoid self-intersection;
+  /// a degenerate result (area <= 0 or edge inversion) throws.
+  Polygon with_edge_moves(const std::vector<DbUnit>& moves) const;
+
+ private:
+  std::vector<Point> verts_;
+};
+
+}  // namespace poc

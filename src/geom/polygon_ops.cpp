@@ -1,0 +1,139 @@
+#include "src/geom/polygon_ops.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/check.h"
+
+namespace poc {
+namespace {
+
+struct Interval {
+  DbUnit lo, hi;
+};
+
+/// Merges overlapping/touching intervals in place; input must be sorted by lo.
+std::vector<Interval> merge_intervals(std::vector<Interval> iv) {
+  std::vector<Interval> out;
+  for (const Interval& i : iv) {
+    if (!out.empty() && i.lo <= out.back().hi) {
+      out.back().hi = std::max(out.back().hi, i.hi);
+    } else {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+/// Merge vertically adjacent slab rects that share the same x-interval.
+std::vector<Rect> merge_slabs(std::vector<Rect> rects) {
+  std::sort(rects.begin(), rects.end(), [](const Rect& a, const Rect& b) {
+    if (a.xlo != b.xlo) return a.xlo < b.xlo;
+    if (a.xhi != b.xhi) return a.xhi < b.xhi;
+    return a.ylo < b.ylo;
+  });
+  std::vector<Rect> out;
+  for (const Rect& r : rects) {
+    if (!out.empty() && out.back().xlo == r.xlo && out.back().xhi == r.xhi &&
+        out.back().yhi == r.ylo) {
+      out.back().yhi = r.yhi;
+    } else {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Rect> decompose(const Polygon& poly) {
+  if (poly.empty()) return {};
+  // Distinct y coordinates define horizontal slabs.
+  std::vector<DbUnit> ys;
+  for (const Point& p : poly.vertices()) ys.push_back(p.y);
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  std::vector<Rect> out;
+  for (std::size_t s = 0; s + 1 < ys.size(); ++s) {
+    const DbUnit y1 = ys[s];
+    const DbUnit y2 = ys[s + 1];
+    const double ymid = (static_cast<double>(y1) + static_cast<double>(y2)) / 2.0;
+    // Vertical edges crossing the slab midline, sorted by x, alternate
+    // entering/leaving the interior.
+    std::vector<DbUnit> xs;
+    const auto& v = poly.vertices();
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const Point& a = v[i];
+      const Point& b = v[(i + 1) % v.size()];
+      if (a.x != b.x) continue;
+      const double elo = static_cast<double>(std::min(a.y, b.y));
+      const double ehi = static_cast<double>(std::max(a.y, b.y));
+      if (ymid > elo && ymid < ehi) xs.push_back(a.x);
+    }
+    std::sort(xs.begin(), xs.end());
+    POC_ENSURES(xs.size() % 2 == 0);
+    for (std::size_t i = 0; i + 1 < xs.size(); i += 2) {
+      out.push_back({xs[i], y1, xs[i + 1], y2});
+    }
+  }
+  return merge_slabs(std::move(out));
+}
+
+std::vector<Rect> disjoint_union(const std::vector<Rect>& rects) {
+  std::vector<DbUnit> ys;
+  for (const Rect& r : rects) {
+    if (r.empty()) continue;
+    ys.push_back(r.ylo);
+    ys.push_back(r.yhi);
+  }
+  if (ys.empty()) return {};
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  std::vector<Rect> out;
+  for (std::size_t s = 0; s + 1 < ys.size(); ++s) {
+    const DbUnit y1 = ys[s];
+    const DbUnit y2 = ys[s + 1];
+    std::vector<Interval> iv;
+    for (const Rect& r : rects) {
+      if (r.empty()) continue;
+      if (r.ylo <= y1 && r.yhi >= y2) iv.push_back({r.xlo, r.xhi});
+    }
+    if (iv.empty()) continue;
+    std::sort(iv.begin(), iv.end(),
+              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+    for (const Interval& i : merge_intervals(std::move(iv))) {
+      out.push_back({i.lo, y1, i.hi, y2});
+    }
+  }
+  return merge_slabs(std::move(out));
+}
+
+double union_area(const std::vector<Rect>& rects) {
+  double a = 0.0;
+  for (const Rect& r : disjoint_union(rects)) a += r.area();
+  return a;
+}
+
+std::vector<Rect> clip_to_window(const std::vector<Rect>& rects,
+                                 const Rect& window) {
+  std::vector<Rect> out;
+  out.reserve(rects.size());
+  for (const Rect& r : rects) {
+    const Rect c = r.intersection(window);
+    if (!c.empty()) out.push_back(c);
+  }
+  return out;
+}
+
+bool regions_overlap(const std::vector<Rect>& a, const std::vector<Rect>& b) {
+  for (const Rect& ra : a) {
+    for (const Rect& rb : b) {
+      if (ra.intersects(rb)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace poc

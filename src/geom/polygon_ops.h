@@ -1,0 +1,34 @@
+// Boolean-lite operations on Manhattan geometry: polygon-to-rectangle
+// decomposition, disjoint union of rectangles, clipping.  These are the only
+// Boolean operations the flow needs (mask rasterization, window flattening,
+// density/area accounting), so a full polygon-clipping library is not pulled
+// in.
+#pragma once
+
+#include <vector>
+
+#include "src/geom/polygon.h"
+#include "src/geom/rect.h"
+
+namespace poc {
+
+/// Decomposes a simple rectilinear polygon into non-overlapping rectangles
+/// whose union is exactly the polygon (horizontal-slab decomposition).
+std::vector<Rect> decompose(const Polygon& poly);
+
+/// Rewrites an arbitrary (possibly overlapping) rectangle set as a disjoint
+/// set covering the same region.  Adjacent slabs with identical x-intervals
+/// are merged vertically to keep the output small.
+std::vector<Rect> disjoint_union(const std::vector<Rect>& rects);
+
+/// Exact area of the union of a rectangle set.
+double union_area(const std::vector<Rect>& rects);
+
+/// Clips each rectangle to the window, dropping empty results.
+std::vector<Rect> clip_to_window(const std::vector<Rect>& rects,
+                                 const Rect& window);
+
+/// True if the two rectangle sets cover any common area.
+bool regions_overlap(const std::vector<Rect>& a, const std::vector<Rect>& b);
+
+}  // namespace poc

@@ -1,0 +1,63 @@
+// Axis-aligned integer rectangle.  Half-open semantics are NOT used: a Rect
+// covers [xlo, xhi] x [ylo, yhi] as a closed region of the plane; width and
+// height are xhi-xlo / yhi-ylo.  Degenerate (zero-area) rects are allowed as
+// cut-lines and measurement probes.
+#pragma once
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/geom/point.h"
+
+namespace poc {
+
+struct Rect {
+  DbUnit xlo = 0, ylo = 0, xhi = 0, yhi = 0;
+
+  static constexpr Rect from_corners(Point a, Point b) {
+    return {std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+            std::max(a.y, b.y)};
+  }
+  static constexpr Rect from_center(Point c, DbUnit w, DbUnit h) {
+    return {c.x - w / 2, c.y - h / 2, c.x - w / 2 + w, c.y - h / 2 + h};
+  }
+
+  constexpr DbUnit width() const { return xhi - xlo; }
+  constexpr DbUnit height() const { return yhi - ylo; }
+  constexpr double area() const {
+    return static_cast<double>(width()) * static_cast<double>(height());
+  }
+  constexpr Point center() const { return {(xlo + xhi) / 2, (ylo + yhi) / 2}; }
+  constexpr bool valid() const { return xhi >= xlo && yhi >= ylo; }
+  constexpr bool empty() const { return xhi <= xlo || yhi <= ylo; }
+
+  constexpr bool contains(Point p) const {
+    return p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi;
+  }
+  constexpr bool contains(const Rect& r) const {
+    return r.xlo >= xlo && r.xhi <= xhi && r.ylo >= ylo && r.yhi <= yhi;
+  }
+  /// Open-interior overlap: touching rects do not intersect.
+  constexpr bool intersects(const Rect& r) const {
+    return r.xlo < xhi && r.xhi > xlo && r.ylo < yhi && r.yhi > ylo;
+  }
+
+  constexpr Rect intersection(const Rect& r) const {
+    return {std::max(xlo, r.xlo), std::max(ylo, r.ylo), std::min(xhi, r.xhi),
+            std::min(yhi, r.yhi)};
+  }
+  constexpr Rect bounding_union(const Rect& r) const {
+    return {std::min(xlo, r.xlo), std::min(ylo, r.ylo), std::max(xhi, r.xhi),
+            std::max(yhi, r.yhi)};
+  }
+  constexpr Rect inflated(DbUnit d) const {
+    return {xlo - d, ylo - d, xhi + d, yhi + d};
+  }
+  constexpr Rect translated(Point v) const {
+    return {xlo + v.x, ylo + v.y, xhi + v.x, yhi + v.y};
+  }
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+};
+
+}  // namespace poc

@@ -1,0 +1,48 @@
+// Placement transform for cell instances: one of the eight Manhattan
+// orientations followed by a translation.  Standard-cell rows use R0 and MX
+// (mirrored about the x axis) like real row-based placement.
+#pragma once
+
+#include "src/geom/point.h"
+#include "src/geom/rect.h"
+
+namespace poc {
+
+enum class Orient {
+  kR0,    // identity
+  kR90,   // 90 deg counter-clockwise
+  kR180,
+  kR270,
+  kMX,    // mirror about x axis (y -> -y)
+  kMY,    // mirror about y axis (x -> -x)
+  kMXR90, // mirror about x then rotate 90
+  kMYR90,
+};
+
+struct Transform {
+  Orient orient = Orient::kR0;
+  Point offset;
+
+  constexpr Point apply(Point p) const {
+    Point q = p;
+    switch (orient) {
+      case Orient::kR0: break;
+      case Orient::kR90: q = {-p.y, p.x}; break;
+      case Orient::kR180: q = {-p.x, -p.y}; break;
+      case Orient::kR270: q = {p.y, -p.x}; break;
+      case Orient::kMX: q = {p.x, -p.y}; break;
+      case Orient::kMY: q = {-p.x, p.y}; break;
+      case Orient::kMXR90: q = {p.y, p.x}; break;
+      case Orient::kMYR90: q = {-p.y, -p.x}; break;
+    }
+    return q + offset;
+  }
+
+  constexpr Rect apply(const Rect& r) const {
+    const Point a = apply(Point{r.xlo, r.ylo});
+    const Point b = apply(Point{r.xhi, r.yhi});
+    return Rect::from_corners(a, b);
+  }
+};
+
+}  // namespace poc

@@ -1,0 +1,176 @@
+#include "src/layout/layout_db.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace poc {
+
+const char* layer_name(Layer layer) {
+  switch (layer) {
+    case Layer::kNwell: return "nwell";
+    case Layer::kActive: return "active";
+    case Layer::kPoly: return "poly";
+    case Layer::kContact: return "contact";
+    case Layer::kMetal1: return "metal1";
+    case Layer::kVia1: return "via1";
+    case Layer::kMetal2: return "metal2";
+  }
+  return "?";
+}
+
+std::optional<Layer> layer_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < kNumLayers; ++i) {
+    const Layer layer = static_cast<Layer>(i);
+    if (name == layer_name(layer)) return layer;
+  }
+  return std::nullopt;
+}
+
+std::size_t LayoutDb::add_cell(CellLayout cell) {
+  POC_EXPECTS(!frozen_);
+  POC_EXPECTS(!cell_names_.contains(cell.name));
+  cell_names_[cell.name] = cells_.size();
+  cells_.push_back(std::move(cell));
+  return cells_.size() - 1;
+}
+
+std::size_t LayoutDb::cell_index(const std::string& name) const {
+  const auto it = cell_names_.find(name);
+  POC_EXPECTS(it != cell_names_.end());
+  return it->second;
+}
+
+const CellLayout& LayoutDb::cell(std::size_t idx) const {
+  POC_EXPECTS(idx < cells_.size());
+  return cells_[idx];
+}
+
+std::size_t LayoutDb::add_instance(Instance inst) {
+  POC_EXPECTS(!frozen_);
+  POC_EXPECTS(inst.cell < cells_.size());
+  POC_EXPECTS(!instance_names_.contains(inst.name));
+  instance_names_[inst.name] = instances_.size();
+  instances_.push_back(std::move(inst));
+  return instances_.size() - 1;
+}
+
+const Instance& LayoutDb::instance(std::size_t idx) const {
+  POC_EXPECTS(idx < instances_.size());
+  return instances_[idx];
+}
+
+std::size_t LayoutDb::instance_index(const std::string& name) const {
+  const auto it = instance_names_.find(name);
+  POC_EXPECTS(it != instance_names_.end());
+  return it->second;
+}
+
+void LayoutDb::add_top_shape(Shape s) {
+  POC_EXPECTS(!frozen_);
+  top_shapes_.push_back(std::move(s));
+}
+
+void LayoutDb::freeze() {
+  POC_EXPECTS(!frozen_);
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const Instance& inst = instances_[i];
+    const CellLayout& master = cells_[inst.cell];
+    inst_index_.insert(inst.transform.apply(master.boundary), i);
+    for (std::size_t g = 0; g < master.gates.size(); ++g) {
+      const GateInfo& gi = master.gates[g];
+      PlacedGate pg;
+      pg.instance = i;
+      pg.gate_in_cell = g;
+      pg.region = inst.transform.apply(gi.region);
+      // Cell masters draw poly vertically (channel length along x); R90/R270
+      // orientations would rotate that.  Rows only use R0/MX/MY/R180, all of
+      // which keep poly vertical.
+      const Orient o = inst.transform.orient;
+      pg.vertical_poly = (o == Orient::kR0 || o == Orient::kMX ||
+                          o == Orient::kMY || o == Orient::kR180);
+      placed_gates_.push_back(pg);
+    }
+  }
+  for (std::size_t i = 0; i < top_shapes_.size(); ++i) {
+    top_index_.insert(top_shapes_[i].poly.bbox(), i);
+  }
+  frozen_ = true;
+}
+
+std::vector<Rect> LayoutDb::flatten_layer(const Rect& window,
+                                          Layer layer) const {
+  POC_EXPECTS(frozen_);
+  std::vector<Rect> rects;
+  for (std::size_t i : inst_index_.query(window)) {
+    const Instance& inst = instances_[i];
+    const CellLayout& master = cells_[inst.cell];
+    for (const Shape& s : master.shapes) {
+      if (s.layer != layer) continue;
+      // Transform then clip.  decompose() keeps this exact for polygons.
+      for (const Rect& r : decompose(s.poly)) {
+        const Rect placed = inst.transform.apply(r);
+        const Rect clipped = placed.intersection(window);
+        if (!clipped.empty()) rects.push_back(clipped);
+      }
+    }
+  }
+  for (std::size_t i : top_index_.query(window)) {
+    const Shape& s = top_shapes_[i];
+    if (s.layer != layer) continue;
+    for (const Rect& r : decompose(s.poly)) {
+      const Rect clipped = r.intersection(window);
+      if (!clipped.empty()) rects.push_back(clipped);
+    }
+  }
+  return disjoint_union(rects);
+}
+
+std::vector<Polygon> LayoutDb::flatten_layer_polys(const Rect& window,
+                                                   Layer layer) const {
+  POC_EXPECTS(frozen_);
+  std::vector<Polygon> polys;
+  const auto transform_poly = [](const Transform& t, const Polygon& p) {
+    std::vector<Point> verts;
+    verts.reserve(p.size());
+    for (const Point& v : p.vertices()) verts.push_back(t.apply(v));
+    return Polygon(std::move(verts));  // re-normalizes winding after mirrors
+  };
+  for (std::size_t i : inst_index_.query(window)) {
+    const Instance& inst = instances_[i];
+    for (const Shape& s : cells_[inst.cell].shapes) {
+      if (s.layer != layer) continue;
+      Polygon placed = transform_poly(inst.transform, s.poly);
+      if (placed.bbox().intersects(window)) polys.push_back(std::move(placed));
+    }
+  }
+  for (std::size_t i : top_index_.query(window)) {
+    const Shape& s = top_shapes_[i];
+    if (s.layer != layer) continue;
+    if (s.poly.bbox().intersects(window)) polys.push_back(s.poly);
+  }
+  return polys;
+}
+
+const std::vector<PlacedGate>& LayoutDb::placed_gates() const {
+  POC_EXPECTS(frozen_);
+  return placed_gates_;
+}
+
+Rect LayoutDb::extent() const {
+  Rect e{0, 0, 0, 0};
+  bool first = true;
+  for (const Instance& inst : instances_) {
+    const Rect b = inst.transform.apply(cells_[inst.cell].boundary);
+    e = first ? b : e.bounding_union(b);
+    first = false;
+  }
+  for (const Shape& s : top_shapes_) {
+    const Rect b = s.poly.bbox();
+    e = first ? b : e.bounding_union(b);
+    first = false;
+  }
+  return e;
+}
+
+}  // namespace poc

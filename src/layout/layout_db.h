@@ -1,0 +1,131 @@
+// Hierarchical layout database: cells hold shapes per layer plus gate
+// annotations; the top level holds placed instances and routed wires.
+// A flattening query returns the Manhattan geometry inside an arbitrary
+// window — the primitive the litho simulator's mask builder consumes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/geom/grid_index.h"
+#include "src/geom/polygon.h"
+#include "src/geom/polygon_ops.h"
+#include "src/geom/rect.h"
+#include "src/geom/transform.h"
+
+namespace poc {
+
+enum class Layer {
+  kNwell,
+  kActive,
+  kPoly,
+  kContact,
+  kMetal1,
+  kVia1,
+  kMetal2,
+};
+
+constexpr std::size_t kNumLayers = 7;
+const char* layer_name(Layer layer);
+std::optional<Layer> layer_from_name(const std::string& name);
+
+/// A polygon on a layer.
+struct Shape {
+  Layer layer = Layer::kPoly;
+  Polygon poly;
+
+  static Shape rect(Layer layer, const Rect& r) {
+    return Shape{layer, Polygon::from_rect(r)};
+  }
+};
+
+/// Annotation on a transistor gate inside a cell: where poly crosses active.
+/// CD extraction measures the printed poly width inside `region`.
+struct GateInfo {
+  std::string device;   ///< e.g. "MN0"
+  bool is_nmos = true;
+  Rect region;          ///< drawn gate area (poly ∩ active), cell coords
+  DbUnit drawn_l = 0;   ///< drawn channel length (poly width across region)
+  DbUnit drawn_w = 0;   ///< drawn channel width
+};
+
+/// Leaf cell: geometry + gate annotations, coordinates local to the cell.
+struct CellLayout {
+  std::string name;
+  std::vector<Shape> shapes;
+  std::vector<GateInfo> gates;
+  Rect boundary;  ///< abutment box
+
+  void add_rect(Layer layer, const Rect& r) { shapes.push_back(Shape::rect(layer, r)); }
+};
+
+/// Placed occurrence of a cell.
+struct Instance {
+  std::string name;       ///< instance name, matches the netlist gate name
+  std::size_t cell = 0;   ///< index into LayoutDb::cells
+  Transform transform;
+};
+
+/// A gate region resolved to top-level coordinates.
+struct PlacedGate {
+  std::size_t instance = 0;
+  std::size_t gate_in_cell = 0;
+  Rect region;            ///< top-level coords
+  bool vertical_poly = true;  ///< true if the channel CD is measured along x
+};
+
+class LayoutDb {
+ public:
+  /// Registers a cell master; returns its index.  Name must be unique.
+  std::size_t add_cell(CellLayout cell);
+  std::size_t cell_index(const std::string& name) const;
+  const CellLayout& cell(std::size_t idx) const;
+  std::size_t num_cells() const { return cells_.size(); }
+
+  /// Places an instance; returns its index.
+  std::size_t add_instance(Instance inst);
+  const Instance& instance(std::size_t idx) const;
+  std::size_t num_instances() const { return instances_.size(); }
+  std::size_t instance_index(const std::string& name) const;
+
+  /// Top-level routed geometry (wires added by the router).
+  void add_top_shape(Shape s);
+  const std::vector<Shape>& top_shapes() const { return top_shapes_; }
+
+  /// Must be called after all instances/shapes are added and before any
+  /// spatial query; builds the grid indices.
+  void freeze();
+  bool frozen() const { return frozen_; }
+
+  /// All geometry of `layer` intersecting `window`, flattened to top-level
+  /// coordinates and clipped to the window, as disjoint rectangles.
+  std::vector<Rect> flatten_layer(const Rect& window, Layer layer) const;
+
+  /// Same query but returning whole transformed polygons (unclipped) — the
+  /// form the OPC engine corrects, since clipping would cut shapes mid-edge.
+  std::vector<Polygon> flatten_layer_polys(const Rect& window,
+                                           Layer layer) const;
+
+  /// All annotated transistor gates, resolved to top-level coordinates.
+  const std::vector<PlacedGate>& placed_gates() const;
+
+  /// Bounding box of everything placed.
+  Rect extent() const;
+
+ private:
+  std::vector<CellLayout> cells_;
+  std::unordered_map<std::string, std::size_t> cell_names_;
+  std::vector<Instance> instances_;
+  std::unordered_map<std::string, std::size_t> instance_names_;
+  std::vector<Shape> top_shapes_;
+
+  bool frozen_ = false;
+  GridIndex inst_index_{5000};
+  GridIndex top_index_{5000};
+  std::vector<PlacedGate> placed_gates_;
+};
+
+}  // namespace poc

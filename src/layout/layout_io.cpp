@@ -1,0 +1,147 @@
+#include "src/layout/layout_io.h"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace poc {
+namespace {
+
+const char* orient_name(Orient o) {
+  switch (o) {
+    case Orient::kR0: return "R0";
+    case Orient::kR90: return "R90";
+    case Orient::kR180: return "R180";
+    case Orient::kR270: return "R270";
+    case Orient::kMX: return "MX";
+    case Orient::kMY: return "MY";
+    case Orient::kMXR90: return "MXR90";
+    case Orient::kMYR90: return "MYR90";
+  }
+  return "R0";
+}
+
+Orient orient_from_name(const std::string& s) {
+  static const std::map<std::string, Orient> kMap = {
+      {"R0", Orient::kR0},     {"R90", Orient::kR90},
+      {"R180", Orient::kR180}, {"R270", Orient::kR270},
+      {"MX", Orient::kMX},     {"MY", Orient::kMY},
+      {"MXR90", Orient::kMXR90}, {"MYR90", Orient::kMYR90}};
+  const auto it = kMap.find(s);
+  POC_EXPECTS(it != kMap.end());
+  return it->second;
+}
+
+void write_poly(std::ostream& os, const Shape& s, const char* tag) {
+  os << tag << " " << layer_name(s.layer) << " " << s.poly.size();
+  for (const Point& p : s.poly.vertices()) os << " " << p.x << " " << p.y;
+  os << "\n";
+}
+
+Shape read_poly(std::istringstream& line) {
+  std::string layer_str;
+  std::size_t n = 0;
+  line >> layer_str >> n;
+  const auto layer = layer_from_name(layer_str);
+  POC_EXPECTS(layer.has_value());
+  POC_EXPECTS(n >= 4);
+  std::vector<Point> pts(n);
+  for (Point& p : pts) line >> p.x >> p.y;
+  POC_EXPECTS(!line.fail());
+  return Shape{*layer, Polygon(std::move(pts))};
+}
+
+}  // namespace
+
+void write_layout(std::ostream& os, const LayoutDb& db) {
+  for (std::size_t c = 0; c < db.num_cells(); ++c) {
+    const CellLayout& cell = db.cell(c);
+    os << "cell " << cell.name << " " << cell.boundary.xlo << " "
+       << cell.boundary.ylo << " " << cell.boundary.xhi << " "
+       << cell.boundary.yhi << "\n";
+    for (const Shape& s : cell.shapes) write_poly(os, s, "shape");
+    for (const GateInfo& g : cell.gates) {
+      os << "gate " << g.device << " " << (g.is_nmos ? "n" : "p") << " "
+         << g.region.xlo << " " << g.region.ylo << " " << g.region.xhi << " "
+         << g.region.yhi << " " << g.drawn_l << " " << g.drawn_w << "\n";
+    }
+    os << "endcell\n";
+  }
+  for (std::size_t i = 0; i < db.num_instances(); ++i) {
+    const Instance& inst = db.instance(i);
+    os << "inst " << inst.name << " " << db.cell(inst.cell).name << " "
+       << orient_name(inst.transform.orient) << " " << inst.transform.offset.x
+       << " " << inst.transform.offset.y << "\n";
+  }
+  for (const Shape& s : db.top_shapes()) write_poly(os, s, "topshape");
+}
+
+std::string layout_to_string(const LayoutDb& db) {
+  std::ostringstream os;
+  write_layout(os, db);
+  return os.str();
+}
+
+LayoutDb read_layout(std::istream& is) {
+  LayoutDb db;
+  CellLayout cur;
+  bool in_cell = false;
+  std::string raw;
+  while (std::getline(is, raw)) {
+    if (raw.empty()) continue;
+    std::istringstream line(raw);
+    std::string kw;
+    line >> kw;
+    if (kw == "cell") {
+      POC_EXPECTS(!in_cell);
+      cur = CellLayout{};
+      line >> cur.name >> cur.boundary.xlo >> cur.boundary.ylo >>
+          cur.boundary.xhi >> cur.boundary.yhi;
+      POC_EXPECTS(!line.fail());
+      in_cell = true;
+    } else if (kw == "shape") {
+      POC_EXPECTS(in_cell);
+      cur.shapes.push_back(read_poly(line));
+    } else if (kw == "gate") {
+      POC_EXPECTS(in_cell);
+      GateInfo g;
+      std::string type;
+      line >> g.device >> type >> g.region.xlo >> g.region.ylo >>
+          g.region.xhi >> g.region.yhi >> g.drawn_l >> g.drawn_w;
+      POC_EXPECTS(!line.fail());
+      POC_EXPECTS(type == "n" || type == "p");
+      g.is_nmos = type == "n";
+      cur.gates.push_back(g);
+    } else if (kw == "endcell") {
+      POC_EXPECTS(in_cell);
+      db.add_cell(std::move(cur));
+      in_cell = false;
+    } else if (kw == "inst") {
+      POC_EXPECTS(!in_cell);
+      Instance inst;
+      std::string cell_name, orient_str;
+      line >> inst.name >> cell_name >> orient_str >>
+          inst.transform.offset.x >> inst.transform.offset.y;
+      POC_EXPECTS(!line.fail());
+      inst.cell = db.cell_index(cell_name);
+      inst.transform.orient = orient_from_name(orient_str);
+      db.add_instance(std::move(inst));
+    } else if (kw == "topshape") {
+      POC_EXPECTS(!in_cell);
+      db.add_top_shape(read_poly(line));
+    } else {
+      check_fail("parse", raw.c_str(), __FILE__, __LINE__);
+    }
+  }
+  POC_EXPECTS(!in_cell);
+  return db;
+}
+
+LayoutDb layout_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_layout(is);
+}
+
+}  // namespace poc

@@ -1,0 +1,28 @@
+// Plain-text layout serialization (a GDS-like stream in readable form).
+// Lets examples dump generated layouts and tests round-trip them.
+//
+// Format:
+//   cell <name> <xlo> <ylo> <xhi> <yhi>
+//   shape <layer> <n> x0 y0 x1 y1 ...
+//   gate <device> <n|p> <xlo> <ylo> <xhi> <yhi> <drawn_l> <drawn_w>
+//   endcell
+//   inst <name> <cellname> <orient> <x> <y>
+//   topshape <layer> <n> x0 y0 ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/layout/layout_db.h"
+
+namespace poc {
+
+void write_layout(std::ostream& os, const LayoutDb& db);
+std::string layout_to_string(const LayoutDb& db);
+
+/// Parses a layout written by write_layout.  The returned database is not
+/// frozen.  Throws CheckError on malformed input.
+LayoutDb read_layout(std::istream& is);
+LayoutDb layout_from_string(const std::string& text);
+
+}  // namespace poc

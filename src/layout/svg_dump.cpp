@@ -1,0 +1,69 @@
+#include "src/layout/svg_dump.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace poc {
+namespace {
+
+/// Layout nm -> SVG user units, with the y axis flipped.
+struct Mapper {
+  const Rect& window;
+  double scale;
+  double x(double nm) const { return (nm - static_cast<double>(window.xlo)) * scale; }
+  double y(double nm) const {
+    return (static_cast<double>(window.yhi) - nm) * scale;
+  }
+};
+
+}  // namespace
+
+void write_svg(std::ostream& os, const Rect& window,
+               const std::vector<SvgLayer>& layers,
+               const std::vector<SvgContour>& contours, double scale) {
+  POC_EXPECTS(!window.empty());
+  POC_EXPECTS(scale > 0.0);
+  const Mapper m{window, scale};
+  os << std::fixed << std::setprecision(2);
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+     << static_cast<double>(window.width()) * scale << "\" height=\""
+     << static_cast<double>(window.height()) * scale << "\">\n";
+  os << "  <rect width=\"100%\" height=\"100%\" fill=\"#fff\"/>\n";
+  for (const SvgLayer& layer : layers) {
+    os << "  <g id=\"" << layer.name << "\" fill=\"" << layer.fill
+       << "\" stroke=\"" << layer.stroke << "\" fill-opacity=\""
+       << layer.opacity << "\">\n";
+    for (const Polygon& p : layer.polygons) {
+      os << "    <polygon points=\"";
+      for (const Point& v : p.vertices()) {
+        os << m.x(static_cast<double>(v.x)) << ","
+           << m.y(static_cast<double>(v.y)) << " ";
+      }
+      os << "\"/>\n";
+    }
+    os << "  </g>\n";
+  }
+  for (const SvgContour& c : contours) {
+    os << "  <poly" << (c.closed ? "gon" : "line") << " points=\"";
+    for (const auto& [px, py] : c.points) {
+      os << m.x(px) << "," << m.y(py) << " ";
+    }
+    os << "\" fill=\"none\" stroke=\"" << c.stroke << "\" stroke-width=\""
+       << c.width_nm * scale << "\"/>\n";
+  }
+  os << "</svg>\n";
+}
+
+std::string svg_to_string(const Rect& window,
+                          const std::vector<SvgLayer>& layers,
+                          const std::vector<SvgContour>& contours,
+                          double scale) {
+  std::ostringstream os;
+  write_svg(os, window, layers, contours, scale);
+  return os.str();
+}
+
+}  // namespace poc

@@ -1,0 +1,43 @@
+// SVG rendering of layout windows and simulated print contours, so users
+// can visually inspect OPC corrections and hotspots without an external
+// layout viewer.  Output is plain SVG 1.1.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/geom/polygon.h"
+#include "src/geom/rect.h"
+
+namespace poc {
+
+struct SvgLayer {
+  std::string name;
+  std::string fill;       ///< CSS color, e.g. "#d33" or "none"
+  std::string stroke;
+  double opacity = 0.6;
+  std::vector<Polygon> polygons;
+};
+
+/// A polyline overlay (e.g. a traced print contour).
+struct SvgContour {
+  std::string stroke = "#000";
+  double width_nm = 4.0;
+  bool closed = false;
+  std::vector<std::pair<double, double>> points;  ///< layout nm coordinates
+};
+
+/// Writes an SVG of `window` with the given layers and contour overlays.
+/// The y axis is flipped so the image matches layout orientation.
+void write_svg(std::ostream& os, const Rect& window,
+               const std::vector<SvgLayer>& layers,
+               const std::vector<SvgContour>& contours = {},
+               double scale = 0.25);
+
+std::string svg_to_string(const Rect& window,
+                          const std::vector<SvgLayer>& layers,
+                          const std::vector<SvgContour>& contours = {},
+                          double scale = 0.25);
+
+}  // namespace poc

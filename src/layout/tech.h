@@ -1,0 +1,49 @@
+// Technology parameters for the synthetic ~90 nm process used throughout
+// the reproduction.  Numbers are representative of the 2005-era node the
+// paper targets: 193 nm lithography, drawn poly gate length 90 nm, contacted
+// poly pitch ~350 nm, metal-1 half-pitch ~120 nm.
+#pragma once
+
+#include "src/common/units.h"
+
+namespace poc {
+
+struct Tech {
+  // --- front end ---
+  DbUnit gate_length = 90;        ///< drawn poly gate length (nm)
+  DbUnit poly_width = 90;         ///< poly interconnect width off-gate
+  DbUnit poly_space = 160;        ///< min poly-poly spacing
+  DbUnit poly_pitch = 250;        ///< gate pitch inside multi-finger cells
+  DbUnit active_to_poly = 100;    ///< poly endcap past active
+  DbUnit active_space = 180;
+  DbUnit contact_size = 110;
+  DbUnit contact_to_gate = 90;
+
+  // --- back end ---
+  DbUnit m1_width = 120;
+  DbUnit m1_space = 120;
+  DbUnit m1_pitch = 240;
+  DbUnit m2_width = 140;
+  DbUnit m2_space = 140;
+  DbUnit m2_pitch = 280;
+
+  // --- standard-cell frame ---
+  DbUnit cell_height = 2400;      ///< row height
+  DbUnit rail_width = 240;        ///< VDD/VSS rail width
+  DbUnit nmos_width = 600;        ///< default NMOS drawn width
+  DbUnit pmos_width = 900;        ///< default PMOS drawn width
+
+  // --- electrical (used by pex) ---
+  double m1_sheet_res_ohm_sq = 0.08;   ///< ohm/square at drawn width
+  double m1_cap_per_um_ff = 0.20;      ///< fF/um at drawn width/space
+  double m2_sheet_res_ohm_sq = 0.05;
+  double m2_cap_per_um_ff = 0.18;
+  double contact_res_ohm = 8.0;
+
+  static const Tech& default_tech() {
+    static const Tech t{};
+    return t;
+  }
+};
+
+}  // namespace poc

@@ -1,0 +1,56 @@
+// Scalar field on a uniform grid over a layout window: mask transmission,
+// aerial-image intensity, or blurred resist signal.  Coordinates are layout
+// nanometres; (ox, oy) is the *centre* of pixel (0, 0).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/geom/rect.h"
+
+namespace poc {
+
+class Image2D {
+ public:
+  Image2D() = default;
+  Image2D(std::size_t nx, std::size_t ny, double pixel_nm, double ox, double oy);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  double pixel() const { return pixel_; }
+  double origin_x() const { return ox_; }
+  double origin_y() const { return oy_; }
+
+  double& at(std::size_t ix, std::size_t iy);
+  double at(std::size_t ix, std::size_t iy) const;
+
+  /// Centre coordinate of pixel column ix / row iy.
+  double x_of(std::size_t ix) const { return ox_ + pixel_ * static_cast<double>(ix); }
+  double y_of(std::size_t iy) const { return oy_ + pixel_ * static_cast<double>(iy); }
+
+  /// Bilinear interpolation at layout coordinates; clamps to the grid edge.
+  double sample(double x, double y) const;
+
+  /// True if (x, y) lies within the sampled area (pixel centres hull).
+  bool in_bounds(double x, double y) const;
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  double min_value() const;
+  double max_value() const;
+
+  /// Horizontal cross-section I(x) at fixed y (bilinear sampled), n points
+  /// from x0 to x1 inclusive.
+  std::vector<double> cross_section_x(double y, double x0, double x1,
+                                      std::size_t n) const;
+
+ private:
+  std::size_t nx_ = 0, ny_ = 0;
+  double pixel_ = 1.0;
+  double ox_ = 0.0, oy_ = 0.0;
+  std::vector<double> data_;
+};
+
+}  // namespace poc

@@ -1,0 +1,127 @@
+#include "src/litho/imaging.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/common/check.h"
+#include "src/common/fft.h"
+
+namespace poc {
+namespace {
+
+/// Frequency-domain accessor for a row-major spectrum: signed index ->
+/// storage index.
+std::size_t spec_index(long long kx, long long ky, std::size_t nx,
+                       std::size_t ny) {
+  const std::size_t ix =
+      kx >= 0 ? static_cast<std::size_t>(kx) : nx - static_cast<std::size_t>(-kx);
+  const std::size_t iy =
+      ky >= 0 ? static_cast<std::size_t>(ky) : ny - static_cast<std::size_t>(-ky);
+  return iy * nx + ix;
+}
+
+}  // namespace
+
+Image2D aerial_image_blurred(const Image2D& mask, const OpticalSettings& opt,
+                             double defocus_nm, double blur_sigma_nm) {
+  const std::size_t nx = mask.nx();
+  const std::size_t ny = mask.ny();
+  POC_EXPECTS(is_pow2(nx) && is_pow2(ny));
+
+  // Mask spectrum on the full grid (mask edges are not band-limited, so the
+  // forward transform needs full resolution).
+  std::vector<Cplx> spectrum(nx * ny);
+  for (std::size_t i = 0; i < nx * ny; ++i) spectrum[i] = mask.data()[i];
+  fft_2d(spectrum, nx, ny, /*inverse=*/false);
+
+  const double dfx = 1.0 / (static_cast<double>(nx) * mask.pixel());
+  const double dfy = 1.0 / (static_cast<double>(ny) * mask.pixel());
+  const double fc = opt.cutoff_freq();
+  const double tilt_scale = opt.na / opt.wavelength_nm;  // sigma -> frequency
+
+  // The coherent field only carries frequencies |f + fs| <= fc, i.e.
+  // |f| <= fc (1 + sigma_outer).  Everything downstream therefore lives on
+  // a cropped spectral grid; intensity (|E|^2) doubles the bandwidth, so
+  // the coarse grid must span twice the field band.
+  const double reach = fc * (1.0 + opt.sigma_outer) * 1.001;
+  const long long kx_max = std::min<long long>(
+      static_cast<long long>(nx) / 2 - 1,
+      static_cast<long long>(reach / dfx) + 1);
+  const long long ky_max = std::min<long long>(
+      static_cast<long long>(ny) / 2 - 1,
+      static_cast<long long>(reach / dfy) + 1);
+  const std::size_t ncx = std::min(
+      nx, next_pow2(static_cast<std::size_t>(4 * kx_max + 2)));
+  const std::size_t ncy = std::min(
+      ny, next_pow2(static_cast<std::size_t>(4 * ky_max + 2)));
+
+  // Per-source-point coherent image on the coarse grid; intensities
+  // accumulate there.
+  std::vector<double> intensity(ncx * ncy, 0.0);
+  std::vector<Cplx> field(ncx * ncy);
+  const double crop_scale = static_cast<double>(ncx) *
+                            static_cast<double>(ncy) /
+                            (static_cast<double>(nx) * static_cast<double>(ny));
+
+  for (const SourcePoint& sp : sample_source(opt)) {
+    const double fsx = sp.sx * tilt_scale;
+    const double fsy = sp.sy * tilt_scale;
+    std::fill(field.begin(), field.end(), Cplx(0.0, 0.0));
+    for (long long ky = -ky_max; ky <= ky_max; ++ky) {
+      const double fy = static_cast<double>(ky) * dfy;
+      for (long long kx = -kx_max; kx <= kx_max; ++kx) {
+        const double fx = static_cast<double>(kx) * dfx;
+        const Cplx p = pupil_value(opt, fx + fsx, fy + fsy, defocus_nm);
+        if (p == Cplx(0.0, 0.0)) continue;
+        field[spec_index(kx, ky, ncx, ncy)] =
+            spectrum[spec_index(kx, ky, nx, ny)] * p * crop_scale;
+      }
+    }
+    fft_2d(field, ncx, ncy, /*inverse=*/true);
+    for (std::size_t i = 0; i < ncx * ncy; ++i) {
+      intensity[i] += sp.weight * std::norm(field[i]);
+    }
+  }
+
+  // Upsample the band-limited intensity to the mask grid through the
+  // frequency domain (exact), applying the resist diffusion blur in the
+  // same pass.
+  std::vector<Cplx> coarse_spec(ncx * ncy);
+  for (std::size_t i = 0; i < ncx * ncy; ++i) coarse_spec[i] = intensity[i];
+  fft_2d(coarse_spec, ncx, ncy, /*inverse=*/false);
+
+  std::vector<Cplx> full_spec(nx * ny, Cplx(0.0, 0.0));
+  const double up_scale = static_cast<double>(nx) * static_cast<double>(ny) /
+                          (static_cast<double>(ncx) * static_cast<double>(ncy));
+  const double two_pi2_s2 = 2.0 * std::numbers::pi * std::numbers::pi *
+                            blur_sigma_nm * blur_sigma_nm;
+  const long long cx = static_cast<long long>(ncx) / 2 - 1;
+  const long long cy = static_cast<long long>(ncy) / 2 - 1;
+  for (long long ky = -cy; ky <= cy; ++ky) {
+    const double fy = static_cast<double>(ky) * dfy;
+    for (long long kx = -cx; kx <= cx; ++kx) {
+      const double fx = static_cast<double>(kx) * dfx;
+      const double blur =
+          blur_sigma_nm > 0.0
+              ? std::exp(-two_pi2_s2 * (fx * fx + fy * fy))
+              : 1.0;
+      full_spec[spec_index(kx, ky, nx, ny)] =
+          coarse_spec[spec_index(kx, ky, ncx, ncy)] * (up_scale * blur);
+    }
+  }
+  fft_2d(full_spec, nx, ny, /*inverse=*/true);
+
+  Image2D result(nx, ny, mask.pixel(), mask.origin_x(), mask.origin_y());
+  for (std::size_t i = 0; i < nx * ny; ++i) {
+    result.data()[i] = full_spec[i].real();
+  }
+  return result;
+}
+
+Image2D aerial_image(const Image2D& mask, const OpticalSettings& opt,
+                     double defocus_nm) {
+  return aerial_image_blurred(mask, opt, defocus_nm, 0.0);
+}
+
+}  // namespace poc

@@ -1,0 +1,65 @@
+#include "src/litho/mask.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/fft.h"
+
+namespace poc {
+namespace {
+
+/// Coverage of the 1-D pixel [c - 0.5, c + 0.5] (pixel units) by [lo, hi].
+double overlap_1d(double c, double lo, double hi) {
+  const double a = std::max(c - 0.5, lo);
+  const double b = std::min(c + 0.5, hi);
+  return std::max(0.0, b - a);
+}
+
+}  // namespace
+
+Image2D rasterize_mask(const std::vector<Rect>& features, const Rect& window,
+                       double pixel_nm) {
+  POC_EXPECTS(!window.empty());
+  POC_EXPECTS(pixel_nm > 0.0);
+  const double w = static_cast<double>(window.width());
+  const double h = static_cast<double>(window.height());
+  const std::size_t nx = next_pow2(static_cast<std::size_t>(std::ceil(w / pixel_nm)) + 1);
+  const std::size_t ny = next_pow2(static_cast<std::size_t>(std::ceil(h / pixel_nm)) + 1);
+  // Centre the window within the (possibly larger) padded grid.
+  const double span_x = pixel_nm * static_cast<double>(nx - 1);
+  const double span_y = pixel_nm * static_cast<double>(ny - 1);
+  const double ox = static_cast<double>(window.xlo) - (span_x - w) / 2.0;
+  const double oy = static_cast<double>(window.ylo) - (span_y - h) / 2.0;
+
+  Image2D img(nx, ny, pixel_nm, ox, oy);
+  std::fill(img.data().begin(), img.data().end(), 1.0);
+
+  for (const Rect& r : features) {
+    if (r.empty()) continue;
+    // Feature bounds in pixel coordinates (pixel centres at integers).
+    const double px0 = (static_cast<double>(r.xlo) - ox) / pixel_nm;
+    const double px1 = (static_cast<double>(r.xhi) - ox) / pixel_nm;
+    const double py0 = (static_cast<double>(r.ylo) - oy) / pixel_nm;
+    const double py1 = (static_cast<double>(r.yhi) - oy) / pixel_nm;
+    const auto ix0 = static_cast<long long>(std::floor(px0 - 0.5));
+    const auto ix1 = static_cast<long long>(std::ceil(px1 + 0.5));
+    const auto iy0 = static_cast<long long>(std::floor(py0 - 0.5));
+    const auto iy1 = static_cast<long long>(std::ceil(py1 + 0.5));
+    for (long long iy = std::max(0LL, iy0);
+         iy <= std::min<long long>(static_cast<long long>(ny) - 1, iy1); ++iy) {
+      const double cy = overlap_1d(static_cast<double>(iy), py0, py1);
+      if (cy <= 0.0) continue;
+      for (long long ix = std::max(0LL, ix0);
+           ix <= std::min<long long>(static_cast<long long>(nx) - 1, ix1); ++ix) {
+        const double cx = overlap_1d(static_cast<double>(ix), px0, px1);
+        if (cx <= 0.0) continue;
+        double& t = img.at(static_cast<std::size_t>(ix), static_cast<std::size_t>(iy));
+        t = std::max(0.0, t - cx * cy);
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace poc

@@ -1,0 +1,23 @@
+// Mask rasterization: converts Manhattan rectangles (chrome features on a
+// clear-field reticle) into a transmission grid.  Pixel coverage is exact
+// (separable area overlap), which keeps CD quantization error well below the
+// optical blur scale.
+#pragma once
+
+#include <vector>
+
+#include "src/geom/rect.h"
+#include "src/litho/image.h"
+
+namespace poc {
+
+/// Builds a transmission image over `window`: 1.0 where clear, 0.0 under
+/// chrome (feature rects), partial on feature boundaries.  `pixel_nm` sets
+/// the grid pitch; the grid is padded up to power-of-two dimensions and
+/// covers at least the window (plus symmetric slack from padding).
+/// Rects are expected disjoint (LayoutDb::flatten_layer guarantees this);
+/// overlap would be clamped rather than double-counted.
+Image2D rasterize_mask(const std::vector<Rect>& features, const Rect& window,
+                       double pixel_nm);
+
+}  // namespace poc

@@ -1,0 +1,75 @@
+#include "src/litho/optics.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/check.h"
+
+namespace poc {
+
+std::vector<SourcePoint> sample_source(const OpticalSettings& opt) {
+  POC_EXPECTS(opt.sigma_outer >= opt.sigma_inner);
+  POC_EXPECTS(opt.sigma_outer < 1.0);
+  std::vector<SourcePoint> pts;
+  if (opt.sigma_outer <= 1e-12) {
+    pts.push_back({0.0, 0.0, 1.0});
+    return pts;
+  }
+  POC_EXPECTS(opt.source_rings >= 1 && opt.source_spokes >= 1);
+  // Ring radii at the centres of equal-width radial bins; each ring's weight
+  // is proportional to the annular area of its bin, so the discrete source
+  // integrates the annulus uniformly.
+  const double dr =
+      (opt.sigma_outer - opt.sigma_inner) / static_cast<double>(opt.source_rings);
+  double total = 0.0;
+  for (std::size_t r = 0; r < opt.source_rings; ++r) {
+    const double r_lo = opt.sigma_inner + dr * static_cast<double>(r);
+    const double r_hi = r_lo + dr;
+    const double radius = (r_lo + r_hi) / 2.0;
+    const double ring_weight = r_hi * r_hi - r_lo * r_lo;  // ∝ annular area
+    for (std::size_t s = 0; s < opt.source_spokes; ++s) {
+      // Stagger alternate rings by half a spoke for better angular coverage.
+      const double phase = (static_cast<double>(s) +
+                            (r % 2 == 0 ? 0.0 : 0.5)) /
+                           static_cast<double>(opt.source_spokes);
+      const double theta = 2.0 * std::numbers::pi * phase;
+      pts.push_back({radius * std::cos(theta), radius * std::sin(theta),
+                     ring_weight});
+      total += ring_weight;
+    }
+  }
+  for (SourcePoint& p : pts) p.weight /= total;
+  return pts;
+}
+
+Cplx pupil_value(const OpticalSettings& opt, double fx, double fy,
+                 double defocus_nm) {
+  const double f2 = fx * fx + fy * fy;
+  const double cutoff = opt.cutoff_freq();
+  if (f2 > cutoff * cutoff) return {0.0, 0.0};
+  if (defocus_nm == 0.0 && !opt.has_aberrations()) return {1.0, 0.0};
+  double phase = 0.0;
+  if (defocus_nm != 0.0) {
+    const double lf2 = opt.wavelength_nm * opt.wavelength_nm * f2;
+    POC_ENSURES(lf2 <= 1.0);
+    phase += 2.0 * std::numbers::pi / opt.wavelength_nm * defocus_nm *
+             (std::sqrt(1.0 - lf2) - 1.0);
+  }
+  if (opt.has_aberrations()) {
+    // Normalized pupil radius rho in [0, 1].
+    const double rho2 = f2 / (cutoff * cutoff);
+    const double rho = std::sqrt(rho2);
+    double waves = 0.0;
+    if (opt.z9_spherical_waves != 0.0) {
+      waves += opt.z9_spherical_waves * (6.0 * rho2 * rho2 - 6.0 * rho2 + 1.0);
+    }
+    if (opt.z7_coma_x_waves != 0.0 && rho > 0.0) {
+      const double cos_theta = fx / (rho * cutoff);
+      waves += opt.z7_coma_x_waves * (3.0 * rho2 * rho - 2.0 * rho) * cos_theta;
+    }
+    phase += 2.0 * std::numbers::pi * waves;
+  }
+  return {std::cos(phase), std::sin(phase)};
+}
+
+}  // namespace poc

@@ -1,0 +1,63 @@
+// Optical configuration for the scanner model: wavelength, numerical
+// aperture, annular partially-coherent source, and the defocus pupil phase.
+// Defaults model a 2005-era 193 nm dry scanner printing a 90 nm poly level.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/fft.h"
+
+namespace poc {
+
+/// Exposure condition for one simulation: defocus in nm and relative dose
+/// (1.0 = nominal).  The joint (focus, dose) distribution lives in src/var.
+struct Exposure {
+  double focus_nm = 0.0;
+  double dose = 1.0;
+};
+
+/// A point of the discretized illumination source, in sigma coordinates
+/// (fraction of NA), with an integration weight.
+struct SourcePoint {
+  double sx = 0.0;
+  double sy = 0.0;
+  double weight = 1.0;
+};
+
+struct OpticalSettings {
+  double wavelength_nm = 193.0;
+  double na = 0.75;
+  double sigma_inner = 0.5;   ///< annular source inner radius (0 = disk)
+  double sigma_outer = 0.8;
+  std::size_t source_rings = 2;     ///< radial sampling of the annulus
+  std::size_t source_spokes = 8;    ///< azimuthal sampling per ring
+
+  /// Residual lens aberrations as Zernike coefficients in waves (RMS
+  /// convention-free, simple polynomial weights).  Well-corrected 2005-era
+  /// scanners held these to a few milli-waves; nonzero spherical couples
+  /// into focus (asymmetric Bossung), coma shifts pattern placement.
+  double z9_spherical_waves = 0.0;   ///< Z9: 6 rho^4 - 6 rho^2 + 1
+  double z7_coma_x_waves = 0.0;      ///< Z7: (3 rho^3 - 2 rho) cos(theta)
+
+  /// Cutoff spatial frequency |f| <= na / wavelength (cycles/nm).
+  double cutoff_freq() const { return na / wavelength_nm; }
+
+  bool has_aberrations() const {
+    return z9_spherical_waves != 0.0 || z7_coma_x_waves != 0.0;
+  }
+};
+
+/// Discretizes the source into weighted points (polar sampling; weights
+/// normalized to sum to 1).  sigma_inner == sigma_outer == 0 yields a single
+/// on-axis point (coherent illumination).
+std::vector<SourcePoint> sample_source(const OpticalSettings& opt);
+
+/// Complex pupil value at spatial frequency (fx, fy) in cycles/nm for the
+/// given defocus; zero outside the NA cutoff.  The defocus phase uses the
+/// standard high-NA form 2*pi/lambda * z * (sqrt(1 - (lambda f)^2) - 1).
+Cplx pupil_value(const OpticalSettings& opt, double fx, double fy,
+                 double defocus_nm);
+
+}  // namespace poc

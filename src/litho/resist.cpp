@@ -1,0 +1,44 @@
+#include "src/litho/resist.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/check.h"
+#include "src/common/fft.h"
+
+namespace poc {
+
+void gaussian_blur(Image2D& img, double sigma_nm) {
+  POC_EXPECTS(sigma_nm >= 0.0);
+  if (sigma_nm == 0.0) return;
+  const std::size_t nx = img.nx();
+  const std::size_t ny = img.ny();
+  POC_EXPECTS(is_pow2(nx) && is_pow2(ny));
+  std::vector<Cplx> freq(nx * ny);
+  for (std::size_t i = 0; i < nx * ny; ++i) freq[i] = img.data()[i];
+  fft_2d(freq, nx, ny, /*inverse=*/false);
+  const double dfx = 1.0 / (static_cast<double>(nx) * img.pixel());
+  const double dfy = 1.0 / (static_cast<double>(ny) * img.pixel());
+  const double two_pi2_s2 =
+      2.0 * std::numbers::pi * std::numbers::pi * sigma_nm * sigma_nm;
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    const double fy = static_cast<double>(fft_freq_index(iy, ny)) * dfy;
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const double fx = static_cast<double>(fft_freq_index(ix, nx)) * dfx;
+      // Fourier transform of a unit-integral Gaussian: exp(-2 pi^2 s^2 f^2).
+      freq[iy * nx + ix] *= std::exp(-two_pi2_s2 * (fx * fx + fy * fy));
+    }
+  }
+  fft_2d(freq, nx, ny, /*inverse=*/true);
+  for (std::size_t i = 0; i < nx * ny; ++i) img.data()[i] = freq[i].real();
+}
+
+Image2D ResistModel::latent_image(const Image2D& aerial, double dose) const {
+  POC_EXPECTS(dose > 0.0);
+  Image2D latent = aerial;
+  gaussian_blur(latent, diffusion_nm);
+  for (double& v : latent.data()) v *= dose;
+  return latent;
+}
+
+}  // namespace poc

@@ -1,0 +1,26 @@
+// Resist model: Gaussian acid-diffusion blur of the aerial image followed by
+// a constant development threshold.  With a positive resist on a clear-field
+// mask, the pattern (chrome feature) survives where the blurred, dose-scaled
+// intensity stays BELOW the threshold.
+#pragma once
+
+#include "src/litho/image.h"
+#include "src/litho/optics.h"
+
+namespace poc {
+
+struct ResistModel {
+  double diffusion_nm = 25.0;  ///< Gaussian blur sigma (acid diffusion)
+  double threshold = 0.30;     ///< development threshold on normalized dose
+
+  /// The latent image: blur(aerial) * dose.  Resist remains (feature prints)
+  /// where latent < threshold.
+  Image2D latent_image(const Image2D& aerial, double dose) const;
+};
+
+/// In-place periodic Gaussian blur via FFT (grid must be power-of-two;
+/// rasterize_mask's padding keeps wraparound away from the region of
+/// interest).  sigma_nm == 0 is a no-op.
+void gaussian_blur(Image2D& img, double sigma_nm);
+
+}  // namespace poc

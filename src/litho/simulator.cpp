@@ -1,0 +1,43 @@
+#include "src/litho/simulator.h"
+
+#include "src/litho/imaging.h"
+#include "src/litho/mask.h"
+
+namespace poc {
+
+QualityParams quality_params(LithoQuality q) {
+  switch (q) {
+    case LithoQuality::kDraft: return {10.0, 1, 6};
+    case LithoQuality::kStandard: return {8.0, 2, 8};
+    case LithoQuality::kFine: return {5.0, 3, 12};
+  }
+  return {8.0, 2, 8};
+}
+
+Image2D LithoSimulator::aerial(const std::vector<Rect>& features,
+                               const Rect& window, double defocus_nm,
+                               LithoQuality quality) const {
+  const QualityParams qp = quality_params(quality);
+  OpticalSettings opt = optics_;
+  opt.source_rings = qp.source_rings;
+  opt.source_spokes = qp.source_spokes;
+  const Image2D mask = rasterize_mask(features, window, qp.pixel_nm);
+  return aerial_image(mask, opt, defocus_nm);
+}
+
+Image2D LithoSimulator::latent(const std::vector<Rect>& features,
+                               const Rect& window, const Exposure& exposure,
+                               LithoQuality quality) const {
+  const QualityParams qp = quality_params(quality);
+  OpticalSettings opt = optics_;
+  opt.source_rings = qp.source_rings;
+  opt.source_spokes = qp.source_spokes;
+  const Image2D mask = rasterize_mask(features, window, qp.pixel_nm);
+  // Blur applied in the imaging upsample pass; only the dose scale remains.
+  Image2D latent = aerial_image_blurred(mask, opt, exposure.focus_nm,
+                                        resist_.diffusion_nm);
+  for (double& v : latent.data()) v *= exposure.dose;
+  return latent;
+}
+
+}  // namespace poc

@@ -1,0 +1,54 @@
+// Facade tying mask rasterization, Abbe imaging and the resist model into
+// one call: layout rectangles in a window -> latent image ready for contour
+// extraction.  Quality presets trade accuracy for speed: OPC inner loops run
+// kDraft; sign-off extraction runs kStandard or kFine.
+#pragma once
+
+#include <vector>
+
+#include "src/geom/rect.h"
+#include "src/litho/image.h"
+#include "src/litho/optics.h"
+#include "src/litho/resist.h"
+
+namespace poc {
+
+enum class LithoQuality { kDraft, kStandard, kFine };
+
+struct QualityParams {
+  double pixel_nm;
+  std::size_t source_rings;
+  std::size_t source_spokes;
+};
+
+QualityParams quality_params(LithoQuality q);
+
+class LithoSimulator {
+ public:
+  LithoSimulator() = default;
+  LithoSimulator(OpticalSettings optics, ResistModel resist)
+      : optics_(optics), resist_(resist) {}
+
+  const OpticalSettings& optics() const { return optics_; }
+  const ResistModel& resist() const { return resist_; }
+
+  /// Aerial intensity for chrome features in `window` at the given defocus.
+  Image2D aerial(const std::vector<Rect>& features, const Rect& window,
+                 double defocus_nm,
+                 LithoQuality quality = LithoQuality::kStandard) const;
+
+  /// Latent (blurred, dose-scaled) image; features print where the value is
+  /// below resist().threshold.
+  Image2D latent(const std::vector<Rect>& features, const Rect& window,
+                 const Exposure& exposure,
+                 LithoQuality quality = LithoQuality::kStandard) const;
+
+  /// The print threshold contour level in the latent image.
+  double print_threshold() const { return resist_.threshold; }
+
+ private:
+  OpticalSettings optics_;
+  ResistModel resist_;
+};
+
+}  // namespace poc

@@ -1,0 +1,137 @@
+#include "src/metro/metrology.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace poc {
+
+MetrologyPlan design_driven_plan(const PlacedDesign& design,
+                                 std::size_t max_sites) {
+  POC_EXPECTS(max_sites >= 1);
+  const Netlist& nl = design.netlist;
+  // Candidate sites: every annotated transistor of every gate instance, in
+  // deterministic design order.
+  std::vector<MeasurementSite> all;
+  for (GateIdx g = 0; g < nl.num_gates(); ++g) {
+    for (const PlacedGate* pg : design.gates_of(g)) {
+      const Instance& inst = design.layout.instance(pg->instance);
+      const GateInfo& info =
+          design.layout.cell(inst.cell).gates[pg->gate_in_cell];
+      MeasurementSite site;
+      site.gate = g;
+      site.device = nl.gate(g).name + "/" + info.device;
+      site.location = pg->region.center();
+      site.target_cd_nm = static_cast<double>(info.drawn_l);
+      all.push_back(std::move(site));
+    }
+  }
+  MetrologyPlan plan;
+  if (all.size() <= max_sites) {
+    plan.sites = std::move(all);
+  } else {
+    // Even spatial/design subsampling.
+    for (std::size_t i = 0; i < max_sites; ++i) {
+      plan.sites.push_back(all[i * all.size() / max_sites]);
+    }
+  }
+  return plan;
+}
+
+std::vector<CdMeasurement> simulate_cdsem(const PostOpcFlow& flow,
+                                          const MetrologyPlan& plan,
+                                          const Exposure& exposure,
+                                          const CdSemParams& params,
+                                          Rng& rng) {
+  POC_EXPECTS(params.noise_sigma_nm >= 0.0);
+  // Group sites by gate so each litho window simulates once.
+  std::vector<GateIdx> gates;
+  for (const MeasurementSite& s : plan.sites) gates.push_back(s.gate);
+  std::sort(gates.begin(), gates.end());
+  gates.erase(std::unique(gates.begin(), gates.end()), gates.end());
+  const auto extractions = flow.extract(exposure, gates);
+  std::map<std::pair<GateIdx, std::string>, double> true_cd;
+  const Netlist& nl = flow.design().netlist;
+  for (const GateExtraction& ge : extractions) {
+    for (const DeviceCd& dev : ge.devices) {
+      true_cd[{ge.gate, nl.gate(ge.gate).name + "/" + dev.device}] =
+          dev.profile.mean_cd();
+    }
+  }
+  std::vector<CdMeasurement> out;
+  const std::size_t n = std::min(plan.sites.size(), params.max_sites);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MeasurementSite& site = plan.sites[i];
+    const auto it = true_cd.find({site.gate, site.device});
+    POC_EXPECTS(it != true_cd.end());
+    CdMeasurement m;
+    m.site = site;
+    m.measured_cd_nm = it->second + rng.normal(0.0, params.noise_sigma_nm);
+    out.push_back(std::move(m));
+  }
+  log_info("CD-SEM run: ", out.size(), " sites measured");
+  return out;
+}
+
+namespace {
+
+double mean_model_cd(const PostOpcFlow& flow,
+                     const std::vector<GateIdx>& gates, double dose) {
+  const auto ext = flow.extract_with_model({0.0, dose}, gates);
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const GateExtraction& ge : ext) {
+    for (const DeviceCd& dev : ge.devices) {
+      if (dev.profile.mean_cd() > 0.0) {
+        sum += dev.profile.mean_cd();
+        ++n;
+      }
+    }
+  }
+  POC_ENSURES(n > 0);
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace
+
+CalibrationResult calibrate_model_dose(const PostOpcFlow& flow,
+                                       const std::vector<CdMeasurement>& meas,
+                                       double dose_lo, double dose_hi,
+                                       int iterations) {
+  POC_EXPECTS(!meas.empty());
+  POC_EXPECTS(dose_hi > dose_lo);
+  double measured_mean = 0.0;
+  std::vector<GateIdx> gates;
+  for (const CdMeasurement& m : meas) {
+    measured_mean += m.measured_cd_nm;
+    gates.push_back(m.site.gate);
+  }
+  measured_mean /= static_cast<double>(meas.size());
+  std::sort(gates.begin(), gates.end());
+  gates.erase(std::unique(gates.begin(), gates.end()), gates.end());
+
+  CalibrationResult result;
+  result.mean_error_before_nm =
+      mean_model_cd(flow, gates, 1.0) - measured_mean;
+  // Model CD decreases monotonically with dose; bisect for the match.
+  double lo = dose_lo, hi = dose_hi;
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    if (mean_model_cd(flow, gates, mid) > measured_mean) {
+      lo = mid;  // model prints too wide -> raise dose
+    } else {
+      hi = mid;
+    }
+  }
+  result.dose_correction = (lo + hi) / 2.0;
+  result.mean_error_after_nm =
+      mean_model_cd(flow, gates, result.dose_correction) - measured_mean;
+  log_info("dose calibration: x", result.dose_correction, ", model error ",
+           result.mean_error_before_nm, " -> ", result.mean_error_after_nm,
+           " nm");
+  return result;
+}
+
+}  // namespace poc

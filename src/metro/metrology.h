@@ -1,0 +1,73 @@
+// Design-driven metrology (after Capodieci's DDM methodology, the
+// measurement side of the paper's ecosystem): CD-SEM measurement plans are
+// generated straight from the physical-design database (gate coordinates,
+// targets, orientation), a CD-SEM is emulated by sampling the silicon
+// simulator with tool noise, and the measurements drive a dose
+// recalibration of the OPC model — closing the loop the paper's flow
+// depends on ("silicon-calibrated CD values").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/core/flow.h"
+
+namespace poc {
+
+/// One CD-SEM measurement site, generated from design data.
+struct MeasurementSite {
+  GateIdx gate = kNoIndex;
+  std::string device;      ///< e.g. "g12/MN_A_0"
+  Point location;          ///< top-level layout coordinates (cut-line centre)
+  double target_cd_nm = 0.0;
+};
+
+struct MetrologyPlan {
+  std::vector<MeasurementSite> sites;
+};
+
+/// CD-SEM tool model: unbiased gaussian measurement noise.
+struct CdSemParams {
+  double noise_sigma_nm = 0.8;   ///< typical single-measurement 1-sigma
+  std::size_t max_sites = 50;    ///< measurement-time budget
+};
+
+struct CdMeasurement {
+  MeasurementSite site;
+  double measured_cd_nm = 0.0;
+};
+
+/// Generates a measurement plan directly from the placed design: one site
+/// per annotated transistor gate, evenly subsampled to `max_sites` (the
+/// DDM concept — coordinates come from the design database, not manual
+/// job setup).
+MetrologyPlan design_driven_plan(const PlacedDesign& design,
+                                 std::size_t max_sites);
+
+/// Emulates a CD-SEM run: measures each planned site on the flow's silicon
+/// at `exposure`, with tool noise.  run_opc must have been called.
+std::vector<CdMeasurement> simulate_cdsem(const PostOpcFlow& flow,
+                                          const MetrologyPlan& plan,
+                                          const Exposure& exposure,
+                                          const CdSemParams& params, Rng& rng);
+
+/// Result of metrology-driven model calibration.
+struct CalibrationResult {
+  double dose_correction = 1.0;     ///< multiply model dose by this
+  double mean_error_before_nm = 0.0;  ///< model prediction - measurement
+  double mean_error_after_nm = 0.0;
+};
+
+/// One-parameter (dose) recalibration of the OPC model against silicon
+/// measurements: bisects the model dose until the model-predicted mean CD
+/// over the measured gates matches the measured mean.  This is the
+/// workhorse production loop: full model refits are rare, dose/threshold
+/// trims per lot are routine.
+CalibrationResult calibrate_model_dose(const PostOpcFlow& flow,
+                                       const std::vector<CdMeasurement>& meas,
+                                       double dose_lo = 0.90,
+                                       double dose_hi = 1.10,
+                                       int iterations = 12);
+
+}  // namespace poc

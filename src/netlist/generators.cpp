@@ -1,0 +1,315 @@
+#include "src/netlist/generators.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace poc {
+namespace {
+
+/// Emits gates with automatic naming and exposes NAND-composite helpers.
+class Builder {
+ public:
+  explicit Builder(Netlist& nl) : nl_(nl) {}
+
+  NetIdx pi(const std::string& name) {
+    const NetIdx n = nl_.add_net(name);
+    nl_.mark_primary_input(n);
+    return n;
+  }
+  void po(NetIdx net) { nl_.mark_primary_output(net); }
+
+  NetIdx fresh_net() { return nl_.add_net("n" + std::to_string(net_id_++)); }
+
+  NetIdx emit(const std::string& cell, std::vector<NetIdx> inputs) {
+    const NetIdx out = fresh_net();
+    nl_.add_gate("g" + std::to_string(gate_id_++), cell, inputs, out);
+    return out;
+  }
+
+  NetIdx inv(NetIdx a) { return emit("INV_X1", {a}); }
+  NetIdx nand2(NetIdx a, NetIdx b) { return emit("NAND2_X1", {a, b}); }
+  NetIdx nand3(NetIdx a, NetIdx b, NetIdx c) {
+    return emit("NAND3_X1", {a, b, c});
+  }
+  NetIdx nor2(NetIdx a, NetIdx b) { return emit("NOR2_X1", {a, b}); }
+  NetIdx and2(NetIdx a, NetIdx b) { return inv(nand2(a, b)); }
+  NetIdx or2(NetIdx a, NetIdx b) { return inv(nor2(a, b)); }
+  NetIdx xor2(NetIdx a, NetIdx b) {
+    // Four-NAND XOR.
+    const NetIdx nab = nand2(a, b);
+    return nand2(nand2(a, nab), nand2(b, nab));
+  }
+
+  /// Full adder: sum = a ^ b ^ cin; cout = ab + cin(a ^ b).  Nine NAND2.
+  std::pair<NetIdx, NetIdx> full_adder(NetIdx a, NetIdx b, NetIdx cin) {
+    const NetIdx nab = nand2(a, b);
+    const NetIdx axb = nand2(nand2(a, nab), nand2(b, nab));
+    const NetIdx naxbc = nand2(axb, cin);
+    const NetIdx sum = nand2(nand2(axb, naxbc), nand2(cin, naxbc));
+    const NetIdx cout = nand2(nab, naxbc);
+    return {sum, cout};
+  }
+
+  /// Half adder: sum = a ^ b; cout = ab.
+  std::pair<NetIdx, NetIdx> half_adder(NetIdx a, NetIdx b) {
+    const NetIdx nab = nand2(a, b);
+    const NetIdx sum = nand2(nand2(a, nab), nand2(b, nab));
+    return {sum, inv(nab)};
+  }
+
+ private:
+  Netlist& nl_;
+  std::size_t gate_id_ = 0;
+  std::size_t net_id_ = 0;
+};
+
+}  // namespace
+
+Netlist make_c17() {
+  Netlist nl("c17");
+  Builder b(nl);
+  const NetIdx n1 = b.pi("N1"), n2 = b.pi("N2"), n3 = b.pi("N3"),
+               n6 = b.pi("N6"), n7 = b.pi("N7");
+  const NetIdx g10 = b.nand2(n1, n3);
+  const NetIdx g11 = b.nand2(n3, n6);
+  const NetIdx g16 = b.nand2(n2, g11);
+  const NetIdx g19 = b.nand2(g11, n7);
+  const NetIdx g22 = b.nand2(g10, g16);
+  const NetIdx g23 = b.nand2(g16, g19);
+  b.po(g22);
+  b.po(g23);
+  return nl;
+}
+
+Netlist make_ripple_adder(std::size_t bits) {
+  POC_EXPECTS(bits >= 1);
+  Netlist nl("adder" + std::to_string(bits));
+  Builder b(nl);
+  std::vector<NetIdx> a(bits), bb(bits);
+  for (std::size_t i = 0; i < bits; ++i) a[i] = b.pi("a" + std::to_string(i));
+  for (std::size_t i = 0; i < bits; ++i) bb[i] = b.pi("b" + std::to_string(i));
+  NetIdx carry = b.pi("cin");
+  for (std::size_t i = 0; i < bits; ++i) {
+    const auto [sum, cout] = b.full_adder(a[i], bb[i], carry);
+    b.po(sum);
+    carry = cout;
+  }
+  b.po(carry);
+  return nl;
+}
+
+Netlist make_array_multiplier(std::size_t bits) {
+  POC_EXPECTS(bits >= 2);
+  Netlist nl("mult" + std::to_string(bits));
+  Builder b(nl);
+  std::vector<NetIdx> a(bits), bb(bits);
+  for (std::size_t i = 0; i < bits; ++i) a[i] = b.pi("a" + std::to_string(i));
+  for (std::size_t i = 0; i < bits; ++i) bb[i] = b.pi("b" + std::to_string(i));
+  // Partial products.
+  std::vector<std::vector<NetIdx>> pp(bits, std::vector<NetIdx>(bits));
+  for (std::size_t i = 0; i < bits; ++i) {
+    for (std::size_t j = 0; j < bits; ++j) {
+      pp[i][j] = b.and2(a[i], bb[j]);
+    }
+  }
+  // Ripple-carry array reduction, row by row.  Invariant entering row i:
+  // row[k] holds the accumulated bit of weight (i-1)+k (row[0] is the
+  // already-emitted product bit and is not consumed again).
+  std::vector<NetIdx> row = pp[0];     // weight j of a0*b_j
+  b.po(row[0]);                        // product bit 0
+  for (std::size_t i = 1; i < bits; ++i) {
+    std::vector<NetIdx> next(bits);
+    NetIdx carry = kNoIndex;
+    for (std::size_t j = 0; j < bits; ++j) {
+      const NetIdx x = pp[i][j];       // weight i+j
+      const NetIdx y = j + 1 < row.size() ? row[j + 1] : kNoIndex;
+      if (y == kNoIndex && carry == kNoIndex) {
+        next[j] = x;
+      } else if (carry == kNoIndex) {
+        const auto [s, c] = b.half_adder(x, y);
+        next[j] = s;
+        carry = c;
+      } else if (y == kNoIndex) {
+        const auto [s, c] = b.half_adder(x, carry);
+        next[j] = s;
+        carry = c;
+      } else {
+        const auto [s, c] = b.full_adder(x, y, carry);
+        next[j] = s;
+        carry = c;
+      }
+    }
+    b.po(next[0]);  // product bit i
+    next.push_back(carry);
+    row = std::move(next);
+  }
+  // High-order product bits: weights bits .. 2*bits-1 (row[0] was emitted).
+  for (std::size_t k = 1; k < row.size(); ++k) {
+    if (row[k] != kNoIndex) b.po(row[k]);
+  }
+  return nl;
+}
+
+Netlist make_random_logic(std::size_t num_gates, std::size_t num_inputs,
+                          std::uint64_t seed) {
+  POC_EXPECTS(num_inputs >= 3);
+  Netlist nl("rand" + std::to_string(num_gates));
+  Builder b(nl);
+  Rng rng(seed);
+  std::vector<NetIdx> pool;
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    pool.push_back(b.pi("in" + std::to_string(i)));
+  }
+  const char* kCells2[] = {"NAND2_X1", "NOR2_X1", "NAND2_X2", "NOR2_X2"};
+  const char* kCells3[] = {"NAND3_X1", "NOR3_X1", "AOI21_X1", "OAI21_X1"};
+  const auto pick = [&](std::size_t back_window) {
+    // Bias toward recently created nets so depth grows (long speed paths).
+    const std::size_t lo =
+        pool.size() > back_window ? pool.size() - back_window : 0;
+    return pool[static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(lo),
+                        static_cast<std::int64_t>(pool.size() - 1)))];
+  };
+  for (std::size_t g = 0; g < num_gates; ++g) {
+    const double r = rng.uniform();
+    NetIdx out;
+    if (r < 0.18) {
+      out = b.inv(pick(24));
+    } else if (r < 0.66) {
+      const char* cell = kCells2[rng.uniform_int(0, 3)];
+      NetIdx x = pick(24);
+      NetIdx y = pick(48);
+      if (x == y) y = pool[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pool.size() - 1)))];
+      if (x == y) { out = b.inv(x); pool.push_back(out); continue; }
+      out = b.emit(cell, {x, y});
+    } else {
+      const char* cell = kCells3[rng.uniform_int(0, 3)];
+      NetIdx x = pick(16);
+      NetIdx y = pick(32);
+      NetIdx z = pick(64);
+      if (x == y || y == z || x == z) { out = b.inv(x); pool.push_back(out); continue; }
+      out = b.emit(cell, {x, y, z});
+    }
+    pool.push_back(out);
+  }
+  // Undriven-to-anything nets become primary outputs.
+  for (NetIdx n = 0; n < nl.num_nets(); ++n) {
+    if (nl.net(n).sinks.empty() && !nl.net(n).is_primary_input) {
+      nl.mark_primary_output(n);
+    }
+  }
+  return nl;
+}
+
+Netlist make_parity_tree(std::size_t bits) {
+  POC_EXPECTS(bits >= 2);
+  Netlist nl("parity" + std::to_string(bits));
+  Builder b(nl);
+  std::vector<NetIdx> level;
+  for (std::size_t i = 0; i < bits; ++i) {
+    level.push_back(b.pi("in" + std::to_string(i)));
+  }
+  while (level.size() > 1) {
+    std::vector<NetIdx> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(b.xor2(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  b.po(level[0]);
+  return nl;
+}
+
+Netlist make_decoder(std::size_t bits) {
+  POC_EXPECTS(bits >= 2 && bits <= 6);
+  Netlist nl("decoder" + std::to_string(bits));
+  Builder b(nl);
+  std::vector<NetIdx> in(bits), inv(bits);
+  for (std::size_t i = 0; i < bits; ++i) in[i] = b.pi("a" + std::to_string(i));
+  for (std::size_t i = 0; i < bits; ++i) inv[i] = b.inv(in[i]);
+  for (std::size_t code = 0; code < (1u << bits); ++code) {
+    // AND tree over the selected polarity of every input.
+    std::vector<NetIdx> terms;
+    for (std::size_t i = 0; i < bits; ++i) {
+      terms.push_back((code >> i) & 1u ? in[i] : inv[i]);
+    }
+    NetIdx acc = terms[0];
+    for (std::size_t i = 1; i < terms.size(); ++i) {
+      acc = b.and2(acc, terms[i]);
+    }
+    b.po(acc);
+  }
+  return nl;
+}
+
+Netlist make_carry_select_adder(std::size_t bits, std::size_t block) {
+  POC_EXPECTS(bits >= 2 && block >= 1 && block < bits);
+  Netlist nl("csel" + std::to_string(bits));
+  Builder b(nl);
+  std::vector<NetIdx> a(bits), bb(bits);
+  for (std::size_t i = 0; i < bits; ++i) a[i] = b.pi("a" + std::to_string(i));
+  for (std::size_t i = 0; i < bits; ++i) bb[i] = b.pi("b" + std::to_string(i));
+  const NetIdx cin = b.pi("cin");
+  const NetIdx zero = b.nor2(cin, b.inv(cin));  // constant 0 = !(x + !x)
+  const NetIdx one = b.inv(zero);
+
+  // NAND-mapped 2:1 mux: y = s ? hi : lo.
+  const auto mux = [&](NetIdx lo, NetIdx hi, NetIdx s) {
+    const NetIdx t1 = b.nand2(lo, b.inv(s));
+    const NetIdx t2 = b.nand2(hi, s);
+    return b.nand2(t1, t2);
+  };
+
+  NetIdx carry = cin;
+  for (std::size_t base = 0; base < bits; base += block) {
+    const std::size_t end = std::min(base + block, bits);
+    if (base == 0) {
+      // First block ripples directly from cin.
+      for (std::size_t i = base; i < end; ++i) {
+        const auto [s, c] = b.full_adder(a[i], bb[i], carry);
+        b.po(s);
+        carry = c;
+      }
+      continue;
+    }
+    // Speculative blocks: compute for carry-in 0 and 1, select later.
+    std::vector<NetIdx> sum0, sum1;
+    NetIdx c0 = zero, c1 = one;
+    for (std::size_t i = base; i < end; ++i) {
+      const auto [s0, k0] = b.full_adder(a[i], bb[i], c0);
+      sum0.push_back(s0);
+      c0 = k0;
+      const auto [s1, k1] = b.full_adder(a[i], bb[i], c1);
+      sum1.push_back(s1);
+      c1 = k1;
+    }
+    for (std::size_t k = 0; k < sum0.size(); ++k) {
+      b.po(mux(sum0[k], sum1[k], carry));
+    }
+    carry = mux(c0, c1, carry);
+  }
+  b.po(carry);
+  return nl;
+}
+
+Netlist make_benchmark(const std::string& name) {
+  if (name == "c17") return make_c17();
+  if (name == "adder4") return make_ripple_adder(4);
+  if (name == "adder8") return make_ripple_adder(8);
+  if (name == "adder16") return make_ripple_adder(16);
+  if (name == "csel16") return make_carry_select_adder(16, 4);
+  if (name == "mult4") return make_array_multiplier(4);
+  if (name == "mult6") return make_array_multiplier(6);
+  if (name == "parity16") return make_parity_tree(16);
+  if (name == "decoder4") return make_decoder(4);
+  if (name == "rand100") return make_random_logic(100, 12, 0xABCD01);
+  if (name == "rand200") return make_random_logic(200, 16, 0xABCD02);
+  if (name == "rand400") return make_random_logic(400, 24, 0xABCD03);
+  check_fail("make_benchmark", name.c_str(), __FILE__, __LINE__);
+}
+
+}  // namespace poc

@@ -1,0 +1,41 @@
+// Benchmark netlist generators mapped to the library cell set, standing in
+// for the paper's industrial test design: ISCAS c17, ripple-carry adders,
+// an array multiplier, and seeded random logic DAGs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/netlist/netlist.h"
+
+namespace poc {
+
+/// ISCAS-85 c17 (6 NAND2).
+Netlist make_c17();
+
+/// n-bit ripple-carry adder built from NAND-mapped full adders.
+Netlist make_ripple_adder(std::size_t bits);
+
+/// n x n array multiplier (AND partial products + adder array).
+Netlist make_array_multiplier(std::size_t bits);
+
+/// Random levelized DAG over the full cell set; deterministic in `seed`.
+Netlist make_random_logic(std::size_t num_gates, std::size_t num_inputs,
+                          std::uint64_t seed);
+
+/// n-input XOR (parity) tree — deep, XOR-dominated paths.
+Netlist make_parity_tree(std::size_t bits);
+
+/// n-to-2^n decoder — shallow, wide fanout structure.
+Netlist make_decoder(std::size_t bits);
+
+/// Carry-select adder: ripple blocks computed for carry-in 0 and 1,
+/// selected by the rippled block carry through NAND-mapped 2:1 muxes.
+Netlist make_carry_select_adder(std::size_t bits, std::size_t block);
+
+/// Named lookup used by benches/examples: "c17", "adder4", "adder8",
+/// "adder16", "csel16", "mult4", "mult6", "parity16", "decoder4",
+/// "rand100", "rand200", "rand400".
+Netlist make_benchmark(const std::string& name);
+
+}  // namespace poc

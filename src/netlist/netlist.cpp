@@ -1,0 +1,134 @@
+#include "src/netlist/netlist.h"
+
+#include <algorithm>
+
+namespace poc {
+
+NetIdx Netlist::add_net(const std::string& name) {
+  POC_EXPECTS(!net_names_.contains(name));
+  net_names_[name] = nets_.size();
+  Net n;
+  n.name = name;
+  nets_.push_back(std::move(n));
+  return nets_.size() - 1;
+}
+
+NetIdx Netlist::net_index(const std::string& name) const {
+  const auto it = net_names_.find(name);
+  POC_EXPECTS(it != net_names_.end());
+  return it->second;
+}
+
+bool Netlist::has_net(const std::string& name) const {
+  return net_names_.contains(name);
+}
+
+void Netlist::mark_primary_input(NetIdx net) {
+  POC_EXPECTS(net < nets_.size());
+  POC_EXPECTS(nets_[net].driver == kNoIndex);
+  nets_[net].is_primary_input = true;
+}
+
+void Netlist::mark_primary_output(NetIdx net) {
+  POC_EXPECTS(net < nets_.size());
+  nets_[net].is_primary_output = true;
+}
+
+GateIdx Netlist::add_gate(const std::string& name, const std::string& cell,
+                          const std::vector<NetIdx>& inputs, NetIdx output) {
+  POC_EXPECTS(!gate_names_.contains(name));
+  POC_EXPECTS(output < nets_.size());
+  POC_EXPECTS(nets_[output].driver == kNoIndex);
+  POC_EXPECTS(!nets_[output].is_primary_input);
+  const GateIdx g = gates_.size();
+  gate_names_[name] = g;
+  GateInst inst;
+  inst.name = name;
+  inst.cell = cell;
+  inst.inputs = inputs;
+  inst.output = output;
+  for (std::size_t pin = 0; pin < inputs.size(); ++pin) {
+    POC_EXPECTS(inputs[pin] < nets_.size());
+    nets_[inputs[pin]].sinks.emplace_back(g, pin);
+  }
+  nets_[output].driver = g;
+  gates_.push_back(std::move(inst));
+  return g;
+}
+
+const Net& Netlist::net(NetIdx i) const {
+  POC_EXPECTS(i < nets_.size());
+  return nets_[i];
+}
+
+const GateInst& Netlist::gate(GateIdx i) const {
+  POC_EXPECTS(i < gates_.size());
+  return gates_[i];
+}
+
+GateIdx Netlist::gate_index(const std::string& name) const {
+  const auto it = gate_names_.find(name);
+  POC_EXPECTS(it != gate_names_.end());
+  return it->second;
+}
+
+std::vector<NetIdx> Netlist::primary_inputs() const {
+  std::vector<NetIdx> out;
+  for (NetIdx i = 0; i < nets_.size(); ++i) {
+    if (nets_[i].is_primary_input) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<NetIdx> Netlist::primary_outputs() const {
+  std::vector<NetIdx> out;
+  for (NetIdx i = 0; i < nets_.size(); ++i) {
+    if (nets_[i].is_primary_output) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<GateIdx> Netlist::topological_order() const {
+  std::vector<std::size_t> pending(gates_.size(), 0);
+  std::vector<GateIdx> ready;
+  for (GateIdx g = 0; g < gates_.size(); ++g) {
+    std::size_t unresolved = 0;
+    for (NetIdx in : gates_[g].inputs) {
+      if (nets_[in].driver != kNoIndex) ++unresolved;
+    }
+    pending[g] = unresolved;
+    if (unresolved == 0) ready.push_back(g);
+  }
+  std::vector<GateIdx> order;
+  order.reserve(gates_.size());
+  while (!ready.empty()) {
+    const GateIdx g = ready.back();
+    ready.pop_back();
+    order.push_back(g);
+    for (const auto& [sink, pin] : nets_[gates_[g].output].sinks) {
+      (void)pin;
+      POC_ENSURES(pending[sink] > 0);
+      if (--pending[sink] == 0) ready.push_back(sink);
+    }
+  }
+  POC_ENSURES(order.size() == gates_.size());  // else: combinational cycle
+  return order;
+}
+
+std::size_t Netlist::logic_depth() const {
+  std::vector<std::size_t> depth(gates_.size(), 0);
+  std::size_t worst = 0;
+  for (GateIdx g : topological_order()) {
+    std::size_t d = 1;
+    for (NetIdx in : gates_[g].inputs) {
+      if (nets_[in].driver != kNoIndex) {
+        d = std::max(d, depth[nets_[in].driver] + 1);
+      }
+    }
+    depth[g] = d;
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+}  // namespace poc

@@ -1,0 +1,76 @@
+// Gate-level structural netlist: cells from the standard-cell library wired
+// by nets, with primary inputs/outputs at the boundary.  This is the "global
+// circuit netlist" the paper's flow selectively re-extracts from.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace poc {
+
+using NetIdx = std::size_t;
+using GateIdx = std::size_t;
+constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+struct Net {
+  std::string name;
+  GateIdx driver = kNoIndex;  ///< kNoIndex for primary inputs
+  /// (gate, input-pin-ordinal) pairs this net fans out to.
+  std::vector<std::pair<GateIdx, std::size_t>> sinks;
+  bool is_primary_input = false;
+  bool is_primary_output = false;
+};
+
+struct GateInst {
+  std::string name;
+  std::string cell;              ///< library cell name, e.g. "NAND2_X1"
+  std::vector<NetIdx> inputs;    ///< ordered to match the cell's pin list
+  NetIdx output = kNoIndex;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  NetIdx add_net(const std::string& name);
+  NetIdx net_index(const std::string& name) const;
+  bool has_net(const std::string& name) const;
+
+  void mark_primary_input(NetIdx net);
+  void mark_primary_output(NetIdx net);
+
+  /// Adds a gate; the driver/sink links are maintained automatically.
+  GateIdx add_gate(const std::string& name, const std::string& cell,
+                   const std::vector<NetIdx>& inputs, NetIdx output);
+
+  std::size_t num_nets() const { return nets_.size(); }
+  std::size_t num_gates() const { return gates_.size(); }
+  const Net& net(NetIdx i) const;
+  const GateInst& gate(GateIdx i) const;
+  GateIdx gate_index(const std::string& name) const;
+
+  std::vector<NetIdx> primary_inputs() const;
+  std::vector<NetIdx> primary_outputs() const;
+
+  /// Gates in topological order (inputs before outputs).  Throws on
+  /// combinational cycles.
+  std::vector<GateIdx> topological_order() const;
+
+  /// Longest path depth (in gates) from any PI to any PO.
+  std::size_t logic_depth() const;
+
+ private:
+  std::string name_;
+  std::vector<Net> nets_;
+  std::vector<GateInst> gates_;
+  std::unordered_map<std::string, NetIdx> net_names_;
+  std::unordered_map<std::string, GateIdx> gate_names_;
+};
+
+}  // namespace poc

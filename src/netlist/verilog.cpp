@@ -1,0 +1,163 @@
+#include "src/netlist/verilog.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace poc {
+namespace {
+
+const char* kPinNames[] = {"A", "B", "C", "D"};
+
+/// Tokenizer: identifiers, and the punctuation ( ) . , ;
+std::vector<std::string> tokenize(std::istream& is) {
+  std::vector<std::string> tokens;
+  std::string line;
+  while (std::getline(is, line)) {
+    // Strip // comments.
+    const auto comment = line.find("//");
+    if (comment != std::string::npos) line.erase(comment);
+    std::string cur;
+    for (char c : line) {
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '[' || c == ']') {
+        cur += c;
+      } else {
+        if (!cur.empty()) {
+          tokens.push_back(cur);
+          cur.clear();
+        }
+        if (c == '(' || c == ')' || c == '.' || c == ',' || c == ';') {
+          tokens.push_back(std::string(1, c));
+        }
+      }
+    }
+    if (!cur.empty()) tokens.push_back(cur);
+  }
+  return tokens;
+}
+
+}  // namespace
+
+void write_verilog(std::ostream& os, const Netlist& nl) {
+  os << "module " << nl.name() << " (";
+  bool first = true;
+  for (NetIdx i : nl.primary_inputs()) {
+    os << (first ? "" : ", ") << nl.net(i).name;
+    first = false;
+  }
+  for (NetIdx i : nl.primary_outputs()) {
+    os << (first ? "" : ", ") << nl.net(i).name;
+    first = false;
+  }
+  os << ");\n";
+  for (NetIdx i : nl.primary_inputs()) {
+    os << "  input " << nl.net(i).name << ";\n";
+  }
+  for (NetIdx i : nl.primary_outputs()) {
+    os << "  output " << nl.net(i).name << ";\n";
+  }
+  for (NetIdx i = 0; i < nl.num_nets(); ++i) {
+    const Net& n = nl.net(i);
+    if (!n.is_primary_input && !n.is_primary_output) {
+      os << "  wire " << n.name << ";\n";
+    }
+  }
+  for (GateIdx g = 0; g < nl.num_gates(); ++g) {
+    const GateInst& inst = nl.gate(g);
+    os << "  " << inst.cell << " " << inst.name << " (";
+    for (std::size_t pin = 0; pin < inst.inputs.size(); ++pin) {
+      os << "." << kPinNames[pin] << "(" << nl.net(inst.inputs[pin]).name
+         << "), ";
+    }
+    os << ".Y(" << nl.net(inst.output).name << "));\n";
+  }
+  os << "endmodule\n";
+}
+
+std::string verilog_to_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_verilog(os, nl);
+  return os.str();
+}
+
+Netlist read_verilog(std::istream& is) {
+  const std::vector<std::string> tok = tokenize(is);
+  std::size_t i = 0;
+  const auto expect = [&](const std::string& s) {
+    POC_EXPECTS(i < tok.size() && tok[i] == s);
+    ++i;
+  };
+  const auto next = [&]() -> const std::string& {
+    POC_EXPECTS(i < tok.size());
+    return tok[i++];
+  };
+
+  expect("module");
+  Netlist nl(next());
+  expect("(");
+  while (tok[i] != ")") {
+    if (tok[i] == ",") { ++i; continue; }
+    ++i;  // port name; direction declared below
+  }
+  expect(")");
+  expect(";");
+
+  const auto ensure_net = [&](const std::string& name) -> NetIdx {
+    return nl.has_net(name) ? nl.net_index(name) : nl.add_net(name);
+  };
+
+  while (i < tok.size() && tok[i] != "endmodule") {
+    const std::string kw = next();
+    if (kw == "input" || kw == "output" || kw == "wire") {
+      while (true) {
+        const std::string name = next();
+        const NetIdx n = ensure_net(name);
+        if (kw == "input") nl.mark_primary_input(n);
+        if (kw == "output") nl.mark_primary_output(n);
+        const std::string& sep = next();
+        if (sep == ";") break;
+        POC_EXPECTS(sep == ",");
+      }
+    } else {
+      // Cell instantiation: <cell> <inst> ( .PIN(net), ... ) ;
+      const std::string cell = kw;
+      const std::string inst = next();
+      expect("(");
+      std::map<std::string, std::string> conns;
+      while (tok[i] != ")") {
+        expect(".");
+        const std::string pin = next();
+        expect("(");
+        const std::string net = next();
+        expect(")");
+        if (tok[i] == ",") ++i;
+        conns[pin] = net;
+      }
+      expect(")");
+      expect(";");
+      POC_EXPECTS(conns.contains("Y"));
+      std::vector<NetIdx> inputs;
+      for (const char* pin : kPinNames) {
+        const auto it = conns.find(pin);
+        if (it == conns.end()) break;
+        inputs.push_back(ensure_net(it->second));
+      }
+      POC_EXPECTS(inputs.size() + 1 == conns.size());
+      nl.add_gate(inst, cell, inputs, ensure_net(conns.at("Y")));
+    }
+  }
+  expect("endmodule");
+  return nl;
+}
+
+Netlist verilog_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_verilog(is);
+}
+
+}  // namespace poc

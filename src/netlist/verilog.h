@@ -1,0 +1,23 @@
+// Structural-Verilog-subset reader/writer for the gate-level netlist.
+// Supported constructs: module/endmodule, input/output/wire declarations
+// (scalar, comma lists), and cell instantiations with named port
+// connections:  NAND2_X1 g12 (.A(n3), .B(n4), .Y(n9));
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/netlist/netlist.h"
+
+namespace poc {
+
+void write_verilog(std::ostream& os, const Netlist& nl);
+std::string verilog_to_string(const Netlist& nl);
+
+/// Parses the subset written by write_verilog.  Pin names A/B/C map to
+/// input ordinals 0/1/2; Y is the output.  Throws CheckError on input it
+/// does not understand.
+Netlist read_verilog(std::istream& is);
+Netlist verilog_from_string(const std::string& text);
+
+}  // namespace poc

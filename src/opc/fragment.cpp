@@ -1,0 +1,133 @@
+#include "src/opc/fragment.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace poc {
+namespace {
+
+/// Point at distance `d` from edge.a along the edge direction.
+Point along(const PolyEdge& edge, DbUnit d) {
+  const Point dir = {edge.b.x > edge.a.x ? 1 : (edge.b.x < edge.a.x ? -1 : 0),
+                     edge.b.y > edge.a.y ? 1 : (edge.b.y < edge.a.y ? -1 : 0)};
+  return {edge.a.x + dir.x * d, edge.a.y + dir.y * d};
+}
+
+void emit_fragment(std::vector<Fragment>& out, std::size_t poly,
+                   std::size_t edge_idx, const PolyEdge& edge, DbUnit s,
+                   DbUnit e, bool at_corner, bool at_line_end) {
+  Fragment f;
+  f.poly = poly;
+  f.edge = edge_idx;
+  f.s = s;
+  f.e = e;
+  f.ctrl = along(edge, (s + e) / 2);
+  f.outward = edge.outward;
+  f.at_corner = at_corner;
+  f.at_line_end = at_line_end;
+  out.push_back(f);
+}
+
+}  // namespace
+
+std::vector<Fragment> fragment_polygons(const std::vector<Polygon>& targets,
+                                        const FragmentationOptions& opts) {
+  POC_EXPECTS(opts.max_fragment_len > 0);
+  POC_EXPECTS(opts.corner_len > 0);
+  std::vector<Fragment> out;
+  for (std::size_t p = 0; p < targets.size(); ++p) {
+    const Polygon& poly = targets[p];
+    for (std::size_t ei = 0; ei < poly.size(); ++ei) {
+      const PolyEdge edge = poly.edge(ei);
+      const DbUnit len = edge.length();
+      if (len < opts.min_edge_for_corners) {
+        // Short edge: one fragment.  Serif-scale edges (jogs, landing-pad
+        // bumps) are corner-class geometry — they round away and cannot
+        // meet an EPE target; line-width-scale edges are true line ends.
+        const bool is_corner_scale = len <= opts.corner_len;
+        emit_fragment(out, p, ei, edge, 0, len,
+                      /*at_corner=*/is_corner_scale,
+                      /*at_line_end=*/!is_corner_scale &&
+                          len <= opts.line_end_max_len);
+        continue;
+      }
+      const DbUnit cz = opts.corner_len;
+      emit_fragment(out, p, ei, edge, 0, cz, /*at_corner=*/true, false);
+      const DbUnit interior = len - 2 * cz;
+      const auto pieces = static_cast<DbUnit>(
+          std::max<DbUnit>(1, (interior + opts.max_fragment_len - 1) /
+                                  opts.max_fragment_len));
+      for (DbUnit k = 0; k < pieces; ++k) {
+        const DbUnit s = cz + interior * k / pieces;
+        const DbUnit e = cz + interior * (k + 1) / pieces;
+        emit_fragment(out, p, ei, edge, s, e, false, false);
+      }
+      emit_fragment(out, p, ei, edge, len - cz, len, /*at_corner=*/true,
+                    false);
+    }
+  }
+  return out;
+}
+
+void freeze_outside_window(std::vector<Fragment>& fragments,
+                           const Rect& window, DbUnit margin) {
+  const Rect inner = window.inflated(-margin);
+  for (Fragment& f : fragments) {
+    if (!inner.contains(f.ctrl)) f.frozen = true;
+  }
+}
+
+std::vector<Polygon> apply_fragments(const std::vector<Polygon>& targets,
+                                     const std::vector<Fragment>& fragments) {
+  std::vector<Polygon> out;
+  out.reserve(targets.size());
+  std::size_t fi = 0;
+  for (std::size_t p = 0; p < targets.size(); ++p) {
+    const Polygon& poly = targets[p];
+    std::vector<Point> verts;
+    for (std::size_t ei = 0; ei < poly.size(); ++ei) {
+      const PolyEdge edge = poly.edge(ei);
+      const bool horiz = edge.axis == Axis::kHorizontal;
+      while (fi < fragments.size() && fragments[fi].poly == p &&
+             fragments[fi].edge == ei) {
+        const Fragment& f = fragments[fi];
+        const Point n = dir_vec(f.outward);
+        const Point p1o = along(edge, f.s);
+        const Point p2o = along(edge, f.e);
+        const Point p1 = {p1o.x + n.x * f.bias, p1o.y + n.y * f.bias};
+        const Point p2 = {p2o.x + n.x * f.bias, p2o.y + n.y * f.bias};
+        if (!verts.empty()) {
+          const Point& q = verts.back();
+          // Insert a Manhattan connector when the displaced segments do not
+          // already share a coordinate: jogs between fragments of one edge
+          // and corner extensions between edges.
+          // The corner is the intersection of the two displaced edge lines:
+          // x comes from the vertical displaced segment, y from the
+          // horizontal one (extends convex corners outward like real OPC).
+          if (q.x != p1.x && q.y != p1.y) {
+            verts.push_back(horiz ? Point{q.x, p1.y} : Point{p1.x, q.y});
+          }
+        }
+        verts.push_back(p1);
+        verts.push_back(p2);
+        ++fi;
+      }
+    }
+    POC_ENSURES(verts.size() >= 4);
+    // Close the ring: connector between last and first vertex if needed.
+    const Point& first = verts.front();
+    const Point& last = verts.back();
+    if (first.x != last.x && first.y != last.y) {
+      // First edge of the polygon is edge 0; use its axis for the connector.
+      const bool first_horiz = poly.edge(0).axis == Axis::kHorizontal;
+      verts.push_back(first_horiz ? Point{last.x, first.y}
+                                  : Point{first.x, last.y});
+    }
+    out.push_back(Polygon(std::move(verts)));
+  }
+  POC_ENSURES(fi == fragments.size());
+  return out;
+}
+
+}  // namespace poc

@@ -1,0 +1,54 @@
+// Edge fragmentation: splits each polygon edge into correction fragments
+// (corner fragments plus interior fragments of bounded length).  Each
+// fragment carries its own bias, applied along the edge's outward normal,
+// and an EPE control point on the original target edge.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/geom/polygon.h"
+
+namespace poc {
+
+struct FragmentationOptions {
+  DbUnit max_fragment_len = 70;   ///< interior fragment length (nm)
+  DbUnit corner_len = 35;         ///< dedicated corner fragment length
+  DbUnit min_edge_for_corners = 120;  ///< shorter edges get a single fragment
+  DbUnit line_end_max_len = 100;  ///< short edges up to this are line ends
+};
+
+struct Fragment {
+  std::size_t poly = 0;    ///< index into the target polygon list
+  std::size_t edge = 0;    ///< edge index within the polygon
+  DbUnit s = 0;            ///< fragment span along the edge, from edge.a
+  DbUnit e = 0;
+  Point ctrl;              ///< EPE control point on the ORIGINAL target edge
+  Dir outward = Dir::kEast;
+  bool at_corner = false;
+  bool at_line_end = false;  ///< the whole edge is a short terminating edge
+  /// Halo fragments outside the simulated tile are frozen: never measured,
+  /// never moved, excluded from statistics (tile-based OPC halo handling).
+  bool frozen = false;
+  DbUnit bias = 0;         ///< current displacement (+ = outward)
+  double epe_nm = 0.0;     ///< last measured edge placement error
+};
+
+/// Fragments every edge of every polygon.  Fragments are ordered
+/// polygon-major, edge-major, along-edge — the order apply_fragments expects.
+std::vector<Fragment> fragment_polygons(const std::vector<Polygon>& targets,
+                                        const FragmentationOptions& opts = {});
+
+/// Rebuilds the corrected polygons from per-fragment biases: each fragment's
+/// segment is displaced along the outward normal; jogs and corner extensions
+/// are inserted to keep the result Manhattan.
+std::vector<Polygon> apply_fragments(const std::vector<Polygon>& targets,
+                                     const std::vector<Fragment>& fragments);
+
+/// Freezes every fragment whose control point lies outside `window`
+/// deflated by `margin` (the EPE probes of such fragments would leave the
+/// simulated tile).
+void freeze_outside_window(std::vector<Fragment>& fragments,
+                           const Rect& window, DbUnit margin);
+
+}  // namespace poc

@@ -1,0 +1,69 @@
+#include "src/opc/rule_opc.h"
+
+#include <algorithm>
+
+#include "src/geom/polygon_ops.h"
+
+namespace poc {
+
+DbUnit fragment_spacing(const Fragment& fragment,
+                        const std::vector<Rect>& solids, DbUnit limit) {
+  DbUnit best = limit;
+  const Point c = fragment.ctrl;
+  for (const Rect& r : solids) {
+    switch (fragment.outward) {
+      case Dir::kEast:
+        if (r.ylo <= c.y && r.yhi >= c.y && r.xlo >= c.x) {
+          best = std::min(best, r.xlo - c.x);
+        }
+        break;
+      case Dir::kWest:
+        if (r.ylo <= c.y && r.yhi >= c.y && r.xhi <= c.x) {
+          best = std::min(best, c.x - r.xhi);
+        }
+        break;
+      case Dir::kNorth:
+        if (r.xlo <= c.x && r.xhi >= c.x && r.ylo >= c.y) {
+          best = std::min(best, r.ylo - c.y);
+        }
+        break;
+      case Dir::kSouth:
+        if (r.xlo <= c.x && r.xhi >= c.x && r.yhi <= c.y) {
+          best = std::min(best, c.y - r.yhi);
+        }
+        break;
+    }
+  }
+  return best;
+}
+
+std::vector<Polygon> rule_based_opc(const std::vector<Polygon>& targets,
+                                    std::vector<Fragment>& fragments,
+                                    const RuleOpcTable& table) {
+  std::vector<Rect> solids;
+  for (const Polygon& p : targets) {
+    for (const Rect& r : decompose(p)) solids.push_back(r);
+  }
+  const DbUnit limit = table.rows.empty() ? 1000 : table.rows.back().first + 1;
+  for (Fragment& f : fragments) {
+    // Spacing is measured from just outside the fragment's own polygon; the
+    // control point sits ON the edge, so facing solids exclude distance 0
+    // hits from the owning shape by nudging the probe outward 1 nm.
+    Fragment probe = f;
+    const Point n = dir_vec(f.outward);
+    probe.ctrl = {f.ctrl.x + n.x, f.ctrl.y + n.y};
+    const DbUnit spacing = fragment_spacing(probe, solids, limit);
+    DbUnit bias = table.iso_bias;
+    for (const auto& [max_space, b] : table.rows) {
+      if (spacing <= max_space) {
+        bias = b;
+        break;
+      }
+    }
+    if (f.at_line_end) bias += table.line_end_bias;
+    f.bias = bias;
+  }
+  return apply_fragments(targets, fragments);
+}
+
+}  // namespace poc

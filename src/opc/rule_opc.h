@@ -1,0 +1,40 @@
+// Rule-based OPC baseline: per-fragment bias from a spacing-dependent
+// lookup table (the pre-model-based industry practice), plus fixed
+// hammerhead bias on line-end fragments.  Used as the cheap alternative in
+// the selective-OPC experiment (T4) and the convergence comparison (F3).
+#pragma once
+
+#include <vector>
+
+#include "src/geom/polygon.h"
+#include "src/geom/rect.h"
+#include "src/opc/fragment.h"
+
+namespace poc {
+
+struct RuleOpcTable {
+  /// (max spacing nm, bias nm) rows, ascending by spacing; spacings beyond
+  /// the last row get `iso_bias`.  Calibrated as a compromise against the
+  /// optics in src/litho: the printed-CD-per-nm-of-bias slope is itself
+  /// context dependent (~3 nm/nm inside dense cell context, ~2 nm/nm on
+  /// sparse test lines), so any single table misses somewhere — which is
+  /// precisely the rule-based deficiency the model-based engine removes
+  /// (bench F1/F3 quantify it).
+  std::vector<std::pair<DbUnit, DbUnit>> rows = {
+      {180, 12}, {320, 13}, {520, 16}, {800, 17}};
+  DbUnit iso_bias = 17;
+  DbUnit line_end_bias = 25;  ///< extra outward bias on line-end fragments
+};
+
+/// Spacing from a fragment's control point to the nearest facing solid,
+/// capped at `limit`.
+DbUnit fragment_spacing(const Fragment& fragment,
+                        const std::vector<Rect>& solids, DbUnit limit);
+
+/// Applies the table to every fragment and rebuilds the polygons.
+/// `fragments` is updated in place with the chosen biases.
+std::vector<Polygon> rule_based_opc(const std::vector<Polygon>& targets,
+                                    std::vector<Fragment>& fragments,
+                                    const RuleOpcTable& table = {});
+
+}  // namespace poc

@@ -1,0 +1,96 @@
+#include "src/opc/sraf.h"
+
+#include <algorithm>
+
+#include "src/geom/polygon_ops.h"
+
+namespace poc {
+namespace {
+
+/// Free distance from `edge` along its outward normal before hitting any
+/// rect of `solids`, capped at `limit`.
+DbUnit free_space(const PolyEdge& edge, const std::vector<Rect>& solids,
+                  DbUnit limit) {
+  DbUnit best = limit;
+  const Point mid = edge.midpoint();
+  for (const Rect& r : solids) {
+    if (edge.axis == Axis::kVertical) {
+      // Outward east/west: rect must overlap the edge's y-span.
+      const DbUnit ylo = std::min(edge.a.y, edge.b.y);
+      const DbUnit yhi = std::max(edge.a.y, edge.b.y);
+      if (r.yhi <= ylo || r.ylo >= yhi) continue;
+      if (edge.outward == Dir::kEast && r.xlo >= mid.x) {
+        best = std::min(best, r.xlo - mid.x);
+      } else if (edge.outward == Dir::kWest && r.xhi <= mid.x) {
+        best = std::min(best, mid.x - r.xhi);
+      }
+    } else {
+      const DbUnit xlo = std::min(edge.a.x, edge.b.x);
+      const DbUnit xhi = std::max(edge.a.x, edge.b.x);
+      if (r.xhi <= xlo || r.xlo >= xhi) continue;
+      if (edge.outward == Dir::kNorth && r.ylo >= mid.y) {
+        best = std::min(best, r.ylo - mid.y);
+      } else if (edge.outward == Dir::kSouth && r.yhi <= mid.y) {
+        best = std::min(best, mid.y - r.yhi);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<Rect> insert_srafs(const std::vector<Polygon>& targets,
+                               const Rect& window, const SrafRules& rules) {
+  std::vector<Rect> solids;
+  for (const Polygon& p : targets) {
+    for (const Rect& r : decompose(p)) solids.push_back(r);
+  }
+  std::vector<Rect> bars;
+  for (const Polygon& p : targets) {
+    for (const PolyEdge& edge : p.edges()) {
+      const DbUnit len = edge.length();
+      if (len < rules.min_bar_len + 2 * rules.end_margin) continue;
+      const DbUnit space = free_space(edge, solids, rules.min_open_space);
+      if (space < rules.min_open_space) continue;
+
+      const Point n = dir_vec(edge.outward);
+      Rect bar;
+      if (edge.axis == Axis::kVertical) {
+        const DbUnit x_near = edge.a.x + n.x * rules.bar_distance;
+        const DbUnit x_far = x_near + n.x * rules.bar_width;
+        bar = Rect{std::min(x_near, x_far),
+                   std::min(edge.a.y, edge.b.y) + rules.end_margin,
+                   std::max(x_near, x_far),
+                   std::max(edge.a.y, edge.b.y) - rules.end_margin};
+      } else {
+        const DbUnit y_near = edge.a.y + n.y * rules.bar_distance;
+        const DbUnit y_far = y_near + n.y * rules.bar_width;
+        bar = Rect{std::min(edge.a.x, edge.b.x) + rules.end_margin,
+                   std::min(y_near, y_far),
+                   std::max(edge.a.x, edge.b.x) - rules.end_margin,
+                   std::max(y_near, y_far)};
+      }
+      if (bar.empty() || !window.contains(bar)) continue;
+      // Never overlap (or nearly touch) existing geometry or other bars.
+      const Rect guard = bar.inflated(60);
+      bool blocked = false;
+      for (const Rect& s : solids) {
+        if (guard.intersects(s)) {
+          blocked = true;
+          break;
+        }
+      }
+      for (const Rect& b : bars) {
+        if (blocked || guard.intersects(b)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) bars.push_back(bar);
+    }
+  }
+  return bars;
+}
+
+}  // namespace poc

@@ -1,0 +1,28 @@
+// Rule-based sub-resolution assist feature (scattering bar) insertion.
+// Isolated edges print with less aerial-image contrast and larger
+// through-focus CD swing than dense ones; a narrow non-printing bar placed
+// one "pseudo-pitch" away restores a dense-like diffraction environment.
+#pragma once
+
+#include <vector>
+
+#include "src/geom/polygon.h"
+#include "src/geom/rect.h"
+
+namespace poc {
+
+struct SrafRules {
+  DbUnit bar_width = 40;        ///< below the resolution limit, never prints
+  DbUnit bar_distance = 170;    ///< target edge to bar near edge
+  DbUnit min_open_space = 450;  ///< only edges with at least this much free
+                                ///< space get a bar
+  DbUnit end_margin = 30;       ///< bar pullback from the edge's ends
+  DbUnit min_bar_len = 80;
+};
+
+/// Places scattering bars next to sufficiently isolated edges of `targets`
+/// inside `window`.  Bars never overlap targets or each other.
+std::vector<Rect> insert_srafs(const std::vector<Polygon>& targets,
+                               const Rect& window, const SrafRules& rules = {});
+
+}  // namespace poc

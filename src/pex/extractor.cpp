@@ -1,0 +1,57 @@
+#include "src/pex/extractor.h"
+
+#include "src/common/check.h"
+
+namespace poc {
+
+Ohm Extractor::m1_res_per_um() const {
+  const double width_um = nm_to_um(static_cast<Nm>(tech_.m1_width)) *
+                          scale_.m1_width_ratio;
+  POC_EXPECTS(width_um > 0.0);
+  return tech_.m1_sheet_res_ohm_sq / width_um;
+}
+
+Ohm Extractor::m2_res_per_um() const {
+  const double width_um = nm_to_um(static_cast<Nm>(tech_.m2_width)) *
+                          scale_.m2_width_ratio;
+  POC_EXPECTS(width_um > 0.0);
+  return tech_.m2_sheet_res_ohm_sq / width_um;
+}
+
+Ff Extractor::m1_cap_per_um() const {
+  // Lateral (same-layer) coupling dominates at these pitches; to first
+  // order cap tracks linewidth.
+  return tech_.m1_cap_per_um_ff * scale_.m1_width_ratio;
+}
+
+Ff Extractor::m2_cap_per_um() const {
+  return tech_.m2_cap_per_um_ff * scale_.m2_width_ratio;
+}
+
+NetParasitics Extractor::extract_net(const NetRoute& route) const {
+  NetParasitics out;
+  for (const SinkRoute& sr : route.sinks) {
+    SinkParasitics sp;
+    sp.sink_gate = sr.sink_gate;
+    sp.sink_pin = sr.sink_pin;
+    const Ohm res = sr.length_m1 * m1_res_per_um() +
+                    sr.length_m2 * m2_res_per_um();
+    const Ff cap = sr.length_m1 * m1_cap_per_um() +
+                   sr.length_m2 * m2_cap_per_um();
+    sp.path_res = res + 2.0 * tech_.contact_res_ohm;  // two vias per route
+    sp.elmore_ps = rc_to_ps(sp.path_res, cap / 2.0);
+    out.wire_cap += cap;
+    out.sinks.push_back(sp);
+  }
+  return out;
+}
+
+std::vector<NetParasitics> Extractor::extract_design(
+    const PlacedDesign& design) const {
+  std::vector<NetParasitics> out;
+  out.reserve(design.routes.size());
+  for (const NetRoute& r : design.routes) out.push_back(extract_net(r));
+  return out;
+}
+
+}  // namespace poc

@@ -1,0 +1,54 @@
+// Wire parasitic extraction from routed net geometry: per-sink path
+// resistance and lumped capacitance from segment lengths, Elmore wire
+// delays, with optional litho-measured linewidth scaling (the multi-layer
+// extension of the paper's flow, experiment T5): narrower printed metal
+// raises R roughly as drawn/printed and lowers lateral C.
+#pragma once
+
+#include <vector>
+
+#include "src/pnr/design.h"
+
+namespace poc {
+
+/// Printed/drawn linewidth ratios per routing layer (1.0 = drawn).
+struct MetalCdScale {
+  double m1_width_ratio = 1.0;
+  double m2_width_ratio = 1.0;
+};
+
+struct SinkParasitics {
+  GateIdx sink_gate = kNoIndex;
+  std::size_t sink_pin = 0;
+  Ohm path_res = 0.0;
+  Ps elmore_ps = 0.0;  ///< wire-only delay, before sink pin cap loading
+};
+
+struct NetParasitics {
+  Ff wire_cap = 0.0;   ///< total net wire capacitance
+  std::vector<SinkParasitics> sinks;
+};
+
+class Extractor {
+ public:
+  Extractor(const Tech& tech, MetalCdScale scale = {})
+      : tech_(tech), scale_(scale) {}
+
+  /// Extracts one routed net.  Elmore per sink uses the sink's own L-route
+  /// (star approximation): R_path * (C_path/2).
+  NetParasitics extract_net(const NetRoute& route) const;
+
+  /// All nets of a design.
+  std::vector<NetParasitics> extract_design(const PlacedDesign& design) const;
+
+  Ohm m1_res_per_um() const;
+  Ohm m2_res_per_um() const;
+  Ff m1_cap_per_um() const;
+  Ff m2_cap_per_um() const;
+
+ private:
+  Tech tech_;
+  MetalCdScale scale_;
+};
+
+}  // namespace poc

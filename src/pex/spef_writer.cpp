@@ -1,0 +1,73 @@
+#include "src/pex/spef_writer.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace poc {
+namespace {
+
+const char* kPinNames[] = {"A", "B", "C", "D"};
+
+/// SPEF pin reference: <instance>:<pin>.
+std::string pin_ref(const Netlist& nl, GateIdx gate, std::size_t pin) {
+  return nl.gate(gate).name + ":" + kPinNames[pin];
+}
+
+std::string out_ref(const Netlist& nl, GateIdx gate) {
+  return nl.gate(gate).name + ":Y";
+}
+
+}  // namespace
+
+void write_spef(std::ostream& os, const PlacedDesign& design,
+                const Extractor& extractor) {
+  const Netlist& nl = design.netlist;
+  os << std::fixed << std::setprecision(6);
+  os << "*SPEF \"IEEE 1481-1998\"\n";
+  os << "*DESIGN \"" << nl.name() << "\"\n";
+  os << "*VENDOR \"post-opc-timing\"\n";
+  os << "*PROGRAM \"poc_pex\"\n";
+  os << "*VERSION \"1.0\"\n";
+  os << "*DESIGN_FLOW \"EXTRACTED\"\n";
+  os << "*DIVIDER /\n*DELIMITER :\n*BUS_DELIMITER [ ]\n";
+  os << "*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n*L_UNIT 1 HENRY\n\n";
+
+  for (NetIdx n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(n);
+    if (net.driver == kNoIndex || net.sinks.empty()) continue;
+    if (design.routes.empty()) continue;
+    const NetParasitics p = extractor.extract_net(design.routes[n]);
+    os << "*D_NET " << net.name << " " << p.wire_cap << "\n";
+    os << "*CONN\n";
+    os << "*I " << out_ref(nl, net.driver) << " O\n";
+    for (const auto& [sink_gate, pin] : net.sinks) {
+      os << "*I " << pin_ref(nl, sink_gate, pin) << " I\n";
+    }
+    // Lumped cap at the driver, series resistance per sink (the reduced
+    // star model the internal Elmore computation uses).
+    os << "*CAP\n";
+    os << "1 " << out_ref(nl, net.driver) << " " << p.wire_cap << "\n";
+    os << "*RES\n";
+    int res_id = 1;
+    for (std::size_t k = 0; k < net.sinks.size(); ++k) {
+      const auto& [sink_gate, pin] = net.sinks[k];
+      const Ohm r =
+          k < p.sinks.size() ? p.sinks[k].path_res : 0.0;
+      os << res_id++ << " " << out_ref(nl, net.driver) << " "
+         << pin_ref(nl, sink_gate, pin) << " " << r << "\n";
+    }
+    os << "*END\n\n";
+  }
+}
+
+std::string spef_to_string(const PlacedDesign& design,
+                           const Extractor& extractor) {
+  std::ostringstream os;
+  write_spef(os, design, extractor);
+  return os.str();
+}
+
+}  // namespace poc

@@ -1,0 +1,23 @@
+// SPEF (IEEE 1481 Standard Parasitic Exchange Format) export of the
+// extracted wire parasitics, so external sign-off tools can consume this
+// repo's extraction.  Emits the reduced (R-only path + lumped C) form the
+// internal Elmore model uses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/pex/extractor.h"
+
+namespace poc {
+
+/// Writes a SPEF file for the design's routed nets using the given
+/// extractor (which carries the litho-measured width scaling, if any).
+/// Units: ps / fF / ohm as declared in the header.
+void write_spef(std::ostream& os, const PlacedDesign& design,
+                const Extractor& extractor);
+
+std::string spef_to_string(const PlacedDesign& design,
+                           const Extractor& extractor);
+
+}  // namespace poc

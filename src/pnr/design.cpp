@@ -1,0 +1,68 @@
+#include "src/pnr/design.h"
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+#include "src/pnr/placement.h"
+#include "src/pnr/routing.h"
+
+namespace poc {
+
+std::vector<const PlacedGate*> PlacedDesign::gates_of(GateIdx gate) const {
+  POC_EXPECTS(gate < gate_to_instance.size());
+  const std::size_t inst = gate_to_instance[gate];
+  std::vector<const PlacedGate*> out;
+  for (const PlacedGate& pg : layout.placed_gates()) {
+    if (pg.instance == inst) out.push_back(&pg);
+  }
+  return out;
+}
+
+Rect PlacedDesign::litho_window(GateIdx gate, DbUnit ambit_nm) const {
+  POC_EXPECTS(gate < gate_to_instance.size());
+  const Instance& inst = layout.instance(gate_to_instance[gate]);
+  const Rect boundary =
+      inst.transform.apply(layout.cell(inst.cell).boundary);
+  return boundary.inflated(ambit_nm);
+}
+
+PlacedDesign place_and_route(const Netlist& nl, const StdCellLibrary& lib,
+                             const Tech& tech,
+                             const PlaceRouteOptions& options) {
+  PlacedDesign design;
+  design.netlist = nl;
+  design.tech = tech;
+
+  const PlacementResult placement =
+      place_rows(nl, lib, tech, options.aspect_ratio, options.row_gap);
+
+  // Register each used cell master once.
+  for (GateIdx g = 0; g < nl.num_gates(); ++g) {
+    const std::string& cell = nl.gate(g).cell;
+    bool have = false;
+    for (std::size_t c = 0; c < design.layout.num_cells(); ++c) {
+      if (design.layout.cell(c).name == cell) {
+        have = true;
+        break;
+      }
+    }
+    if (!have) design.layout.add_cell(lib.layout(cell, tech));
+  }
+
+  design.gate_to_instance.resize(nl.num_gates());
+  for (GateIdx g = 0; g < nl.num_gates(); ++g) {
+    Instance inst;
+    inst.name = nl.gate(g).name;
+    inst.cell = design.layout.cell_index(nl.gate(g).cell);
+    inst.transform = placement.transforms[g];
+    design.gate_to_instance[g] = design.layout.add_instance(std::move(inst));
+  }
+
+  if (options.route) route_nets(design, placement, lib);
+  design.layout.freeze();
+  log_info("placed ", nl.num_gates(), " gates in ", placement.num_rows,
+           " rows (", placement.block_width, " x ", placement.block_height,
+           " nm)");
+  return design;
+}
+
+}  // namespace poc

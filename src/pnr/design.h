@@ -1,0 +1,64 @@
+// PlacedDesign ties a netlist to its physical implementation: the layout
+// database with one instance per gate, routed net geometry, and per-sink
+// route lengths for parasitic extraction.  This is the "placed and routed
+// full-chip layout" the paper's flow starts from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/layout/layout_db.h"
+#include "src/layout/tech.h"
+#include "src/netlist/netlist.h"
+#include "src/stdcell/library.h"
+
+namespace poc {
+
+/// One routed two-pin connection (driver pin -> sink pin) of a net.
+struct RouteSegment {
+  Rect rect;      ///< wire shape
+  Layer layer = Layer::kMetal1;
+};
+
+struct SinkRoute {
+  GateIdx sink_gate = kNoIndex;
+  std::size_t sink_pin = 0;
+  std::vector<RouteSegment> segments;
+  Um length_m1 = 0.0;
+  Um length_m2 = 0.0;
+};
+
+struct NetRoute {
+  NetIdx net = kNoIndex;
+  std::vector<SinkRoute> sinks;
+  Um total_length() const;
+};
+
+struct PlacedDesign {
+  Netlist netlist{"empty"};  ///< owned copy: a design is self-contained
+  LayoutDb layout;
+  Tech tech;
+  std::vector<NetRoute> routes;          ///< indexed by net
+  std::vector<std::size_t> gate_to_instance;  ///< netlist gate -> layout inst
+
+  /// Placed gates (transistors) belonging to a netlist gate instance.
+  std::vector<const PlacedGate*> gates_of(GateIdx gate) const;
+
+  /// Bounding window for litho simulation of one instance: the cell
+  /// boundary inflated by the optical ambit.
+  Rect litho_window(GateIdx gate, DbUnit ambit_nm = 600) const;
+};
+
+struct PlaceRouteOptions {
+  double aspect_ratio = 1.0;   ///< target width/height of the block
+  DbUnit row_gap = 0;          ///< extra space between rows (0 = abutting)
+  bool route = true;
+};
+
+/// Places every gate of `nl` into rows and routes every net with two-layer
+/// L-routes.  Deterministic.
+PlacedDesign place_and_route(const Netlist& nl, const StdCellLibrary& lib,
+                             const Tech& tech = Tech::default_tech(),
+                             const PlaceRouteOptions& options = {});
+
+}  // namespace poc

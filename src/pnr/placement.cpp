@@ -1,0 +1,66 @@
+#include "src/pnr/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/stdcell/layout_gen.h"
+
+namespace poc {
+
+PlacementResult place_rows(const Netlist& nl, const StdCellLibrary& lib,
+                           const Tech& tech, double aspect_ratio,
+                           DbUnit row_gap) {
+  POC_EXPECTS(aspect_ratio > 0.0);
+  // Total cell area decides the row width for the requested aspect ratio.
+  double total_width = 0.0;
+  for (GateIdx g = 0; g < nl.num_gates(); ++g) {
+    total_width +=
+        static_cast<double>(cell_width(lib.spec(nl.gate(g).cell), tech));
+  }
+  const double row_h = static_cast<double>(tech.cell_height + row_gap);
+  // width * n_rows*row_h with width/(n_rows*row_h) == aspect:
+  const double est_height =
+      std::sqrt(total_width * row_h / aspect_ratio);
+  const std::size_t n_rows = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(est_height / row_h)));
+  const DbUnit row_width_target =
+      static_cast<DbUnit>(total_width / static_cast<double>(n_rows)) + 1;
+
+  PlacementResult result;
+  result.transforms.resize(nl.num_gates());
+  std::size_t row = 0;
+  DbUnit x = 0;
+  DbUnit max_x = 0;
+  // Topological order keeps connected gates physically close.
+  for (GateIdx g : nl.topological_order()) {
+    const DbUnit w = cell_width(lib.spec(nl.gate(g).cell), tech);
+    if (x > 0 && x + w > row_width_target) {
+      max_x = std::max(max_x, x);
+      x = 0;
+      ++row;
+    }
+    Transform t;
+    const DbUnit row_base =
+        static_cast<DbUnit>(row) * (tech.cell_height + row_gap);
+    if (row % 2 == 0) {
+      t.orient = Orient::kR0;
+      t.offset = {x, row_base};
+    } else {
+      // MX maps [0, h] to [-h, 0]; shift up one cell height so the row
+      // occupies [row_base, row_base + h] with its VDD rail shared below.
+      t.orient = Orient::kMX;
+      t.offset = {x, row_base + tech.cell_height};
+    }
+    result.transforms[g] = t;
+    x += w;
+  }
+  max_x = std::max(max_x, x);
+  result.num_rows = row + 1;
+  result.block_width = max_x;
+  result.block_height =
+      static_cast<DbUnit>(result.num_rows) * (tech.cell_height + row_gap);
+  return result;
+}
+
+}  // namespace poc

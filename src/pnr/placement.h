@@ -1,0 +1,28 @@
+// Row-based placement: gates are packed into standard-cell rows in
+// topological order (a cheap locality heuristic — producers end up near
+// consumers), alternating row orientation R0/MX so rows share power rails
+// like a real standard-cell block.
+#pragma once
+
+#include <vector>
+
+#include "src/geom/transform.h"
+#include "src/layout/tech.h"
+#include "src/netlist/netlist.h"
+#include "src/stdcell/library.h"
+
+namespace poc {
+
+struct PlacementResult {
+  /// Per netlist gate, the placement transform of its cell instance.
+  std::vector<Transform> transforms;
+  DbUnit block_width = 0;
+  DbUnit block_height = 0;
+  std::size_t num_rows = 0;
+};
+
+PlacementResult place_rows(const Netlist& nl, const StdCellLibrary& lib,
+                           const Tech& tech, double aspect_ratio,
+                           DbUnit row_gap);
+
+}  // namespace poc

@@ -1,0 +1,101 @@
+#include "src/pnr/routing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/stdcell/layout_gen.h"
+
+namespace poc {
+namespace {
+
+Rect vertical_wire(DbUnit x, DbUnit y0, DbUnit y1, DbUnit width) {
+  return {x - width / 2, std::min(y0, y1), x + width / 2, std::max(y0, y1)};
+}
+
+Rect horizontal_wire(DbUnit y, DbUnit x0, DbUnit x1, DbUnit width) {
+  return {std::min(x0, x1), y - width / 2, std::max(x0, x1), y + width / 2};
+}
+
+}  // namespace
+
+Um NetRoute::total_length() const {
+  Um total = 0.0;
+  for (const SinkRoute& s : sinks) total += s.length_m1 + s.length_m2;
+  return total;
+}
+
+void route_nets(PlacedDesign& design, const PlacementResult& placement,
+                const StdCellLibrary& lib) {
+  const Netlist& nl = design.netlist;
+  const Tech& tech = design.tech;
+  design.routes.assign(nl.num_nets(), NetRoute{});
+
+  for (NetIdx n = 0; n < nl.num_nets(); ++n) {
+    NetRoute& route = design.routes[n];
+    route.net = n;
+    const Net& net = nl.net(n);
+    if (net.driver == kNoIndex || net.sinks.empty()) continue;
+
+    const GateInst& drv = nl.gate(net.driver);
+    const CellSpec& drv_spec = lib.spec(drv.cell);
+    const Point drv_pin = placement.transforms[net.driver].apply(
+        pin_position(drv_spec, tech, drv_spec.output));
+
+    for (const auto& [sink_gate, sink_pin] : net.sinks) {
+      const GateInst& snk = nl.gate(sink_gate);
+      const CellSpec& snk_spec = lib.spec(snk.cell);
+      const Point snk_pt = placement.transforms[sink_gate].apply(
+          pin_position(snk_spec, tech, snk_spec.inputs[sink_pin]));
+
+      SinkRoute sr;
+      sr.sink_gate = sink_gate;
+      sr.sink_pin = sink_pin;
+      // Horizontal M2 leg rides a per-net track near the sink's y so
+      // different nets' trunks do not all collapse onto one line.
+      const DbUnit track_offset =
+          static_cast<DbUnit>((n % 5)) * tech.m2_pitch - 2 * tech.m2_pitch;
+      const DbUnit m2_y = snk_pt.y + track_offset;
+
+      // Leg 1: M1 vertical from the driver pin to the M2 track.
+      if (drv_pin.y != m2_y) {
+        sr.segments.push_back(
+            {vertical_wire(drv_pin.x, drv_pin.y, m2_y, tech.m1_width),
+             Layer::kMetal1});
+        sr.length_m1 += nm_to_um(static_cast<Nm>(std::abs(drv_pin.y - m2_y)));
+      }
+      // Leg 2: M2 horizontal to the sink's x.
+      if (drv_pin.x != snk_pt.x) {
+        sr.segments.push_back(
+            {horizontal_wire(m2_y, drv_pin.x, snk_pt.x, tech.m2_width),
+             Layer::kMetal2});
+        sr.length_m2 += nm_to_um(static_cast<Nm>(std::abs(drv_pin.x - snk_pt.x)));
+      }
+      // Leg 3: M1 vertical from the track down/up to the sink pin.
+      if (m2_y != snk_pt.y) {
+        sr.segments.push_back(
+            {vertical_wire(snk_pt.x, m2_y, snk_pt.y, tech.m1_width),
+             Layer::kMetal1});
+        sr.length_m1 += nm_to_um(static_cast<Nm>(std::abs(m2_y - snk_pt.y)));
+      }
+      // Vias at the two bends.
+      sr.segments.push_back(
+          {Rect::from_center({drv_pin.x, m2_y}, tech.contact_size,
+                             tech.contact_size),
+           Layer::kVia1});
+      sr.segments.push_back(
+          {Rect::from_center({snk_pt.x, m2_y}, tech.contact_size,
+                             tech.contact_size),
+           Layer::kVia1});
+
+      for (const RouteSegment& seg : sr.segments) {
+        if (!seg.rect.empty()) {
+          design.layout.add_top_shape(Shape::rect(seg.layer, seg.rect));
+        }
+      }
+      route.sinks.push_back(std::move(sr));
+    }
+  }
+}
+
+}  // namespace poc

@@ -1,0 +1,20 @@
+// Two-layer L-route router: every driver->sink connection is a vertical
+// metal-1 leg at the driver's x followed by a horizontal metal-2 leg on the
+// sink's pad row, with vias at the bend and endpoints.  Horizontal legs are
+// nudged onto per-net tracks to spread congestion.  This is intentionally a
+// construction router (no legality search): its outputs are realistic wire
+// lengths for extraction and realistic metal shapes for the multi-layer
+// litho experiment.
+#pragma once
+
+#include "src/pnr/design.h"
+#include "src/pnr/placement.h"
+
+namespace poc {
+
+/// Routes all nets of the design; fills design.routes and adds the wire
+/// shapes to design.layout as top-level shapes.  Must run before freeze().
+void route_nets(PlacedDesign& design, const PlacementResult& placement,
+                const StdCellLibrary& lib);
+
+}  // namespace poc

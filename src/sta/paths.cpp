@@ -1,0 +1,74 @@
+#include "src/sta/paths.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/common/stats.h"
+
+namespace poc {
+
+PathRankComparison compare_path_ranks(const Netlist& nl,
+                                      const std::vector<TimingPath>& base,
+                                      const std::vector<TimingPath>& other) {
+  PathRankComparison cmp;
+  std::unordered_map<std::string, std::size_t> other_index;
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    other_index.emplace(other[i].signature(nl), i);
+  }
+  std::vector<double> arr_base, arr_other;
+  std::vector<std::size_t> base_pos, other_pos;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const auto it = other_index.find(base[i].signature(nl));
+    if (it == other_index.end()) continue;
+    arr_base.push_back(base[i].arrival);
+    arr_other.push_back(other[it->second].arrival);
+    base_pos.push_back(i);
+    other_pos.push_back(it->second);
+  }
+  cmp.matched = arr_base.size();
+  if (cmp.matched >= 2) {
+    cmp.spearman = spearman(arr_base, arr_other);
+    cmp.kendall = kendall_tau(arr_base, arr_other);
+  }
+  for (std::size_t k = 0; k < cmp.matched; ++k) {
+    cmp.max_rank_shift =
+        std::max(cmp.max_rank_shift,
+                 std::abs(static_cast<double>(base_pos[k]) -
+                          static_cast<double>(other_pos[k])));
+  }
+  // Top-10 displacement: of the baseline's 10 worst paths, how many are no
+  // longer among the annotated run's 10 worst.
+  const std::size_t top_n = std::min<std::size_t>(10, base.size());
+  for (std::size_t i = 0; i < top_n; ++i) {
+    const auto it = other_index.find(base[i].signature(nl));
+    if (it == other_index.end() || it->second >= top_n) ++cmp.top10_displaced;
+  }
+  if (!base.empty() && !other.empty() &&
+      base[0].signature(nl) != other[0].signature(nl)) {
+    cmp.rank1_changed = 1;
+  }
+  return cmp;
+}
+
+std::string format_path(const Netlist& nl, const TimingPath& path,
+                        std::size_t max_points) {
+  std::ostringstream os;
+  const std::size_t n = path.points.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (n > max_points && i == max_points / 2) {
+      os << "... -> ";
+      // Jump to the tail.
+      const std::size_t skip = n - max_points;
+      i += skip;
+    }
+    const PathPoint& p = path.points[i];
+    os << nl.net(p.net).name << (p.rising ? "^" : "v");
+    if (i + 1 < n) os << " -> ";
+  }
+  os << "  arrival=" << path.arrival << "ps slack=" << path.slack << "ps";
+  return os.str();
+}
+
+}  // namespace poc

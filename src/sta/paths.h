@@ -1,0 +1,35 @@
+// Speed-path comparison utilities for the path-reordering analysis
+// (experiment F4): matches paths between two STA runs by signature and
+// quantifies how much the criticality ranking reshuffles.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/sta/sta.h"
+
+namespace poc {
+
+struct PathRankComparison {
+  std::size_t matched = 0;        ///< paths present in both runs
+  double spearman = 1.0;          ///< rank correlation of arrivals
+  double kendall = 1.0;
+  std::size_t top10_displaced = 0;  ///< baseline top-10 paths outside the
+                                    ///< annotated top-10
+  std::size_t rank1_changed = 0;    ///< 1 if the most-critical path differs
+  double max_rank_shift = 0.0;      ///< largest |rank_a - rank_b|
+};
+
+/// Compares two path lists (same design, different analyses).  Paths are
+/// matched by full signature; unmatched paths are ignored for the rank
+/// statistics but matched counts reveal coverage.
+PathRankComparison compare_path_ranks(const Netlist& nl,
+                                      const std::vector<TimingPath>& base,
+                                      const std::vector<TimingPath>& other);
+
+/// Human-readable one-line path description: PI -> ... -> endpoint.
+std::string format_path(const Netlist& nl, const TimingPath& path,
+                        std::size_t max_points = 8);
+
+}  // namespace poc

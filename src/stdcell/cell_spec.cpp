@@ -1,0 +1,157 @@
+#include "src/stdcell/cell_spec.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace poc {
+
+NetExpr NetExpr::leaf(std::size_t input) {
+  NetExpr e;
+  e.kind = Kind::kLeaf;
+  e.input = input;
+  return e;
+}
+
+NetExpr NetExpr::series(std::vector<NetExpr> children) {
+  POC_EXPECTS(children.size() >= 2);
+  NetExpr e;
+  e.kind = Kind::kSeries;
+  e.children = std::move(children);
+  return e;
+}
+
+NetExpr NetExpr::parallel(std::vector<NetExpr> children) {
+  POC_EXPECTS(children.size() >= 2);
+  NetExpr e;
+  e.kind = Kind::kParallel;
+  e.children = std::move(children);
+  return e;
+}
+
+NetExpr NetExpr::dual() const {
+  if (kind == Kind::kLeaf) return *this;
+  NetExpr e;
+  e.kind = kind == Kind::kSeries ? Kind::kParallel : Kind::kSeries;
+  for (const NetExpr& c : children) e.children.push_back(c.dual());
+  return e;
+}
+
+bool NetExpr::conducts(const std::vector<bool>& values) const {
+  switch (kind) {
+    case Kind::kLeaf:
+      POC_EXPECTS(input < values.size());
+      return values[input];
+    case Kind::kSeries:
+      return std::all_of(children.begin(), children.end(),
+                         [&](const NetExpr& c) { return c.conducts(values); });
+    case Kind::kParallel:
+      return std::any_of(children.begin(), children.end(),
+                         [&](const NetExpr& c) { return c.conducts(values); });
+  }
+  return false;
+}
+
+std::size_t NetExpr::num_devices() const {
+  if (kind == Kind::kLeaf) return 1;
+  std::size_t n = 0;
+  for (const NetExpr& c : children) n += c.num_devices();
+  return n;
+}
+
+std::size_t NetExpr::stack_depth() const {
+  switch (kind) {
+    case Kind::kLeaf:
+      return 1;
+    case Kind::kSeries: {
+      std::size_t d = 0;
+      for (const NetExpr& c : children) d += c.stack_depth();
+      return d;
+    }
+    case Kind::kParallel: {
+      std::size_t d = 0;
+      for (const NetExpr& c : children) d = std::max(d, c.stack_depth());
+      return d;
+    }
+  }
+  return 1;
+}
+
+bool CellSpec::eval(const std::vector<bool>& values) const {
+  // Static CMOS: output is low exactly when the pull-down conducts.
+  return !pulldown.conducts(values);
+}
+
+std::vector<bool> CellSpec::noncontrolling_for(std::size_t arc_input) const {
+  POC_EXPECTS(arc_input < inputs.size());
+  const std::size_t n = inputs.size();
+  for (std::size_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<bool> values(n);
+    for (std::size_t i = 0; i < n; ++i) values[i] = (mask >> i) & 1u;
+    values[arc_input] = true;
+    const bool out_hi = pulldown.conducts(values);
+    values[arc_input] = false;
+    const bool out_lo = pulldown.conducts(values);
+    if (out_hi && !out_lo) return values;  // input controls the output
+  }
+  check_fail("noncontrolling_for", inputs[arc_input].c_str(), __FILE__,
+             __LINE__);
+}
+
+std::vector<CellSpec> standard_cell_specs() {
+  std::vector<CellSpec> specs;
+  const auto a = NetExpr::leaf(0);
+  const auto b = NetExpr::leaf(1);
+  const auto c = NetExpr::leaf(2);
+
+  const auto add = [&](std::string name, std::vector<std::string> inputs,
+                       NetExpr pd, int drive) {
+    CellSpec s;
+    s.name = std::move(name);
+    s.inputs = std::move(inputs);
+    s.pulldown = std::move(pd);
+    s.drive = drive;
+    specs.push_back(std::move(s));
+  };
+
+  add("INV_X1", {"A"}, a, 1);
+  add("INV_X2", {"A"}, a, 2);
+  add("INV_X4", {"A"}, a, 4);
+  add("NAND2_X1", {"A", "B"}, NetExpr::series({a, b}), 1);
+  add("NAND2_X2", {"A", "B"}, NetExpr::series({a, b}), 2);
+  add("NAND3_X1", {"A", "B", "C"}, NetExpr::series({a, b, c}), 1);
+  add("NOR2_X1", {"A", "B"}, NetExpr::parallel({a, b}), 1);
+  add("NOR2_X2", {"A", "B"}, NetExpr::parallel({a, b}), 2);
+  add("NOR3_X1", {"A", "B", "C"}, NetExpr::parallel({a, b, c}), 1);
+  add("AOI21_X1", {"A", "B", "C"},
+      NetExpr::parallel({NetExpr::series({a, b}), c}), 1);
+  add("OAI21_X1", {"A", "B", "C"},
+      NetExpr::series({NetExpr::parallel({a, b}), c}), 1);
+
+  // Long-channel "_LL" variants for gate-length-biasing leakage recovery
+  // (selective L-biasing, a design-intent DFM technique the paper's flow
+  // enables): same footprint and pin placement, drawn L stretched 8 nm —
+  // slightly slower, exponentially less leaky.
+  const std::size_t base_count = specs.size();
+  for (std::size_t i = 0; i < base_count; ++i) {
+    CellSpec ll = specs[i];
+    ll.name += "_LL";
+    ll.drawn_l_nm = kLongGateLengthNm;
+    specs.push_back(std::move(ll));
+  }
+  return specs;
+}
+
+std::string long_gate_variant(const std::string& cell_name) {
+  return cell_name + "_LL";
+}
+
+const CellSpec& find_spec(const std::vector<CellSpec>& specs,
+                          const std::string& name) {
+  for (const CellSpec& s : specs) {
+    if (s.name == name) return s;
+  }
+  check_fail("find_spec", name.c_str(), __FILE__, __LINE__);
+}
+
+}  // namespace poc

@@ -1,0 +1,72 @@
+// Logical/electrical specification of library cells: a series/parallel
+// switch network for the NMOS pull-down; the PMOS pull-up is its dual.
+// All cells are single-stage negative-unate static CMOS.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace poc {
+
+/// Series/parallel switch-network expression over cell inputs.
+struct NetExpr {
+  enum class Kind { kLeaf, kSeries, kParallel };
+  Kind kind = Kind::kLeaf;
+  std::size_t input = 0;          ///< leaf: controlling input index
+  std::vector<NetExpr> children;  ///< series/parallel operands
+
+  static NetExpr leaf(std::size_t input);
+  static NetExpr series(std::vector<NetExpr> children);
+  static NetExpr parallel(std::vector<NetExpr> children);
+
+  /// Dual network (series <-> parallel): the complementary PMOS pull-up.
+  NetExpr dual() const;
+
+  /// Conduction under the given input assignment.
+  bool conducts(const std::vector<bool>& values) const;
+
+  /// Number of switches (transistors) in the network.
+  std::size_t num_devices() const;
+
+  /// Maximum series stack depth (used to scale stack device widths).
+  std::size_t stack_depth() const;
+};
+
+struct CellSpec {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::string output = "Y";
+  NetExpr pulldown;            ///< between output and ground
+  double nmos_w_um = 0.6;      ///< per-device width before drive scaling
+  double pmos_w_um = 0.9;
+  int drive = 1;               ///< parallel-finger multiplier (X1, X2, ...)
+  double drawn_l_nm = 90.0;
+
+  NetExpr pullup() const { return pulldown.dual(); }
+
+  /// Logic value of the output for an input assignment.
+  bool eval(const std::vector<bool>& values) const;
+
+  /// Finds side-input values that make input `arc_input` control the
+  /// output (non-controlling assignment).  Throws if none exists (the cell
+  /// would have no timing arc from that pin).
+  std::vector<bool> noncontrolling_for(std::size_t arc_input) const;
+};
+
+/// Drawn channel length of the "_LL" long-gate cell variants (nm).
+constexpr double kLongGateLengthNm = 98.0;
+
+/// The library cell set: INV_X1/X2/X4, NAND2_X1/X2, NAND3_X1, NOR2_X1/X2,
+/// NOR3_X1, AOI21_X1, OAI21_X1, plus an "_LL" long-gate (98 nm) variant of
+/// each for selective gate-length biasing.
+std::vector<CellSpec> standard_cell_specs();
+
+/// Name of a cell's long-gate variant ("NAND2_X1" -> "NAND2_X1_LL").
+std::string long_gate_variant(const std::string& cell_name);
+
+/// Lookup by name within a spec list.
+const CellSpec& find_spec(const std::vector<CellSpec>& specs,
+                          const std::string& name);
+
+}  // namespace poc

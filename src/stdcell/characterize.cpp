@@ -1,0 +1,207 @@
+#include "src/stdcell/characterize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/ckt/transient.h"
+#include "src/common/check.h"
+
+namespace poc {
+namespace {
+
+/// Recursively instantiates a switch network between `top` and `bottom`.
+/// For NMOS networks `top` is the output side; for PMOS, the VDD side —
+/// either way intermediate nodes receive diffusion capacitance.
+void build_network(Circuit& ckt, const NetExpr& expr, NodeId top,
+                   NodeId bottom, bool is_nmos,
+                   const std::vector<NodeId>& gates, double w_um, double l_nm,
+                   const MosfetParams& params, double cdiff_ff_per_um) {
+  switch (expr.kind) {
+    case NetExpr::Kind::kLeaf: {
+      MosfetInst m;
+      m.params = params;
+      m.width_um = w_um;
+      m.l_nm = l_nm;
+      m.gate = gates[expr.input];
+      if (is_nmos) {
+        m.drain = top;
+        m.source = bottom;
+      } else {
+        m.source = top;
+        m.drain = bottom;
+      }
+      ckt.add_mosfet(m);
+      break;
+    }
+    case NetExpr::Kind::kSeries: {
+      NodeId upper = top;
+      for (std::size_t i = 0; i < expr.children.size(); ++i) {
+        NodeId lower = bottom;
+        if (i + 1 < expr.children.size()) {
+          lower = ckt.add_node();
+          ckt.add_cap(lower, cdiff_ff_per_um * w_um);
+        }
+        build_network(ckt, expr.children[i], upper, lower, is_nmos, gates,
+                      w_um, l_nm, params, cdiff_ff_per_um);
+        upper = lower;
+      }
+      break;
+    }
+    case NetExpr::Kind::kParallel: {
+      for (const NetExpr& c : expr.children) {
+        build_network(ckt, c, top, bottom, is_nmos, gates, w_um, l_nm, params,
+                      cdiff_ff_per_um);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+CellDeck build_cell_deck(const CellSpec& spec, const CharParams& params,
+                         double l_nmos_nm, double l_pmos_nm) {
+  CellDeck deck;
+  Circuit& ckt = deck.circuit;
+  deck.vdd = ckt.add_node();
+  deck.out = ckt.add_node();
+  for (std::size_t i = 0; i < spec.inputs.size(); ++i) {
+    deck.input_nodes.push_back(ckt.add_node());
+  }
+  // Stacked devices are widened by the stack depth (standard library
+  // sizing) so all cells have comparable drive per finger.
+  const NetExpr pd = spec.pulldown;
+  const NetExpr pu = spec.pullup();
+  const double wn =
+      spec.nmos_w_um * spec.drive * static_cast<double>(pd.stack_depth());
+  const double wp =
+      spec.pmos_w_um * spec.drive * static_cast<double>(pu.stack_depth());
+  build_network(ckt, pd, deck.out, kGround, /*is_nmos=*/true,
+                deck.input_nodes, wn, l_nmos_nm, params.nmos,
+                params.cdiff_ff_per_um);
+  build_network(ckt, pu, deck.vdd, deck.out, /*is_nmos=*/false,
+                deck.input_nodes, wp, l_pmos_nm, params.pmos,
+                params.cdiff_ff_per_um);
+  ckt.add_cap(deck.out, params.cdiff_ff_per_um * (wn + wp));
+  return deck;
+}
+
+ArcMeasurement measure_arc(const CellSpec& spec, const CharParams& params,
+                           std::size_t arc_input, bool input_rising,
+                           Ps input_slew, Ff load, double l_nmos_nm,
+                           double l_pmos_nm) {
+  POC_EXPECTS(arc_input < spec.inputs.size());
+  POC_EXPECTS(input_slew > 0.0 && load >= 0.0);
+  CellDeck deck = build_cell_deck(spec, params, l_nmos_nm, l_pmos_nm);
+  Circuit& ckt = deck.circuit;
+  const double vdd = params.nmos.vdd;
+
+  ckt.add_vsource(deck.vdd, Pwl::constant(vdd));
+  const std::vector<bool> side = spec.noncontrolling_for(arc_input);
+  for (std::size_t i = 0; i < spec.inputs.size(); ++i) {
+    if (i == arc_input) continue;
+    ckt.add_vsource(deck.input_nodes[i],
+                    Pwl::constant(side[i] ? vdd : 0.0));
+  }
+  const Ps t0 = params.settle_ps;
+  ckt.add_vsource(deck.input_nodes[arc_input],
+                  input_rising ? Pwl::ramp(t0, input_slew, 0.0, vdd)
+                               : Pwl::ramp(t0, input_slew, vdd, 0.0));
+  ckt.add_cap(deck.out, load);
+
+  TransientOptions topt;
+  topt.dt = std::clamp(input_slew / 40.0, 0.5, 2.0);
+  topt.t_end = t0 + input_slew + 1400.0;
+  const TransientResult sim = simulate(ckt, topt);
+
+  ArcMeasurement m;
+  if (!sim.converged) return m;
+  const Trace& out = sim.traces[deck.out];
+  // Negative-unate single stage: input rise -> output fall.
+  const bool out_rising = !input_rising;
+  const Ps t_in_50 = t0 + input_slew / 2.0;
+  const auto t_out_50 = out.cross_time(vdd / 2.0, out_rising, t0);
+  const auto out_slew = out.slew(vdd, out_rising, t0);
+  if (!t_out_50 || !out_slew) return m;
+  m.delay = *t_out_50 - t_in_50;
+  m.out_slew = *out_slew;
+  m.valid = true;
+  return m;
+}
+
+Ff input_cap_ff(const CellSpec& spec, const CharParams& params) {
+  const double stack_n = static_cast<double>(spec.pulldown.stack_depth());
+  const double stack_p = static_cast<double>(spec.pullup().stack_depth());
+  const double w_total = spec.nmos_w_um * spec.drive * stack_n +
+                         spec.pmos_w_um * spec.drive * stack_p;
+  return params.cgate_ff_per_um * w_total * (spec.drawn_l_nm / 90.0);
+}
+
+double cell_leakage_ua(const CellSpec& spec, const CharParams& params,
+                       double l_nmos_nm, double l_pmos_nm) {
+  const NetExpr pd = spec.pulldown;
+  const NetExpr pu = spec.pullup();
+  const double wn =
+      spec.nmos_w_um * spec.drive * static_cast<double>(pd.stack_depth());
+  const double wp =
+      spec.pmos_w_um * spec.drive * static_cast<double>(pu.stack_depth());
+  // State-averaged proxy: half the devices block at any time; series stacks
+  // divide the subthreshold current.
+  const double n_leak = params.nmos.ioff_per_um(l_nmos_nm) * wn *
+                        static_cast<double>(pd.num_devices()) /
+                        (2.0 * static_cast<double>(pd.stack_depth()));
+  const double p_leak = params.pmos.ioff_per_um(l_pmos_nm) * wp *
+                        static_cast<double>(pu.num_devices()) /
+                        (2.0 * static_cast<double>(pu.stack_depth()));
+  return n_leak + p_leak;
+}
+
+CellTiming characterize_cell_with_l(const CellSpec& spec,
+                                    const CharParams& params,
+                                    double l_nmos_nm, double l_pmos_nm) {
+  CellTiming timing;
+  timing.cell = spec.name;
+  const double stack_n = static_cast<double>(spec.pulldown.stack_depth());
+  const double stack_p = static_cast<double>(spec.pullup().stack_depth());
+  timing.output_self_cap =
+      params.cdiff_ff_per_um * (spec.nmos_w_um * spec.drive * stack_n +
+                                spec.pmos_w_um * spec.drive * stack_p);
+  timing.leakage_ua = cell_leakage_ua(spec, params, l_nmos_nm, l_pmos_nm);
+
+  for (std::size_t i = 0; i < spec.inputs.size(); ++i) {
+    TimingArc arc;
+    arc.input = spec.inputs[i];
+    arc.delay_fall = NldmTable(params.slew_axis, params.load_axis);
+    arc.slew_fall = NldmTable(params.slew_axis, params.load_axis);
+    arc.delay_rise = NldmTable(params.slew_axis, params.load_axis);
+    arc.slew_rise = NldmTable(params.slew_axis, params.load_axis);
+    for (std::size_t si = 0; si < params.slew_axis.size(); ++si) {
+      for (std::size_t li = 0; li < params.load_axis.size(); ++li) {
+        const ArcMeasurement fall =
+            measure_arc(spec, params, i, /*input_rising=*/true,
+                        params.slew_axis[si], params.load_axis[li],
+                        l_nmos_nm, l_pmos_nm);
+        POC_ENSURES(fall.valid);
+        arc.delay_fall.set(si, li, fall.delay);
+        arc.slew_fall.set(si, li, fall.out_slew);
+        const ArcMeasurement rise =
+            measure_arc(spec, params, i, /*input_rising=*/false,
+                        params.slew_axis[si], params.load_axis[li],
+                        l_nmos_nm, l_pmos_nm);
+        POC_ENSURES(rise.valid);
+        arc.delay_rise.set(si, li, rise.delay);
+        arc.slew_rise.set(si, li, rise.out_slew);
+      }
+    }
+    timing.arcs.push_back(std::move(arc));
+    timing.input_caps.push_back(input_cap_ff(spec, params));
+  }
+  return timing;
+}
+
+CellTiming characterize_cell(const CellSpec& spec, const CharParams& params) {
+  return characterize_cell_with_l(spec, params, spec.drawn_l_nm,
+                                  spec.drawn_l_nm);
+}
+
+}  // namespace poc

@@ -1,0 +1,64 @@
+// Cell characterization: builds the transistor-level circuit for each cell
+// spec and sweeps (input slew x output load) with the transient simulator to
+// fill NLDM delay/slew tables — the role a SPICE-based characterizer plays
+// in a production library flow.
+#pragma once
+
+#include "src/ckt/circuit.h"
+#include "src/stdcell/cell_spec.h"
+#include "src/stdcell/nldm.h"
+
+namespace poc {
+
+struct CharParams {
+  MosfetParams nmos = MosfetParams::nmos();
+  MosfetParams pmos = MosfetParams::pmos();
+  double cgate_ff_per_um = 1.0;  ///< input pin cap per um of gate width
+  double cdiff_ff_per_um = 0.8;  ///< junction cap per um at diffusion nodes
+  std::vector<Ps> slew_axis = {10.0, 30.0, 75.0, 150.0, 300.0};
+  std::vector<Ff> load_axis = {1.0, 3.0, 7.0, 15.0, 30.0};
+  Ps settle_ps = 150.0;  ///< input hold before the ramp (settles the deck)
+};
+
+/// Transistor-level deck for one cell: devices plus diffusion caps, with
+/// handles to the rails and pins.  Channel lengths can be overridden per
+/// device type (used to validate CD back-annotation against re-simulation).
+struct CellDeck {
+  Circuit circuit;
+  NodeId vdd = 0;
+  NodeId out = 0;
+  std::vector<NodeId> input_nodes;
+};
+
+CellDeck build_cell_deck(const CellSpec& spec, const CharParams& params,
+                         double l_nmos_nm, double l_pmos_nm);
+
+/// One transient measurement of an arc at a single (slew, load) point.
+struct ArcMeasurement {
+  Ps delay = 0.0;     ///< input 50% to output 50%
+  Ps out_slew = 0.0;  ///< 20-80 scaled
+  bool valid = false;
+};
+
+ArcMeasurement measure_arc(const CellSpec& spec, const CharParams& params,
+                           std::size_t arc_input, bool input_rising,
+                           Ps input_slew, Ff load, double l_nmos_nm,
+                           double l_pmos_nm);
+
+/// Full characterization at the drawn channel length.
+CellTiming characterize_cell(const CellSpec& spec, const CharParams& params);
+
+/// Characterization with overridden channel lengths (validation/ablation).
+CellTiming characterize_cell_with_l(const CellSpec& spec,
+                                    const CharParams& params, double l_nmos_nm,
+                                    double l_pmos_nm);
+
+/// Input pin capacitance from gate geometry (fF).
+Ff input_cap_ff(const CellSpec& spec, const CharParams& params);
+
+/// Analytic state-averaged leakage proxy (uA); per-instance leakage under
+/// extracted CDs is recomputed device-by-device in the core flow.
+double cell_leakage_ua(const CellSpec& spec, const CharParams& params,
+                       double l_nmos_nm, double l_pmos_nm);
+
+}  // namespace poc

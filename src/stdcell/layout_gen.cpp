@@ -1,0 +1,159 @@
+#include "src/stdcell/layout_gen.h"
+
+#include "src/common/check.h"
+
+namespace poc {
+namespace {
+
+// Vertical frame of the cell (nm), derived from Tech but fixed here for the
+// default 2400 nm row:
+struct Frame {
+  DbUnit nact_lo, nact_hi;  ///< NMOS active strip
+  DbUnit pact_lo, pact_hi;  ///< PMOS active strip
+  DbUnit pad_lo, pad_hi;    ///< poly landing pad band (between actives)
+  DbUnit poly_lo, poly_hi;  ///< poly finger vertical extent
+  DbUnit finger_pitch;
+  DbUnit edge_margin;       ///< cell edge to first finger
+  DbUnit pad_overhang;      ///< pad extension past the finger each side
+
+  static Frame from_tech(const Tech& t) {
+    Frame f;
+    f.nact_lo = 300;
+    f.nact_hi = f.nact_lo + t.nmos_width;          // 900
+    f.pact_hi = t.cell_height - 200;               // 2200
+    f.pact_lo = f.pact_hi - t.pmos_width;          // 1300
+    f.pad_lo = f.nact_hi + 100;                    // 1000
+    f.pad_hi = f.pad_lo + 140;                     // 1140
+    f.poly_lo = f.nact_lo - t.active_to_poly;      // 200
+    f.poly_hi = f.pact_hi + t.active_to_poly;      // 2300
+    f.finger_pitch = 300;
+    f.edge_margin = 105;
+    f.pad_overhang = 25;
+    return f;
+  }
+};
+
+/// A poly finger with its landing pad as one plus-shaped polygon.
+Polygon finger_polygon(DbUnit x, const Tech& tech, const Frame& f) {
+  const DbUnit xl = x;
+  const DbUnit xr = x + tech.gate_length;
+  const DbUnit pxl = xl - f.pad_overhang;
+  const DbUnit pxr = xr + f.pad_overhang;
+  return Polygon({{xl, f.poly_lo},
+                  {xr, f.poly_lo},
+                  {xr, f.pad_lo},
+                  {pxr, f.pad_lo},
+                  {pxr, f.pad_hi},
+                  {xr, f.pad_hi},
+                  {xr, f.poly_hi},
+                  {xl, f.poly_hi},
+                  {xl, f.pad_hi},
+                  {pxl, f.pad_hi},
+                  {pxl, f.pad_lo},
+                  {xl, f.pad_lo}});
+}
+
+}  // namespace
+
+std::size_t finger_count(const CellSpec& spec) {
+  return spec.inputs.size() * static_cast<std::size_t>(spec.drive);
+}
+
+DbUnit cell_width(const CellSpec& spec, const Tech& tech) {
+  (void)tech;
+  const Frame f = Frame::from_tech(tech);
+  return static_cast<DbUnit>(finger_count(spec)) * f.finger_pitch;
+}
+
+CellLayout generate_cell_layout(const CellSpec& spec, const Tech& tech) {
+  const Frame f = Frame::from_tech(tech);
+  const DbUnit width = cell_width(spec, tech);
+  CellLayout cell;
+  cell.name = spec.name;
+  cell.boundary = {0, 0, width, tech.cell_height};
+
+  // Wells and actives.
+  cell.add_rect(Layer::kNwell, {0, (f.pad_lo + f.pad_hi) / 2, width,
+                                tech.cell_height});
+  cell.add_rect(Layer::kActive, {40, f.nact_lo, width - 40, f.nact_hi});
+  cell.add_rect(Layer::kActive, {40, f.pact_lo, width - 40, f.pact_hi});
+
+  // Poly fingers; finger k belongs to input (k / drive) so parallel fingers
+  // of one input sit adjacent (sharing source/drain like real multi-finger
+  // devices).  The spec's drawn L (not the tech default) sets the finger
+  // width, so long-gate "_LL" variants draw wider poly in the same frame.
+  const auto drawn_l = static_cast<DbUnit>(spec.drawn_l_nm);
+  Tech finger_tech = tech;
+  finger_tech.gate_length = drawn_l;
+  const std::size_t nf = finger_count(spec);
+  for (std::size_t k = 0; k < nf; ++k) {
+    const DbUnit x = f.edge_margin + static_cast<DbUnit>(k) * f.finger_pitch -
+                     (drawn_l - tech.gate_length) / 2;
+    cell.shapes.push_back(Shape{Layer::kPoly,
+                                finger_polygon(x, finger_tech, f)});
+    const std::size_t pin = k / static_cast<std::size_t>(spec.drive);
+    const std::string suffix =
+        spec.inputs[pin] + "_" + std::to_string(k % spec.drive);
+    GateInfo ng;
+    ng.device = "MN_" + suffix;
+    ng.is_nmos = true;
+    ng.region = {x, f.nact_lo, x + drawn_l, f.nact_hi};
+    ng.drawn_l = drawn_l;
+    ng.drawn_w = tech.nmos_width;
+    cell.gates.push_back(ng);
+    GateInfo pg;
+    pg.device = "MP_" + suffix;
+    pg.is_nmos = false;
+    pg.region = {x, f.pact_lo, x + drawn_l, f.pact_hi};
+    pg.drawn_l = drawn_l;
+    pg.drawn_w = tech.pmos_width;
+    cell.gates.push_back(pg);
+  }
+
+  // Source/drain contacts in every gap between fingers (and the two ends).
+  for (std::size_t k = 0; k <= nf; ++k) {
+    const DbUnit gap_centre =
+        f.edge_margin + static_cast<DbUnit>(k) * f.finger_pitch -
+        (f.finger_pitch - tech.gate_length) / 2;
+    const DbUnit cx = k == 0 ? f.edge_margin - 60 : gap_centre;
+    const Rect c_n = Rect::from_center({cx, (f.nact_lo + f.nact_hi) / 2},
+                                       tech.contact_size, tech.contact_size);
+    const Rect c_p = Rect::from_center({cx, (f.pact_lo + f.pact_hi) / 2},
+                                       tech.contact_size, tech.contact_size);
+    if (c_n.xlo >= 0 && c_n.xhi <= width) {
+      cell.add_rect(Layer::kContact, c_n);
+      cell.add_rect(Layer::kContact, c_p);
+    }
+  }
+
+  // Metal1: power rails and an output strap in the last finger gap.
+  cell.add_rect(Layer::kMetal1, {0, 0, width, tech.rail_width});
+  cell.add_rect(Layer::kMetal1,
+                {0, tech.cell_height - tech.rail_width, width,
+                 tech.cell_height});
+  const DbUnit strap_x = width - f.finger_pitch / 2;
+  cell.add_rect(Layer::kMetal1,
+                {strap_x - tech.m1_width / 2, tech.rail_width + 60,
+                 strap_x + tech.m1_width / 2,
+                 tech.cell_height - tech.rail_width - 60});
+  return cell;
+}
+
+Point pin_position(const CellSpec& spec, const Tech& tech,
+                   const std::string& pin) {
+  const Frame f = Frame::from_tech(tech);
+  if (pin == spec.output) {
+    const DbUnit strap_x = cell_width(spec, tech) - f.finger_pitch / 2;
+    return {strap_x, tech.cell_height / 2};
+  }
+  for (std::size_t i = 0; i < spec.inputs.size(); ++i) {
+    if (spec.inputs[i] != pin) continue;
+    const DbUnit x = f.edge_margin +
+                     static_cast<DbUnit>(i) * spec.drive * f.finger_pitch +
+                     tech.gate_length / 2;
+    return {x, (f.pad_lo + f.pad_hi) / 2};
+  }
+  check_fail("pin_position", pin.c_str(), __FILE__, __LINE__);
+}
+
+}  // namespace poc

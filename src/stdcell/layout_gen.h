@@ -1,0 +1,29 @@
+// Procedural standard-cell layout generation: vertical poly fingers with
+// gate-landing pads crossing NMOS/PMOS active strips, power rails, output
+// strap and contacts, inside a fixed-height abutment frame.  Gate regions
+// are annotated so post-OPC CD extraction knows exactly where every channel
+// is.
+#pragma once
+
+#include "src/layout/layout_db.h"
+#include "src/layout/tech.h"
+#include "src/stdcell/cell_spec.h"
+
+namespace poc {
+
+/// Number of poly fingers the cell draws (inputs x drive).
+std::size_t finger_count(const CellSpec& spec);
+
+/// Cell width in nm for row placement (multiple of the placement site).
+DbUnit cell_width(const CellSpec& spec, const Tech& tech);
+
+/// Generates the full cell layout with gate annotations.  Device names are
+/// "MN_<pin>_<finger>" / "MP_<pin>_<finger>".
+CellLayout generate_cell_layout(const CellSpec& spec, const Tech& tech);
+
+/// Connection point (cell coordinates) for an input pin (the poly landing
+/// pad of the pin's first finger) or the output pin (the M1 strap centre).
+Point pin_position(const CellSpec& spec, const Tech& tech,
+                   const std::string& pin);
+
+}  // namespace poc

@@ -1,0 +1,144 @@
+#include "src/stdcell/liberty_writer.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace poc {
+namespace {
+
+constexpr double kPsToNs = 1e-3;
+constexpr double kFfToPf = 1e-3;
+
+void write_axis(std::ostream& os, const char* name,
+                const std::vector<double>& values, double scale) {
+  os << "      " << name << " (\"";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os << (i ? ", " : "") << values[i] * scale;
+  }
+  os << "\");\n";
+}
+
+void write_values(std::ostream& os, const NldmTable& t, double scale) {
+  os << "        values ( \\\n";
+  for (std::size_t s = 0; s < t.slew_axis().size(); ++s) {
+    os << "          \"";
+    for (std::size_t l = 0; l < t.load_axis().size(); ++l) {
+      os << (l ? ", " : "") << t.get(s, l) * scale;
+    }
+    os << "\"" << (s + 1 < t.slew_axis().size() ? ", \\" : " \\") << "\n";
+  }
+  os << "        );\n";
+}
+
+void write_table(std::ostream& os, const char* group, const NldmTable& t) {
+  os << "      " << group << " (poc_delay_template) {\n";
+  write_values(os, t, kPsToNs);
+  os << "      }\n";
+}
+
+/// Boolean function string for the Liberty `function` attribute.
+std::string function_string(const NetExpr& pulldown,
+                            const std::vector<std::string>& inputs) {
+  // Output = !(pulldown conducts).
+  std::ostringstream os;
+  const auto emit = [&](const NetExpr& e, auto&& self) -> void {
+    switch (e.kind) {
+      case NetExpr::Kind::kLeaf:
+        os << inputs[e.input];
+        break;
+      case NetExpr::Kind::kSeries: {
+        os << "(";
+        for (std::size_t i = 0; i < e.children.size(); ++i) {
+          if (i) os << "*";
+          self(e.children[i], self);
+        }
+        os << ")";
+        break;
+      }
+      case NetExpr::Kind::kParallel: {
+        os << "(";
+        for (std::size_t i = 0; i < e.children.size(); ++i) {
+          if (i) os << "+";
+          self(e.children[i], self);
+        }
+        os << ")";
+        break;
+      }
+    }
+  };
+  os << "!";
+  emit(pulldown, emit);
+  return os.str();
+}
+
+}  // namespace
+
+void write_liberty(std::ostream& os, const StdCellLibrary& lib,
+                   const std::string& library_name) {
+  const CharParams& params = lib.char_params();
+  os << std::setprecision(6);
+  os << "library (" << library_name << ") {\n";
+  os << "  delay_model : table_lookup;\n";
+  os << "  time_unit : \"1ns\";\n";
+  os << "  capacitive_load_unit (1, pf);\n";
+  os << "  voltage_unit : \"1V\";\n";
+  os << "  current_unit : \"1uA\";\n";
+  os << "  leakage_power_unit : \"1uW\";\n";
+  os << "  nom_voltage : " << params.nmos.vdd << ";\n";
+  os << "  nom_temperature : 25;\n";
+  os << "  nom_process : 1;\n";
+  os << "  slew_lower_threshold_pct_rise : 20;\n";
+  os << "  slew_upper_threshold_pct_rise : 80;\n";
+  os << "  input_threshold_pct_rise : 50;\n";
+  os << "  output_threshold_pct_rise : 50;\n";
+  os << "  lu_table_template (poc_delay_template) {\n";
+  os << "    variable_1 : input_net_transition;\n";
+  os << "    variable_2 : total_output_net_capacitance;\n";
+  write_axis(os, "index_1", params.slew_axis, kPsToNs);
+  write_axis(os, "index_2", params.load_axis, kFfToPf);
+  os << "  }\n";
+
+  for (const CellSpec& spec : lib.specs()) {
+    const CellTiming& timing = lib.timing(spec.name);
+    os << "  cell (" << spec.name << ") {\n";
+    os << "    cell_leakage_power : "
+       << timing.leakage_ua * params.nmos.vdd << ";\n";
+    for (std::size_t i = 0; i < spec.inputs.size(); ++i) {
+      os << "    pin (" << spec.inputs[i] << ") {\n";
+      os << "      direction : input;\n";
+      os << "      capacitance : " << timing.input_caps[i] * kFfToPf << ";\n";
+      os << "    }\n";
+    }
+    os << "    pin (" << spec.output << ") {\n";
+    os << "      direction : output;\n";
+    os << "      function : \"" << function_string(spec.pulldown, spec.inputs)
+       << "\";\n";
+    os << "      max_capacitance : "
+       << params.load_axis.back() * kFfToPf << ";\n";
+    for (const TimingArc& arc : timing.arcs) {
+      os << "      timing () {\n";
+      os << "        related_pin : \"" << arc.input << "\";\n";
+      os << "        timing_sense : negative_unate;\n";
+      write_table(os, "cell_rise", arc.delay_rise);
+      write_table(os, "rise_transition", arc.slew_rise);
+      write_table(os, "cell_fall", arc.delay_fall);
+      write_table(os, "fall_transition", arc.slew_fall);
+      os << "      }\n";
+    }
+    os << "    }\n";
+    os << "  }\n";
+  }
+  os << "}\n";
+}
+
+std::string liberty_to_string(const StdCellLibrary& lib,
+                              const std::string& library_name) {
+  std::ostringstream os;
+  write_liberty(os, lib, library_name);
+  return os.str();
+}
+
+}  // namespace poc

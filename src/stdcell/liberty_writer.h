@@ -1,0 +1,23 @@
+// Liberty (.lib) export of the characterized library, so the cells this
+// repo characterizes can be consumed by external tools (OpenSTA, yosys).
+// Emits a minimal but syntactically standard NLDM library: lu_table
+// templates, pin capacitances, leakage, and negative-unate timing arcs
+// with delay/transition tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/stdcell/library.h"
+
+namespace poc {
+
+/// Writes the whole library as Liberty text.  Units: ns, pF, kohm (values
+/// are converted from the library's internal ps/fF).
+void write_liberty(std::ostream& os, const StdCellLibrary& lib,
+                   const std::string& library_name = "poc90");
+
+std::string liberty_to_string(const StdCellLibrary& lib,
+                              const std::string& library_name = "poc90");
+
+}  // namespace poc

@@ -1,0 +1,73 @@
+#include "src/stdcell/library.h"
+
+#include <filesystem>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+#include "src/stdcell/layout_gen.h"
+#include "src/stdcell/library_io.h"
+
+namespace poc {
+
+StdCellLibrary StdCellLibrary::characterize_all(const CharParams& params) {
+  StdCellLibrary lib;
+  lib.params_ = params;
+  lib.specs_ = standard_cell_specs();
+  for (const CellSpec& spec : lib.specs_) {
+    log_info("characterizing ", spec.name);
+    lib.timings_.push_back(characterize_cell(spec, params));
+  }
+  return lib;
+}
+
+StdCellLibrary StdCellLibrary::load_or_characterize(const std::string& path,
+                                                    const CharParams& params) {
+  if (std::filesystem::exists(path)) {
+    auto loaded = try_load_library(path, params);
+    if (loaded) {
+      log_info("loaded cell library cache from ", path);
+      return std::move(*loaded);
+    }
+    log_warn("cell library cache at ", path, " is stale; re-characterizing");
+  }
+  StdCellLibrary lib = characterize_all(params);
+  save_library(lib, path);
+  log_info("wrote cell library cache to ", path);
+  return lib;
+}
+
+const CellSpec& StdCellLibrary::spec(const std::string& name) const {
+  return find_spec(specs_, name);
+}
+
+const CellTiming& StdCellLibrary::timing(const std::string& name) const {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == name) return timings_[i];
+  }
+  check_fail("timing", name.c_str(), __FILE__, __LINE__);
+}
+
+bool StdCellLibrary::has_cell(const std::string& name) const {
+  for (const CellSpec& s : specs_) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+CellLayout StdCellLibrary::layout(const std::string& name,
+                                  const Tech& tech) const {
+  return generate_cell_layout(spec(name), tech);
+}
+
+StdCellLibrary library_from_parts(std::vector<CellSpec> specs,
+                                  std::vector<CellTiming> timings,
+                                  CharParams params) {
+  POC_EXPECTS(specs.size() == timings.size());
+  StdCellLibrary lib;
+  lib.specs_ = std::move(specs);
+  lib.timings_ = std::move(timings);
+  lib.params_ = std::move(params);
+  return lib;
+}
+
+}  // namespace poc

@@ -1,0 +1,52 @@
+// The standard-cell library: specs, characterized timing, and layout
+// masters.  Characterization runs thousands of transients, so a text cache
+// (library_io.h) makes it a one-time cost per machine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/layout/layout_db.h"
+#include "src/layout/tech.h"
+#include "src/stdcell/cell_spec.h"
+#include "src/stdcell/characterize.h"
+#include "src/stdcell/nldm.h"
+
+namespace poc {
+
+class StdCellLibrary {
+ public:
+  /// Characterizes every standard cell from scratch (seconds of CPU).
+  static StdCellLibrary characterize_all(const CharParams& params = {});
+
+  /// Loads the cache at `path` if present and matching the current cell
+  /// set, otherwise characterizes and writes the cache.
+  static StdCellLibrary load_or_characterize(const std::string& path,
+                                             const CharParams& params = {});
+
+  const std::vector<CellSpec>& specs() const { return specs_; }
+  const CellSpec& spec(const std::string& name) const;
+  const CellTiming& timing(const std::string& name) const;
+  bool has_cell(const std::string& name) const;
+
+  const CharParams& char_params() const { return params_; }
+
+  /// Layout master for a cell (generated on demand, deterministic).
+  CellLayout layout(const std::string& name, const Tech& tech) const;
+
+ private:
+  friend StdCellLibrary library_from_parts(std::vector<CellSpec>,
+                                           std::vector<CellTiming>,
+                                           CharParams);
+  std::vector<CellSpec> specs_;
+  std::vector<CellTiming> timings_;
+  CharParams params_;
+};
+
+/// Internal: assembles a library from already-built parts (used by the
+/// cache loader).
+StdCellLibrary library_from_parts(std::vector<CellSpec> specs,
+                                  std::vector<CellTiming> timings,
+                                  CharParams params);
+
+}  // namespace poc

@@ -1,0 +1,147 @@
+#include "src/stdcell/library_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace poc {
+namespace {
+
+constexpr const char* kMagic = "poclib v1";
+
+/// Characterization fingerprint: a cache built with different device or
+/// extraction parameters must be rejected.
+std::string params_fingerprint(const CharParams& p) {
+  std::ostringstream os;
+  os << std::setprecision(10) << p.nmos.vdd << " " << p.nmos.vth_long << " "
+     << p.nmos.k_ua_per_um << " " << p.nmos.alpha << " "
+     << p.nmos.i0_leak_ua_per_um << " " << p.nmos.dvt_rolloff << " "
+     << p.pmos.vth_long << " " << p.pmos.k_ua_per_um << " "
+     << p.pmos.i0_leak_ua_per_um << " " << p.cgate_ff_per_um << " "
+     << p.cdiff_ff_per_um << " " << p.settle_ps;
+  return os.str();
+}
+
+void write_table(std::ostream& os, const char* tag, const NldmTable& t) {
+  os << tag;
+  for (std::size_t s = 0; s < t.slew_axis().size(); ++s) {
+    for (std::size_t l = 0; l < t.load_axis().size(); ++l) {
+      os << " " << t.get(s, l);
+    }
+  }
+  os << "\n";
+}
+
+bool read_table(std::istream& is, const char* tag, NldmTable& t) {
+  std::string kw;
+  is >> kw;
+  if (kw != tag) return false;
+  for (std::size_t s = 0; s < t.slew_axis().size(); ++s) {
+    for (std::size_t l = 0; l < t.load_axis().size(); ++l) {
+      double v = 0.0;
+      is >> v;
+      t.set(s, l, v);
+    }
+  }
+  return !is.fail();
+}
+
+}  // namespace
+
+void save_library(const StdCellLibrary& lib, const std::string& path) {
+  std::ofstream os(path);
+  POC_EXPECTS(os.good());
+  os << std::setprecision(12);
+  os << kMagic << "\n";
+  const CharParams& p = lib.char_params();
+  os << "model " << params_fingerprint(p) << "\n";
+  os << "axes " << p.slew_axis.size();
+  for (Ps s : p.slew_axis) os << " " << s;
+  os << " " << p.load_axis.size();
+  for (Ff l : p.load_axis) os << " " << l;
+  os << "\n";
+  for (const CellSpec& spec : lib.specs()) {
+    const CellTiming& t = lib.timing(spec.name);
+    os << "cell " << spec.name << " " << t.arcs.size() << " "
+       << t.leakage_ua << " " << t.output_self_cap << "\n";
+    os << "incap";
+    for (Ff c : t.input_caps) os << " " << c;
+    os << "\n";
+    for (const TimingArc& arc : t.arcs) {
+      os << "arc " << arc.input << "\n";
+      write_table(os, "delay_fall", arc.delay_fall);
+      write_table(os, "slew_fall", arc.slew_fall);
+      write_table(os, "delay_rise", arc.delay_rise);
+      write_table(os, "slew_rise", arc.slew_rise);
+    }
+    os << "endcell\n";
+  }
+}
+
+std::optional<StdCellLibrary> try_load_library(const std::string& path,
+                                               const CharParams& params) {
+  std::ifstream is(path);
+  if (!is.good()) return std::nullopt;
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) return std::nullopt;
+  if (!std::getline(is, line) ||
+      line != "model " + params_fingerprint(params)) {
+    return std::nullopt;
+  }
+
+  std::string kw;
+  is >> kw;
+  if (kw != "axes") return std::nullopt;
+  std::size_t ns = 0, nl = 0;
+  is >> ns;
+  std::vector<Ps> slews(ns);
+  for (Ps& s : slews) is >> s;
+  is >> nl;
+  std::vector<Ff> loads(nl);
+  for (Ff& l : loads) is >> l;
+  if (is.fail() || slews != params.slew_axis || loads != params.load_axis) {
+    return std::nullopt;
+  }
+
+  std::vector<CellSpec> specs = standard_cell_specs();
+  std::vector<CellTiming> timings;
+  for (const CellSpec& spec : specs) {
+    std::size_t n_arcs = 0;
+    CellTiming t;
+    is >> kw;
+    if (kw != "cell") return std::nullopt;
+    is >> t.cell >> n_arcs >> t.leakage_ua >> t.output_self_cap;
+    if (is.fail() || t.cell != spec.name || n_arcs != spec.inputs.size()) {
+      return std::nullopt;
+    }
+    is >> kw;
+    if (kw != "incap") return std::nullopt;
+    t.input_caps.resize(n_arcs);
+    for (Ff& c : t.input_caps) is >> c;
+    for (std::size_t a = 0; a < n_arcs; ++a) {
+      TimingArc arc;
+      is >> kw >> arc.input;
+      if (kw != "arc" || arc.input != spec.inputs[a]) return std::nullopt;
+      arc.delay_fall = NldmTable(slews, loads);
+      arc.slew_fall = NldmTable(slews, loads);
+      arc.delay_rise = NldmTable(slews, loads);
+      arc.slew_rise = NldmTable(slews, loads);
+      if (!read_table(is, "delay_fall", arc.delay_fall) ||
+          !read_table(is, "slew_fall", arc.slew_fall) ||
+          !read_table(is, "delay_rise", arc.delay_rise) ||
+          !read_table(is, "slew_rise", arc.slew_rise)) {
+        return std::nullopt;
+      }
+      t.arcs.push_back(std::move(arc));
+    }
+    is >> kw;
+    if (kw != "endcell") return std::nullopt;
+    timings.push_back(std::move(t));
+  }
+  return library_from_parts(std::move(specs), std::move(timings), params);
+}
+
+}  // namespace poc

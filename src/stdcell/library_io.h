@@ -1,0 +1,20 @@
+// Text cache for characterized cell timing (a minimal Liberty stand-in).
+// The cache records the slew/load axes and every table; loading validates
+// that the cell set and characterization axes match the current build.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/stdcell/library.h"
+
+namespace poc {
+
+void save_library(const StdCellLibrary& lib, const std::string& path);
+
+/// Returns nullopt when the file is missing, malformed, or characterized
+/// with different cells/axes than `params` expects.
+std::optional<StdCellLibrary> try_load_library(const std::string& path,
+                                               const CharParams& params);
+
+}  // namespace poc

@@ -1,0 +1,67 @@
+#include "src/stdcell/nldm.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace poc {
+namespace {
+
+/// Finds the interpolation cell and fraction for `x` on `axis` (clamped).
+std::pair<std::size_t, double> locate(const std::vector<double>& axis,
+                                      double x) {
+  POC_EXPECTS(axis.size() >= 2);
+  if (x <= axis.front()) return {0, 0.0};
+  if (x >= axis.back()) return {axis.size() - 2, 1.0};
+  std::size_t i = 0;
+  while (i + 2 < axis.size() && x > axis[i + 1]) ++i;
+  const double f = (x - axis[i]) / (axis[i + 1] - axis[i]);
+  return {i, f};
+}
+
+}  // namespace
+
+NldmTable::NldmTable(std::vector<Ps> slew_axis, std::vector<Ff> load_axis)
+    : slews_(std::move(slew_axis)), loads_(std::move(load_axis)),
+      values_(slews_.size() * loads_.size(), 0.0) {
+  POC_EXPECTS(slews_.size() >= 2 && loads_.size() >= 2);
+  POC_EXPECTS(std::is_sorted(slews_.begin(), slews_.end()));
+  POC_EXPECTS(std::is_sorted(loads_.begin(), loads_.end()));
+}
+
+void NldmTable::set(std::size_t slew_idx, std::size_t load_idx, double value) {
+  POC_EXPECTS(slew_idx < slews_.size() && load_idx < loads_.size());
+  values_[slew_idx * loads_.size() + load_idx] = value;
+}
+
+double NldmTable::get(std::size_t slew_idx, std::size_t load_idx) const {
+  POC_EXPECTS(slew_idx < slews_.size() && load_idx < loads_.size());
+  return values_[slew_idx * loads_.size() + load_idx];
+}
+
+double NldmTable::lookup(Ps slew, Ff load) const {
+  POC_EXPECTS(!values_.empty());
+  const auto [si, sf] = locate(slews_, slew);
+  const auto [li, lf] = locate(loads_, load);
+  const double v00 = get(si, li);
+  const double v01 = get(si, li + 1);
+  const double v10 = get(si + 1, li);
+  const double v11 = get(si + 1, li + 1);
+  return v00 * (1 - sf) * (1 - lf) + v01 * (1 - sf) * lf +
+         v10 * sf * (1 - lf) + v11 * sf * lf;
+}
+
+NldmTable NldmTable::scaled(double factor) const {
+  NldmTable out = *this;
+  for (double& v : out.values_) v *= factor;
+  return out;
+}
+
+const TimingArc& CellTiming::arc_for(const std::string& input) const {
+  for (const TimingArc& a : arcs) {
+    if (a.input == input) return a;
+  }
+  check_fail("arc_for", input.c_str(), __FILE__, __LINE__);
+}
+
+}  // namespace poc

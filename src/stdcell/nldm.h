@@ -1,0 +1,62 @@
+// Non-linear delay model tables: delay and output slew as functions of
+// (input slew, output load), the same two-axis lookup the Liberty NLDM
+// format uses.  Lookup is bilinear inside the grid and clamped-linear
+// outside it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace poc {
+
+class NldmTable {
+ public:
+  NldmTable() = default;
+  NldmTable(std::vector<Ps> slew_axis, std::vector<Ff> load_axis);
+
+  void set(std::size_t slew_idx, std::size_t load_idx, double value);
+  double get(std::size_t slew_idx, std::size_t load_idx) const;
+
+  /// Bilinear interpolation; axes are clamped at the grid edge (a standard
+  /// sign-off-tool behaviour that avoids wild extrapolation).
+  double lookup(Ps slew, Ff load) const;
+
+  const std::vector<Ps>& slew_axis() const { return slews_; }
+  const std::vector<Ff>& load_axis() const { return loads_; }
+  bool empty() const { return values_.empty(); }
+
+  /// Multiplies every entry (used by CD back-annotation scaling).
+  NldmTable scaled(double factor) const;
+
+ private:
+  std::vector<Ps> slews_;
+  std::vector<Ff> loads_;
+  std::vector<double> values_;  // row-major [slew][load]
+};
+
+/// One characterized input->output arc of a cell.  All library cells are
+/// single-stage negative-unate static CMOS: input rise causes output fall
+/// and vice versa.
+struct TimingArc {
+  std::string input;
+  /// Output-fall tables (triggered by input rise): pull-down network.
+  NldmTable delay_fall;
+  NldmTable slew_fall;
+  /// Output-rise tables (triggered by input fall): pull-up network.
+  NldmTable delay_rise;
+  NldmTable slew_rise;
+};
+
+struct CellTiming {
+  std::string cell;
+  std::vector<TimingArc> arcs;
+  std::vector<Ff> input_caps;   ///< per input pin, same order as arcs
+  double leakage_ua = 0.0;      ///< state-averaged cell leakage
+  Ff output_self_cap = 0.0;     ///< drain junction cap seen at the output
+
+  const TimingArc& arc_for(const std::string& input) const;
+};
+
+}  // namespace poc

@@ -1,0 +1,64 @@
+#include "src/var/variation.h"
+
+#include "src/common/check.h"
+
+namespace poc {
+
+std::vector<ProcessCorner> standard_corners() {
+  // Full single- and two-axis corner grid at 3 sigma of the VariationModel
+  // defaults.  The single-axis dose corners matter: through-focus CD is not
+  // monotonic, so a +/-focus-only stack can miss the worst timing condition
+  // entirely (bench T3 demonstrates this).
+  return {
+      {"nominal", {0.0, 1.00}},
+      {"foc+", {120.0, 1.00}},
+      {"foc-", {-120.0, 1.00}},
+      {"dose+", {0.0, 1.06}},
+      {"dose-", {0.0, 0.94}},
+      {"foc+dose+", {120.0, 1.06}},
+      {"foc+dose-", {120.0, 0.94}},
+      {"foc-dose+", {-120.0, 1.06}},
+      {"foc-dose-", {-120.0, 0.94}},
+  };
+}
+
+Exposure VariationModel::sample_exposure(Rng& rng) const {
+  return {rng.normal(0.0, focus_sigma_nm), rng.normal(1.0, dose_sigma)};
+}
+
+double VariationModel::sample_aclv_nm(Rng& rng) const {
+  return rng.normal(0.0, aclv_sigma_nm);
+}
+
+CdResponse fit_cd_response(
+    const std::vector<std::pair<Exposure, double>>& samples) {
+  POC_EXPECTS(samples.size() >= 5);
+  const std::size_t rows = samples.size();
+  std::vector<double> x(rows * 5);
+  std::vector<double> y(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const Exposure& e = samples[r].first;
+    const double dd = e.dose - 1.0;
+    x[r * 5 + 0] = 1.0;
+    x[r * 5 + 1] = e.focus_nm * e.focus_nm;
+    x[r * 5 + 2] = e.focus_nm;
+    x[r * 5 + 3] = dd;
+    x[r * 5 + 4] = dd * dd;
+    y[r] = samples[r].second;
+  }
+  const std::vector<double> beta = least_squares(x, y, rows, 5);
+  return {beta[0], beta[1], beta[2], beta[3], beta[4]};
+}
+
+std::vector<Exposure> response_fit_grid(double focus_span_nm,
+                                        double dose_span) {
+  std::vector<Exposure> grid;
+  for (double f : {-focus_span_nm, 0.0, focus_span_nm}) {
+    for (double d : {1.0 - dose_span, 1.0, 1.0 + dose_span}) {
+      grid.push_back({f, d});
+    }
+  }
+  return grid;
+}
+
+}  // namespace poc

@@ -1,0 +1,66 @@
+// Process-variation modelling: the litho corner set, the realistic joint
+// (focus, dose) distribution the paper argues should replace corner-only
+// guardbands, per-gate random CD noise (ACLV/LER), and per-gate CD response
+// surfaces fitted over the process window so Monte-Carlo sampling does not
+// need a litho simulation per sample.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/linalg.h"
+#include "src/common/rng.h"
+#include "src/litho/optics.h"
+
+namespace poc {
+
+struct ProcessCorner {
+  std::string name;
+  Exposure exposure;
+};
+
+/// Nominal plus the four litho extremes at ~3 sigma of the distribution
+/// below: defocus +/-120 nm, dose +/-6 %.
+std::vector<ProcessCorner> standard_corners();
+
+/// Gaussian focus / dose variation plus white per-gate CD noise.
+struct VariationModel {
+  double focus_sigma_nm = 40.0;
+  double dose_sigma = 0.02;
+  double aclv_sigma_nm = 1.2;  ///< across-chip linewidth variation per gate
+
+  Exposure sample_exposure(Rng& rng) const;
+  double sample_aclv_nm(Rng& rng) const;
+};
+
+/// Quadratic-in-focus, quadratic-in-dose CD model:
+///   cd(f, d) = c0 + cf2 f^2 + cf f + cd1 (d-1) + cd2 (d-1)^2.
+/// A Bossung curve through nominal dose is a parabola in focus; the dose
+/// response is markedly asymmetric (over-dose thins a line much faster
+/// than under-dose thickens it), so a linear dose term alone badly
+/// overstates the slow tail of Monte-Carlo timing.
+struct CdResponse {
+  double c0 = 0.0;
+  double cf2 = 0.0;
+  double cf = 0.0;
+  double cd1 = 0.0;
+  double cd2 = 0.0;
+
+  double eval(const Exposure& e) const {
+    const double dd = e.dose - 1.0;
+    return c0 + cf2 * e.focus_nm * e.focus_nm + cf * e.focus_nm + cd1 * dd +
+           cd2 * dd * dd;
+  }
+};
+
+/// Least-squares fit over sampled (exposure, cd) observations; needs >= 5
+/// samples spanning focus and dose (the 3x3 response_fit_grid suffices).
+CdResponse fit_cd_response(
+    const std::vector<std::pair<Exposure, double>>& samples);
+
+/// The 3x3 (focus x dose) exposure grid used to sample a gate's process
+/// window before fitting.
+std::vector<Exposure> response_fit_grid(double focus_span_nm = 120.0,
+                                        double dose_span = 0.06);
+
+}  // namespace poc

@@ -1,0 +1,179 @@
+// Tests for contour extraction and CD measurement on synthetic fields with
+// known geometry, plus end-to-end extraction on simulated latent images.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/cdx/cd_extract.h"
+#include "src/cdx/contour.h"
+#include "src/litho/simulator.h"
+
+namespace poc {
+namespace {
+
+/// Analytic field: a smooth "valley" of half-width w centred at x = 0:
+/// f(x, y) = (x / w)^2.  The 1.0-contour sits exactly at |x| = w.
+Image2D valley_field(double w, std::size_t n = 128, double pixel = 4.0) {
+  Image2D img(n, n, pixel, -pixel * static_cast<double>(n) / 2.0,
+              -pixel * static_cast<double>(n) / 2.0);
+  for (std::size_t iy = 0; iy < n; ++iy) {
+    for (std::size_t ix = 0; ix < n; ++ix) {
+      const double x = img.x_of(ix);
+      img.at(ix, iy) = (x / w) * (x / w);
+    }
+  }
+  return img;
+}
+
+/// Radial cone: f = r / r0; the 1.0-contour is a circle of radius r0.
+Image2D cone_field(double r0, std::size_t n = 128, double pixel = 4.0) {
+  Image2D img(n, n, pixel, -pixel * static_cast<double>(n) / 2.0,
+              -pixel * static_cast<double>(n) / 2.0);
+  for (std::size_t iy = 0; iy < n; ++iy) {
+    for (std::size_t ix = 0; ix < n; ++ix) {
+      img.at(ix, iy) = std::hypot(img.x_of(ix), img.y_of(iy)) / r0;
+    }
+  }
+  return img;
+}
+
+TEST(FirstCrossing, FindsAndRefines) {
+  const Image2D img = valley_field(60.0);
+  const auto hit = first_crossing(img, 1.0, {0.0, 0.0}, {200.0, 0.0}, 2.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(*hit, 60.0, 0.3);
+}
+
+TEST(FirstCrossing, NoCrossingReturnsNull) {
+  const Image2D img = valley_field(60.0);
+  EXPECT_FALSE(first_crossing(img, 1.0, {0.0, 0.0}, {30.0, 0.0}, 2.0));
+  EXPECT_FALSE(first_crossing(img, 1.0, {0.0, 0.0}, {0.0, 0.0}, 2.0));
+}
+
+TEST(FirstCrossing, WorksInBothDirections) {
+  const Image2D img = valley_field(50.0);
+  const auto left = first_crossing(img, 1.0, {0.0, 0.0}, {-200.0, 0.0}, 2.0);
+  ASSERT_TRUE(left.has_value());
+  EXPECT_NEAR(*left, 50.0, 0.3);
+}
+
+TEST(PrintedWidth, MeasuresValleyWidth) {
+  const Image2D img = valley_field(45.0);
+  const auto w = printed_width(img, 1.0, {0.0, 0.0}, true, 300.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_NEAR(*w, 90.0, 0.5);
+}
+
+TEST(PrintedWidth, CentreAboveThresholdMeansNotPrinted) {
+  const Image2D img = valley_field(45.0);
+  EXPECT_FALSE(printed_width(img, 1.0, {100.0, 0.0}, true, 300.0));
+}
+
+TEST(PrintedWidth, VerticalDirection) {
+  const Image2D img = cone_field(80.0);
+  const auto w = printed_width(img, 1.0, {0.0, 0.0}, false, 300.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_NEAR(*w, 160.0, 1.0);
+}
+
+TEST(TraceContours, CircleIsClosedWithRightLength) {
+  const Image2D img = cone_field(100.0);
+  const auto paths = trace_contours(img, 1.0);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths[0].closed);
+  const double circumference = 2.0 * 3.14159265 * 100.0;
+  EXPECT_NEAR(paths[0].length(), circumference, circumference * 0.02);
+}
+
+TEST(TraceContours, TwoSeparateFeatures) {
+  Image2D img(128, 64, 4.0, -256.0, -128.0);
+  for (std::size_t iy = 0; iy < 64; ++iy) {
+    for (std::size_t ix = 0; ix < 128; ++ix) {
+      const double x = img.x_of(ix);
+      const double y = img.y_of(iy);
+      const double d1 = std::hypot(x + 120.0, y) / 40.0;
+      const double d2 = std::hypot(x - 120.0, y) / 40.0;
+      img.at(ix, iy) = std::min(d1, d2);
+    }
+  }
+  const auto paths = trace_contours(img, 1.0);
+  EXPECT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) EXPECT_TRUE(p.closed);
+}
+
+TEST(TraceContours, EmptyWhenNoCrossing) {
+  Image2D img(32, 32, 4.0, 0.0, 0.0);
+  for (double& v : img.data()) v = 2.0;
+  EXPECT_TRUE(trace_contours(img, 1.0).empty());
+}
+
+TEST(GateCdProfile, Statistics) {
+  GateCdProfile p;
+  p.drawn_cd_nm = 90.0;
+  p.slice_cd_nm = {88.0, 90.0, 92.0};
+  p.slice_width_nm = 200.0;
+  EXPECT_TRUE(p.printed());
+  EXPECT_DOUBLE_EQ(p.mean_cd(), 90.0);
+  EXPECT_DOUBLE_EQ(p.min_cd(), 88.0);
+  EXPECT_DOUBLE_EQ(p.max_cd(), 92.0);
+  EXPECT_DOUBLE_EQ(p.residual_nm(), 0.0);
+  p.slice_cd_nm.push_back(0.0);  // a pinched slice
+  EXPECT_FALSE(p.printed());
+  EXPECT_DOUBLE_EQ(p.mean_cd(), 90.0);  // unprinted slices excluded
+}
+
+TEST(ExtractGateCd, OnAnalyticValley) {
+  // Valley of half-width 45 -> printed CD 90 at every slice.
+  const Image2D img = valley_field(45.0, 256, 4.0);
+  const Rect gate{-45, -200, 45, 200};
+  const GateCdProfile prof = extract_gate_cd(img, 1.0, gate, true);
+  EXPECT_TRUE(prof.printed());
+  EXPECT_EQ(prof.slice_cd_nm.size(), 7u);
+  EXPECT_NEAR(prof.mean_cd(), 90.0, 0.5);
+  EXPECT_DOUBLE_EQ(prof.drawn_cd_nm, 90.0);
+}
+
+TEST(ExtractGateCd, CustomSliceCount) {
+  const Image2D img = valley_field(45.0, 256, 4.0);
+  CdExtractOptions opts;
+  opts.num_slices = 11;
+  const GateCdProfile prof =
+      extract_gate_cd(img, 1.0, {-45, -200, 45, 200}, true, opts);
+  EXPECT_EQ(prof.slice_cd_nm.size(), 11u);
+}
+
+TEST(ExtractGateCd, OnSimulatedLatentImage) {
+  LithoSimulator sim;
+  std::vector<Rect> lines;
+  for (int k = -2; k <= 2; ++k) {
+    lines.push_back({k * 250, -500, k * 250 + 90, 500});
+  }
+  const Rect window{-700, -700, 790, 700};
+  const Image2D latent = sim.latent(lines, window, {}, LithoQuality::kStandard);
+  const Rect gate{0, -300, 90, 300};  // centre line
+  const GateCdProfile prof =
+      extract_gate_cd(latent, sim.print_threshold(), gate, true);
+  EXPECT_TRUE(prof.printed());
+  // Uncorrected 90 nm line: prints, CD within a plausible band.
+  EXPECT_GT(prof.mean_cd(), 40.0);
+  EXPECT_LT(prof.mean_cd(), 120.0);
+  // Mid-line slices vary little.
+  EXPECT_LT(prof.max_cd() - prof.min_cd(), 6.0);
+}
+
+TEST(ExtractWireCd, StraightWire) {
+  const Image2D img = valley_field(60.0, 256, 4.0);
+  const Rect wire{-60, -300, 60, 300};
+  const auto cd = extract_wire_cd(img, 1.0, wire, true);
+  ASSERT_TRUE(cd.has_value());
+  EXPECT_NEAR(*cd, 120.0, 1.0);
+}
+
+TEST(ExtractWireCd, MissingWireReturnsNull) {
+  Image2D img(64, 64, 4.0, -128.0, -128.0);
+  for (double& v : img.data()) v = 2.0;  // nothing prints
+  EXPECT_FALSE(extract_wire_cd(img, 1.0, {-20, -100, 20, 100}, true));
+}
+
+}  // namespace
+}  // namespace poc

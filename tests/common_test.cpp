@@ -1,0 +1,280 @@
+// Unit tests for src/common: FFT, statistics, linear algebra, tables,
+// RNG determinism and the contract-check macros.
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/common/fft.h"
+#include "src/common/linalg.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+
+namespace poc {
+namespace {
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(to_db(89.6), 90);
+  EXPECT_EQ(to_db(-89.6), -90);
+  EXPECT_DOUBLE_EQ(to_nm(250), 250.0);
+  EXPECT_DOUBLE_EQ(nm_to_um(1500.0), 1.5);
+  EXPECT_DOUBLE_EQ(um_to_nm(0.09), 90.0);
+  // 1 kohm * 1 fF = 1 ps.
+  EXPECT_DOUBLE_EQ(rc_to_ps(1000.0, 1.0), 1.0);
+}
+
+TEST(Check, ExpectsThrows) {
+  EXPECT_THROW(POC_EXPECTS(false), CheckError);
+  EXPECT_NO_THROW(POC_EXPECTS(true));
+  EXPECT_THROW(POC_ENSURES(1 == 2), CheckError);
+}
+
+TEST(Fft, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(256));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(100));
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(129), 256u);
+  EXPECT_EQ(next_pow2(256), 256u);
+}
+
+TEST(Fft, RoundTrip1D) {
+  Rng rng(7);
+  std::vector<Cplx> data(64);
+  for (auto& c : data) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto orig = data;
+  fft_1d(data, false);
+  fft_1d(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-12);
+    EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<Cplx> data(32, Cplx(0, 0));
+  data[0] = 1.0;
+  fft_1d(data, false);
+  for (const auto& c : data) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<Cplx> data(n);
+  const std::size_t k0 = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * std::numbers::pi * static_cast<double>(k0 * i) /
+                         static_cast<double>(n);
+    data[i] = {std::cos(phase), std::sin(phase)};
+  }
+  fft_1d(data, false);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected = k == k0 ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(data[k]), expected, 1e-9) << "bin " << k;
+  }
+}
+
+TEST(Fft, ParsevalHolds2D) {
+  Rng rng(11);
+  const std::size_t nx = 16, ny = 8;
+  std::vector<Cplx> data(nx * ny);
+  double time_energy = 0.0;
+  for (auto& c : data) {
+    c = {rng.uniform(-1, 1), 0.0};
+    time_energy += std::norm(c);
+  }
+  fft_2d(data, nx, ny, false);
+  double freq_energy = 0.0;
+  for (const auto& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(nx * ny), 1e-9);
+}
+
+TEST(Fft, RoundTrip2D) {
+  Rng rng(3);
+  const std::size_t nx = 32, ny = 16;
+  std::vector<Cplx> data(nx * ny);
+  for (auto& c : data) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto orig = data;
+  fft_2d(data, nx, ny, false);
+  fft_2d(data, nx, ny, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(data[i] - orig[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, NonPow2Rejected) {
+  std::vector<Cplx> data(48);
+  EXPECT_THROW(fft_1d(data, false), CheckError);
+}
+
+TEST(Fft, FreqIndexSignedMapping) {
+  EXPECT_EQ(fft_freq_index(0, 8), 0);
+  EXPECT_EQ(fft_freq_index(3, 8), 3);
+  EXPECT_EQ(fft_freq_index(4, 8), -4);
+  EXPECT_EQ(fft_freq_index(7, 8), -1);
+}
+
+TEST(Stats, RunningBasics) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, MergeMatchesCombined) {
+  Rng rng(5);
+  RunningStats a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.stddev(), all.stddev(), 1e-12);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+}
+
+TEST(Stats, RanksWithTies) {
+  const std::vector<double> v{10.0, 20.0, 20.0, 30.0};
+  const auto r = ranks_of(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, SpearmanPerfectAndInverted) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{10, 20, 30, 40, 50};
+  const std::vector<double> c{50, 40, 30, 20, 10};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(spearman(a, c), -1.0, 1e-12);
+}
+
+TEST(Stats, KendallKnownValue) {
+  // One adjacent swap in 4 elements: tau = (5 - 1) / 6.
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{1, 3, 2, 4};
+  EXPECT_NEAR(kendall_tau(a, b), 4.0 / 6.0, 1e-12);
+}
+
+TEST(Stats, PearsonOfLinearIsOne) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(i);
+    b.push_back(3.0 * i - 7.0);
+  }
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(Stats, HistogramBinsAndClamping) {
+  const std::vector<double> v{-10.0, 0.1, 0.9, 0.9, 2.5, 99.0};
+  const Histogram h = Histogram::build(v, 0.0, 3.0, 3);
+  ASSERT_EQ(h.bins.size(), 3u);
+  EXPECT_EQ(h.bins[0], 4u);  // clamped -10, plus 0.1, 0.9, 0.9
+  EXPECT_EQ(h.bins[1], 0u);
+  EXPECT_EQ(h.bins[2], 2u);  // 2.5 and clamped 99
+  EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Linalg, SolveKnownSystem) {
+  // 2x + y = 5; x - y = 1 -> x = 2, y = 1.
+  std::vector<double> a{2, 1, 1, -1};
+  std::vector<double> b{5, 1};
+  ASSERT_TRUE(solve_dense(a, b, 2));
+  EXPECT_NEAR(b[0], 2.0, 1e-12);
+  EXPECT_NEAR(b[1], 1.0, 1e-12);
+}
+
+TEST(Linalg, SingularDetected) {
+  std::vector<double> a{1, 2, 2, 4};
+  std::vector<double> b{3, 6};
+  EXPECT_FALSE(solve_dense(a, b, 2));
+}
+
+TEST(Linalg, SolveRandomAgainstResidual) {
+  Rng rng(13);
+  const std::size_t n = 6;
+  std::vector<double> a(n * n), b(n);
+  for (auto& v : a) v = rng.uniform(-2, 2);
+  for (auto& v : b) v = rng.uniform(-2, 2);
+  const auto a0 = a;
+  const auto b0 = b;
+  ASSERT_TRUE(solve_dense(a, b, n));
+  for (std::size_t r = 0; r < n; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < n; ++c) s += a0[r * n + c] * b[c];
+    EXPECT_NEAR(s, b0[r], 1e-9);
+  }
+}
+
+TEST(Linalg, LeastSquaresRecoversLine) {
+  // y = 2x + 1 with exact data.
+  std::vector<double> x, y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(1.0);
+    x.push_back(i);
+    y.push_back(2.0 * i + 1.0);
+  }
+  const auto beta = least_squares(x, y, 10, 2);
+  EXPECT_NEAR(beta[0], 1.0, 1e-9);
+  EXPECT_NEAR(beta[1], 2.0, 1e-9);
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(123), b(123), c(124);
+  EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  EXPECT_NE(a.uniform(), c.uniform());
+  Rng d(55);
+  Rng child = d.fork();
+  EXPECT_GE(child.uniform(0, 1), 0.0);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"x", Table::num(1.5, 1)});
+  t.add_row({"longer_name", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("longer_name"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only_one"}), CheckError);
+}
+
+}  // namespace
+}  // namespace poc

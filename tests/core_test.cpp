@@ -1,0 +1,345 @@
+// Integration tests for the post-OPC timing flow (the paper's contribution)
+// on small designs: OPC windows, extraction sanity, back-annotation,
+// drawn-vs-annotated comparison, selective OPC, response-surface Monte
+// Carlo and the multi-layer metal extension.
+#include <algorithm>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "src/core/flow.h"
+#include "src/core/gate_bias.h"
+#include "src/core/metal_flow.h"
+#include "src/netlist/generators.h"
+
+namespace poc {
+namespace {
+
+const StdCellLibrary& lib() {
+  static const StdCellLibrary l = StdCellLibrary::load_or_characterize(
+      (std::filesystem::temp_directory_path() / "poc_cells_test.lib")
+          .string());
+  return l;
+}
+
+/// Shared, lazily-built flow over c17 with model-based OPC already run.
+class FlowFixture : public ::testing::Test {
+ protected:
+  static PostOpcFlow& flow() {
+    static PlacedDesign design = place_and_route(make_c17(), lib());
+    static PostOpcFlow* instance = [] {
+      FlowOptions opts;
+      opts.sta.clock_period = 90.0;  // ~20 ps margin on c17
+      auto* f = new PostOpcFlow(design, lib(), LithoSimulator{}, opts);
+      f->run_opc(OpcMode::kModelBased);
+      return f;
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(FlowFixture, OpcProducesMasksForEveryInstance) {
+  const OpcStats& stats = flow().opc_stats();
+  EXPECT_EQ(stats.windows, 6u);
+  EXPECT_EQ(stats.model_based_windows, 6u);
+  EXPECT_GT(stats.fragments, 100u);
+  EXPECT_LT(stats.max_abs_epe_nm, 20.0);
+  for (std::size_t i = 0; i < flow().design().layout.num_instances(); ++i) {
+    EXPECT_FALSE(flow().mask_for_instance(i).empty());
+  }
+}
+
+TEST_F(FlowFixture, ExtractionCoversAllDevicesWithSaneCds) {
+  const auto ext = flow().extract({});
+  ASSERT_EQ(ext.size(), 6u);
+  for (const GateExtraction& ge : ext) {
+    EXPECT_EQ(ge.devices.size(), 4u);  // NAND2: 2 fingers x N/P
+    for (const DeviceCd& dev : ge.devices) {
+      EXPECT_TRUE(dev.profile.printed()) << dev.device;
+      // Post-OPC gate CD lands near drawn.
+      EXPECT_NEAR(dev.profile.mean_cd(), 90.0, 6.0) << dev.device;
+      EXPECT_TRUE(dev.eq.functional);
+      EXPECT_NEAR(dev.eq.l_eff_drive_nm, dev.profile.mean_cd(), 2.0);
+      // Leakage-equivalent length never exceeds drive-equivalent.
+      EXPECT_LE(dev.eq.l_eff_leak_nm, dev.eq.l_eff_drive_nm + 0.05);
+    }
+  }
+}
+
+TEST_F(FlowFixture, SubsetExtractionMatchesFull) {
+  const std::vector<GateIdx> subset{1, 3};
+  const auto part = flow().extract({}, subset);
+  ASSERT_EQ(part.size(), 2u);
+  const auto full = flow().extract({});
+  for (std::size_t k = 0; k < subset.size(); ++k) {
+    EXPECT_EQ(part[k].gate, subset[k]);
+    for (std::size_t d = 0; d < part[k].devices.size(); ++d) {
+      EXPECT_DOUBLE_EQ(part[k].devices[d].profile.mean_cd(),
+                       full[subset[k]].devices[d].profile.mean_cd());
+    }
+  }
+}
+
+TEST_F(FlowFixture, AnnotationsNearUnityAtNominal) {
+  const auto ext = flow().extract({});
+  const auto ann = flow().annotate(ext);
+  ASSERT_EQ(ann.size(), 6u);
+  for (const DelayAnnotation& a : ann) {
+    EXPECT_NEAR(a.fall_scale, 1.0, 0.12);
+    EXPECT_NEAR(a.rise_scale, 1.0, 0.12);
+    EXPECT_GT(a.leak_scale, 0.2);
+    EXPECT_LT(a.leak_scale, 5.0);
+  }
+}
+
+TEST_F(FlowFixture, DefocusShiftsAnnotationsCoherently) {
+  const auto nominal = flow().annotate(flow().extract({}));
+  const auto defocus = flow().annotate(flow().extract({150.0, 1.0}));
+  // Through defocus, CDs move together; annotations shift measurably.
+  double max_shift = 0.0;
+  for (std::size_t g = 0; g < nominal.size(); ++g) {
+    max_shift = std::max(
+        max_shift, std::abs(defocus[g].fall_scale - nominal[g].fall_scale));
+  }
+  EXPECT_GT(max_shift, 0.01);
+}
+
+TEST_F(FlowFixture, CompareTimingProducesConsistentReport) {
+  const TimingComparison cmp = flow().compare_timing();
+  EXPECT_GT(cmp.drawn.worst_arrival, 0.0);
+  EXPECT_GT(cmp.annotated.worst_arrival, 0.0);
+  EXPECT_NE(cmp.annotated.worst_slack, cmp.drawn.worst_slack);
+  EXPECT_GT(cmp.ranks.matched, 5u);
+  // Same path set in both runs for this tiny design.
+  EXPECT_EQ(cmp.drawn.paths.size(), cmp.annotated.paths.size());
+  // The percentage bookkeeping is self-consistent.
+  const double expect_pct =
+      (cmp.annotated.worst_slack - cmp.drawn.worst_slack) /
+      std::abs(cmp.drawn.worst_slack) * 100.0;
+  EXPECT_NEAR(cmp.worst_slack_change_pct, expect_pct, 1e-9);
+}
+
+TEST_F(FlowFixture, AclvNoiseSpreadsAnnotations) {
+  const auto ext = flow().extract({});
+  Rng rng(77);
+  const auto noisy = flow().annotate_with_aclv(ext, 2.0, rng);
+  const auto clean = flow().annotate(ext);
+  double spread = 0.0;
+  for (std::size_t g = 0; g < clean.size(); ++g) {
+    spread += std::abs(noisy[g].fall_scale - clean[g].fall_scale);
+  }
+  EXPECT_GT(spread, 0.01);
+  // Deterministic under the same seed.
+  Rng rng2(77);
+  const auto noisy2 = flow().annotate_with_aclv(ext, 2.0, rng2);
+  for (std::size_t g = 0; g < noisy.size(); ++g) {
+    EXPECT_DOUBLE_EQ(noisy[g].fall_scale, noisy2[g].fall_scale);
+  }
+}
+
+TEST_F(FlowFixture, ResponseSurfacesTrackDirectExtraction) {
+  const std::vector<GateIdx> subset{0, 2};
+  const auto responses = flow().fit_responses(subset);
+  ASSERT_EQ(responses.size(), 2u * 4u);
+  // At nominal, the fitted surface reproduces the measured mean CD closely.
+  const auto direct = flow().extract({}, subset);
+  std::size_t r = 0;
+  for (std::size_t k = 0; k < subset.size(); ++k) {
+    for (const DeviceCd& dev : direct[k].devices) {
+      EXPECT_NEAR(responses[r].mean_cd.eval({0.0, 1.0}),
+                  dev.profile.mean_cd(), 0.8)
+          << dev.device;
+      ++r;
+    }
+  }
+  // Monte-Carlo reconstruction at nominal matches annotate() on direct
+  // extraction to first order.
+  Rng rng(1);
+  const auto mc = flow().mc_extraction(responses, {0.0, 1.0}, 0.0, rng);
+  const auto ann_mc = flow().annotate(mc);
+  const auto ann_direct = flow().annotate(direct);
+  for (GateIdx g : subset) {
+    EXPECT_NEAR(ann_mc[g].fall_scale, ann_direct[g].fall_scale, 0.03);
+  }
+  // And defocus moves the reconstructed CDs the right way (narrower or
+  // wider, but consistently with the fitted curvature sign).
+  const auto mc_def = flow().mc_extraction(responses, {140.0, 1.0}, 0.0, rng);
+  EXPECT_NE(mc_def[0].devices[0].profile.mean_cd(),
+            mc[0].devices[0].profile.mean_cd());
+}
+
+TEST_F(FlowFixture, CriticalGateTaggingNonTrivial) {
+  const auto critical = flow().tag_critical_gates(10.0);
+  EXPECT_FALSE(critical.empty());
+  EXPECT_LT(critical.size(), 6u);
+}
+
+TEST(SelectiveOpc, CriticalWindowsGetModelBasedTreatment) {
+  PlacedDesign design = place_and_route(make_c17(), lib());
+  FlowOptions opts;
+  opts.sta.clock_period = 90.0;
+  PostOpcFlow flow(design, lib(), LithoSimulator{}, opts);
+  const auto critical = flow.tag_critical_gates(8.0);
+  ASSERT_FALSE(critical.empty());
+  flow.run_opc_selective(critical);
+  const OpcStats& stats = flow.opc_stats();
+  EXPECT_EQ(stats.windows, 6u);
+  EXPECT_EQ(stats.model_based_windows, critical.size());
+  // Extraction still works across both OPC styles.
+  const auto ext = flow.extract({});
+  for (const GateExtraction& ge : ext) {
+    for (const DeviceCd& dev : ge.devices) {
+      EXPECT_TRUE(dev.profile.printed());
+    }
+  }
+}
+
+TEST(OpcModes, RuleBasedBeatsNoOpcOnResidual) {
+  PlacedDesign design = place_and_route(make_c17(), lib());
+  FlowOptions opts;
+  PostOpcFlow flow(design, lib(), LithoSimulator{}, opts);
+
+  flow.run_opc(OpcMode::kNone);
+  const auto raw = flow.extract({});
+  flow.run_opc(OpcMode::kRuleBased);
+  const auto ruled = flow.extract({});
+
+  double raw_err = 0.0, ruled_err = 0.0;
+  std::size_t n = 0;
+  for (std::size_t g = 0; g < raw.size(); ++g) {
+    for (std::size_t d = 0; d < raw[g].devices.size(); ++d) {
+      raw_err += std::abs(raw[g].devices[d].profile.residual_nm());
+      ruled_err += std::abs(ruled[g].devices[d].profile.residual_nm());
+      ++n;
+    }
+  }
+  raw_err /= static_cast<double>(n);
+  ruled_err /= static_cast<double>(n);
+  EXPECT_LT(ruled_err, raw_err);
+}
+
+TEST(MetalFlow, ExtractsPlausibleWidthRatios) {
+  PlacedDesign design = place_and_route(make_benchmark("adder4"), lib());
+  const LithoSimulator sim;
+  const MetalCdReport report =
+      extract_metal_cds(design, sim, {0.0, 1.0}, /*max_samples=*/4);
+  EXPECT_GT(report.m1_samples + report.m2_samples, 0u);
+  if (report.m1_samples > 0) {
+    EXPECT_GT(report.scale.m1_width_ratio, 0.5);
+    EXPECT_LT(report.scale.m1_width_ratio, 1.5);
+  }
+  if (report.m2_samples > 0) {
+    EXPECT_GT(report.scale.m2_width_ratio, 0.5);
+    EXPECT_LT(report.scale.m2_width_ratio, 1.5);
+  }
+}
+
+TEST(SiliconMismatch, DisablingCollapsesResidualsAblation) {
+  PlacedDesign design = place_and_route(make_c17(), lib());
+  FlowOptions matched;
+  matched.silicon.enabled = false;
+  PostOpcFlow ideal(design, lib(), LithoSimulator{}, matched);
+  ideal.run_opc(OpcMode::kModelBased);
+  PostOpcFlow real(design, lib(), LithoSimulator{}, FlowOptions{});
+  real.run_opc(OpcMode::kModelBased);
+
+  const auto resid_of = [](const std::vector<GateExtraction>& ext) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& ge : ext) {
+      for (const auto& dev : ge.devices) {
+        sum += std::abs(dev.profile.residual_nm());
+        ++n;
+      }
+    }
+    return sum / static_cast<double>(n);
+  };
+  const double ideal_resid = resid_of(ideal.extract({}));
+  const double real_resid = resid_of(real.extract({}));
+  // With a perfectly calibrated model, residuals sit at the OPC
+  // convergence floor; the mismatch drives them to multiple nm.
+  EXPECT_LT(ideal_resid, 1.0);
+  EXPECT_GT(real_resid, ideal_resid * 2.0);
+}
+
+TEST(SiliconMismatch, ExposureMapping) {
+  PlacedDesign design = place_and_route(make_c17(), lib());
+  FlowOptions opts;
+  PostOpcFlow flow(design, lib(), LithoSimulator{}, opts);
+  const Exposure mapped = flow.silicon_exposure({10.0, 1.0});
+  EXPECT_DOUBLE_EQ(mapped.focus_nm, 10.0 + opts.silicon.focus_bias_nm);
+  EXPECT_DOUBLE_EQ(mapped.dose, opts.silicon.dose_scale);
+  FlowOptions off;
+  off.silicon.enabled = false;
+  PostOpcFlow ideal(design, lib(), LithoSimulator{}, off);
+  EXPECT_DOUBLE_EQ(ideal.silicon_exposure({10.0, 1.0}).focus_nm, 10.0);
+  // The silicon simulator's resist differs only when the mismatch is on.
+  EXPECT_DOUBLE_EQ(ideal.silicon_sim().resist().diffusion_nm,
+                   LithoSimulator{}.resist().diffusion_nm);
+  EXPECT_GT(flow.silicon_sim().resist().diffusion_nm,
+            LithoSimulator{}.resist().diffusion_nm);
+}
+
+TEST_F(FlowFixture, HotspotScanRunsAndCountsConsistently) {
+  OrcOptions orc;
+  orc.epe_limit_nm = 6.0;
+  const auto report =
+      flow().scan_hotspots({{"nominal", {0.0, 1.0}},
+                            {"stress", {150.0, 1.08}}},
+                           orc);
+  EXPECT_EQ(report.windows_checked, 6u);
+  EXPECT_EQ(report.pinches + report.bridges + report.epe_violations,
+            report.hotspots.size());
+  // The stressed condition (high dose + defocus) must produce violations
+  // the nominal condition does not.
+  std::size_t stress_hits = 0;
+  for (const auto& h : report.hotspots) {
+    if (h.exposure_name == "stress") ++stress_hits;
+  }
+  EXPECT_GT(stress_hits, 0u);
+  EXPECT_GE(stress_hits * 2, report.hotspots.size());
+}
+
+TEST(GateBias, SwapsOnlyNonCriticalGates) {
+  const Netlist base = make_c17();
+  const std::vector<GateIdx> keep{0, 2};
+  const Netlist biased = with_long_gate_bias(base, keep);
+  EXPECT_EQ(biased.num_gates(), base.num_gates());
+  EXPECT_EQ(biased.num_nets(), base.num_nets());
+  for (GateIdx g = 0; g < base.num_gates(); ++g) {
+    const bool kept = g == 0 || g == 2;
+    EXPECT_EQ(biased.gate(g).cell,
+              kept ? base.gate(g).cell : long_gate_variant(base.gate(g).cell));
+    EXPECT_EQ(biased.gate(g).inputs, base.gate(g).inputs);
+    EXPECT_EQ(biased.gate(g).output, base.gate(g).output);
+  }
+}
+
+TEST(GateBias, FullFlowTradesLeakageForSlack) {
+  const Netlist base = make_c17();
+  const Netlist biased = with_long_gate_bias(base, {});  // all gates long
+  const PlacedDesign d_base = place_and_route(base, lib());
+  const PlacedDesign d_bias = place_and_route(biased, lib());
+  FlowOptions opts;
+  opts.sta.clock_period = 120.0;
+  PostOpcFlow f_base(d_base, lib(), LithoSimulator{}, opts);
+  PostOpcFlow f_bias(d_bias, lib(), LithoSimulator{}, opts);
+  f_base.run_opc(OpcMode::kModelBased);
+  f_bias.run_opc(OpcMode::kModelBased);
+  const auto ann_base = f_base.annotate(f_base.extract({}));
+  const auto ann_bias = f_bias.annotate(f_bias.extract({}));
+  const StaReport r_base = f_base.run_sta(&ann_base);
+  const StaReport r_bias = f_bias.run_sta(&ann_bias);
+  // Through the full litho flow: long gates leak less and run slower.
+  EXPECT_LT(r_bias.total_leakage_ua, r_base.total_leakage_ua * 0.8);
+  EXPECT_LT(r_bias.worst_slack, r_base.worst_slack);
+}
+
+TEST(Flow, ExtractBeforeOpcRejected) {
+  PlacedDesign design = place_and_route(make_c17(), lib());
+  PostOpcFlow flow(design, lib());
+  EXPECT_THROW(flow.extract({}), CheckError);
+}
+
+}  // namespace
+}  // namespace poc

@@ -1,0 +1,178 @@
+// Tests for the alpha-power MOSFET model and the non-rectangular
+// (slice-based) equivalent-gate model.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/device/mosfet.h"
+#include "src/device/nonrect.h"
+
+namespace poc {
+namespace {
+
+TEST(Mosfet, VthRollOffMonotoneInL) {
+  const MosfetParams p = MosfetParams::nmos();
+  EXPECT_LT(p.vth(70.0), p.vth(90.0));
+  EXPECT_LT(p.vth(90.0), p.vth(150.0));
+  // Long channel approaches vth_long.
+  EXPECT_NEAR(p.vth(400.0), p.vth_long, 1e-4);
+}
+
+TEST(Mosfet, IonDecreasesWithL) {
+  const MosfetParams p = MosfetParams::nmos();
+  EXPECT_GT(p.ion_per_um(80.0), p.ion_per_um(90.0));
+  EXPECT_GT(p.ion_per_um(90.0), p.ion_per_um(100.0));
+}
+
+TEST(Mosfet, IoffExponentialSensitivity) {
+  const MosfetParams p = MosfetParams::nmos();
+  const double r_drive = p.ion_per_um(80.0) / p.ion_per_um(90.0);
+  const double r_leak = p.ioff_per_um(80.0) / p.ioff_per_um(90.0);
+  // Leakage grows much faster than drive as L shrinks.
+  EXPECT_GT(r_leak, r_drive * 1.2);
+  EXPECT_GT(r_leak, 1.3);
+}
+
+TEST(Mosfet, PmosWeakerThanNmos) {
+  EXPECT_LT(MosfetParams::pmos().ion_per_um(90.0),
+            MosfetParams::nmos().ion_per_um(90.0));
+}
+
+TEST(Mosfet, IdSurfaceContinuity) {
+  const MosfetParams p = MosfetParams::nmos();
+  const double vgs = 1.0;
+  const double vov = vgs - p.vth(90.0);
+  const double vdsat = p.kv_sat * std::pow(vov, p.alpha / 2.0);
+  // Continuous across the saturation boundary.
+  EXPECT_NEAR(p.id_per_um(vgs, vdsat - 1e-6, 90.0),
+              p.id_per_um(vgs, vdsat + 1e-6, 90.0), 1e-3);
+  // Continuous across threshold (subthreshold meets strong inversion
+  // within a modest factor; check no discontinuity explosion).
+  const double vt = p.vth(90.0);
+  const double below = p.id_per_um(vt - 1e-5, 0.6, 90.0);
+  const double above = p.id_per_um(vt + 1e-5, 0.6, 90.0);
+  EXPECT_GT(below, 0.0);
+  EXPECT_LT(std::abs(above - below) / below, 0.5);
+}
+
+TEST(Mosfet, IdZeroAtZeroVds) {
+  const MosfetParams p = MosfetParams::nmos();
+  EXPECT_DOUBLE_EQ(p.id_per_um(1.2, 0.0, 90.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.id_per_um(1.2, -0.1, 90.0), 0.0);
+}
+
+TEST(Mosfet, IdMonotoneInVgsAndVds) {
+  const MosfetParams p = MosfetParams::nmos();
+  double prev = 0.0;
+  for (double vgs = 0.2; vgs <= 1.2; vgs += 0.1) {
+    const double id = p.id_per_um(vgs, 1.2, 90.0);
+    EXPECT_GE(id, prev);
+    prev = id;
+  }
+  prev = 0.0;
+  for (double vds = 0.05; vds <= 1.2; vds += 0.05) {
+    const double id = p.id_per_um(1.0, vds, 90.0);
+    EXPECT_GE(id, prev - 1e-12);
+    prev = id;
+  }
+}
+
+TEST(Mosfet, SubthresholdSlopeDecade) {
+  const MosfetParams p = MosfetParams::nmos();
+  const double vt = p.vth(90.0);
+  // n * vt * ln(10) per decade.
+  const double i1 = p.id_per_um(vt - 0.2, 1.2, 90.0);
+  const double i2 = p.id_per_um(vt - 0.2 + p.subthreshold_n * p.temp_vt *
+                                             std::log(10.0),
+                                1.2, 90.0);
+  EXPECT_NEAR(i2 / i1, 10.0, 0.01);
+}
+
+TEST(Solvers, RoundTripIonIoff) {
+  const MosfetParams p = MosfetParams::nmos();
+  for (double l : {70.0, 90.0, 120.0}) {
+    EXPECT_NEAR(solve_length_for_ion(p, p.ion_per_um(l)), l, 0.01);
+    EXPECT_NEAR(solve_length_for_ioff(p, p.ioff_per_um(l)), l, 0.01);
+  }
+}
+
+TEST(Solvers, ClampAtBracketEdges) {
+  const MosfetParams p = MosfetParams::nmos();
+  EXPECT_DOUBLE_EQ(solve_length_for_ion(p, p.ion_per_um(40.0) * 10.0), 40.0);
+  EXPECT_DOUBLE_EQ(solve_length_for_ion(p, p.ion_per_um(250.0) / 10.0), 250.0);
+}
+
+GateCdProfile profile_of(std::vector<double> cds, double drawn = 90.0) {
+  GateCdProfile prof;
+  prof.slice_cd_nm = std::move(cds);
+  prof.drawn_cd_nm = drawn;
+  prof.slice_width_nm = 600.0 / static_cast<double>(prof.slice_cd_nm.size());
+  return prof;
+}
+
+TEST(EquivalentGate, UniformSlicesMatchRectangular) {
+  const MosfetParams p = MosfetParams::nmos();
+  const EquivalentGate eq =
+      equivalent_gate(profile_of({85.0, 85.0, 85.0, 85.0, 85.0}), 600.0, p);
+  EXPECT_NEAR(eq.l_eff_drive_nm, 85.0, 0.05);
+  EXPECT_NEAR(eq.l_eff_leak_nm, 85.0, 0.05);
+  EXPECT_NEAR(eq.l_mean_nm, 85.0, 1e-9);
+  EXPECT_TRUE(eq.functional);
+  EXPECT_NEAR(eq.ion_ua, p.ion_per_um(85.0) * 0.6, 1e-6);
+}
+
+TEST(EquivalentGate, LeakLeffBelowDriveLeffForNonUniform) {
+  // Mixed profile: leakage is dominated by the shortest slices.
+  const MosfetParams p = MosfetParams::nmos();
+  const EquivalentGate eq =
+      equivalent_gate(profile_of({80.0, 85.0, 90.0, 95.0, 100.0}), 600.0, p);
+  EXPECT_LT(eq.l_eff_leak_nm, eq.l_eff_drive_nm);
+  EXPECT_LT(eq.l_eff_drive_nm, eq.l_mean_nm);  // drive favours short slices
+}
+
+TEST(EquivalentGate, SeparateLeffsDivergeWithSpread) {
+  const MosfetParams p = MosfetParams::nmos();
+  const EquivalentGate tight =
+      equivalent_gate(profile_of({89.0, 90.0, 91.0}), 600.0, p);
+  const EquivalentGate wide =
+      equivalent_gate(profile_of({78.0, 90.0, 102.0}), 600.0, p);
+  const double gap_tight = tight.l_eff_drive_nm - tight.l_eff_leak_nm;
+  const double gap_wide = wide.l_eff_drive_nm - wide.l_eff_leak_nm;
+  EXPECT_GT(gap_wide, gap_tight * 2.0);
+}
+
+TEST(EquivalentGate, PinchedSliceMarksNonFunctional) {
+  const MosfetParams p = MosfetParams::nmos();
+  const EquivalentGate eq =
+      equivalent_gate(profile_of({90.0, 0.0, 90.0}), 600.0, p);
+  EXPECT_FALSE(eq.functional);
+  // Remaining slices still conduct.
+  EXPECT_GT(eq.ion_ua, 0.0);
+  EXPECT_LT(eq.ion_ua, p.ion_per_um(90.0) * 0.6 * 0.75);
+}
+
+TEST(EquivalentGate, RatiosAgainstDrawn) {
+  const MosfetParams p = MosfetParams::nmos();
+  const EquivalentGate shorter =
+      equivalent_gate(profile_of({84.0, 84.0, 84.0}), 600.0, p);
+  EXPECT_GT(shorter.drive_ratio_vs(90.0, p), 1.0);   // faster than drawn
+  EXPECT_GT(shorter.leak_ratio_vs(90.0, p), 1.3);    // much leakier
+  const EquivalentGate longer =
+      equivalent_gate(profile_of({96.0, 96.0, 96.0}), 600.0, p);
+  EXPECT_LT(longer.drive_ratio_vs(90.0, p), 1.0);
+  EXPECT_LT(longer.leak_ratio_vs(90.0, p), 1.0);
+}
+
+TEST(EquivalentGate, AsymmetricLeakage) {
+  // +/-6 nm slices: leakage of the short slice dominates the average;
+  // the 36 % claim in the paper depends on this convexity.
+  const MosfetParams p = MosfetParams::nmos();
+  const EquivalentGate sym =
+      equivalent_gate(profile_of({84.0, 96.0}), 600.0, p);
+  const EquivalentGate flat =
+      equivalent_gate(profile_of({90.0, 90.0}), 600.0, p);
+  EXPECT_GT(sym.ioff_ua, flat.ioff_ua * 1.05);
+}
+
+}  // namespace
+}  // namespace poc

@@ -1,0 +1,331 @@
+// Unit and property tests for the geometry kernel: rectangles, rectilinear
+// polygons, Boolean-lite operations and the grid spatial index.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/geom/grid_index.h"
+#include "src/geom/polygon.h"
+#include "src/geom/polygon_ops.h"
+#include "src/geom/rect.h"
+#include "src/geom/transform.h"
+
+namespace poc {
+namespace {
+
+TEST(Rect, BasicAccessors) {
+  const Rect r{10, 20, 110, 50};
+  EXPECT_EQ(r.width(), 100);
+  EXPECT_EQ(r.height(), 30);
+  EXPECT_DOUBLE_EQ(r.area(), 3000.0);
+  EXPECT_EQ(r.center(), (Point{60, 35}));
+  EXPECT_TRUE(r.valid());
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE((Rect{5, 5, 5, 9}).empty());
+}
+
+TEST(Rect, FromCornersNormalizes) {
+  const Rect r = Rect::from_corners({10, 30}, {-5, 2});
+  EXPECT_EQ(r, (Rect{-5, 2, 10, 30}));
+}
+
+TEST(Rect, FromCenterOddSizes) {
+  const Rect r = Rect::from_center({0, 0}, 110, 110);
+  EXPECT_EQ(r.width(), 110);
+  EXPECT_EQ(r.height(), 110);
+}
+
+TEST(Rect, ContainmentAndIntersection) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_TRUE(a.contains(Point{0, 0}));
+  EXPECT_TRUE(a.contains(Point{10, 10}));
+  EXPECT_FALSE(a.contains(Point{11, 5}));
+  EXPECT_TRUE(a.contains(Rect{2, 2, 8, 8}));
+  const Rect b{10, 0, 20, 10};  // abutting
+  EXPECT_FALSE(a.intersects(b));
+  const Rect c{9, 9, 12, 12};
+  EXPECT_TRUE(a.intersects(c));
+  EXPECT_EQ(a.intersection(c), (Rect{9, 9, 10, 10}));
+  EXPECT_EQ(a.bounding_union(b), (Rect{0, 0, 20, 10}));
+  EXPECT_EQ(a.inflated(2), (Rect{-2, -2, 12, 12}));
+  EXPECT_EQ(a.translated({5, -5}), (Rect{5, -5, 15, 5}));
+}
+
+TEST(Transform, AllOrientationsPreserveBoxSize) {
+  const Rect r{0, 0, 30, 10};
+  for (Orient o : {Orient::kR0, Orient::kR90, Orient::kR180, Orient::kR270,
+                   Orient::kMX, Orient::kMY, Orient::kMXR90, Orient::kMYR90}) {
+    const Transform t{o, {100, 200}};
+    const Rect q = t.apply(r);
+    EXPECT_TRUE(q.valid());
+    const bool rotated = o == Orient::kR90 || o == Orient::kR270 ||
+                         o == Orient::kMXR90 || o == Orient::kMYR90;
+    EXPECT_EQ(q.width(), rotated ? 10 : 30);
+    EXPECT_EQ(q.height(), rotated ? 30 : 10);
+  }
+}
+
+TEST(Transform, MxMirrorsAboutXAxis) {
+  const Transform t{Orient::kMX, {0, 100}};
+  EXPECT_EQ(t.apply(Point{3, 7}), (Point{3, 93}));
+}
+
+TEST(Polygon, RectRoundTrip) {
+  const Polygon p = Polygon::from_rect({0, 0, 40, 20});
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_DOUBLE_EQ(p.area(), 800.0);
+  EXPECT_DOUBLE_EQ(p.perimeter(), 120.0);
+  EXPECT_EQ(p.bbox(), (Rect{0, 0, 40, 20}));
+}
+
+TEST(Polygon, ClockwiseInputNormalized) {
+  const Polygon p({{0, 0}, {0, 10}, {10, 10}, {10, 0}});  // CW
+  EXPECT_GT(p.area(), 0.0);
+}
+
+TEST(Polygon, CollinearVerticesMerged) {
+  const Polygon p({{0, 0}, {5, 0}, {10, 0}, {10, 10}, {0, 10}});
+  EXPECT_EQ(p.size(), 4u);
+}
+
+TEST(Polygon, NonManhattanRejected) {
+  EXPECT_THROW(Polygon({{0, 0}, {10, 5}, {10, 10}, {0, 10}}), CheckError);
+}
+
+TEST(Polygon, EdgeOutwardNormals) {
+  const Polygon p = Polygon::from_rect({0, 0, 10, 10});
+  // CCW from (0,0): bottom, right, top, left.
+  int south = 0, east = 0, north = 0, west = 0;
+  for (const PolyEdge& e : p.edges()) {
+    switch (e.outward) {
+      case Dir::kSouth: ++south; break;
+      case Dir::kEast: ++east; break;
+      case Dir::kNorth: ++north; break;
+      case Dir::kWest: ++west; break;
+    }
+  }
+  EXPECT_EQ(south, 1);
+  EXPECT_EQ(east, 1);
+  EXPECT_EQ(north, 1);
+  EXPECT_EQ(west, 1);
+}
+
+TEST(Polygon, ContainsInteriorBoundaryExterior) {
+  // L-shape.
+  const Polygon p({{0, 0}, {20, 0}, {20, 10}, {10, 10}, {10, 20}, {0, 20}});
+  EXPECT_TRUE(p.contains({5, 5}));
+  EXPECT_TRUE(p.contains({5, 15}));
+  EXPECT_FALSE(p.contains({15, 15}));  // notch
+  EXPECT_TRUE(p.contains({0, 0}));     // corner
+  EXPECT_TRUE(p.contains({20, 5}));    // edge
+  EXPECT_FALSE(p.contains({21, 5}));
+}
+
+TEST(Polygon, UniformOutwardMoveInflatesRect) {
+  const Polygon p = Polygon::from_rect({0, 0, 10, 10});
+  const Polygon q = p.with_edge_moves({3, 3, 3, 3});
+  EXPECT_EQ(q.bbox(), (Rect{-3, -3, 13, 13}));
+  EXPECT_DOUBLE_EQ(q.area(), 256.0);
+}
+
+TEST(Polygon, InwardMoveShrinks) {
+  const Polygon p = Polygon::from_rect({0, 0, 20, 20});
+  const Polygon q = p.with_edge_moves({-2, -2, -2, -2});
+  EXPECT_DOUBLE_EQ(q.area(), 256.0);
+}
+
+TEST(Polygon, DegenerateMoveThrows) {
+  const Polygon p = Polygon::from_rect({0, 0, 10, 10});
+  EXPECT_THROW(p.with_edge_moves({-6, -6, -6, -6}), CheckError);
+}
+
+TEST(Polygon, TranslatedShifts) {
+  const Polygon p = Polygon::from_rect({0, 0, 10, 10});
+  EXPECT_EQ(p.translated({5, 7}).bbox(), (Rect{5, 7, 15, 17}));
+}
+
+TEST(Decompose, SingleRect) {
+  const auto rects = decompose(Polygon::from_rect({0, 0, 10, 10}));
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], (Rect{0, 0, 10, 10}));
+}
+
+TEST(Decompose, LShapeAreaPreserved) {
+  const Polygon p({{0, 0}, {20, 0}, {20, 10}, {10, 10}, {10, 20}, {0, 20}});
+  const auto rects = decompose(p);
+  double area = 0.0;
+  for (const Rect& r : rects) area += r.area();
+  EXPECT_DOUBLE_EQ(area, p.area());
+  // Disjointness.
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    for (std::size_t j = i + 1; j < rects.size(); ++j) {
+      EXPECT_FALSE(rects[i].intersects(rects[j]));
+    }
+  }
+}
+
+TEST(Decompose, PlusShape) {
+  // Plus/cross polygon, 12 vertices.
+  const Polygon p({{10, 0}, {20, 0}, {20, 10}, {30, 10}, {30, 20},
+                   {20, 20}, {20, 30}, {10, 30}, {10, 20}, {0, 20},
+                   {0, 10}, {10, 10}});
+  const auto rects = decompose(p);
+  double area = 0.0;
+  for (const Rect& r : rects) area += r.area();
+  EXPECT_DOUBLE_EQ(area, p.area());
+  EXPECT_DOUBLE_EQ(area, 500.0);
+}
+
+/// Property: random rectilinear staircase polygons decompose exactly.
+class DecomposeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecomposeProperty, AreaAndContainmentPreserved) {
+  Rng rng(GetParam());
+  // Build a random staircase polygon: up the left side, down the right.
+  std::vector<Point> verts;
+  DbUnit x = 0;
+  verts.push_back({0, 0});
+  const int steps = 3 + static_cast<int>(rng.uniform_int(0, 4));
+  DbUnit y = 0;
+  for (int i = 0; i < steps; ++i) {
+    x += rng.uniform_int(5, 30);
+    verts.push_back({x, y});
+    y += rng.uniform_int(5, 30);
+    verts.push_back({x, y});
+  }
+  const DbUnit top = y;
+  verts.push_back({0, top});
+  const Polygon p(verts);
+  const auto rects = decompose(p);
+  double area = 0.0;
+  for (const Rect& r : rects) area += r.area();
+  EXPECT_DOUBLE_EQ(area, p.area());
+  // Random points agree on membership (away from boundaries).
+  for (int i = 0; i < 50; ++i) {
+    const Point pt{rng.uniform_int(1, x - 1), rng.uniform_int(1, top - 1)};
+    bool in_rects = false;
+    for (const Rect& r : rects) {
+      if (pt.x > r.xlo && pt.x < r.xhi && pt.y > r.ylo && pt.y < r.yhi) {
+        in_rects = true;
+      }
+    }
+    const bool on_boundary = [&] {
+      for (const PolyEdge& e : p.edges()) {
+        if (e.axis == Axis::kHorizontal && pt.y == e.a.y) return true;
+        if (e.axis == Axis::kVertical && pt.x == e.a.x) return true;
+      }
+      return false;
+    }();
+    if (!on_boundary) {
+      EXPECT_EQ(in_rects, p.contains(pt)) << "at " << pt.x << "," << pt.y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecomposeProperty, ::testing::Range(1, 21));
+
+TEST(DisjointUnion, OverlappingPair) {
+  const std::vector<Rect> rects{{0, 0, 10, 10}, {5, 5, 15, 15}};
+  EXPECT_DOUBLE_EQ(union_area(rects), 175.0);  // 100 + 100 - 25
+  const auto dis = disjoint_union(rects);
+  for (std::size_t i = 0; i < dis.size(); ++i) {
+    for (std::size_t j = i + 1; j < dis.size(); ++j) {
+      EXPECT_FALSE(dis[i].intersects(dis[j]));
+    }
+  }
+}
+
+TEST(DisjointUnion, MergesAbuttingSlabs) {
+  const std::vector<Rect> rects{{0, 0, 10, 5}, {0, 5, 10, 10}};
+  const auto dis = disjoint_union(rects);
+  ASSERT_EQ(dis.size(), 1u);
+  EXPECT_EQ(dis[0], (Rect{0, 0, 10, 10}));
+}
+
+TEST(DisjointUnion, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(disjoint_union({}).empty());
+  EXPECT_TRUE(disjoint_union({Rect{5, 5, 5, 10}}).empty());
+}
+
+class UnionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnionProperty, AreaMatchesGridCount) {
+  Rng rng(GetParam() * 77);
+  std::vector<Rect> rects;
+  const int n = 2 + GetParam() % 6;
+  for (int i = 0; i < n; ++i) {
+    const DbUnit x = rng.uniform_int(0, 40);
+    const DbUnit y = rng.uniform_int(0, 40);
+    rects.push_back({x, y, x + rng.uniform_int(1, 20), y + rng.uniform_int(1, 20)});
+  }
+  // Brute-force area on the unit grid.
+  double brute = 0.0;
+  for (DbUnit gx = 0; gx < 64; ++gx) {
+    for (DbUnit gy = 0; gy < 64; ++gy) {
+      for (const Rect& r : rects) {
+        if (gx >= r.xlo && gx < r.xhi && gy >= r.ylo && gy < r.yhi) {
+          brute += 1.0;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(union_area(rects), brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionProperty, ::testing::Range(1, 16));
+
+TEST(Clip, ClipsAndDropsOutside) {
+  const std::vector<Rect> rects{{0, 0, 10, 10}, {20, 20, 30, 30}};
+  const auto out = clip_to_window(rects, {5, 5, 22, 22});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Rect{5, 5, 10, 10}));
+  EXPECT_EQ(out[1], (Rect{20, 20, 22, 22}));
+  EXPECT_TRUE(clip_to_window(rects, {100, 100, 110, 110}).empty());
+}
+
+TEST(RegionsOverlap, DetectsSharedArea) {
+  EXPECT_TRUE(regions_overlap({{0, 0, 10, 10}}, {{9, 9, 12, 12}}));
+  EXPECT_FALSE(regions_overlap({{0, 0, 10, 10}}, {{10, 0, 20, 10}}));
+}
+
+TEST(GridIndex, QueryMatchesBruteForce) {
+  Rng rng(99);
+  GridIndex index(50);
+  std::vector<Rect> rects;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const DbUnit x = rng.uniform_int(-500, 500);
+    const DbUnit y = rng.uniform_int(-500, 500);
+    const Rect r{x, y, x + rng.uniform_int(1, 120), y + rng.uniform_int(1, 120)};
+    rects.push_back(r);
+    index.insert(r, i);
+  }
+  EXPECT_EQ(index.size(), 200u);
+  for (int q = 0; q < 30; ++q) {
+    const DbUnit x = rng.uniform_int(-500, 500);
+    const DbUnit y = rng.uniform_int(-500, 500);
+    const Rect window{x, y, x + 150, y + 150};
+    auto got = index.query(window);
+    std::vector<std::size_t> want;
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      const Rect& r = rects[i];
+      if (r.xlo <= window.xhi && r.xhi >= window.xlo && r.ylo <= window.yhi &&
+          r.yhi >= window.ylo) {
+        want.push_back(i);
+      }
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(GridIndex, NegativeCoordinatesBinned) {
+  GridIndex index(100);
+  index.insert({-250, -250, -150, -150}, 1);
+  EXPECT_EQ(index.query({-300, -300, -200, -200}).size(), 1u);
+  EXPECT_TRUE(index.query({0, 0, 100, 100}).empty());
+}
+
+}  // namespace
+}  // namespace poc

@@ -1,0 +1,195 @@
+// Tests for the layout database: cell/instance management, window
+// flattening, gate resolution and text serialization.
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/geom/polygon_ops.h"
+#include "src/layout/layout_db.h"
+#include "src/layout/layout_io.h"
+#include "src/layout/svg_dump.h"
+#include "src/layout/tech.h"
+
+namespace poc {
+namespace {
+
+CellLayout simple_cell(const std::string& name) {
+  CellLayout cell;
+  cell.name = name;
+  cell.boundary = {0, 0, 300, 2400};
+  cell.add_rect(Layer::kPoly, {105, 200, 195, 2300});
+  cell.add_rect(Layer::kActive, {40, 300, 260, 900});
+  GateInfo g;
+  g.device = "MN_A_0";
+  g.is_nmos = true;
+  g.region = {105, 300, 195, 900};
+  g.drawn_l = 90;
+  g.drawn_w = 600;
+  cell.gates.push_back(g);
+  return cell;
+}
+
+TEST(LayerNames, RoundTrip) {
+  for (std::size_t i = 0; i < kNumLayers; ++i) {
+    const Layer layer = static_cast<Layer>(i);
+    const auto back = layer_from_name(layer_name(layer));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, layer);
+  }
+  EXPECT_FALSE(layer_from_name("bogus").has_value());
+}
+
+TEST(LayoutDb, CellAndInstanceManagement) {
+  LayoutDb db;
+  const std::size_t c = db.add_cell(simple_cell("INV"));
+  EXPECT_EQ(db.cell_index("INV"), c);
+  EXPECT_THROW(db.cell_index("missing"), CheckError);
+  EXPECT_THROW(db.add_cell(simple_cell("INV")), CheckError);  // dup name
+
+  db.add_instance({"u1", c, {Orient::kR0, {0, 0}}});
+  db.add_instance({"u2", c, {Orient::kMX, {300, 4800}}});
+  EXPECT_THROW(db.add_instance({"u1", c, {}}), CheckError);
+  EXPECT_EQ(db.num_instances(), 2u);
+  EXPECT_EQ(db.instance_index("u2"), 1u);
+}
+
+TEST(LayoutDb, FreezeRequiredForQueries) {
+  LayoutDb db;
+  const std::size_t c = db.add_cell(simple_cell("INV"));
+  db.add_instance({"u1", c, {Orient::kR0, {0, 0}}});
+  EXPECT_THROW(db.flatten_layer({0, 0, 100, 100}, Layer::kPoly), CheckError);
+  db.freeze();
+  EXPECT_NO_THROW(db.flatten_layer({0, 0, 100, 100}, Layer::kPoly));
+  EXPECT_THROW(db.freeze(), CheckError);
+}
+
+TEST(LayoutDb, FlattenTransformsAndClips) {
+  LayoutDb db;
+  const std::size_t c = db.add_cell(simple_cell("INV"));
+  db.add_instance({"u1", c, {Orient::kR0, {1000, 0}}});
+  db.freeze();
+  const auto rects = db.flatten_layer({0, 0, 5000, 5000}, Layer::kPoly);
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], (Rect{1105, 200, 1195, 2300}));
+  // Clipped query.
+  const auto clipped = db.flatten_layer({0, 0, 1150, 5000}, Layer::kPoly);
+  ASSERT_EQ(clipped.size(), 1u);
+  EXPECT_EQ(clipped[0].xhi, 1150);
+  // Missing layer empty.
+  EXPECT_TRUE(db.flatten_layer({0, 0, 5000, 5000}, Layer::kMetal2).empty());
+}
+
+TEST(LayoutDb, FlattenMirroredInstance) {
+  LayoutDb db;
+  const std::size_t c = db.add_cell(simple_cell("INV"));
+  // MX row at base 2400: cell occupies [2400, 4800].
+  db.add_instance({"u1", c, {Orient::kMX, {0, 4800}}});
+  db.freeze();
+  const auto rects = db.flatten_layer({0, 0, 1000, 10000}, Layer::kPoly);
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], (Rect{105, 4800 - 2300, 195, 4800 - 200}));
+}
+
+TEST(LayoutDb, FlattenPolysReturnsWholeShapes) {
+  LayoutDb db;
+  const std::size_t c = db.add_cell(simple_cell("INV"));
+  db.add_instance({"u1", c, {Orient::kR0, {0, 0}}});
+  db.freeze();
+  // Window clips the finger, but the returned polygon is whole.
+  const auto polys = db.flatten_layer_polys({0, 0, 300, 500}, Layer::kPoly);
+  ASSERT_EQ(polys.size(), 1u);
+  EXPECT_EQ(polys[0].bbox(), (Rect{105, 200, 195, 2300}));
+}
+
+TEST(LayoutDb, PlacedGatesResolveTransforms) {
+  LayoutDb db;
+  const std::size_t c = db.add_cell(simple_cell("INV"));
+  db.add_instance({"u1", c, {Orient::kR0, {500, 0}}});
+  db.add_instance({"u2", c, {Orient::kMX, {500, 4800}}});
+  db.freeze();
+  const auto& gates = db.placed_gates();
+  ASSERT_EQ(gates.size(), 2u);
+  EXPECT_EQ(gates[0].region, (Rect{605, 300, 695, 900}));
+  EXPECT_EQ(gates[1].region, (Rect{605, 4800 - 900, 695, 4800 - 300}));
+  EXPECT_TRUE(gates[0].vertical_poly);
+  EXPECT_TRUE(gates[1].vertical_poly);
+}
+
+TEST(LayoutDb, TopShapesIncludedInFlatten) {
+  LayoutDb db;
+  db.add_top_shape(Shape::rect(Layer::kMetal2, {0, 0, 1000, 140}));
+  db.freeze();
+  const auto rects = db.flatten_layer({0, 0, 2000, 2000}, Layer::kMetal2);
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], (Rect{0, 0, 1000, 140}));
+  EXPECT_EQ(db.extent(), (Rect{0, 0, 1000, 140}));
+}
+
+TEST(LayoutDb, OverlappingShapesFlattenDisjoint) {
+  LayoutDb db;
+  db.add_top_shape(Shape::rect(Layer::kMetal1, {0, 0, 100, 100}));
+  db.add_top_shape(Shape::rect(Layer::kMetal1, {50, 0, 150, 100}));
+  db.freeze();
+  const auto rects = db.flatten_layer({0, 0, 200, 200}, Layer::kMetal1);
+  double area = 0.0;
+  for (const Rect& r : rects) area += r.area();
+  EXPECT_DOUBLE_EQ(area, 150.0 * 100.0);
+}
+
+TEST(LayoutIo, RoundTripPreservesEverything) {
+  LayoutDb db;
+  CellLayout cell = simple_cell("INV");
+  // Add a non-rectangular polygon too.
+  cell.shapes.push_back(Shape{
+      Layer::kPoly,
+      Polygon({{0, 0}, {20, 0}, {20, 10}, {10, 10}, {10, 20}, {0, 20}})});
+  const std::size_t c = db.add_cell(cell);
+  db.add_instance({"u1", c, {Orient::kMX, {300, 2400}}});
+  db.add_top_shape(Shape::rect(Layer::kMetal2, {0, 0, 500, 140}));
+
+  const std::string text = layout_to_string(db);
+  LayoutDb loaded = layout_from_string(text);
+  EXPECT_EQ(loaded.num_cells(), db.num_cells());
+  EXPECT_EQ(loaded.num_instances(), db.num_instances());
+  EXPECT_EQ(loaded.top_shapes().size(), db.top_shapes().size());
+  const CellLayout& lc = loaded.cell(0);
+  EXPECT_EQ(lc.name, "INV");
+  EXPECT_EQ(lc.shapes.size(), cell.shapes.size());
+  EXPECT_EQ(lc.gates.size(), 1u);
+  EXPECT_EQ(lc.gates[0].region, (Rect{105, 300, 195, 900}));
+  // Round-trip again: identical text.
+  EXPECT_EQ(layout_to_string(loaded), text);
+}
+
+TEST(LayoutIo, MalformedInputThrows) {
+  EXPECT_THROW(layout_from_string("garbage line\n"), CheckError);
+  EXPECT_THROW(layout_from_string("cell A 0 0 10 10\n"), CheckError);  // no endcell
+}
+
+TEST(SvgDump, RendersLayersAndContours) {
+  SvgLayer layer;
+  layer.name = "poly";
+  layer.fill = "#d33";
+  layer.stroke = "none";
+  layer.polygons.push_back(Polygon::from_rect({0, 0, 90, 800}));
+  SvgContour contour;
+  contour.closed = true;
+  contour.points = {{10.0, 10.0}, {80.0, 10.0}, {80.0, 790.0}, {10.0, 790.0}};
+  const std::string svg =
+      svg_to_string({-100, -100, 200, 900}, {layer}, {contour});
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("id=\"poly\""), std::string::npos);
+  EXPECT_NE(svg.find("<polygon"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Y axis flipped: layout y=10 maps near the bottom of a 1000-tall window.
+  EXPECT_THROW(svg_to_string({0, 0, 0, 10}, {}), CheckError);
+}
+
+TEST(Tech, DefaultsSane) {
+  const Tech& t = Tech::default_tech();
+  EXPECT_EQ(t.gate_length, 90);
+  EXPECT_GT(t.cell_height, 0);
+  EXPECT_GT(t.m1_cap_per_um_ff, 0.0);
+}
+
+}  // namespace
+}  // namespace poc

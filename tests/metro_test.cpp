@@ -1,0 +1,120 @@
+// Tests for design-driven metrology: plan generation from the design
+// database, CD-SEM emulation, and metrology-driven dose calibration of the
+// OPC model.
+#include <algorithm>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "src/metro/metrology.h"
+#include "src/netlist/generators.h"
+
+namespace poc {
+namespace {
+
+const StdCellLibrary& lib() {
+  static const StdCellLibrary l = StdCellLibrary::load_or_characterize(
+      (std::filesystem::temp_directory_path() / "poc_cells_test.lib")
+          .string());
+  return l;
+}
+
+class MetroFixture : public ::testing::Test {
+ protected:
+  static PostOpcFlow& flow() {
+    static Netlist nl = make_c17();
+    static PlacedDesign design = place_and_route(nl, lib());
+    static PostOpcFlow* instance = [] {
+      auto* f = new PostOpcFlow(design, lib());
+      f->run_opc(OpcMode::kModelBased);
+      return f;
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(MetroFixture, PlanCoversDesignDeterministically) {
+  const MetrologyPlan full = design_driven_plan(flow().design(), 1000);
+  // c17: 6 NAND2 x 4 devices.
+  EXPECT_EQ(full.sites.size(), 24u);
+  for (const MeasurementSite& s : full.sites) {
+    EXPECT_LT(s.gate, 6u);
+    EXPECT_DOUBLE_EQ(s.target_cd_nm, 90.0);
+    EXPECT_NE(s.device.find("/M"), std::string::npos);
+    // Coordinates come from the design database.
+    EXPECT_TRUE(flow().design().layout.extent().contains(s.location));
+  }
+  // Subsampling is even and deterministic.
+  const MetrologyPlan sub = design_driven_plan(flow().design(), 8);
+  EXPECT_EQ(sub.sites.size(), 8u);
+  const MetrologyPlan sub2 = design_driven_plan(flow().design(), 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(sub.sites[i].device, sub2.sites[i].device);
+  }
+}
+
+TEST_F(MetroFixture, CdSemMeasuresSiliconWithNoise) {
+  const MetrologyPlan plan = design_driven_plan(flow().design(), 24);
+  CdSemParams params;
+  params.noise_sigma_nm = 0.5;
+  Rng rng(99);
+  const auto meas = simulate_cdsem(flow(), plan, {0.0, 1.0}, params, rng);
+  ASSERT_EQ(meas.size(), 24u);
+  // Measurements sit near the silicon CDs (~87 nm with default mismatch),
+  // not at the drawn target.
+  double mean = 0.0;
+  for (const auto& m : meas) mean += m.measured_cd_nm;
+  mean /= static_cast<double>(meas.size());
+  EXPECT_NEAR(mean, 87.0, 1.5);
+  // Noise makes repeated runs differ, but deterministically per seed.
+  Rng rng_b(100);
+  const auto meas_b = simulate_cdsem(flow(), plan, {0.0, 1.0}, params, rng_b);
+  EXPECT_NE(meas[0].measured_cd_nm, meas_b[0].measured_cd_nm);
+  Rng rng_c(99);
+  const auto meas_c = simulate_cdsem(flow(), plan, {0.0, 1.0}, params, rng_c);
+  EXPECT_DOUBLE_EQ(meas[0].measured_cd_nm, meas_c[0].measured_cd_nm);
+}
+
+TEST_F(MetroFixture, ZeroNoiseMatchesExtractionExactly) {
+  const MetrologyPlan plan = design_driven_plan(flow().design(), 4);
+  CdSemParams params;
+  params.noise_sigma_nm = 0.0;
+  Rng rng(1);
+  const auto meas = simulate_cdsem(flow(), plan, {0.0, 1.0}, params, rng);
+  const auto ext = flow().extract({0.0, 1.0});
+  for (const auto& m : meas) {
+    bool found = false;
+    for (const DeviceCd& dev : ext[m.site.gate].devices) {
+      const std::string ref = flow().design().netlist.gate(m.site.gate).name +
+                              "/" + dev.device;
+      if (ref == m.site.device) {
+        EXPECT_DOUBLE_EQ(m.measured_cd_nm, dev.profile.mean_cd());
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << m.site.device;
+  }
+}
+
+TEST_F(MetroFixture, DoseCalibrationShrinksModelError) {
+  const MetrologyPlan plan = design_driven_plan(flow().design(), 12);
+  CdSemParams params;
+  params.noise_sigma_nm = 0.3;
+  Rng rng(7);
+  const auto meas = simulate_cdsem(flow(), plan, {0.0, 1.0}, params, rng);
+  const CalibrationResult cal = calibrate_model_dose(flow(), meas);
+  // With the default mismatch, silicon prints ~3 nm narrower than the
+  // model predicts; calibration raises the model dose to compensate.
+  EXPECT_GT(cal.mean_error_before_nm, 1.5);
+  EXPECT_GT(cal.dose_correction, 1.0);
+  EXPECT_LT(std::abs(cal.mean_error_after_nm),
+            std::abs(cal.mean_error_before_nm) / 4.0);
+  EXPECT_LT(std::abs(cal.mean_error_after_nm), 0.5);
+}
+
+TEST_F(MetroFixture, CalibrationRejectsEmptyMeasurements) {
+  EXPECT_THROW(calibrate_model_dose(flow(), {}), CheckError);
+}
+
+}  // namespace
+}  // namespace poc

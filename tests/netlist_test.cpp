@@ -1,0 +1,277 @@
+// Tests for the netlist substrate: construction invariants, topological
+// utilities, Verilog round-trips, and functional correctness of every
+// benchmark generator via logic simulation.
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/netlist/generators.h"
+#include "src/netlist/netlist.h"
+#include "src/netlist/verilog.h"
+#include "src/stdcell/cell_spec.h"
+
+namespace poc {
+namespace {
+
+/// Reference logic simulator over CellSpec functions.
+std::vector<bool> simulate_logic(const Netlist& nl,
+                                 const std::vector<bool>& pi_values) {
+  const auto specs = standard_cell_specs();
+  const auto pis = nl.primary_inputs();
+  POC_EXPECTS(pis.size() == pi_values.size());
+  std::vector<bool> value(nl.num_nets(), false);
+  for (std::size_t i = 0; i < pis.size(); ++i) value[pis[i]] = pi_values[i];
+  for (GateIdx g : nl.topological_order()) {
+    const GateInst& gate = nl.gate(g);
+    const CellSpec& spec = find_spec(specs, gate.cell);
+    std::vector<bool> in;
+    for (NetIdx n : gate.inputs) in.push_back(value[n]);
+    value[gate.output] = spec.eval(in);
+  }
+  std::vector<bool> out;
+  for (NetIdx n : nl.primary_outputs()) out.push_back(value[n]);
+  return out;
+}
+
+TEST(Netlist, ConstructionInvariants) {
+  Netlist nl("t");
+  const NetIdx a = nl.add_net("a");
+  const NetIdx b = nl.add_net("b");
+  const NetIdx y = nl.add_net("y");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  nl.mark_primary_output(y);
+  EXPECT_THROW(nl.add_net("a"), CheckError);
+  nl.add_gate("g0", "NAND2_X1", {a, b}, y);
+  EXPECT_THROW(nl.add_gate("g1", "INV_X1", {a}, y), CheckError);  // 2 drivers
+  EXPECT_THROW(nl.add_gate("g0", "INV_X1", {a}, b), CheckError);  // dup name
+  EXPECT_THROW(nl.add_gate("g2", "INV_X1", {a}, a), CheckError);  // drives PI
+  EXPECT_EQ(nl.net(y).driver, nl.gate_index("g0"));
+  ASSERT_EQ(nl.net(a).sinks.size(), 1u);
+  EXPECT_EQ(nl.net(a).sinks[0].second, 0u);
+  EXPECT_EQ(nl.net(b).sinks[0].second, 1u);
+}
+
+TEST(Netlist, TopologicalOrderRespectsDependencies) {
+  const Netlist nl = make_ripple_adder(4);
+  const auto order = nl.topological_order();
+  EXPECT_EQ(order.size(), nl.num_gates());
+  std::vector<std::size_t> pos(nl.num_gates());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (GateIdx g = 0; g < nl.num_gates(); ++g) {
+    for (NetIdx in : nl.gate(g).inputs) {
+      if (nl.net(in).driver != kNoIndex) {
+        EXPECT_LT(pos[nl.net(in).driver], pos[g]);
+      }
+    }
+  }
+}
+
+TEST(Netlist, LogicDepthOfChain) {
+  Netlist nl("chain");
+  NetIdx prev = nl.add_net("in");
+  nl.mark_primary_input(prev);
+  for (int i = 0; i < 5; ++i) {
+    const NetIdx next = nl.add_net("n" + std::to_string(i));
+    nl.add_gate("g" + std::to_string(i), "INV_X1", {prev}, next);
+    prev = next;
+  }
+  nl.mark_primary_output(prev);
+  EXPECT_EQ(nl.logic_depth(), 5u);
+}
+
+TEST(C17, StructureAndFunction) {
+  const Netlist nl = make_c17();
+  EXPECT_EQ(nl.num_gates(), 6u);
+  EXPECT_EQ(nl.primary_inputs().size(), 5u);
+  EXPECT_EQ(nl.primary_outputs().size(), 2u);
+  // Spot-check: all inputs 0 -> NAND outputs: g10=1,g11=1,g16=1,g19=1 ->
+  // g22 = !(1&1) = 0, g23 = 0.
+  const auto out = simulate_logic(nl, {false, false, false, false, false});
+  EXPECT_FALSE(out[0]);
+  EXPECT_FALSE(out[1]);
+}
+
+class AdderFunction : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdderFunction, AddsCorrectly) {
+  const std::size_t bits = 4;
+  const Netlist nl = make_ripple_adder(bits);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    const unsigned a = static_cast<unsigned>(rng.uniform_int(0, 15));
+    const unsigned b = static_cast<unsigned>(rng.uniform_int(0, 15));
+    const unsigned cin = static_cast<unsigned>(rng.uniform_int(0, 1));
+    // PI order: a0..a3, b0..b3, cin.
+    std::vector<bool> pi;
+    for (std::size_t i = 0; i < bits; ++i) pi.push_back((a >> i) & 1u);
+    for (std::size_t i = 0; i < bits; ++i) pi.push_back((b >> i) & 1u);
+    pi.push_back(cin != 0);
+    const auto out = simulate_logic(nl, pi);  // s0..s3, cout
+    ASSERT_EQ(out.size(), bits + 1);
+    unsigned sum = 0;
+    for (std::size_t i = 0; i < bits; ++i) sum |= (out[i] ? 1u : 0u) << i;
+    sum |= (out[bits] ? 1u : 0u) << bits;
+    EXPECT_EQ(sum, a + b + cin) << a << "+" << b << "+" << cin;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdderFunction, ::testing::Range(1, 6));
+
+class MultiplierFunction : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiplierFunction, MultipliesCorrectly) {
+  const std::size_t bits = 4;
+  const Netlist nl = make_array_multiplier(bits);
+  EXPECT_EQ(nl.primary_outputs().size(), 2 * bits);
+  Rng rng(GetParam() * 31);
+  for (int trial = 0; trial < 8; ++trial) {
+    const unsigned a = static_cast<unsigned>(rng.uniform_int(0, 15));
+    const unsigned b = static_cast<unsigned>(rng.uniform_int(0, 15));
+    std::vector<bool> pi;
+    for (std::size_t i = 0; i < bits; ++i) pi.push_back((a >> i) & 1u);
+    for (std::size_t i = 0; i < bits; ++i) pi.push_back((b >> i) & 1u);
+    const auto out = simulate_logic(nl, pi);
+    unsigned prod = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      prod |= (out[i] ? 1u : 0u) << i;
+    }
+    EXPECT_EQ(prod, a * b) << a << "*" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiplierFunction, ::testing::Range(1, 6));
+
+class ParityFunction : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParityFunction, ComputesParity) {
+  const std::size_t bits = 8;
+  const Netlist nl = make_parity_tree(bits);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  Rng rng(GetParam() * 7);
+  for (int t = 0; t < 10; ++t) {
+    std::vector<bool> pi;
+    bool expect = false;
+    for (std::size_t i = 0; i < bits; ++i) {
+      pi.push_back(rng.chance(0.5));
+      expect ^= pi.back();
+    }
+    EXPECT_EQ(simulate_logic(nl, pi)[0], expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParityFunction, ::testing::Range(1, 5));
+
+TEST(Decoder, OneHotOutputs) {
+  const std::size_t bits = 3;
+  const Netlist nl = make_decoder(bits);
+  EXPECT_EQ(nl.primary_outputs().size(), 8u);
+  for (unsigned code = 0; code < 8; ++code) {
+    std::vector<bool> pi;
+    for (std::size_t i = 0; i < bits; ++i) pi.push_back((code >> i) & 1u);
+    const auto out = simulate_logic(nl, pi);
+    for (unsigned k = 0; k < 8; ++k) {
+      EXPECT_EQ(out[k], k == code) << "code " << code << " output " << k;
+    }
+  }
+}
+
+class CarrySelectFunction : public ::testing::TestWithParam<int> {};
+
+TEST_P(CarrySelectFunction, MatchesRippleAdder) {
+  const std::size_t bits = 8;
+  const Netlist csel = make_carry_select_adder(bits, 3);
+  Rng rng(GetParam() * 131);
+  for (int t = 0; t < 10; ++t) {
+    const unsigned a = static_cast<unsigned>(rng.uniform_int(0, 255));
+    const unsigned b = static_cast<unsigned>(rng.uniform_int(0, 255));
+    const unsigned cin = static_cast<unsigned>(rng.uniform_int(0, 1));
+    std::vector<bool> pi;
+    for (std::size_t i = 0; i < bits; ++i) pi.push_back((a >> i) & 1u);
+    for (std::size_t i = 0; i < bits; ++i) pi.push_back((b >> i) & 1u);
+    pi.push_back(cin != 0);
+    const auto out = simulate_logic(csel, pi);
+    ASSERT_EQ(out.size(), bits + 1);
+    unsigned sum = 0;
+    for (std::size_t i = 0; i <= bits; ++i) sum |= (out[i] ? 1u : 0u) << i;
+    EXPECT_EQ(sum, a + b + cin) << a << "+" << b << "+" << cin;
+  }
+  // And it is shallower than the equivalent ripple adder.
+  EXPECT_LT(csel.logic_depth(), make_ripple_adder(bits).logic_depth() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CarrySelectFunction, ::testing::Range(1, 5));
+
+TEST(RandomLogic, DeterministicAndAcyclic) {
+  const Netlist a = make_random_logic(150, 12, 42);
+  const Netlist b = make_random_logic(150, 12, 42);
+  EXPECT_EQ(verilog_to_string(a), verilog_to_string(b));
+  EXPECT_EQ(a.topological_order().size(), a.num_gates());
+  EXPECT_GE(a.num_gates(), 150u);
+  EXPECT_FALSE(a.primary_outputs().empty());
+  EXPECT_GT(a.logic_depth(), 5u);  // the recency bias creates depth
+  const Netlist c = make_random_logic(150, 12, 43);
+  EXPECT_NE(verilog_to_string(a), verilog_to_string(c));
+}
+
+TEST(RandomLogic, OnlyLibraryCells) {
+  const Netlist nl = make_random_logic(200, 16, 7);
+  const auto specs = standard_cell_specs();
+  for (GateIdx g = 0; g < nl.num_gates(); ++g) {
+    EXPECT_NO_THROW(find_spec(specs, nl.gate(g).cell));
+    // No duplicated input nets on one gate (would break characterization
+    // assumptions).
+    const auto& in = nl.gate(g).inputs;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      for (std::size_t j = i + 1; j < in.size(); ++j) {
+        EXPECT_NE(in[i], in[j]);
+      }
+    }
+  }
+}
+
+TEST(Benchmarks, NamedLookup) {
+  EXPECT_EQ(make_benchmark("c17").num_gates(), 6u);
+  EXPECT_GT(make_benchmark("adder8").num_gates(), 60u);
+  EXPECT_GT(make_benchmark("mult4").num_gates(), 100u);
+  EXPECT_GE(make_benchmark("rand100").num_gates(), 100u);
+  EXPECT_THROW(make_benchmark("nonsense"), CheckError);
+}
+
+TEST(Verilog, RoundTripPreservesStructureAndFunction) {
+  const Netlist nl = make_ripple_adder(3);
+  const std::string text = verilog_to_string(nl);
+  const Netlist back = verilog_from_string(text);
+  EXPECT_EQ(back.num_gates(), nl.num_gates());
+  EXPECT_EQ(back.num_nets(), nl.num_nets());
+  EXPECT_EQ(back.primary_inputs().size(), nl.primary_inputs().size());
+  EXPECT_EQ(back.primary_outputs().size(), nl.primary_outputs().size());
+  // Same function on a few vectors.
+  Rng rng(5);
+  for (int t = 0; t < 5; ++t) {
+    std::vector<bool> pi;
+    for (std::size_t i = 0; i < nl.primary_inputs().size(); ++i) {
+      pi.push_back(rng.chance(0.5));
+    }
+    EXPECT_EQ(simulate_logic(nl, pi), simulate_logic(back, pi));
+  }
+  // And the text itself is stable.
+  EXPECT_EQ(verilog_to_string(back), text);
+}
+
+TEST(Verilog, ParsesCommentsAndThrowsOnGarbage) {
+  const std::string src = R"(
+// a comment
+module t (a, y);
+  input a;
+  output y;
+  INV_X1 g0 (.A(a), .Y(y));
+endmodule
+)";
+  const Netlist nl = verilog_from_string(src);
+  EXPECT_EQ(nl.num_gates(), 1u);
+  EXPECT_THROW(verilog_from_string("module broken"), CheckError);
+}
+
+}  // namespace
+}  // namespace poc

@@ -1,0 +1,289 @@
+// Tests for the OPC engine: fragmentation structure, fragment application
+// geometry, rule-based bias, SRAF insertion, model-based convergence and
+// ORC verification.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/cdx/contour.h"
+#include "src/common/check.h"
+#include "src/geom/polygon_ops.h"
+#include "src/litho/simulator.h"
+#include "src/opc/fragment.h"
+#include "src/opc/opc_engine.h"
+#include "src/opc/orc.h"
+#include "src/opc/rule_opc.h"
+#include "src/opc/sraf.h"
+
+namespace poc {
+namespace {
+
+TEST(Fragmentation, ShortEdgeSingleFragment) {
+  // 90 nm-wide line: the two 90 nm edges are below min_edge_for_corners.
+  const Polygon line = Polygon::from_rect({0, 0, 90, 800});
+  const auto frags = fragment_polygons({line});
+  // Long edges: 2 corners + ceil(730/70)=11 interior = 13 each.
+  // Short edges: 1 each.
+  std::size_t line_end = 0, corner = 0;
+  for (const Fragment& f : frags) {
+    if (f.at_line_end) ++line_end;
+    if (f.at_corner) ++corner;
+  }
+  EXPECT_EQ(line_end, 2u);
+  EXPECT_EQ(corner, 4u);
+  EXPECT_EQ(frags.size(), 2u * 13u + 2u);
+}
+
+TEST(Fragmentation, SpansCoverEdgesExactly) {
+  const Polygon line = Polygon::from_rect({0, 0, 90, 800});
+  const auto frags = fragment_polygons({line});
+  // Per edge: fragments tile [0, len] without gaps or overlaps.
+  for (std::size_t e = 0; e < 4; ++e) {
+    DbUnit expect_start = 0;
+    DbUnit len = 0;
+    for (const Fragment& f : frags) {
+      if (f.edge != e) continue;
+      EXPECT_EQ(f.s, expect_start);
+      EXPECT_GT(f.e, f.s);
+      expect_start = f.e;
+      len = f.e;
+    }
+    EXPECT_EQ(len, line.edge(e).length());
+  }
+}
+
+TEST(Fragmentation, ControlPointsOnEdges) {
+  const Polygon poly = Polygon::from_rect({0, 0, 300, 500});
+  for (const Fragment& f : fragment_polygons({poly})) {
+    EXPECT_TRUE(poly.contains(f.ctrl));
+  }
+}
+
+TEST(ApplyFragments, ZeroBiasIsIdentity) {
+  const Polygon line = Polygon::from_rect({0, 0, 90, 600});
+  auto frags = fragment_polygons({line});
+  const auto out = apply_fragments({line}, frags);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].area(), line.area());
+  EXPECT_EQ(out[0].bbox(), line.bbox());
+}
+
+TEST(ApplyFragments, UniformBiasInflates) {
+  const Polygon line = Polygon::from_rect({0, 0, 90, 600});
+  auto frags = fragment_polygons({line});
+  for (Fragment& f : frags) f.bias = 5;
+  const auto out = apply_fragments({line}, frags);
+  EXPECT_EQ(out[0].bbox(), (Rect{-5, -5, 95, 605}));
+  EXPECT_DOUBLE_EQ(out[0].area(), 100.0 * 610.0);
+}
+
+TEST(ApplyFragments, SingleFragmentJogs) {
+  const Polygon line = Polygon::from_rect({0, 0, 90, 600});
+  auto frags = fragment_polygons({line});
+  // Bias exactly one interior fragment of the long left edge outward.
+  for (Fragment& f : frags) {
+    if (f.edge == 3 && !f.at_corner && f.bias == 0) {
+      f.bias = 8;
+      break;
+    }
+  }
+  const auto out = apply_fragments({line}, frags);
+  // Area grows by fragment_length * 8.
+  DbUnit frag_len = 0;
+  for (const Fragment& f : frags) {
+    if (f.bias == 8) frag_len = f.e - f.s;
+  }
+  EXPECT_GT(frag_len, 0);
+  EXPECT_DOUBLE_EQ(out[0].area(),
+                   line.area() + static_cast<double>(frag_len) * 8.0);
+}
+
+TEST(ApplyFragments, MultiPolygonOrderPreserved) {
+  const Polygon a = Polygon::from_rect({0, 0, 90, 300});
+  const Polygon b = Polygon::from_rect({300, 0, 390, 300});
+  auto frags = fragment_polygons({a, b});
+  const auto out = apply_fragments({a, b}, frags);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].bbox(), a.bbox());
+  EXPECT_EQ(out[1].bbox(), b.bbox());
+}
+
+TEST(RuleOpc, SpacingMeasuredToFacingSolid) {
+  const Polygon a = Polygon::from_rect({0, 0, 90, 500});
+  const Polygon b = Polygon::from_rect({290, 0, 380, 500});
+  std::vector<Rect> solids;
+  for (const Rect& r : decompose(a)) solids.push_back(r);
+  for (const Rect& r : decompose(b)) solids.push_back(r);
+  Fragment f;
+  f.ctrl = {90, 250};
+  f.outward = Dir::kEast;
+  EXPECT_EQ(fragment_spacing(f, solids, 10000), 200);  // to the facing line
+  f.ctrl = {91, 250};
+  EXPECT_EQ(fragment_spacing(f, solids, 10000), 199);
+  f.outward = Dir::kWest;
+  EXPECT_EQ(fragment_spacing(f, solids, 10000), 1);  // own polygon behind
+}
+
+TEST(RuleOpc, DenseGetsSmallerBiasThanIso) {
+  const Polygon centre = Polygon::from_rect({0, 0, 90, 500});
+  const Polygon near = Polygon::from_rect({250, 0, 340, 500});
+  const RuleOpcTable table;
+  // Dense pair: east edge of centre faces `near` at 160 nm.
+  {
+    std::vector<Fragment> frags = fragment_polygons({centre, near});
+    rule_based_opc({centre, near}, frags, table);
+    for (const Fragment& f : frags) {
+      if (f.poly == 0 && f.outward == Dir::kEast && !f.at_corner) {
+        EXPECT_EQ(f.bias, table.rows[0].second);  // <= 180 row
+      }
+    }
+  }
+  // Isolated line: all long-edge biases at iso value.
+  {
+    std::vector<Fragment> frags = fragment_polygons({centre});
+    rule_based_opc({centre}, frags, table);
+    for (const Fragment& f : frags) {
+      if (!f.at_line_end && f.outward == Dir::kEast && !f.at_corner) {
+        EXPECT_EQ(f.bias, table.iso_bias);
+      }
+      if (f.at_line_end) {
+        EXPECT_EQ(f.bias, table.iso_bias + table.line_end_bias);
+      }
+    }
+  }
+}
+
+TEST(Sraf, IsolatedEdgeGetsBar) {
+  const Polygon line = Polygon::from_rect({0, 0, 90, 800});
+  const auto bars = insert_srafs({line}, {-1000, -200, 1090, 1000});
+  // Both long edges isolated -> two bars.
+  ASSERT_EQ(bars.size(), 2u);
+  for (const Rect& b : bars) {
+    EXPECT_EQ(b.width(), 40);
+    // 170 nm from the target edge.
+    EXPECT_TRUE(b.xlo == 90 + 170 || b.xhi == 0 - 170);
+  }
+}
+
+TEST(Sraf, DenseEdgesGetNoBar) {
+  const Polygon a = Polygon::from_rect({0, 0, 90, 800});
+  const Polygon b = Polygon::from_rect({250, 0, 340, 800});
+  const auto bars = insert_srafs({a, b}, {-1000, -200, 1400, 1000});
+  // Only the two outer edges qualify; the facing inner edges are dense.
+  EXPECT_EQ(bars.size(), 2u);
+  for (const Rect& bar : bars) {
+    EXPECT_TRUE(bar.xhi <= 0 || bar.xlo >= 340);
+  }
+}
+
+TEST(Sraf, BarsNeverOverlapTargets) {
+  const Polygon a = Polygon::from_rect({0, 0, 90, 800});
+  const auto bars = insert_srafs({a}, {-1000, -1000, 1200, 1800});
+  for (const Rect& bar : bars) {
+    for (const Rect& solid : decompose(a)) {
+      EXPECT_FALSE(bar.intersects(solid));
+    }
+  }
+}
+
+class OpcConvergence : public ::testing::Test {
+ protected:
+  LithoSimulator sim_;
+};
+
+TEST_F(OpcConvergence, IsolatedLineEpeShrinks) {
+  const Polygon line = Polygon::from_rect({0, -400, 90, 400});
+  const Rect window{-700, -1100, 790, 1100};
+  OpcOptions opts;
+  opts.max_iterations = 7;
+  OpcEngine engine(sim_, opts);
+  const OpcResult result = engine.correct({line}, window);
+  ASSERT_GE(result.iterations, 2u);
+  // First-iteration EPE (uncorrected) is large; final body EPE is small.
+  EXPECT_GT(result.max_epe_history.front(), 5.0);
+  EXPECT_LT(result.rms_epe_body_nm, result.rms_epe_history.front() / 2.0);
+  EXPECT_LT(result.rms_epe_body_nm, 2.0);
+  // Corner rounding keeps the all-fragment number higher — that residual
+  // is physical, not a convergence failure.
+  EXPECT_GE(result.max_abs_epe_nm, result.max_abs_epe_body_nm);
+}
+
+TEST_F(OpcConvergence, DenseArrayConverges) {
+  std::vector<Polygon> lines;
+  for (int k = -2; k <= 2; ++k) {
+    lines.push_back(
+        Polygon::from_rect({k * 250, -400, k * 250 + 90, 400}));
+  }
+  const Rect window{-950, -1000, 1040, 1000};
+  OpcEngine engine(sim_, OpcOptions{});
+  const OpcResult result = engine.correct(lines, window);
+  EXPECT_EQ(result.corrected.size(), lines.size());
+  EXPECT_LT(result.rms_epe_body_nm, 2.0);
+  // The corrected mask must differ from the target (bias applied).
+  bool any_bias = false;
+  for (const Fragment& f : result.fragments) {
+    if (f.bias != 0) any_bias = true;
+  }
+  EXPECT_TRUE(any_bias);
+}
+
+TEST_F(OpcConvergence, CorrectionImprovesPrintedCd) {
+  const Polygon line = Polygon::from_rect({0, -400, 90, 400});
+  const Rect window{-700, -1100, 790, 1100};
+  OpcEngine engine(sim_, OpcOptions{});
+  const OpcResult result = engine.correct({line}, window);
+
+  const auto printed_cd = [&](const std::vector<Rect>& mask) {
+    const Image2D latent =
+        sim_.latent(mask, window, {}, LithoQuality::kStandard);
+    std::optional<double> w = printed_width(
+        latent, sim_.print_threshold(), {45.0, 0.0}, true, 300.0);
+    return w.value_or(0.0);
+  };
+  const double cd_before = printed_cd(decompose(line));
+  const double cd_after = printed_cd(result.mask_rects());
+  EXPECT_GT(std::abs(cd_before - 90.0), std::abs(cd_after - 90.0));
+  EXPECT_NEAR(cd_after, 90.0, 2.5);
+}
+
+TEST_F(OpcConvergence, MeasureEpeSaturatesOnMissingFeature) {
+  const Polygon line = Polygon::from_rect({0, -400, 90, 400});
+  const Rect window{-700, -1100, 790, 1100};
+  OpcOptions opts;
+  OpcEngine engine(sim_, opts);
+  std::vector<Fragment> frags = fragment_polygons({line});
+  // Empty mask: nothing prints, EPE saturates at -probe_inside.
+  engine.measure_epe(frags, {}, window, {}, LithoQuality::kDraft);
+  for (const Fragment& f : frags) {
+    EXPECT_DOUBLE_EQ(f.epe_nm, -opts.probe_inside_nm);
+  }
+}
+
+TEST_F(OpcConvergence, OrcCleanAfterOpcAndFlagsPinchWithout) {
+  const Polygon line = Polygon::from_rect({0, -400, 90, 400});
+  const Rect window{-700, -1100, 790, 1100};
+  OpcEngine engine(sim_, OpcOptions{});
+  const OpcResult result = engine.correct({line}, window);
+
+  OrcOptions orc_opts;
+  orc_opts.epe_limit_nm = 5.0;
+  const OrcReport good = run_orc(sim_, engine, {line}, result.mask_rects(),
+                                 window, {}, orc_opts);
+  EXPECT_LT(good.max_abs_epe_nm, 5.0);
+  EXPECT_TRUE(good.clean()) << good.violations.size();
+
+  // Uncorrected mask at high dose: line thins badly -> pinch or EPE hits.
+  const OrcReport bad = run_orc(sim_, engine, {line}, decompose(line), window,
+                                {0.0, 1.15}, orc_opts);
+  EXPECT_FALSE(bad.clean());
+}
+
+TEST(OrcViolation, Describe) {
+  OrcViolation v{OrcViolation::Kind::kPinch, {10, 20}, 55.0};
+  const std::string s = v.describe();
+  EXPECT_NE(s.find("PINCH"), std::string::npos);
+  EXPECT_NE(s.find("55"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace poc

@@ -1,0 +1,130 @@
+// Tests for parasitic extraction: per-unit values, Elmore delays and the
+// litho-measured linewidth scaling used by the multi-layer flow.
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "src/netlist/generators.h"
+#include "src/pex/extractor.h"
+#include "src/pex/spef_writer.h"
+
+namespace poc {
+namespace {
+
+const StdCellLibrary& lib() {
+  static const StdCellLibrary l = StdCellLibrary::load_or_characterize(
+      (std::filesystem::temp_directory_path() / "poc_cells_test.lib")
+          .string());
+  return l;
+}
+
+NetRoute straight_route(Um m1_um, Um m2_um) {
+  NetRoute r;
+  SinkRoute s;
+  s.length_m1 = m1_um;
+  s.length_m2 = m2_um;
+  r.sinks.push_back(s);
+  return r;
+}
+
+TEST(Extractor, PerUnitValuesAtDrawnWidth) {
+  const Tech tech;
+  const Extractor ex(tech);
+  // m1: 0.08 ohm/sq at 0.12 um width -> 0.667 ohm/um.
+  EXPECT_NEAR(ex.m1_res_per_um(), 0.08 / 0.12, 1e-9);
+  EXPECT_NEAR(ex.m2_res_per_um(), 0.05 / 0.14, 1e-9);
+  EXPECT_DOUBLE_EQ(ex.m1_cap_per_um(), tech.m1_cap_per_um_ff);
+}
+
+TEST(Extractor, NarrowerPrintedMetalRaisesRLowersC) {
+  const Tech tech;
+  MetalCdScale scale;
+  scale.m1_width_ratio = 0.8;  // printed 20 % narrow
+  const Extractor nominal(tech);
+  const Extractor scaled(tech, scale);
+  EXPECT_GT(scaled.m1_res_per_um(), nominal.m1_res_per_um() * 1.2);
+  EXPECT_LT(scaled.m1_cap_per_um(), nominal.m1_cap_per_um());
+  // m2 untouched.
+  EXPECT_DOUBLE_EQ(scaled.m2_res_per_um(), nominal.m2_res_per_um());
+}
+
+TEST(Extractor, NetParasiticsScaleWithLength) {
+  const Tech tech;
+  const Extractor ex(tech);
+  const NetParasitics a = ex.extract_net(straight_route(10.0, 0.0));
+  const NetParasitics b = ex.extract_net(straight_route(20.0, 0.0));
+  ASSERT_EQ(a.sinks.size(), 1u);
+  EXPECT_NEAR(b.wire_cap, 2.0 * a.wire_cap, 1e-9);
+  EXPECT_GT(b.sinks[0].elmore_ps, a.sinks[0].elmore_ps * 2.0);  // quadratic-ish
+  EXPECT_GT(a.sinks[0].path_res, 2.0 * tech.contact_res_ohm);   // vias counted
+}
+
+TEST(Extractor, ElmoreMatchesHandComputation) {
+  const Tech tech;
+  const Extractor ex(tech);
+  const NetParasitics p = ex.extract_net(straight_route(100.0, 0.0));
+  const Ohm r = 100.0 * (0.08 / 0.12) + 2.0 * tech.contact_res_ohm;
+  const Ff c = 100.0 * tech.m1_cap_per_um_ff;
+  EXPECT_NEAR(p.sinks[0].elmore_ps, rc_to_ps(r, c / 2.0), 1e-9);
+}
+
+TEST(Extractor, DesignExtractionCoversAllNets) {
+  const Netlist nl = make_benchmark("c17");
+  const PlacedDesign design = place_and_route(nl, lib());
+  const Extractor ex(design.tech);
+  const auto all = ex.extract_design(design);
+  ASSERT_EQ(all.size(), nl.num_nets());
+  // Driven, sunk nets have parasitics; wire cap positive where routed.
+  for (NetIdx n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(n);
+    if (net.driver != kNoIndex && !net.sinks.empty()) {
+      EXPECT_EQ(all[n].sinks.size(), net.sinks.size());
+      EXPECT_GE(all[n].wire_cap, 0.0);
+    }
+  }
+}
+
+TEST(SpefWriter, EmitsEveryRoutedNetWithHeaderAndConsistentValues) {
+  const Netlist nl = make_benchmark("c17");
+  const PlacedDesign design = place_and_route(nl, lib());
+  const Extractor ex(design.tech);
+  const std::string spef = spef_to_string(design, ex);
+  EXPECT_NE(spef.find("*SPEF"), std::string::npos);
+  EXPECT_NE(spef.find("*T_UNIT 1 PS"), std::string::npos);
+  // One *D_NET per driven net with sinks.
+  std::size_t expected = 0;
+  for (NetIdx n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(n);
+    if (net.driver != kNoIndex && !net.sinks.empty()) {
+      ++expected;
+      EXPECT_NE(spef.find("*D_NET " + net.name + " "), std::string::npos)
+          << net.name;
+    }
+  }
+  std::size_t count = 0;
+  for (std::size_t pos = spef.find("*D_NET"); pos != std::string::npos;
+       pos = spef.find("*D_NET", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, expected);
+  // Balanced sections.
+  std::size_t ends = 0;
+  for (std::size_t pos = spef.find("*END"); pos != std::string::npos;
+       pos = spef.find("*END", pos + 1)) {
+    ++ends;
+  }
+  EXPECT_EQ(ends, expected);
+  // Driver pins appear as outputs.
+  EXPECT_NE(spef.find(":Y O"), std::string::npos);
+  EXPECT_NE(spef.find(":A I"), std::string::npos);
+}
+
+TEST(Extractor, ZeroWidthRatioRejected) {
+  MetalCdScale scale;
+  scale.m1_width_ratio = 0.0;
+  const Extractor ex(Tech{}, scale);
+  EXPECT_THROW(ex.m1_res_per_um(), CheckError);
+}
+
+}  // namespace
+}  // namespace poc

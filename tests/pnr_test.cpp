@@ -1,0 +1,151 @@
+// Tests for placement and routing: row legality, non-overlap, pin-accurate
+// route endpoints and the PlacedDesign accessors.
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "src/netlist/generators.h"
+#include "src/pnr/design.h"
+#include "src/pnr/placement.h"
+#include "src/stdcell/layout_gen.h"
+
+namespace poc {
+namespace {
+
+const StdCellLibrary& lib() {
+  static const StdCellLibrary l = StdCellLibrary::load_or_characterize(
+      (std::filesystem::temp_directory_path() / "poc_cells_test.lib")
+          .string());
+  return l;
+}
+
+TEST(Placement, CellsInRowsWithoutOverlap) {
+  const Netlist nl = make_benchmark("adder8");
+  const Tech& tech = Tech::default_tech();
+  const PlacementResult pl = place_rows(nl, lib(), tech, 1.0, 0);
+  ASSERT_EQ(pl.transforms.size(), nl.num_gates());
+  EXPECT_GE(pl.num_rows, 2u);
+  std::vector<Rect> boxes;
+  for (GateIdx g = 0; g < nl.num_gates(); ++g) {
+    const CellSpec& spec = lib().spec(nl.gate(g).cell);
+    const Rect box = pl.transforms[g].apply(
+        Rect{0, 0, cell_width(spec, tech), tech.cell_height});
+    // Row alignment.
+    EXPECT_EQ(box.ylo % tech.cell_height, 0) << g;
+    EXPECT_EQ(box.height(), tech.cell_height);
+    EXPECT_GE(box.xlo, 0);
+    boxes.push_back(box);
+  }
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    for (std::size_t j = i + 1; j < boxes.size(); ++j) {
+      EXPECT_FALSE(boxes[i].intersects(boxes[j])) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Placement, AlternatingOrientation) {
+  const Netlist nl = make_benchmark("adder8");
+  const PlacementResult pl =
+      place_rows(nl, lib(), Tech::default_tech(), 1.0, 0);
+  for (GateIdx g = 0; g < nl.num_gates(); ++g) {
+    const Orient o = pl.transforms[g].orient;
+    EXPECT_TRUE(o == Orient::kR0 || o == Orient::kMX);
+    const DbUnit row = pl.transforms[g].apply(Rect{0, 0, 10, 10}).ylo /
+                       Tech::default_tech().cell_height;
+    EXPECT_EQ(o == Orient::kR0, row % 2 == 0);
+  }
+}
+
+TEST(Placement, AspectRatioControlsRows) {
+  const Netlist nl = make_benchmark("rand200");
+  const auto square = place_rows(nl, lib(), Tech::default_tech(), 1.0, 0);
+  const auto wide = place_rows(nl, lib(), Tech::default_tech(), 4.0, 0);
+  EXPECT_GT(square.num_rows, wide.num_rows);
+}
+
+TEST(PlaceAndRoute, DesignIsConsistent) {
+  const Netlist nl = make_benchmark("adder4");
+  const PlacedDesign design = place_and_route(nl, lib());
+  EXPECT_TRUE(design.layout.frozen());
+  EXPECT_EQ(design.layout.num_instances(), nl.num_gates());
+  EXPECT_EQ(design.gate_to_instance.size(), nl.num_gates());
+  // Every gate resolves to annotated transistors.
+  for (GateIdx g = 0; g < nl.num_gates(); ++g) {
+    const auto gates = design.gates_of(g);
+    const CellSpec& spec = lib().spec(nl.gate(g).cell);
+    EXPECT_EQ(gates.size(), 2 * finger_count(spec));
+    const Rect window = design.litho_window(g);
+    for (const PlacedGate* pg : gates) {
+      EXPECT_TRUE(window.contains(pg->region));
+    }
+  }
+}
+
+TEST(PlaceAndRoute, RoutesTerminateAtPins) {
+  const Netlist nl = make_benchmark("c17");
+  const PlacedDesign design = place_and_route(nl, lib());
+  const Tech& tech = design.tech;
+  for (NetIdx n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(n);
+    if (net.driver == kNoIndex || net.sinks.empty()) continue;
+    const NetRoute& route = design.routes[n];
+    ASSERT_EQ(route.sinks.size(), net.sinks.size());
+    for (std::size_t k = 0; k < route.sinks.size(); ++k) {
+      const SinkRoute& sr = route.sinks[k];
+      EXPECT_EQ(sr.sink_gate, net.sinks[k].first);
+      // The sink pin lies inside (or on) one of the route's M1 shapes, or
+      // driver and sink share coordinates (zero-length route).
+      const GateInst& snk = nl.gate(sr.sink_gate);
+      const CellSpec& spec = lib().spec(snk.cell);
+      const Point pin =
+          design.layout.instance(design.gate_to_instance[sr.sink_gate])
+              .transform.apply(
+                  pin_position(spec, tech, spec.inputs[sr.sink_pin]));
+      bool touched = sr.segments.empty();
+      for (const RouteSegment& seg : sr.segments) {
+        if (seg.rect.inflated(tech.m1_width).contains(pin)) touched = true;
+      }
+      EXPECT_TRUE(touched) << nl.net(n).name << " sink " << k;
+    }
+  }
+}
+
+TEST(PlaceAndRoute, WireLengthsPositiveAndConsistent) {
+  const Netlist nl = make_benchmark("adder4");
+  const PlacedDesign design = place_and_route(nl, lib());
+  Um total = 0.0;
+  for (const NetRoute& route : design.routes) {
+    for (const SinkRoute& sr : route.sinks) {
+      EXPECT_GE(sr.length_m1, 0.0);
+      EXPECT_GE(sr.length_m2, 0.0);
+    }
+    total += route.total_length();
+  }
+  EXPECT_GT(total, 10.0);  // a real design has real wire
+}
+
+TEST(PlaceAndRoute, NoRouteOptionSkipsWires) {
+  const Netlist nl = make_benchmark("c17");
+  PlaceRouteOptions opts;
+  opts.route = false;
+  const PlacedDesign design = place_and_route(nl, lib(), Tech::default_tech(),
+                                              opts);
+  EXPECT_TRUE(design.routes.empty());
+  EXPECT_TRUE(design.layout.top_shapes().empty());
+}
+
+TEST(PlaceAndRoute, LithoWindowCoversNeighbourContext) {
+  const Netlist nl = make_benchmark("c17");
+  const PlacedDesign design = place_and_route(nl, lib());
+  const Rect w = design.litho_window(0, 600);
+  const Rect boundary = design.layout
+                            .instance(design.gate_to_instance[0])
+                            .transform.apply(design.layout.cell(
+                                design.layout.instance(
+                                    design.gate_to_instance[0]).cell)
+                                .boundary);
+  EXPECT_EQ(w, boundary.inflated(600));
+}
+
+}  // namespace
+}  // namespace poc

@@ -1,0 +1,211 @@
+// Cross-module property tests: invariants that must hold across randomized
+// inputs and the whole cell/benchmark space, complementing the per-module
+// example-based tests.
+#include <algorithm>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/geom/polygon.h"
+#include "src/geom/polygon_ops.h"
+#include "src/litho/simulator.h"
+#include "src/cdx/contour.h"
+#include "src/netlist/generators.h"
+#include "src/netlist/verilog.h"
+#include "src/opc/fragment.h"
+#include "src/sta/sta.h"
+#include "src/stdcell/library.h"
+
+namespace poc {
+namespace {
+
+const StdCellLibrary& lib() {
+  static const StdCellLibrary l = StdCellLibrary::load_or_characterize(
+      (std::filesystem::temp_directory_path() / "poc_cells_test.lib")
+          .string());
+  return l;
+}
+
+// ---------------------------------------------------------------- geometry
+
+class EdgeMoveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdgeMoveProperty, AreaChangeMatchesFirstOrder) {
+  // For small moves, dA = sum(move_i * len_i) + O(move^2) corner terms.
+  Rng rng(GetParam() * 13);
+  const Polygon poly({{0, 0}, {200, 0}, {200, 120}, {120, 120},
+                      {120, 260}, {0, 260}});
+  std::vector<DbUnit> moves(poly.size());
+  double first_order = 0.0;
+  double move_sq = 0.0;
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    moves[i] = rng.uniform_int(-4, 4);
+    first_order += static_cast<double>(moves[i]) *
+                   static_cast<double>(poly.edge(i).length());
+    move_sq += static_cast<double>(moves[i] * moves[i]);
+  }
+  const Polygon moved = poly.with_edge_moves(moves);
+  const double delta = moved.area() - poly.area();
+  // Corner cross-terms are bounded by sum of |move_i * move_j| pairs.
+  EXPECT_NEAR(delta, first_order, 2.0 * move_sq + 64.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeMoveProperty, ::testing::Range(1, 16));
+
+class FragmentRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FragmentRoundTrip, ZeroBiasReconstructsRandomStaircase) {
+  Rng rng(GetParam() * 101);
+  std::vector<Point> verts;
+  DbUnit x = 0, y = 0;
+  verts.push_back({0, 0});
+  const int steps = 2 + GetParam() % 4;
+  for (int i = 0; i < steps; ++i) {
+    x += rng.uniform_int(60, 200);
+    verts.push_back({x, y});
+    y += rng.uniform_int(60, 200);
+    verts.push_back({x, y});
+  }
+  verts.push_back({0, y});
+  const Polygon poly(verts);
+  auto frags = fragment_polygons({poly});
+  const auto out = apply_fragments({poly}, frags);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].area(), poly.area());
+  EXPECT_EQ(out[0].bbox(), poly.bbox());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FragmentRoundTrip, ::testing::Range(1, 13));
+
+// ------------------------------------------------------------------ litho
+
+class LithoTranslation : public ::testing::TestWithParam<int> {};
+
+TEST_P(LithoTranslation, PrintedCdInvariantUnderLayoutShift) {
+  // Shifting mask and window together must not change the printed CD
+  // (beyond grid re-sampling noise).
+  const DbUnit shift = GetParam() * 37;  // deliberately off-grid
+  const LithoSimulator sim;
+  const auto cd_at = [&](DbUnit dx, DbUnit dy) {
+    std::vector<Rect> lines;
+    for (int k = -2; k <= 2; ++k) {
+      lines.push_back({k * 250 + dx, -500 + dy, k * 250 + 90 + dx, 500 + dy});
+    }
+    const Rect window{-700 + dx, -650 + dy, 790 + dx, 650 + dy};
+    const Image2D latent = sim.latent(lines, window, {}, LithoQuality::kStandard);
+    return printed_width(latent, sim.print_threshold(),
+                         {45.0 + static_cast<double>(dx),
+                          static_cast<double>(dy)},
+                         true, 300.0)
+        .value_or(0.0);
+  };
+  const double base = cd_at(0, 0);
+  const double moved = cd_at(shift, -shift);
+  ASSERT_GT(base, 0.0);
+  EXPECT_NEAR(moved, base, 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, LithoTranslation, ::testing::Range(1, 8));
+
+TEST(LithoProperty, DoseMonotonicityAcrossConditions) {
+  // At any focus, higher dose always thins the printed line.
+  const LithoSimulator sim;
+  std::vector<Rect> lines;
+  for (int k = -2; k <= 2; ++k) lines.push_back({k * 250, -500, k * 250 + 90, 500});
+  const Rect window{-700, -650, 790, 650};
+  for (double focus : {0.0, 80.0, 140.0}) {
+    double prev = 1e9;
+    for (double dose : {0.92, 0.97, 1.02, 1.07}) {
+      const Image2D latent =
+          sim.latent(lines, window, {focus, dose}, LithoQuality::kDraft);
+      const double cd = printed_width(latent, sim.print_threshold(),
+                                      {45.0, 0.0}, true, 300.0)
+                            .value_or(0.0);
+      EXPECT_LT(cd, prev) << "focus " << focus << " dose " << dose;
+      prev = cd;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- library
+
+class NldmMonotone : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NldmMonotone, DelayAndSlewMonotoneInLoadForEveryArc) {
+  const CellTiming& timing = lib().timing(GetParam());
+  const auto& params = lib().char_params();
+  for (const TimingArc& arc : timing.arcs) {
+    for (Ps slew : params.slew_axis) {
+      for (std::size_t l = 0; l + 1 < params.load_axis.size(); ++l) {
+        const Ff lo = params.load_axis[l];
+        const Ff hi = params.load_axis[l + 1];
+        EXPECT_LT(arc.delay_fall.lookup(slew, lo),
+                  arc.delay_fall.lookup(slew, hi))
+            << GetParam() << " " << arc.input;
+        EXPECT_LT(arc.delay_rise.lookup(slew, lo),
+                  arc.delay_rise.lookup(slew, hi));
+        EXPECT_LE(arc.slew_fall.lookup(slew, lo),
+                  arc.slew_fall.lookup(slew, hi));
+        EXPECT_LE(arc.slew_rise.lookup(slew, lo),
+                  arc.slew_rise.lookup(slew, hi));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, NldmMonotone,
+                         ::testing::Values("INV_X1", "INV_X2", "INV_X4",
+                                           "NAND2_X1", "NAND2_X2", "NAND3_X1",
+                                           "NOR2_X1", "NOR2_X2", "NOR3_X1",
+                                           "AOI21_X1", "OAI21_X1",
+                                           "INV_X1_LL", "NAND2_X1_LL",
+                                           "NOR2_X1_LL", "AOI21_X1_LL"));
+
+// --------------------------------------------------------------- netlists
+
+class VerilogRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(VerilogRoundTrip, RandomNetlistsSurviveTextually) {
+  const Netlist nl =
+      make_random_logic(40 + GetParam() * 17, 8 + GetParam() % 5,
+                        static_cast<std::uint64_t>(GetParam()) * 7919);
+  const std::string text = verilog_to_string(nl);
+  const Netlist back = verilog_from_string(text);
+  EXPECT_EQ(verilog_to_string(back), text);
+  EXPECT_EQ(back.num_gates(), nl.num_gates());
+  EXPECT_EQ(back.logic_depth(), nl.logic_depth());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerilogRoundTrip, ::testing::Range(1, 11));
+
+// --------------------------------------------------------------------- sta
+
+class StaSanity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StaSanity, ReportInvariantsOnEveryBenchmark) {
+  const Netlist nl = make_benchmark(GetParam());
+  StaEngine engine(nl, lib());
+  StaOptions opts;
+  opts.clock_period = 2000.0;
+  opts.max_paths = 24;
+  const StaReport r = engine.run(opts);
+  EXPECT_GT(r.worst_arrival, 0.0);
+  EXPECT_NEAR(r.worst_slack, opts.clock_period - r.worst_arrival, 1e-9);
+  ASSERT_FALSE(r.paths.empty());
+  EXPECT_NEAR(r.paths[0].arrival, r.worst_arrival, 1e-6);
+  EXPECT_GT(r.total_leakage_ua, 0.0);
+  // Arrival scales up monotonically under uniform slowdown.
+  std::vector<DelayAnnotation> ann(nl.num_gates());
+  for (auto& a : ann) a.fall_scale = a.rise_scale = 1.1;
+  engine.set_annotations(ann);
+  EXPECT_GT(engine.run(opts).worst_arrival, r.worst_arrival);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, StaSanity,
+                         ::testing::Values("c17", "adder4", "adder8",
+                                           "adder16", "mult4", "rand100",
+                                           "rand200"));
+
+}  // namespace
+}  // namespace poc

@@ -1,0 +1,109 @@
+// Tests for the process-variation model: corners, sampling statistics and
+// the CD response-surface fit.
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/var/variation.h"
+
+namespace poc {
+namespace {
+
+TEST(Corners, FullSingleAndTwoAxisGrid) {
+  const auto corners = standard_corners();
+  ASSERT_EQ(corners.size(), 9u);
+  EXPECT_EQ(corners[0].name, "nominal");
+  EXPECT_DOUBLE_EQ(corners[0].exposure.focus_nm, 0.0);
+  EXPECT_DOUBLE_EQ(corners[0].exposure.dose, 1.0);
+  int pos_focus = 0, neg_focus = 0, dose_only = 0;
+  for (const auto& c : corners) {
+    if (c.exposure.focus_nm > 0) ++pos_focus;
+    if (c.exposure.focus_nm < 0) ++neg_focus;
+    if (c.exposure.focus_nm == 0.0 && c.exposure.dose != 1.0) ++dose_only;
+  }
+  EXPECT_EQ(pos_focus, 3);
+  EXPECT_EQ(neg_focus, 3);
+  EXPECT_EQ(dose_only, 2);  // the single-axis dose corners T3 relies on
+}
+
+TEST(VariationModel, SamplingMoments) {
+  VariationModel model;
+  Rng rng(21);
+  RunningStats focus, dose, aclv;
+  for (int i = 0; i < 20000; ++i) {
+    const Exposure e = model.sample_exposure(rng);
+    focus.add(e.focus_nm);
+    dose.add(e.dose);
+    aclv.add(model.sample_aclv_nm(rng));
+  }
+  EXPECT_NEAR(focus.mean(), 0.0, 1.0);
+  EXPECT_NEAR(focus.stddev(), model.focus_sigma_nm, 1.0);
+  EXPECT_NEAR(dose.mean(), 1.0, 0.001);
+  EXPECT_NEAR(dose.stddev(), model.dose_sigma, 0.001);
+  EXPECT_NEAR(aclv.stddev(), model.aclv_sigma_nm, 0.05);
+}
+
+TEST(CdResponse, EvalFormula) {
+  const CdResponse r{90.0, -1e-4, 2e-3, -50.0, -400.0};
+  EXPECT_DOUBLE_EQ(r.eval({0.0, 1.0}), 90.0);
+  EXPECT_DOUBLE_EQ(r.eval({100.0, 1.0}), 90.0 - 1.0 + 0.2);
+  EXPECT_DOUBLE_EQ(r.eval({0.0, 1.02}), 90.0 - 1.0 - 400.0 * 0.0004);
+}
+
+TEST(CdResponse, FitRecoversSyntheticSurface) {
+  const CdResponse truth{88.5, -2.5e-4, 1.2e-3, -42.0, -300.0};
+  std::vector<std::pair<Exposure, double>> samples;
+  for (const Exposure& e : response_fit_grid()) {
+    samples.emplace_back(e, truth.eval(e));
+  }
+  const CdResponse fit = fit_cd_response(samples);
+  EXPECT_NEAR(fit.c0, truth.c0, 1e-8);
+  EXPECT_NEAR(fit.cf2, truth.cf2, 1e-12);
+  EXPECT_NEAR(fit.cf, truth.cf, 1e-11);
+  EXPECT_NEAR(fit.cd1, truth.cd1, 1e-7);
+  EXPECT_NEAR(fit.cd2, truth.cd2, 1e-5);
+}
+
+TEST(CdResponse, QuadraticDoseCapturesAsymmetry) {
+  // Synthetic asymmetric dose response: thinning at over-dose is ~3x the
+  // thickening at under-dose.  A quadratic fit must capture both signs.
+  std::vector<std::pair<Exposure, double>> samples;
+  for (const Exposure& e : response_fit_grid()) {
+    const double dd = e.dose - 1.0;
+    samples.emplace_back(e, 90.0 - 150.0 * dd - 1500.0 * dd * dd);
+  }
+  const CdResponse fit = fit_cd_response(samples);
+  EXPECT_NEAR(fit.eval({0.0, 1.06}), 90.0 - 9.0 - 5.4, 0.2);
+  EXPECT_NEAR(fit.eval({0.0, 0.94}), 90.0 + 9.0 - 5.4, 0.2);
+}
+
+TEST(CdResponse, FitToleratesNoise) {
+  const CdResponse truth{90.0, -3e-4, 0.0, -45.0, 0.0};
+  Rng rng(31);
+  std::vector<std::pair<Exposure, double>> samples;
+  // Denser grid for averaging.
+  for (double f : {-120.0, -60.0, 0.0, 60.0, 120.0}) {
+    for (double d : {0.94, 0.97, 1.0, 1.03, 1.06}) {
+      const Exposure e{f, d};
+      samples.emplace_back(e, truth.eval(e) + rng.normal(0.0, 0.1));
+    }
+  }
+  const CdResponse fit = fit_cd_response(samples);
+  EXPECT_NEAR(fit.c0, truth.c0, 0.2);
+  EXPECT_NEAR(fit.cd1, truth.cd1, 3.0);
+}
+
+TEST(ResponseFitGrid, CoversCorners) {
+  const auto grid = response_fit_grid(120.0, 0.06);
+  EXPECT_EQ(grid.size(), 9u);
+  bool has_nominal = false;
+  for (const Exposure& e : grid) {
+    if (e.focus_nm == 0.0 && e.dose == 1.0) has_nominal = true;
+    EXPECT_LE(std::abs(e.focus_nm), 120.0);
+    EXPECT_GE(e.dose, 0.94 - 1e-12);
+    EXPECT_LE(e.dose, 1.06 + 1e-12);
+  }
+  EXPECT_TRUE(has_nominal);
+}
+
+}  // namespace
+}  // namespace poc
