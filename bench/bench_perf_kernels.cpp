@@ -88,6 +88,21 @@ void BM_GateCdExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_GateCdExtraction);
 
+void BM_ExtractFullDesign(benchmark::State& state) {
+  // Full-design post-OPC extraction — the flow's hot loop — across thread
+  // counts.  Output is bit-identical for every Arg; only wall-clock moves.
+  static PlacedDesign design = bench::make_design("c17");
+  FlowOptions fopt;
+  fopt.threads = static_cast<std::size_t>(state.range(0));
+  PostOpcFlow flow = bench::make_flow(design, 0.12, fopt);
+  flow.run_opc(OpcMode::kModelBased);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow.extract({}));
+  }
+}
+BENCHMARK(BM_ExtractFullDesign)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_StaFullDesign(benchmark::State& state) {
   static PlacedDesign design = bench::make_design("rand200");
   static PostOpcFlow flow = bench::make_flow(design);

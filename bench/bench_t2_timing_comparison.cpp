@@ -45,6 +45,31 @@ int main() {
                 format_path(design.netlist, cmp.annotated.paths[0]).c_str());
   }
   std::printf("%s", table.render().c_str());
+
+  bench::section("T2: full-flow threads scaling (adder8)");
+  {
+    PlacedDesign design = bench::make_design("adder8");
+    Table scale({"threads", "flow wall (ms)", "speedup", "annot WS (ps)"});
+    double base_ms = 0.0;
+    for (std::size_t th : {1u, 2u, 4u}) {
+      FlowOptions fopt;
+      fopt.sta.max_paths = 64;
+      fopt.sta.path_window = 60.0;
+      fopt.threads = th;
+      PostOpcFlow flow = bench::make_flow(design, 0.12, fopt);
+      double annot_ws = 0.0;
+      const double ms = bench::wall_ms([&] {
+        flow.run_opc(OpcMode::kModelBased);
+        annot_ws = flow.compare_timing().annotated.worst_slack;
+      });
+      if (th == 1) base_ms = ms;
+      // The WS column prints enough digits to show the runs agree exactly.
+      scale.add_row({std::to_string(th), Table::num(ms, 1),
+                     Table::num(base_ms / ms, 2), Table::num(annot_ws, 9)});
+    }
+    std::printf("%s", scale.render().c_str());
+  }
+
   std::printf(
       "\nShape check (paper): worst-case slack magnitude shifts by tens of\n"
       "percent (paper: 36.4%% on its industrial design) because the slack is\n"

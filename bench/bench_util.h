@@ -3,7 +3,9 @@
 // report formatting.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <filesystem>
 #include <string>
@@ -28,6 +30,16 @@ inline const StdCellLibrary& library() {
 
 inline void section(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Wall-clock milliseconds of one fn() call — the threads-scaling tables
+/// measure end-to-end latency, which is what parallelism buys.
+inline double wall_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 /// Builds a flow whose clock gives the drawn-CD baseline the requested

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full local gate: the tier-1 build + test pass, followed by a
+# ThreadSanitizer build that runs the parallel-engine tests (par_test)
+# and the flow-level tests that exercise it (core_test).  The TSan step
+# is what keeps the determinism contract honest — slot writes and the
+# work-stealing queues must be race-free, not just produce the right
+# answer on one scheduling.
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== step 1/3: regular build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "== step 2/3: full test suite =="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== step 3/3: TSan build + race tests (par_test, core_test) =="
+cmake -B build-tsan -S . -DPOC_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target par_test core_test
+./build-tsan/tests/par_test
+./build-tsan/tests/core_test
+
+echo "== check.sh: all green =="

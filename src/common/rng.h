@@ -7,6 +7,16 @@
 
 namespace poc {
 
+/// SplitMix64 finalizer: a bijective 64-bit mix with full avalanche, the
+/// standard way to turn correlated inputs (sequential draws, counters)
+/// into decorrelated seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// Thin wrapper around a fixed-algorithm engine (mt19937_64) so results are
 /// identical across standard libraries and platforms.
 class Rng {
@@ -31,8 +41,19 @@ class Rng {
   /// Bernoulli draw.
   bool chance(double p) { return uniform() < p; }
 
-  /// Derive an independent child stream (useful for per-gate noise).
-  Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+  /// Derive an independent child stream (useful for per-gate noise).  The
+  /// child seed is a draw passed through splitmix64: XOR-ing a constant
+  /// into sequential draws leaves repeated forks from one parent with
+  /// near-identical seeds, and mt19937_64 streams from close seeds are
+  /// correlated for many draws.
+  Rng fork() { return Rng(splitmix64(engine_())); }
+
+  /// Counter-derived independent stream: the same (seed, index) pair gives
+  /// the same stream no matter which thread asks or in what order — the
+  /// parallel engine's per-work-item seeding (see src/par/thread_pool.h).
+  static Rng stream(std::uint64_t seed, std::uint64_t index) {
+    return Rng(splitmix64(seed + 0x9e3779b97f4a7c15ULL * (index + 1)));
+  }
 
   std::mt19937_64& engine() { return engine_; }
 

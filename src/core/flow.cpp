@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
+#include <unordered_map>
 
 #include "src/common/check.h"
 #include "src/common/log.h"
 #include "src/geom/polygon_ops.h"
 #include "src/opc/rule_opc.h"
+#include "src/par/thread_pool.h"
 
 namespace poc {
 namespace {
@@ -16,6 +19,19 @@ namespace {
 constexpr double kMinDriveRatio = 0.05;
 
 double safe_ratio(double r) { return std::max(r, kMinDriveRatio); }
+
+/// Deterministic OpcStats merge; addition order is fixed by the caller
+/// (instance order), which keeps the double sums bit-identical across
+/// thread counts.
+OpcStats merge_stats(OpcStats acc, const OpcStats& w) {
+  acc.windows += w.windows;
+  acc.model_based_windows += w.model_based_windows;
+  acc.fragments += w.fragments;
+  acc.iterations += w.iterations;
+  acc.max_abs_epe_nm = std::max(acc.max_abs_epe_nm, w.max_abs_epe_nm);
+  acc.rms_epe_sum += w.rms_epe_sum;
+  return acc;
+}
 
 }  // namespace
 
@@ -60,25 +76,28 @@ std::vector<GateIdx> PostOpcFlow::tag_critical_gates(Ps slack_window) const {
   return engine.critical_gates(options_.sta, slack_window);
 }
 
-void PostOpcFlow::opc_window(std::size_t instance, OpcMode mode) {
+std::size_t PostOpcFlow::threads() const {
+  return resolve_threads(options_.threads);
+}
+
+PostOpcFlow::OpcWindowResult PostOpcFlow::opc_window(std::size_t instance,
+                                                     OpcMode mode) const {
+  OpcWindowResult out;
   const Instance& inst = design_->layout.instance(instance);
   const Rect boundary =
       inst.transform.apply(design_->layout.cell(inst.cell).boundary);
   const Rect window = boundary.inflated(options_.ambit_nm);
   const std::vector<Polygon> targets =
       design_->layout.flatten_layer_polys(window, Layer::kPoly);
-  if (targets.empty()) {
-    masks_[instance] = {};
-    return;
-  }
-  ++opc_stats_.windows;
+  if (targets.empty()) return out;
+  ++out.stats.windows;
   switch (mode) {
     case OpcMode::kNone: {
       std::vector<Rect> rects;
       for (const Polygon& p : targets) {
         for (const Rect& r : decompose(p)) rects.push_back(r);
       }
-      masks_[instance] = disjoint_union(rects);
+      out.mask = disjoint_union(rects);
       break;
     }
     case OpcMode::kRuleBased: {
@@ -90,31 +109,44 @@ void PostOpcFlow::opc_window(std::size_t instance, OpcMode mode) {
       for (const Polygon& p : corrected) {
         for (const Rect& r : decompose(p)) rects.push_back(r);
       }
-      masks_[instance] = disjoint_union(rects);
-      opc_stats_.fragments += frags.size();
+      out.mask = disjoint_union(rects);
+      out.stats.fragments += frags.size();
       break;
     }
     case OpcMode::kModelBased: {
       OpcEngine engine(sim_, options_.opc);
       const OpcResult result = engine.correct(targets, window);
-      masks_[instance] = result.mask_rects();
-      ++opc_stats_.model_based_windows;
-      opc_stats_.fragments += result.fragments.size();
-      opc_stats_.iterations += result.iterations;
-      opc_stats_.max_abs_epe_nm =
-          std::max(opc_stats_.max_abs_epe_nm, result.max_abs_epe_body_nm);
-      opc_stats_.rms_epe_sum += result.rms_epe_body_nm;
+      out.mask = result.mask_rects();
+      ++out.stats.model_based_windows;
+      out.stats.fragments += result.fragments.size();
+      out.stats.iterations += result.iterations;
+      out.stats.max_abs_epe_nm = result.max_abs_epe_body_nm;
+      out.stats.rms_epe_sum += result.rms_epe_body_nm;
       break;
     }
   }
+  return out;
+}
+
+void PostOpcFlow::run_opc_windows(
+    const std::function<OpcMode(std::size_t)>& mode_for_instance) {
+  const std::size_t n = design_->layout.num_instances();
+  masks_.assign(n, {});
+  // Each window writes its own mask slot; the per-window stats are merged
+  // on the calling thread in instance order, so the aggregate is
+  // bit-identical whatever the thread count.
+  std::vector<OpcStats> per_window(n);
+  parallel_for(threads(), n, /*chunk=*/1, [&](std::size_t i) {
+    OpcWindowResult r = opc_window(i, mode_for_instance(i));
+    masks_[i] = std::move(r.mask);
+    per_window[i] = r.stats;
+  });
+  opc_stats_ = {};
+  for (const OpcStats& w : per_window) opc_stats_ = merge_stats(opc_stats_, w);
 }
 
 void PostOpcFlow::run_opc(OpcMode mode) {
-  masks_.clear();
-  opc_stats_ = {};
-  for (std::size_t i = 0; i < design_->layout.num_instances(); ++i) {
-    opc_window(i, mode);
-  }
+  run_opc_windows([mode](std::size_t) { return mode; });
   log_info("OPC done: ", opc_stats_.windows, " windows, ",
            opc_stats_.fragments, " fragments, max EPE ",
            opc_stats_.max_abs_epe_nm, " nm");
@@ -122,26 +154,23 @@ void PostOpcFlow::run_opc(OpcMode mode) {
 
 void PostOpcFlow::run_opc_selective(
     const std::vector<GateIdx>& critical_gates) {
-  masks_.clear();
-  opc_stats_ = {};
   std::vector<bool> is_critical_instance(design_->layout.num_instances(),
                                          false);
   for (GateIdx g : critical_gates) {
     is_critical_instance[design_->gate_to_instance[g]] = true;
   }
-  for (std::size_t i = 0; i < design_->layout.num_instances(); ++i) {
-    opc_window(i, is_critical_instance[i] ? OpcMode::kModelBased
-                                          : OpcMode::kRuleBased);
-  }
+  run_opc_windows([&is_critical_instance](std::size_t i) {
+    return is_critical_instance[i] ? OpcMode::kModelBased
+                                   : OpcMode::kRuleBased;
+  });
   log_info("selective OPC done: ", opc_stats_.model_based_windows, "/",
            opc_stats_.windows, " windows model-based");
 }
 
 const std::vector<Rect>& PostOpcFlow::mask_for_instance(
     std::size_t instance) const {
-  const auto it = masks_.find(instance);
-  POC_EXPECTS(it != masks_.end());
-  return it->second;
+  POC_EXPECTS(instance < masks_.size());
+  return masks_[instance];
 }
 
 GateExtraction PostOpcFlow::extract_gate(GateIdx gate, const Image2D& latent,
@@ -179,36 +208,35 @@ std::vector<GateIdx> all_or_subset(
 
 }  // namespace
 
+std::vector<GateExtraction> PostOpcFlow::extract_impl(
+    const LithoSimulator& sim, const Exposure& exposure,
+    const std::optional<std::vector<GateIdx>>& subset) const {
+  POC_EXPECTS(!masks_.empty());  // run_opc first
+  const std::vector<GateIdx> gates = all_or_subset(design_->netlist, subset);
+  // Per-gate silicon/model litho simulation + CD extraction is the flow's
+  // dominant cost; every gate is independent and writes its own slot.
+  std::vector<GateExtraction> out(gates.size());
+  parallel_for(threads(), gates.size(), /*chunk=*/1, [&](std::size_t k) {
+    const GateIdx g = gates[k];
+    const std::size_t instance = design_->gate_to_instance[g];
+    const Rect window = design_->litho_window(g, options_.ambit_nm);
+    const Image2D latent = sim.latent(mask_for_instance(instance), window,
+                                      exposure, options_.extract_quality);
+    out[k] = extract_gate(g, latent, sim.print_threshold());
+  });
+  return out;
+}
+
 std::vector<GateExtraction> PostOpcFlow::extract(
     const Exposure& exposure,
     const std::optional<std::vector<GateIdx>>& subset) const {
-  POC_EXPECTS(!masks_.empty());  // run_opc first
-  std::vector<GateExtraction> out;
-  const Exposure silicon = silicon_exposure(exposure);
-  for (GateIdx g : all_or_subset(design_->netlist, subset)) {
-    const std::size_t instance = design_->gate_to_instance[g];
-    const Rect window = design_->litho_window(g, options_.ambit_nm);
-    const Image2D latent =
-        silicon_sim_.latent(mask_for_instance(instance), window, silicon,
-                            options_.extract_quality);
-    out.push_back(extract_gate(g, latent, silicon_sim_.print_threshold()));
-  }
-  return out;
+  return extract_impl(silicon_sim_, silicon_exposure(exposure), subset);
 }
 
 std::vector<GateExtraction> PostOpcFlow::extract_with_model(
     const Exposure& exposure,
     const std::optional<std::vector<GateIdx>>& subset) const {
-  POC_EXPECTS(!masks_.empty());  // run_opc first
-  std::vector<GateExtraction> out;
-  for (GateIdx g : all_or_subset(design_->netlist, subset)) {
-    const std::size_t instance = design_->gate_to_instance[g];
-    const Rect window = design_->litho_window(g, options_.ambit_nm);
-    const Image2D latent = sim_.latent(mask_for_instance(instance), window,
-                                       exposure, options_.extract_quality);
-    out.push_back(extract_gate(g, latent, sim_.print_threshold()));
-  }
-  return out;
+  return extract_impl(sim_, exposure, subset);
 }
 
 namespace {
@@ -304,32 +332,51 @@ PostOpcFlow::HotspotReport PostOpcFlow::scan_hotspots(
     const std::vector<ProcessCorner>& conditions,
     const OrcOptions& orc_options) const {
   POC_EXPECTS(!masks_.empty());  // run_opc first
-  HotspotReport report;
   const OpcEngine engine(sim_, options_.opc);
-  for (std::size_t i = 0; i < design_->layout.num_instances(); ++i) {
-    const Instance& inst = design_->layout.instance(i);
-    const Rect window =
-        inst.transform.apply(design_->layout.cell(inst.cell).boundary)
-            .inflated(options_.ambit_nm);
-    const std::vector<Polygon> targets =
-        design_->layout.flatten_layer_polys(window, Layer::kPoly);
-    if (targets.empty()) continue;
-    ++report.windows_checked;
-    for (const ProcessCorner& corner : conditions) {
-      // Hotspots are judged against the silicon reference, not the model.
-      const OrcReport orc =
-          run_orc(silicon_sim_, engine, targets, mask_for_instance(i), window,
-                  silicon_exposure(corner.exposure), orc_options);
-      for (const OrcViolation& v : orc.violations) {
-        switch (v.kind) {
-          case OrcViolation::Kind::kPinch: ++report.pinches; break;
-          case OrcViolation::Kind::kBridge: ++report.bridges; break;
-          case OrcViolation::Kind::kEpe: ++report.epe_violations; break;
+  const std::size_t n = design_->layout.num_instances();
+  // Per-window ORC across all corners; partial reports land in per-window
+  // slots and merge in instance order, so violation order and counts match
+  // the serial scan exactly.
+  const HotspotReport report = parallel_map_reduce(
+      threads(), n, /*chunk=*/1, HotspotReport{},
+      [&](std::size_t i) {
+        HotspotReport partial;
+        const Instance& inst = design_->layout.instance(i);
+        const Rect window =
+            inst.transform.apply(design_->layout.cell(inst.cell).boundary)
+                .inflated(options_.ambit_nm);
+        const std::vector<Polygon> targets =
+            design_->layout.flatten_layer_polys(window, Layer::kPoly);
+        if (targets.empty()) return partial;
+        ++partial.windows_checked;
+        for (const ProcessCorner& corner : conditions) {
+          // Hotspots are judged against the silicon reference, not the
+          // model.
+          const OrcReport orc = run_orc(silicon_sim_, engine, targets,
+                                        mask_for_instance(i), window,
+                                        silicon_exposure(corner.exposure),
+                                        orc_options);
+          for (const OrcViolation& v : orc.violations) {
+            switch (v.kind) {
+              case OrcViolation::Kind::kPinch: ++partial.pinches; break;
+              case OrcViolation::Kind::kBridge: ++partial.bridges; break;
+              case OrcViolation::Kind::kEpe: ++partial.epe_violations; break;
+            }
+            partial.hotspots.push_back({i, corner.name, v});
+          }
         }
-        report.hotspots.push_back({i, corner.name, v});
-      }
-    }
-  }
+        return partial;
+      },
+      [](HotspotReport acc, HotspotReport w) {
+        acc.windows_checked += w.windows_checked;
+        acc.pinches += w.pinches;
+        acc.bridges += w.bridges;
+        acc.epe_violations += w.epe_violations;
+        acc.hotspots.insert(acc.hotspots.end(),
+                            std::make_move_iterator(w.hotspots.begin()),
+                            std::make_move_iterator(w.hotspots.end()));
+        return acc;
+      });
   log_info("hotspot scan: ", report.hotspots.size(), " violations over ",
            report.windows_checked, " windows x ", conditions.size(),
            " conditions");

@@ -8,8 +8,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/cdx/cd_extract.h"
@@ -57,6 +57,11 @@ struct FlowOptions {
   bool use_parasitics = true;
   std::uint64_t seed = 42;      ///< ACLV noise stream
   SiliconMismatch silicon;
+  /// Threads for the window-shaped hot loops (OPC, extraction, hotspot
+  /// scan, Monte Carlo).  0 = hardware concurrency; 1 = serial.  Results
+  /// are bit-identical for every value — see the determinism contract in
+  /// DESIGN.md.
+  std::size_t threads = 0;
 };
 
 /// Aggregate OPC cost/quality over all instance windows.
@@ -195,10 +200,25 @@ class PostOpcFlow {
   HotspotReport scan_hotspots(const std::vector<ProcessCorner>& conditions,
                               const OrcOptions& orc_options = {}) const;
 
+  /// Threads the hot loops actually use (options().threads resolved).
+  std::size_t threads() const;
+
  private:
-  void opc_window(std::size_t instance, OpcMode mode);
+  /// One instance's OPC window, computed without touching shared state so
+  /// windows can run concurrently; run_opc merges the stats in instance
+  /// order.
+  struct OpcWindowResult {
+    std::vector<Rect> mask;
+    OpcStats stats;
+  };
+  OpcWindowResult opc_window(std::size_t instance, OpcMode mode) const;
+  void run_opc_windows(
+      const std::function<OpcMode(std::size_t)>& mode_for_instance);
   GateExtraction extract_gate(GateIdx gate, const Image2D& latent,
                               double threshold) const;
+  std::vector<GateExtraction> extract_impl(
+      const LithoSimulator& sim, const Exposure& exposure,
+      const std::optional<std::vector<GateIdx>>& subset) const;
 
   const PlacedDesign* design_;
   const StdCellLibrary* lib_;
@@ -206,8 +226,9 @@ class PostOpcFlow {
   LithoSimulator silicon_sim_;  ///< the process extraction measures
   FlowOptions options_;
 
-  /// Per layout instance: corrected poly mask for its window.
-  std::unordered_map<std::size_t, std::vector<Rect>> masks_;
+  /// Per layout instance: corrected poly mask for its window (pre-sized
+  /// slots — the parallel engine's write targets).  Empty until run_opc.
+  std::vector<std::vector<Rect>> masks_;
   OpcStats opc_stats_;
 };
 

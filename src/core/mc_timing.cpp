@@ -1,0 +1,40 @@
+#include "src/core/mc_timing.h"
+
+#include "src/par/thread_pool.h"
+
+namespace poc {
+
+std::vector<double> McTimingResult::slacks() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const McTimingSample& s : samples) out.push_back(s.worst_slack);
+  return out;
+}
+
+McTimingResult run_mc_timing(
+    const PostOpcFlow& flow,
+    const std::vector<PostOpcFlow::DeviceResponse>& responses,
+    const VariationModel& model, std::size_t num_samples,
+    std::uint64_t seed) {
+  McTimingResult result;
+  result.samples.resize(num_samples);
+  parallel_for(flow.threads(), num_samples, /*chunk=*/1, [&](std::size_t s) {
+    Rng rng = Rng::stream(seed, s);
+    McTimingSample& sample = result.samples[s];
+    sample.exposure = model.sample_exposure(rng);
+    const std::vector<GateExtraction> ext =
+        flow.mc_extraction(responses, sample.exposure, model.aclv_sigma_nm,
+                           rng);
+    const std::vector<DelayAnnotation> ann = flow.annotate(ext);
+    const StaReport report = flow.run_sta(&ann);
+    sample.worst_slack = report.worst_slack;
+    sample.leakage_ua = report.total_leakage_ua;
+  });
+  for (const McTimingSample& s : result.samples) {
+    result.slack_stats.add(s.worst_slack);
+    result.leak_stats.add(s.leakage_ua);
+  }
+  return result;
+}
+
+}  // namespace poc

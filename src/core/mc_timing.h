@@ -1,0 +1,45 @@
+// Monte-Carlo timing over the joint (focus, dose, ACLV) process model —
+// the sampling loop behind experiment T3, hoisted out of the bench into
+// the library so it runs on the deterministic parallel engine.  Each
+// sample evaluates the fitted per-gate CD response surfaces at a drawn
+// exposure, back-annotates, and re-runs STA; samples are independent, so
+// the loop parallelizes over sample index with a counter-derived RNG
+// stream per sample (Rng::stream(seed, s)).  Results are bit-identical
+// for every thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/core/flow.h"
+#include "src/var/variation.h"
+
+namespace poc {
+
+struct McTimingSample {
+  Exposure exposure;
+  Ps worst_slack = 0.0;
+  double leakage_ua = 0.0;
+};
+
+struct McTimingResult {
+  std::vector<McTimingSample> samples;  ///< indexed by sample id
+  RunningStats slack_stats;
+  RunningStats leak_stats;
+
+  /// Worst slacks in sample order (percentile() input).
+  std::vector<double> slacks() const;
+};
+
+/// Runs `num_samples` process-window draws through annotate + STA using
+/// `flow.options().threads` threads.  Sample s draws its exposure and all
+/// per-gate ACLV noise from Rng::stream(seed, s), so the result does not
+/// depend on scheduling; the stats fold in sample order.
+McTimingResult run_mc_timing(
+    const PostOpcFlow& flow,
+    const std::vector<PostOpcFlow::DeviceResponse>& responses,
+    const VariationModel& model, std::size_t num_samples, std::uint64_t seed);
+
+}  // namespace poc

@@ -1,0 +1,151 @@
+// Deterministic parallel window engine.  The post-OPC flow's hot loops are
+// embarrassingly parallel over independent windows (per-instance OPC, per-
+// gate extraction, per-window ORC, per-sample Monte Carlo), so the pool's
+// contract is built around that shape:
+//
+//   * work items are identified by a dense index in [0, n);
+//   * results are written into pre-sized slots indexed by item id, never
+//     into shared accumulators, so the answer is bit-identical regardless
+//     of thread count or scheduling;
+//   * reductions (parallel_map_reduce) materialize per-item values and
+//     fold them on the calling thread in strict index order — double
+//     addition is not associative, so the fold order is part of the
+//     determinism contract;
+//   * per-item randomness must come from counter-derived streams
+//     (Rng::stream(seed, item)), never from a shared engine.
+//
+// Scheduling is work-stealing over per-thread chunk queues (the classic
+// per-work-item scheduler shape): contiguous chunks of the index range are
+// dealt round-robin into one queue per participant, each participant drains
+// its own queue front-first and steals from the back of others when idle.
+// Stealing balances load; determinism is unaffected because scheduling only
+// decides *where* a chunk runs, never what it writes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace poc {
+
+/// Work-stealing pool of `workers` persistent threads.  The thread calling
+/// parallel_for always participates, so a pool with W workers runs batches
+/// on up to W + 1 threads.  A pool with 0 workers degrades to serial
+/// execution on the caller with identical results.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const { return threads_.size(); }
+
+  /// Runs fn(i) for every i in [0, n), split into contiguous chunks of
+  /// `chunk` items, on up to `max_threads` threads (caller included; 0
+  /// means caller + every worker).  Blocks until all items ran.  Within a
+  /// chunk, indices are visited in ascending order.  If any fn invocation
+  /// throws, the remaining items of that chunk are skipped, every other
+  /// chunk still runs, and the exception from the lowest-indexed throwing
+  /// chunk is rethrown on the caller — deterministically, whatever the
+  /// thread count.
+  void parallel_for(std::size_t n, std::size_t chunk,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t max_threads = 0);
+
+  /// True when the current thread is a pool worker (any pool's).  Nested
+  /// parallel_for calls from inside a worker run serially inline — see
+  /// poc::parallel_for — so worker threads never block on a child batch.
+  static bool on_worker_thread();
+
+ private:
+  struct Batch {
+    std::size_t n = 0;
+    std::size_t chunk = 1;
+    std::size_t num_chunks = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+
+    struct Queue {
+      std::mutex mutex;
+      std::deque<std::size_t> chunks;  ///< chunk indices
+    };
+    std::vector<Queue> queues;  ///< queue 0 = caller, 1..W = workers
+
+    std::size_t max_extra_workers = 0;   ///< workers allowed to join
+    std::atomic<std::size_t> joined{0};  ///< workers that tried to join
+
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t chunks_remaining = 0;
+
+    /// First error by chunk index, so the rethrown exception does not
+    /// depend on scheduling.
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    std::size_t error_chunk = 0;
+  };
+
+  void worker_loop(std::size_t queue_index);
+  /// Drains `batch` from `home_queue`, stealing when the home queue runs
+  /// dry.  Returns when no unclaimed chunks remain.
+  static void run_chunks(Batch& batch, std::size_t home_queue);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::shared_ptr<Batch> batch_;    ///< current batch, null when idle
+  std::uint64_t generation_ = 0;    ///< bumped per batch so workers join once
+  bool stop_ = false;
+};
+
+/// Number of threads `requested` resolves to: 0 = hardware concurrency,
+/// otherwise the value itself (minimum 1).
+std::size_t resolve_threads(std::size_t requested);
+
+/// Shared process-wide pool used by the free parallel_for below.  Lazily
+/// constructed with enough workers that a `threads` request up to at least
+/// 4 (or hardware concurrency, whichever is larger) is honoured even on
+/// small machines — determinism tests deliberately oversubscribe 1-core
+/// hosts.
+ThreadPool& global_pool();
+
+/// Deterministic parallel loop: fn(i) for i in [0, n) using up to `threads`
+/// OS threads (after resolve_threads).  threads <= 1, n <= 1, or a call
+/// from inside a pool worker (nested submission) runs serially inline on
+/// the caller — bit-identical by construction, and deadlock-free under
+/// nesting.  `chunk` must be >= 1.
+void parallel_for(std::size_t threads, std::size_t n, std::size_t chunk,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Deterministic map/reduce: materializes map(i) into per-item slots in
+/// parallel, then folds acc = reduce(move(acc), move(slot[i])) on the
+/// calling thread in ascending index order.  T must be default- and
+/// move-constructible.  Bit-identical for any thread count because the
+/// fold order never changes.
+template <typename T, typename Map, typename Reduce>
+T parallel_map_reduce(std::size_t threads, std::size_t n, std::size_t chunk,
+                      T init, Map&& map, Reduce&& reduce) {
+  std::vector<T> slots(n);
+  parallel_for(threads, n, chunk,
+               [&](std::size_t i) { slots[i] = map(i); });
+  T acc = std::move(init);
+  for (std::size_t i = 0; i < n; ++i) {
+    acc = reduce(std::move(acc), std::move(slots[i]));
+  }
+  return acc;
+}
+
+}  // namespace poc

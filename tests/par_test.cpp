@@ -1,0 +1,166 @@
+// Unit tests for the deterministic parallel window engine: pool lifecycle,
+// index coverage, chunk-size edge cases, exception propagation out of
+// workers, nested-submission deadlock guard, and the bit-identical
+// map/reduce contract.
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/par/thread_pool.h"
+
+namespace poc {
+namespace {
+
+TEST(ThreadPool, StartupShutdownAcrossSizes) {
+  // Pools must come up and wind down cleanly whether or not they ever ran
+  // a batch, including the degenerate workerless pool.
+  for (std::size_t workers : {0u, 1u, 3u, 8u}) {
+    ThreadPool idle(workers);
+    EXPECT_EQ(idle.workers(), workers);
+  }
+  for (int round = 0; round < 3; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> hits{0};
+    pool.parallel_for(100, 7, [&](std::size_t) { ++hits; });
+    EXPECT_EQ(hits.load(), 100);
+  }
+}
+
+TEST(ThreadPool, EmptyRangeNeverInvokes) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, 4, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+  parallel_for(4, 0, 1, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(3);
+  for (std::size_t n : {1u, 2u, 5u, 64u, 1000u}) {
+    for (std::size_t chunk : {1u, 3u, 64u, 5000u}) {
+      std::vector<int> hits(n, 0);
+      pool.parallel_for(n, chunk, [&](std::size_t i) { ++hits[i]; });
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i], 1) << "n=" << n << " chunk=" << chunk << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroChunkRejected) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(4, 0, [](std::size_t) {}), CheckError);
+  EXPECT_THROW(parallel_for(2, 4, 0, [](std::size_t) {}), CheckError);
+}
+
+TEST(ThreadPool, ChunkLargerThanRangeRunsSerial) {
+  ThreadPool pool(4);
+  std::vector<std::size_t> order;
+  // One chunk -> one participant -> strictly ascending visit order.
+  pool.parallel_for(10, 100, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(50, 4,
+                        [](std::size_t i) {
+                          if (i == 17) throw std::runtime_error("boom 17");
+                        }),
+      std::runtime_error);
+  // The pool must remain fully usable after a throwing batch.
+  std::atomic<int> hits{0};
+  pool.parallel_for(50, 4, [&](std::size_t) { ++hits; });
+  EXPECT_EQ(hits.load(), 50);
+}
+
+TEST(ThreadPool, LowestChunkExceptionWinsDeterministically) {
+  // Every item throws; whatever the scheduling, the rethrown error must be
+  // the first item of the lowest-indexed chunk.
+  for (int round = 0; round < 5; ++round) {
+    ThreadPool pool(4);
+    try {
+      pool.parallel_for(64, 4, [](std::size_t i) {
+        throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "expected throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "0");
+    }
+  }
+}
+
+TEST(ThreadPool, NestedSubmissionRunsInlineWithoutDeadlock) {
+  // A worker that submits a child loop must not block on the pool it is
+  // itself draining; the free function runs nested calls serially inline.
+  std::vector<std::vector<int>> inner_hits(16, std::vector<int>(8, 0));
+  parallel_for(4, 16, 1, [&](std::size_t outer) {
+    parallel_for(4, 8, 1,
+                 [&](std::size_t inner) { ++inner_hits[outer][inner]; });
+  });
+  for (const auto& row : inner_hits) {
+    for (int h : row) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPool, MapReduceMatchesSerialSum) {
+  const std::size_t n = 1000;
+  const auto map = [](std::size_t i) { return static_cast<std::int64_t>(i); };
+  const auto reduce = [](std::int64_t a, std::int64_t b) { return a + b; };
+  const std::int64_t expected = static_cast<std::int64_t>(n * (n - 1) / 2);
+  for (std::size_t threads : {1u, 2u, 4u, 7u}) {
+    EXPECT_EQ(parallel_map_reduce<std::int64_t>(threads, n, 16, 0, map,
+                                                reduce),
+              expected);
+  }
+}
+
+TEST(ThreadPool, DoubleReductionBitIdenticalAcrossThreadCounts) {
+  // Floating-point addition is not associative; the engine promises the
+  // fold happens in index order regardless of thread count, so the sums
+  // must match to the last bit, not just approximately.
+  const std::size_t n = 4096;
+  const auto map = [](std::size_t i) {
+    return 1.0 / (static_cast<double>(i) + 1.0);
+  };
+  const auto reduce = [](double a, double b) { return a + b; };
+  const double serial =
+      parallel_map_reduce<double>(1, n, 8, 0.0, map, reduce);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    const double parallel =
+        parallel_map_reduce<double>(threads, n, 8, 0.0, map, reduce);
+    EXPECT_EQ(parallel, serial) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, SlotWritesRaceFreeUnderLoad) {
+  // Stress the stealing paths: many small chunks, each writing its own
+  // slot.  Under POC_SANITIZE=thread this is the canonical race detector.
+  ThreadPool pool(4);
+  const std::size_t n = 20000;
+  std::vector<std::uint64_t> slots(n, 0);
+  pool.parallel_for(n, 3, [&](std::size_t i) {
+    slots[i] = splitmix64(i);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(slots[i], splitmix64(i)) << i;
+  }
+}
+
+TEST(ResolveThreads, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(resolve_threads(0), 1u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(6), 6u);
+}
+
+}  // namespace
+}  // namespace poc
