@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# PR2 performance proof: runs the kernel micro-benchmarks plus the T2
+# cache-on/off comparison and assembles BENCH_PR2.json (benchmark name,
+# real time, cache hit rate).  The cache rows come from the greppable
+# CACHE_BENCH lines bench_t2_timing_comparison prints for its
+# repeated-instance design; the speedup entry is cache-off wall time over
+# cache-on wall time for the same run_opc+extract work.
+#
+# Usage: scripts/bench.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+OUT=BENCH_PR2.json
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target bench_perf_kernels \
+    bench_t2_timing_comparison >/dev/null
+
+echo "== kernels (google-benchmark) =="
+KERNELS_JSON=$(mktemp)
+./build/bench/bench_perf_kernels --benchmark_format=json \
+    --benchmark_out_format=json >"$KERNELS_JSON"
+
+echo "== T2 cache on/off =="
+T2_LOG=$(mktemp)
+# POC_CACHE stays unset: the bench runs its cache section with the cache
+# explicitly off then on over the same design (POC_CACHE=0 would force
+# every flow off and void the comparison).
+./build/bench/bench_t2_timing_comparison | tee "$T2_LOG"
+
+# CACHE_BENCH name=<n> cache=<on|off> wall_ms=<ms> hit_rate=<0..1>
+awk '
+  /^CACHE_BENCH / {
+    for (i = 2; i <= NF; ++i) {
+      split($i, kv, "=")
+      v[kv[1]] = kv[2]
+    }
+    row = sprintf("    {\"name\": \"%s_%s\", \"real_time\": %s, " \
+                  "\"time_unit\": \"ms\", \"hit_rate\": %s}",
+                  v["name"], v["cache"], v["wall_ms"], v["hit_rate"])
+    rows = rows (rows == "" ? "" : ",\n") row
+    ms[v["cache"]] = v["wall_ms"]
+  }
+  END {
+    printf "{\n  \"cache_bench\": [\n%s\n  ],\n", rows
+    if (ms["off"] > 0 && ms["on"] > 0)
+      printf "  \"cache_speedup\": %.3f,\n", ms["off"] / ms["on"]
+  }
+' "$T2_LOG" >"$OUT"
+
+# Append the kernel timings, reduced to name/real_time/time_unit triples.
+awk '
+  /"name":/      { name = $0; sub(/^.*"name": "/, "", name); sub(/".*$/, "", name) }
+  /"real_time":/ { rt = $0; sub(/^.*"real_time": /, "", rt); sub(/,.*$/, "", rt) }
+  /"time_unit":/ {
+    unit = $0; sub(/^.*"time_unit": "/, "", unit); sub(/".*$/, "", unit)
+    if (name != "") {
+      row = sprintf("    {\"name\": \"%s\", \"real_time\": %s, \"time_unit\": \"%s\"}",
+                    name, rt, unit)
+      rows = rows (rows == "" ? "" : ",\n") row
+      name = ""
+    }
+  }
+  END { printf "  \"kernels\": [\n%s\n  ]\n}\n", rows }
+' "$KERNELS_JSON" >>"$OUT"
+
+rm -f "$KERNELS_JSON" "$T2_LOG"
+echo "wrote $OUT"

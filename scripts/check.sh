@@ -19,10 +19,11 @@ cmake --build build -j "$JOBS"
 echo "== step 2/3: full test suite =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== step 3/3: TSan build + race tests (par_test, core_test) =="
+echo "== step 3/3: TSan build + race tests (par_test, cache_test, core_test) =="
 cmake -B build-tsan -S . -DPOC_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target par_test core_test
+cmake --build build-tsan -j "$JOBS" --target par_test cache_test core_test
 ./build-tsan/tests/par_test
+./build-tsan/tests/cache_test
 ./build-tsan/tests/core_test
 
 echo "== check.sh: all green =="

@@ -1,0 +1,74 @@
+#include "src/cache/fingerprint.h"
+
+#include <bit>
+
+namespace poc {
+namespace {
+
+constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+
+/// SplitMix64 finalizer (same mix as Rng's, duplicated here so poc_cache
+/// stays a leaf over poc_common/poc_geom without pulling in <random>).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FpHasher& FpHasher::u64(std::uint64_t v) {
+  h1_ = mix64(h1_ + kGamma + v);
+  h2_ = mix64(h2_ ^ (v + kGamma + (h2_ << 7) + (h2_ >> 9)));
+  return *this;
+}
+
+FpHasher& FpHasher::f64(double v) { return u64(std::bit_cast<std::uint64_t>(v)); }
+
+FpHasher& FpHasher::str(std::string_view s) {
+  u64(s.size());
+  std::uint64_t word = 0;
+  std::size_t filled = 0;
+  for (const char c : s) {
+    word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+            << (8 * filled);
+    if (++filled == 8) {
+      u64(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) u64(word);
+  return *this;
+}
+
+FpHasher& FpHasher::point(Point p, Point anchor) {
+  return i64(p.x - anchor.x).i64(p.y - anchor.y);
+}
+
+FpHasher& FpHasher::rect(const Rect& r, Point anchor) {
+  return i64(r.xlo - anchor.x)
+      .i64(r.ylo - anchor.y)
+      .i64(r.xhi - anchor.x)
+      .i64(r.yhi - anchor.y);
+}
+
+FpHasher& FpHasher::rects(const std::vector<Rect>& rs, Point anchor) {
+  u64(rs.size());
+  for (const Rect& r : rs) rect(r, anchor);
+  return *this;
+}
+
+FpHasher& FpHasher::poly(const Polygon& p, Point anchor) {
+  u64(p.size());
+  for (const Point& v : p.vertices()) point(v, anchor);
+  return *this;
+}
+
+FpHasher& FpHasher::polys(const std::vector<Polygon>& ps, Point anchor) {
+  u64(ps.size());
+  for (const Polygon& p : ps) poly(p, anchor);
+  return *this;
+}
+
+}  // namespace poc

@@ -1,0 +1,66 @@
+// Content-addressed fingerprints for litho/OPC window memoization.  A
+// placed-and-routed design repeats the same standard cells (and the same
+// local poly context) thousands of times, so most simulation windows are
+// geometrically identical up to translation.  The fingerprint canonicalizes
+// a window by translating its geometry to a local frame (anchor at the
+// window origin) and hashing it together with every parameter that affects
+// the result — two windows collide only if recomputing one would reproduce
+// the other's bits exactly.  128 bits keep accidental collisions out of
+// reach for any realistic window count (~2^-90 at a billion windows).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/geom/point.h"
+#include "src/geom/polygon.h"
+#include "src/geom/rect.h"
+
+namespace poc {
+
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend constexpr bool operator==(const Fingerprint&,
+                                   const Fingerprint&) = default;
+};
+
+/// Hash functor so Fingerprint can key unordered containers.  The
+/// fingerprint is already uniformly mixed; folding the lanes is enough.
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& fp) const {
+    return static_cast<std::size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Incremental two-lane hasher.  Each absorbed value passes through a
+/// splitmix64-style finalizer on both lanes with different mixing paths, so
+/// the two 64-bit halves are effectively independent.  Absorption order is
+/// part of the key: callers must feed fields in a fixed order.
+class FpHasher {
+ public:
+  FpHasher& u64(std::uint64_t v);
+  FpHasher& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  /// Hashes the IEEE-754 bit pattern: keys distinguish -0.0 from 0.0, which
+  /// is the safe direction for bit-exact memoization.
+  FpHasher& f64(double v);
+  FpHasher& str(std::string_view s);
+
+  /// Geometry, translated to the local frame defined by `anchor` (the
+  /// window origin): identical windows at different placements hash alike.
+  FpHasher& point(Point p, Point anchor);
+  FpHasher& rect(const Rect& r, Point anchor);
+  FpHasher& rects(const std::vector<Rect>& rs, Point anchor);
+  FpHasher& poly(const Polygon& p, Point anchor);
+  FpHasher& polys(const std::vector<Polygon>& ps, Point anchor);
+
+  Fingerprint digest() const { return {h1_, h2_}; }
+
+ private:
+  std::uint64_t h1_ = 0x243f6a8885a308d3ULL;  ///< pi fraction (lane seeds)
+  std::uint64_t h2_ = 0x13198a2e03707344ULL;
+};
+
+}  // namespace poc

@@ -1,0 +1,166 @@
+// Sharded, thread-safe, content-addressed result cache.  Values are keyed
+// by a Fingerprint (see fingerprint.h) that covers everything affecting the
+// computation, so a hit returns bits identical to what a recompute would
+// produce — the cache is a pure performance layer and composes with the
+// determinism contract in DESIGN.md: flow results are bit-identical with
+// the cache on or off, at any thread count.
+//
+// Concurrency model: the fingerprint space is split across independent
+// shards (key -> shard by fingerprint bits), each protected by one mutex
+// around an LRU-ordered hash map.  Two threads that miss on the same key
+// both compute (the computation is pure, so the duplicate work is the only
+// cost); the first insert wins and the loser's value is dropped.  Nothing
+// blocks across shards, so the window loops scale.
+//
+// Eviction is per-shard LRU over an approximate byte cost supplied by the
+// caller at insert time.  Eviction only ever discards memoized results —
+// it can change hit rates, never values.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/cache/fingerprint.h"
+#include "src/common/check.h"
+
+namespace poc {
+
+/// Monotonic counters, readable while the cache is in use.  hits + misses
+/// counts find() calls; insertions/evictions/rejected track the write side
+/// (rejected = entries whose cost exceeds a whole shard's budget, e.g. any
+/// insert into a capacity-0 cache).
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rejected = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+
+  double hit_rate() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+
+  CacheCounters& operator+=(const CacheCounters& o) {
+    hits += o.hits;
+    misses += o.misses;
+    insertions += o.insertions;
+    evictions += o.evictions;
+    rejected += o.rejected;
+    entries += o.entries;
+    bytes += o.bytes;
+    return *this;
+  }
+};
+
+template <typename Value>
+class ShardedCache {
+ public:
+  /// `capacity_bytes` is the total LRU budget, split evenly across
+  /// `shards` (>= 1).  A capacity of 0 disables storage: every find misses
+  /// and every insert is rejected, which keeps the caller's code path
+  /// identical to the enabled case.
+  explicit ShardedCache(std::size_t capacity_bytes, std::size_t shards = 16)
+      : shards_(std::max<std::size_t>(shards, 1)),
+        shard_capacity_(capacity_bytes / std::max<std::size_t>(shards, 1)) {}
+
+  ShardedCache(const ShardedCache&) = delete;
+  ShardedCache& operator=(const ShardedCache&) = delete;
+
+  /// Returns the cached value or null, refreshing LRU recency on a hit.
+  /// The returned pointer stays valid after eviction (shared ownership).
+  std::shared_ptr<const Value> find(const Fingerprint& fp) {
+    Shard& s = shard_of(fp);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.map.find(fp);
+    if (it == s.map.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    s.lru.splice(s.lru.begin(), s.lru, it->second.lru_pos);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second.value;
+  }
+
+  /// Inserts `value` with the given approximate byte cost, evicting LRU
+  /// entries as needed.  If the key is already present (a concurrent miss
+  /// computed the same pure result), the existing entry is kept.
+  void insert(const Fingerprint& fp, std::shared_ptr<const Value> value,
+              std::size_t cost_bytes) {
+    POC_EXPECTS(value != nullptr);
+    const std::size_t cost = std::max<std::size_t>(cost_bytes, 1);
+    if (cost > shard_capacity_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Shard& s = shard_of(fp);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.map.contains(fp)) return;
+    s.lru.push_front(fp);
+    s.map.emplace(fp, Entry{std::move(value), cost, s.lru.begin()});
+    s.bytes += cost;
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    while (s.bytes > shard_capacity_) {
+      const auto victim = s.map.find(s.lru.back());
+      s.bytes -= victim->second.cost;
+      s.map.erase(victim);
+      s.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  CacheCounters counters() const {
+    CacheCounters c;
+    c.hits = hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    c.insertions = insertions_.load(std::memory_order_relaxed);
+    c.evictions = evictions_.load(std::memory_order_relaxed);
+    c.rejected = rejected_.load(std::memory_order_relaxed);
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      c.entries += s.map.size();
+      c.bytes += s.bytes;
+    }
+    return c;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Value> value;
+    std::size_t cost = 0;
+    std::list<Fingerprint>::iterator lru_pos;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Fingerprint, Entry, FingerprintHash> map;
+    std::list<Fingerprint> lru;  ///< front = most recent
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_of(const Fingerprint& fp) {
+    return shards_[fp.hi % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+  std::size_t shard_capacity_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace poc

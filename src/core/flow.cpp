@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <iterator>
+#include <limits>
+#include <memory>
 #include <unordered_map>
 
+#include "src/cache/fingerprint.h"
 #include "src/common/check.h"
 #include "src/common/log.h"
 #include "src/geom/polygon_ops.h"
@@ -33,7 +36,90 @@ OpcStats merge_stats(OpcStats acc, const OpcStats& w) {
   return acc;
 }
 
+// Fingerprint feeders for every parameter block that can change a window
+// result.  Field order is fixed — it is part of the key.
+
+void hash_optics(FpHasher& h, const OpticalSettings& o) {
+  h.f64(o.wavelength_nm)
+      .f64(o.na)
+      .f64(o.sigma_inner)
+      .f64(o.sigma_outer)
+      .u64(o.source_rings)
+      .u64(o.source_spokes)
+      .f64(o.z9_spherical_waves)
+      .f64(o.z7_coma_x_waves);
+}
+
+void hash_sim(FpHasher& h, const LithoSimulator& sim) {
+  hash_optics(h, sim.optics());
+  h.f64(sim.resist().diffusion_nm).f64(sim.resist().threshold);
+}
+
+void hash_exposure(FpHasher& h, const Exposure& e) {
+  h.f64(e.focus_nm).f64(e.dose);
+}
+
+void hash_opc_options(FpHasher& h, const OpcOptions& o) {
+  const FragmentationOptions& f = o.fragmentation;
+  h.i64(f.max_fragment_len)
+      .i64(f.corner_len)
+      .i64(f.min_edge_for_corners)
+      .i64(f.line_end_max_len);
+  h.u64(o.max_iterations)
+      .f64(o.damping)
+      .f64(o.epe_tolerance_nm)
+      .i64(o.max_bias)
+      .i64(o.min_bias)
+      .f64(o.probe_inside_nm)
+      .f64(o.probe_outside_nm)
+      .u64(static_cast<std::uint64_t>(o.sim_quality))
+      .u64(static_cast<std::uint64_t>(o.final_quality))
+      .f64(o.handoff_epe_nm)
+      .u64(o.final_iterations)
+      .u64(o.insert_srafs ? 1 : 0);
+}
+
+void hash_orc_options(FpHasher& h, const OrcOptions& o) {
+  h.f64(o.pinch_fraction)
+      .f64(o.epe_limit_nm)
+      .i64(o.bridge_check_space)
+      .u64(o.exclude_corner_fragments ? 1 : 0)
+      .u64(static_cast<std::uint64_t>(o.quality));
+}
+
+void log_cache(const char* what, const CacheCounters& c) {
+  log_info(what, " cache: ", c.hits, " hits / ", c.misses, " misses (",
+           c.hit_rate() * 100.0, "% hit rate), ", c.entries, " entries, ",
+           c.evictions, " evictions");
+}
+
 }  // namespace
+
+/// The three flow-level result caches.  Values are stored in the window's
+/// local frame (anchor = window origin subtracted from all coordinates) and
+/// translated back on a hit, so one entry serves every placement of the
+/// same cell context.  Translation of integer geometry and of half-integer
+/// image origins is exact, which keeps hits bit-identical to recomputes.
+struct PostOpcFlow::WindowCaches {
+  /// Corrected mask + per-window OPC stats, local frame.
+  struct OpcEntry {
+    std::vector<Rect> mask;
+    OpcStats stats;
+  };
+  /// ORC report with violation coordinates in the local frame.
+  struct OrcEntry {
+    OrcReport report;
+  };
+
+  ShardedCache<OpcEntry> opc;
+  ShardedCache<Image2D> latent;
+  ShardedCache<OrcEntry> orc;
+
+  WindowCaches(std::size_t bytes_each, std::size_t shards)
+      : opc(bytes_each, shards),
+        latent(bytes_each, shards),
+        orc(bytes_each, shards) {}
+};
 
 PostOpcFlow::PostOpcFlow(const PlacedDesign& design, const StdCellLibrary& lib,
                          LithoSimulator sim, FlowOptions options)
@@ -47,6 +133,20 @@ PostOpcFlow::PostOpcFlow(const PlacedDesign& design, const StdCellLibrary& lib,
     silicon_resist.threshold += options_.silicon.threshold_delta;
   }
   silicon_sim_ = LithoSimulator(sim.optics(), silicon_resist);
+  if (options_.cache.enabled) {
+    caches_ = std::make_shared<WindowCaches>(
+        options_.cache.capacity_mb << 20, options_.cache.shards);
+  }
+}
+
+PostOpcFlow::FlowCacheCounters PostOpcFlow::cache_counters() const {
+  FlowCacheCounters c;
+  if (caches_) {
+    c.opc = caches_->opc.counters();
+    c.latent = caches_->latent.counters();
+    c.orc = caches_->orc.counters();
+  }
+  return c;
 }
 
 Exposure PostOpcFlow::silicon_exposure(const Exposure& e) const {
@@ -90,6 +190,27 @@ PostOpcFlow::OpcWindowResult PostOpcFlow::opc_window(std::size_t instance,
   const std::vector<Polygon> targets =
       design_->layout.flatten_layer_polys(window, Layer::kPoly);
   if (targets.empty()) return out;
+
+  // Cache key: window shape + targets in the local frame, plus everything
+  // the correction depends on (mode, OPC options, the model simulator).
+  const Point anchor{window.xlo, window.ylo};
+  Fingerprint fp;
+  if (caches_) {
+    FpHasher h;
+    h.str("opc").u64(static_cast<std::uint64_t>(mode));
+    h.i64(window.width()).i64(window.height());
+    hash_sim(h, sim_);
+    hash_opc_options(h, options_.opc);
+    h.polys(targets, anchor);
+    fp = h.digest();
+    if (const auto hit = caches_->opc.find(fp)) {
+      out.mask.reserve(hit->mask.size());
+      for (const Rect& r : hit->mask) out.mask.push_back(r.translated(anchor));
+      out.stats = hit->stats;
+      return out;
+    }
+  }
+
   ++out.stats.windows;
   switch (mode) {
     case OpcMode::kNone: {
@@ -125,6 +246,17 @@ PostOpcFlow::OpcWindowResult PostOpcFlow::opc_window(std::size_t instance,
       break;
     }
   }
+
+  if (caches_) {
+    auto entry = std::make_shared<WindowCaches::OpcEntry>();
+    const Point to_local{-anchor.x, -anchor.y};
+    entry->mask.reserve(out.mask.size());
+    for (const Rect& r : out.mask) entry->mask.push_back(r.translated(to_local));
+    entry->stats = out.stats;
+    const std::size_t cost =
+        out.mask.size() * sizeof(Rect) + sizeof(WindowCaches::OpcEntry);
+    caches_->opc.insert(fp, std::move(entry), cost);
+  }
   return out;
 }
 
@@ -143,6 +275,7 @@ void PostOpcFlow::run_opc_windows(
   });
   opc_stats_ = {};
   for (const OpcStats& w : per_window) opc_stats_ = merge_stats(opc_stats_, w);
+  if (caches_) log_cache("OPC window", caches_->opc.counters());
 }
 
 void PostOpcFlow::run_opc(OpcMode mode) {
@@ -220,11 +353,59 @@ std::vector<GateExtraction> PostOpcFlow::extract_impl(
     const GateIdx g = gates[k];
     const std::size_t instance = design_->gate_to_instance[g];
     const Rect window = design_->litho_window(g, options_.ambit_nm);
-    const Image2D latent = sim.latent(mask_for_instance(instance), window,
-                                      exposure, options_.extract_quality);
+    const Image2D latent = latent_for_window(
+        sim, mask_for_instance(instance), window, exposure);
     out[k] = extract_gate(g, latent, sim.print_threshold());
   });
+  if (caches_) {
+    const CacheCounters c = caches_->latent.counters();
+    log_debug("latent cache: ", c.hits, " hits / ", c.misses, " misses (",
+              c.hit_rate() * 100.0, "% hit rate)");
+  }
   return out;
+}
+
+Image2D PostOpcFlow::latent_for_window(const LithoSimulator& sim,
+                                       const std::vector<Rect>& mask,
+                                       const Rect& window,
+                                       const Exposure& exposure) const {
+  if (!caches_) {
+    return sim.latent(mask, window, exposure, options_.extract_quality);
+  }
+  // The latent image depends on optics, resist diffusion (the threshold
+  // only applies downstream, at contour extraction), exposure, quality and
+  // the mask in the local frame.  Image origins are window.xlo/ylo minus a
+  // half-integer centering offset, so rebasing them between frames is exact
+  // in doubles: a translated replay equals a recompute bit for bit.
+  const Point anchor{window.xlo, window.ylo};
+  FpHasher h;
+  h.str("latent");
+  hash_optics(h, sim.optics());
+  h.f64(sim.resist().diffusion_nm);
+  hash_exposure(h, exposure);
+  h.u64(static_cast<std::uint64_t>(options_.extract_quality));
+  h.i64(window.width()).i64(window.height());
+  h.rects(mask, anchor);
+  const Fingerprint fp = h.digest();
+
+  const double ax = static_cast<double>(anchor.x);
+  const double ay = static_cast<double>(anchor.y);
+  if (const auto hit = caches_->latent.find(fp)) {
+    Image2D img(hit->nx(), hit->ny(), hit->pixel(), hit->origin_x() + ax,
+                hit->origin_y() + ay);
+    img.data() = hit->data();
+    return img;
+  }
+
+  Image2D latent = sim.latent(mask, window, exposure, options_.extract_quality);
+  auto entry = std::make_shared<Image2D>(latent.nx(), latent.ny(),
+                                         latent.pixel(), latent.origin_x() - ax,
+                                         latent.origin_y() - ay);
+  entry->data() = latent.data();
+  const std::size_t cost =
+      latent.nx() * latent.ny() * sizeof(double) + sizeof(Image2D);
+  caches_->latent.insert(fp, std::move(entry), cost);
+  return latent;
 }
 
 std::vector<GateExtraction> PostOpcFlow::extract(
@@ -349,13 +530,57 @@ PostOpcFlow::HotspotReport PostOpcFlow::scan_hotspots(
             design_->layout.flatten_layer_polys(window, Layer::kPoly);
         if (targets.empty()) return partial;
         ++partial.windows_checked;
+        const Point anchor{window.xlo, window.ylo};
+        // Everything but the exposure is corner-invariant, so the window
+        // geometry is hashed once and the hasher forked per corner.  The
+        // key covers both simulators: run_orc probes pinch/bridge with the
+        // silicon latent and measures EPE through the engine's model sim.
+        FpHasher base;
+        if (caches_) {
+          base.str("orc");
+          hash_sim(base, silicon_sim_);
+          hash_sim(base, sim_);
+          hash_opc_options(base, options_.opc);
+          hash_orc_options(base, orc_options);
+          base.i64(window.width()).i64(window.height());
+          base.polys(targets, anchor);
+          base.rects(mask_for_instance(i), anchor);
+        }
         for (const ProcessCorner& corner : conditions) {
           // Hotspots are judged against the silicon reference, not the
           // model.
-          const OrcReport orc = run_orc(silicon_sim_, engine, targets,
-                                        mask_for_instance(i), window,
-                                        silicon_exposure(corner.exposure),
-                                        orc_options);
+          const Exposure exposure = silicon_exposure(corner.exposure);
+          OrcReport orc;
+          bool cached = false;
+          Fingerprint fp;
+          if (caches_) {
+            FpHasher h = base;
+            hash_exposure(h, exposure);
+            fp = h.digest();
+            if (const auto hit = caches_->orc.find(fp)) {
+              orc = hit->report;
+              for (OrcViolation& v : orc.violations) {
+                v.where = v.where + anchor;
+              }
+              cached = true;
+            }
+          }
+          if (!cached) {
+            orc = run_orc(silicon_sim_, engine, targets, mask_for_instance(i),
+                          window, exposure, orc_options);
+            if (caches_) {
+              auto entry = std::make_shared<WindowCaches::OrcEntry>();
+              entry->report = orc;
+              const Point to_local{-anchor.x, -anchor.y};
+              for (OrcViolation& v : entry->report.violations) {
+                v.where = v.where + to_local;
+              }
+              const std::size_t cost =
+                  orc.violations.size() * sizeof(OrcViolation) +
+                  sizeof(WindowCaches::OrcEntry);
+              caches_->orc.insert(fp, std::move(entry), cost);
+            }
+          }
           for (const OrcViolation& v : orc.violations) {
             switch (v.kind) {
               case OrcViolation::Kind::kPinch: ++partial.pinches; break;
@@ -380,22 +605,35 @@ PostOpcFlow::HotspotReport PostOpcFlow::scan_hotspots(
   log_info("hotspot scan: ", report.hotspots.size(), " violations over ",
            report.windows_checked, " windows x ", conditions.size(),
            " conditions");
+  if (caches_) log_cache("ORC", caches_->orc.counters());
   return report;
 }
 
 std::vector<PostOpcFlow::DeviceResponse> PostOpcFlow::fit_responses(
     const std::optional<std::vector<GateIdx>>& subset) const {
   const std::vector<Exposure> grid = response_fit_grid();
-  // Extraction per grid point; nominal (focus 0, dose 1) provides the slice
-  // shape.
+  POC_EXPECTS(!grid.empty());
+  // Extraction per grid point; the grid point closest to nominal (focus 0,
+  // dose 1) provides the slice shape.  Nearest-point selection (distances
+  // normalized by typical process-window half-widths: 150 nm focus, 10 %
+  // dose) keeps this correct for grids that do not sample nominal exactly
+  // — the old exact-match scan silently fell back to grid[0], the extreme
+  // negative-focus/low-dose corner.
   std::vector<std::vector<GateExtraction>> per_exposure;
   per_exposure.reserve(grid.size());
   for (const Exposure& e : grid) {
     per_exposure.push_back(extract(e, subset));
   }
   std::size_t nominal_idx = 0;
+  double nominal_dist = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < grid.size(); ++i) {
-    if (grid[i].focus_nm == 0.0 && grid[i].dose == 1.0) nominal_idx = i;
+    const double df = grid[i].focus_nm / 150.0;
+    const double dd = (grid[i].dose - 1.0) / 0.10;
+    const double dist = df * df + dd * dd;
+    if (dist < nominal_dist) {
+      nominal_dist = dist;
+      nominal_idx = i;
+    }
   }
   std::vector<DeviceResponse> out;
   const std::size_t num_gates = per_exposure.front().size();

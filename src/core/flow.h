@@ -9,9 +9,11 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "src/cache/result_cache.h"
 #include "src/cdx/cd_extract.h"
 #include "src/device/nonrect.h"
 #include "src/litho/simulator.h"
@@ -48,6 +50,23 @@ struct SiliconMismatch {
   double aclv_sigma_nm = 1.8;
 };
 
+/// Content-addressed window-result cache (src/cache).  A placed design
+/// repeats the same cells — and the same local poly context — thousands of
+/// times, so the flow memoizes per-window results (OPC masks, latent
+/// images, ORC reports) under a fingerprint of the window's translated-to-
+/// local-frame geometry plus every parameter that affects the result.  A
+/// hit replays bits a recompute would produce, so flow outputs are
+/// bit-identical with the cache on or off, at any thread count (see the
+/// determinism contract in DESIGN.md).  Purely a performance knob.
+struct CacheOptions {
+  bool enabled = true;
+  /// LRU budget per cache (there are three: OPC windows, latent images,
+  /// ORC reports).  0 keeps the cache code path live but stores nothing —
+  /// every insert is rejected (the capacity-0 path of the tests).
+  std::size_t capacity_mb = 256;
+  std::size_t shards = 16;  ///< concurrency granularity of each cache
+};
+
 struct FlowOptions {
   OpcOptions opc;
   CdExtractOptions cdx;
@@ -57,6 +76,7 @@ struct FlowOptions {
   bool use_parasitics = true;
   std::uint64_t seed = 42;      ///< ACLV noise stream
   SiliconMismatch silicon;
+  CacheOptions cache;
   /// Threads for the window-shaped hot loops (OPC, extraction, hotspot
   /// scan, Monte Carlo).  0 = hardware concurrency; 1 = serial.  Results
   /// are bit-identical for every value — see the determinism contract in
@@ -203,6 +223,23 @@ class PostOpcFlow {
   /// Threads the hot loops actually use (options().threads resolved).
   std::size_t threads() const;
 
+  /// Window-cache counters per hot path (all zero when the cache is
+  /// disabled).  Hit rates climb with instance repetition: a row of
+  /// identical cells collapses to one computed window each for OPC,
+  /// latent-image and ORC work.
+  struct FlowCacheCounters {
+    CacheCounters opc;     ///< corrected masks + per-window OpcStats
+    CacheCounters latent;  ///< extraction latent images
+    CacheCounters orc;     ///< per-corner ORC reports
+    CacheCounters total() const {
+      CacheCounters t = opc;
+      t += latent;
+      t += orc;
+      return t;
+    }
+  };
+  FlowCacheCounters cache_counters() const;
+
  private:
   /// One instance's OPC window, computed without touching shared state so
   /// windows can run concurrently; run_opc merges the stats in instance
@@ -219,6 +256,11 @@ class PostOpcFlow {
   std::vector<GateExtraction> extract_impl(
       const LithoSimulator& sim, const Exposure& exposure,
       const std::optional<std::vector<GateIdx>>& subset) const;
+  /// sim.latent() memoized through the window cache (bit-identical either
+  /// way); falls through to a plain call when the cache is disabled.
+  Image2D latent_for_window(const LithoSimulator& sim,
+                            const std::vector<Rect>& mask, const Rect& window,
+                            const Exposure& exposure) const;
 
   const PlacedDesign* design_;
   const StdCellLibrary* lib_;
@@ -230,6 +272,13 @@ class PostOpcFlow {
   /// slots — the parallel engine's write targets).  Empty until run_opc.
   std::vector<std::vector<Rect>> masks_;
   OpcStats opc_stats_;
+
+  /// Content-addressed window caches (see CacheOptions); null when
+  /// disabled.  shared_ptr so flow copies share one cache — the memoized
+  /// values are pure functions of the fingerprinted inputs, so sharing is
+  /// always sound.
+  struct WindowCaches;
+  std::shared_ptr<WindowCaches> caches_;
 };
 
 }  // namespace poc

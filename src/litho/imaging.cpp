@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numbers>
 
+#include "src/cache/fingerprint.h"
+#include "src/cache/result_cache.h"
 #include "src/common/check.h"
 #include "src/common/fft.h"
 
@@ -21,10 +24,74 @@ std::size_t spec_index(long long kx, long long ky, std::size_t nx,
   return iy * nx + ix;
 }
 
+/// Memoized per-source-point pupil values over the cropped spectral grid.
+/// Every window of the same pixel size and padded dimensions shares one
+/// spectral layout, so across a full-chip run the (optics, quality,
+/// defocus) combinations collapse to a handful of tables and the per-window
+/// pupil evaluation (sqrt + sin/cos per grid point per source point)
+/// disappears from the hot loop.  Values are the verbatim pupil_value
+/// results, so cached and uncached imaging are bit-identical.
+struct PupilTables {
+  /// tables[s][(ky + ky_max) * (2*kx_max + 1) + (kx + kx_max)] for source
+  /// point s.
+  std::vector<std::vector<Cplx>> tables;
+};
+
+std::shared_ptr<const PupilTables> pupil_tables(
+    const OpticalSettings& opt, const std::vector<SourcePoint>& source,
+    double defocus_nm, double dfx, double dfy, long long kx_max,
+    long long ky_max) {
+  // ~100 windows' worth of fine-quality tables; enough that a full flow
+  // never thrashes, bounded in case a sweep walks through many defocus
+  // values.
+  static ShardedCache<PupilTables> cache(128ull << 20, /*shards=*/8);
+
+  FpHasher h;
+  h.str("pupil")
+      .f64(opt.wavelength_nm)
+      .f64(opt.na)
+      .f64(opt.z9_spherical_waves)
+      .f64(opt.z7_coma_x_waves)
+      .f64(defocus_nm)
+      .f64(dfx)
+      .f64(dfy)
+      .i64(kx_max)
+      .i64(ky_max)
+      .u64(source.size());
+  for (const SourcePoint& sp : source) h.f64(sp.sx).f64(sp.sy);
+  const Fingerprint fp = h.digest();
+
+  if (auto hit = cache.find(fp)) return hit;
+
+  const double tilt_scale = opt.na / opt.wavelength_nm;
+  auto built = std::make_shared<PupilTables>();
+  built->tables.reserve(source.size());
+  const std::size_t row = static_cast<std::size_t>(2 * kx_max + 1);
+  const std::size_t rows = static_cast<std::size_t>(2 * ky_max + 1);
+  for (const SourcePoint& sp : source) {
+    const double fsx = sp.sx * tilt_scale;
+    const double fsy = sp.sy * tilt_scale;
+    std::vector<Cplx> table(row * rows);
+    std::size_t idx = 0;
+    for (long long ky = -ky_max; ky <= ky_max; ++ky) {
+      const double fy = static_cast<double>(ky) * dfy;
+      for (long long kx = -kx_max; kx <= kx_max; ++kx) {
+        const double fx = static_cast<double>(kx) * dfx;
+        table[idx++] = pupil_value(opt, fx + fsx, fy + fsy, defocus_nm);
+      }
+    }
+    built->tables.push_back(std::move(table));
+  }
+  cache.insert(fp, built,
+               source.size() * row * rows * sizeof(Cplx) + sizeof(PupilTables));
+  return built;
+}
+
 }  // namespace
 
 Image2D aerial_image_blurred(const Image2D& mask, const OpticalSettings& opt,
-                             double defocus_nm, double blur_sigma_nm) {
+                             double defocus_nm, double blur_sigma_nm,
+                             const std::vector<SourcePoint>& source) {
   const std::size_t nx = mask.nx();
   const std::size_t ny = mask.ny();
   POC_EXPECTS(is_pow2(nx) && is_pow2(ny));
@@ -38,7 +105,6 @@ Image2D aerial_image_blurred(const Image2D& mask, const OpticalSettings& opt,
   const double dfx = 1.0 / (static_cast<double>(nx) * mask.pixel());
   const double dfy = 1.0 / (static_cast<double>(ny) * mask.pixel());
   const double fc = opt.cutoff_freq();
-  const double tilt_scale = opt.na / opt.wavelength_nm;  // sigma -> frequency
 
   // The coherent field only carries frequencies |f + fs| <= fc, i.e.
   // |f| <= fc (1 + sigma_outer).  Everything downstream therefore lives on
@@ -56,6 +122,9 @@ Image2D aerial_image_blurred(const Image2D& mask, const OpticalSettings& opt,
   const std::size_t ncy = std::min(
       ny, next_pow2(static_cast<std::size_t>(4 * ky_max + 2)));
 
+  const std::shared_ptr<const PupilTables> pupils =
+      pupil_tables(opt, source, defocus_nm, dfx, dfy, kx_max, ky_max);
+
   // Per-source-point coherent image on the coarse grid; intensities
   // accumulate there.
   std::vector<double> intensity(ncx * ncy, 0.0);
@@ -64,15 +133,14 @@ Image2D aerial_image_blurred(const Image2D& mask, const OpticalSettings& opt,
                             static_cast<double>(ncy) /
                             (static_cast<double>(nx) * static_cast<double>(ny));
 
-  for (const SourcePoint& sp : sample_source(opt)) {
-    const double fsx = sp.sx * tilt_scale;
-    const double fsy = sp.sy * tilt_scale;
+  for (std::size_t s = 0; s < source.size(); ++s) {
+    const SourcePoint& sp = source[s];
+    const std::vector<Cplx>& table = pupils->tables[s];
     std::fill(field.begin(), field.end(), Cplx(0.0, 0.0));
+    std::size_t idx = 0;
     for (long long ky = -ky_max; ky <= ky_max; ++ky) {
-      const double fy = static_cast<double>(ky) * dfy;
       for (long long kx = -kx_max; kx <= kx_max; ++kx) {
-        const double fx = static_cast<double>(kx) * dfx;
-        const Cplx p = pupil_value(opt, fx + fsx, fy + fsy, defocus_nm);
+        const Cplx p = table[idx++];
         if (p == Cplx(0.0, 0.0)) continue;
         field[spec_index(kx, ky, ncx, ncy)] =
             spectrum[spec_index(kx, ky, nx, ny)] * p * crop_scale;
@@ -117,6 +185,18 @@ Image2D aerial_image_blurred(const Image2D& mask, const OpticalSettings& opt,
     result.data()[i] = full_spec[i].real();
   }
   return result;
+}
+
+Image2D aerial_image_blurred(const Image2D& mask, const OpticalSettings& opt,
+                             double defocus_nm, double blur_sigma_nm) {
+  return aerial_image_blurred(mask, opt, defocus_nm, blur_sigma_nm,
+                              sample_source(opt));
+}
+
+Image2D aerial_image(const Image2D& mask, const OpticalSettings& opt,
+                     double defocus_nm,
+                     const std::vector<SourcePoint>& source) {
+  return aerial_image_blurred(mask, opt, defocus_nm, 0.0, source);
 }
 
 Image2D aerial_image(const Image2D& mask, const OpticalSettings& opt,

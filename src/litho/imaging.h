@@ -6,6 +6,8 @@
 // single-kernel convolution model cannot reproduce — see DESIGN.md ablation 1.
 #pragma once
 
+#include <vector>
+
 #include "src/litho/image.h"
 #include "src/litho/optics.h"
 
@@ -27,5 +29,19 @@ Image2D aerial_image(const Image2D& mask, const OpticalSettings& opt,
 /// pass (equivalent to gaussian_blur(aerial_image(...), sigma) but free).
 Image2D aerial_image_blurred(const Image2D& mask, const OpticalSettings& opt,
                              double defocus_nm, double blur_sigma_nm);
+
+/// Explicit-source overloads: callers that image many windows at the same
+/// (optics, quality) pass the discretized source once instead of having
+/// every call re-run sample_source (LithoSimulator holds one per quality
+/// level).  `source` must be consistent with `opt` — the per-source-point
+/// pupil grids are memoized process-wide on (optics, source geometry,
+/// defocus, grid spectral layout), so repeated same-shape windows skip the
+/// pupil evaluation entirely.
+Image2D aerial_image(const Image2D& mask, const OpticalSettings& opt,
+                     double defocus_nm,
+                     const std::vector<SourcePoint>& source);
+Image2D aerial_image_blurred(const Image2D& mask, const OpticalSettings& opt,
+                             double defocus_nm, double blur_sigma_nm,
+                             const std::vector<SourcePoint>& source);
 
 }  // namespace poc

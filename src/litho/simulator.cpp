@@ -14,28 +14,36 @@ QualityParams quality_params(LithoQuality q) {
   return {8.0, 2, 8};
 }
 
+void LithoSimulator::init_quality_contexts() {
+  for (const LithoQuality q : {LithoQuality::kDraft, LithoQuality::kStandard,
+                               LithoQuality::kFine}) {
+    const QualityParams qp = quality_params(q);
+    QualityContext& ctx = quality_[static_cast<std::size_t>(q)];
+    ctx.optics = optics_;
+    ctx.optics.source_rings = qp.source_rings;
+    ctx.optics.source_spokes = qp.source_spokes;
+    ctx.source = sample_source(ctx.optics);
+  }
+}
+
 Image2D LithoSimulator::aerial(const std::vector<Rect>& features,
                                const Rect& window, double defocus_nm,
                                LithoQuality quality) const {
-  const QualityParams qp = quality_params(quality);
-  OpticalSettings opt = optics_;
-  opt.source_rings = qp.source_rings;
-  opt.source_spokes = qp.source_spokes;
-  const Image2D mask = rasterize_mask(features, window, qp.pixel_nm);
-  return aerial_image(mask, opt, defocus_nm);
+  const QualityContext& ctx = quality_context(quality);
+  const Image2D mask =
+      rasterize_mask(features, window, quality_params(quality).pixel_nm);
+  return aerial_image(mask, ctx.optics, defocus_nm, ctx.source);
 }
 
 Image2D LithoSimulator::latent(const std::vector<Rect>& features,
                                const Rect& window, const Exposure& exposure,
                                LithoQuality quality) const {
-  const QualityParams qp = quality_params(quality);
-  OpticalSettings opt = optics_;
-  opt.source_rings = qp.source_rings;
-  opt.source_spokes = qp.source_spokes;
-  const Image2D mask = rasterize_mask(features, window, qp.pixel_nm);
+  const QualityContext& ctx = quality_context(quality);
+  const Image2D mask =
+      rasterize_mask(features, window, quality_params(quality).pixel_nm);
   // Blur applied in the imaging upsample pass; only the dose scale remains.
-  Image2D latent = aerial_image_blurred(mask, opt, exposure.focus_nm,
-                                        resist_.diffusion_nm);
+  Image2D latent = aerial_image_blurred(mask, ctx.optics, exposure.focus_nm,
+                                        resist_.diffusion_nm, ctx.source);
   for (double& v : latent.data()) v *= exposure.dose;
   return latent;
 }

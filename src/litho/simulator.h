@@ -4,6 +4,7 @@
 // kDraft; sign-off extraction runs kStandard or kFine.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "src/geom/rect.h"
@@ -25,9 +26,11 @@ QualityParams quality_params(LithoQuality q);
 
 class LithoSimulator {
  public:
-  LithoSimulator() = default;
+  LithoSimulator() { init_quality_contexts(); }
   LithoSimulator(OpticalSettings optics, ResistModel resist)
-      : optics_(optics), resist_(resist) {}
+      : optics_(optics), resist_(resist) {
+    init_quality_contexts();
+  }
 
   const OpticalSettings& optics() const { return optics_; }
   const ResistModel& resist() const { return resist_; }
@@ -47,8 +50,23 @@ class LithoSimulator {
   double print_threshold() const { return resist_.threshold; }
 
  private:
+  /// Per-quality imaging resources, built once at construction: the
+  /// quality-adjusted optical settings and the discretized source.  The
+  /// window loops call aerial/latent millions of times; recomputing the
+  /// source sampling (and copying OpticalSettings) per call was pure waste
+  /// since both depend only on (optics, quality).
+  struct QualityContext {
+    OpticalSettings optics;
+    std::vector<SourcePoint> source;
+  };
+  void init_quality_contexts();
+  const QualityContext& quality_context(LithoQuality q) const {
+    return quality_[static_cast<std::size_t>(q)];
+  }
+
   OpticalSettings optics_;
   ResistModel resist_;
+  std::array<QualityContext, 3> quality_;
 };
 
 }  // namespace poc
