@@ -5,6 +5,9 @@
 // extraction exists because litho windows are ~1e6 x an STA pass).
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <string>
+
 #include "bench/bench_util.h"
 #include "src/cdx/cd_extract.h"
 #include "src/common/fft.h"
@@ -50,6 +53,75 @@ void BM_AerialImage(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AerialImage)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_AerialImageSocs(benchmark::State& state) {
+  // Same mask/window/conditions as BM_AerialImage, through the SOCS fast
+  // path at default (exact, untruncated) knobs — the per-window speedup the
+  // Hopkins decomposition buys at each quality.
+  std::vector<Rect> lines;
+  for (int k = -3; k <= 3; ++k) lines.push_back({k * 250, -600, k * 250 + 90, 600});
+  const Image2D mask = rasterize_mask(lines, {-900, -700, 990, 700}, 8.0);
+  OpticalSettings opt;
+  opt.source_rings = static_cast<std::size_t>(state.range(0));
+  const std::vector<SourcePoint> source = sample_source(opt);
+  const ImagingOptions imaging{ImagingMode::kSocs, SocsOptions{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        aerial_image_blurred(mask, opt, 0.0, 25.0, source, imaging));
+  }
+}
+BENCHMARK(BM_AerialImageSocs)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_AerialImageSocsKernels(benchmark::State& state) {
+  // Kernel-budget sweep at quality 3 (S = 24 source points): wall time vs
+  // max_kernels, with the CD deviation from Abbe recorded in the label so
+  // BENCH_PR3.json carries the speed/accuracy trade explicitly.
+  std::vector<Rect> lines;
+  for (int k = -3; k <= 3; ++k) lines.push_back({k * 250, -600, k * 250 + 90, 600});
+  const Image2D mask = rasterize_mask(lines, {-900, -700, 990, 700}, 8.0);
+  OpticalSettings opt;
+  opt.source_rings = 3;
+  const std::vector<SourcePoint> source = sample_source(opt);
+  ImagingOptions imaging{ImagingMode::kSocs, SocsOptions{}};
+  imaging.socs.max_kernels = static_cast<std::size_t>(state.range(0));
+  imaging.socs.energy_fraction = 1.0;
+  // CD at the central feature, Abbe vs truncated SOCS, measured on the
+  // blurred aerial image at the 0.3 iso-level.
+  const Image2D ref = aerial_image_blurred(mask, opt, 0.0, 25.0);
+  const Image2D fast =
+      aerial_image_blurred(mask, opt, 0.0, 25.0, source, imaging);
+  auto cd_at = [](const Image2D& img, double level) {
+    // Sub-sample the iso-level crossings of the central line by linear
+    // interpolation so the label resolves CD deltas well below the step.
+    const double y = 0.0, step = 0.25;
+    bool found = false;
+    double left = 0.0, right = 0.0;
+    double prev = img.sample(-120.0, y);
+    for (double x = -120.0 + step; x <= 120.0; x += step) {
+      const double cur = img.sample(x, y);
+      if (prev >= level && cur < level) {
+        const double t = (prev - level) / (prev - cur);
+        if (!found) left = x - step + t * step;
+        found = true;
+      }
+      if (prev < level && cur >= level) {
+        const double t = (level - prev) / (cur - prev);
+        right = x - step + t * step;
+      }
+      prev = cur;
+    }
+    return found ? right - left : 0.0;
+  };
+  const double delta =
+      std::abs(cd_at(fast, 0.3) - cd_at(ref, 0.3));
+  state.SetLabel("cd_delta_nm=" + std::to_string(delta));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        aerial_image_blurred(mask, opt, 0.0, 25.0, source, imaging));
+  }
+}
+BENCHMARK(BM_AerialImageSocsKernels)
+    ->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(24);
 
 void BM_OpcWindow(benchmark::State& state) {
   const LithoSimulator sim;

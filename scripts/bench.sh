@@ -1,17 +1,26 @@
 #!/usr/bin/env bash
-# PR2 performance proof: runs the kernel micro-benchmarks plus the T2
-# cache-on/off comparison and assembles BENCH_PR2.json (benchmark name,
-# real time, cache hit rate).  The cache rows come from the greppable
-# CACHE_BENCH lines bench_t2_timing_comparison prints for its
-# repeated-instance design; the speedup entry is cache-off wall time over
-# cache-on wall time for the same run_opc+extract work.
+# PR3 performance proof: runs the kernel micro-benchmarks (now including
+# the SOCS fast-imaging path and its kernel-budget sweep) plus the T2
+# bench's cache and SOCS end-to-end sections, and assembles
+# BENCH_PR3.json:
+#   - kernels:        every google-benchmark row (name, real_time, unit,
+#                     label — the SOCS kernel sweep stores cd_delta_nm in
+#                     the label)
+#   - socs_per_window_speedup: BM_AerialImage/q over BM_AerialImageSocs/q
+#                     per quality (the >= 2x acceptance number at q = 3)
+#   - cache_bench / cache_speedup: PR2 carry-forward rows from the
+#                     greppable CACHE_BENCH lines
+#   - socs_e2e:       SOCS_BENCH rows (abbe / socs_draft / socs_full wall
+#                     time + annotated WS) with computed speedups
+#   - socs_t2:        the T2 headline (WS change %, spearman, top-10
+#                     displacement) reproduced under full SOCS
 #
 # Usage: scripts/bench.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
-OUT=BENCH_PR2.json
+OUT=BENCH_PR3.json
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" --target bench_perf_kernels \
@@ -22,7 +31,7 @@ KERNELS_JSON=$(mktemp)
 ./build/bench/bench_perf_kernels --benchmark_format=json \
     --benchmark_out_format=json >"$KERNELS_JSON"
 
-echo "== T2 cache on/off =="
+echo "== T2 cache + SOCS sections =="
 T2_LOG=$(mktemp)
 # POC_CACHE stays unset: the bench runs its cache section with the cache
 # explicitly off then on over the same design (POC_CACHE=0 would force
@@ -30,39 +39,80 @@ T2_LOG=$(mktemp)
 ./build/bench/bench_t2_timing_comparison | tee "$T2_LOG"
 
 # CACHE_BENCH name=<n> cache=<on|off> wall_ms=<ms> hit_rate=<0..1>
+# SOCS_BENCH  name=<n> mode=<abbe|socs_draft|socs_full> wall_ms=<ms> ws=<ps>
+# SOCS_T2     design=<d> ws_change_pct=<pct> spearman=<r> top10_displaced=<n>
 awk '
   /^CACHE_BENCH / {
-    for (i = 2; i <= NF; ++i) {
-      split($i, kv, "=")
-      v[kv[1]] = kv[2]
-    }
+    for (i = 2; i <= NF; ++i) { split($i, kv, "="); v[kv[1]] = kv[2] }
     row = sprintf("    {\"name\": \"%s_%s\", \"real_time\": %s, " \
                   "\"time_unit\": \"ms\", \"hit_rate\": %s}",
                   v["name"], v["cache"], v["wall_ms"], v["hit_rate"])
-    rows = rows (rows == "" ? "" : ",\n") row
-    ms[v["cache"]] = v["wall_ms"]
+    crows = crows (crows == "" ? "" : ",\n") row
+    cms[v["cache"]] = v["wall_ms"]
+  }
+  /^SOCS_BENCH / {
+    for (i = 2; i <= NF; ++i) { split($i, kv, "="); v[kv[1]] = kv[2] }
+    sms[v["mode"]] = v["wall_ms"]
+    srow[v["mode"]] = sprintf("    {\"name\": \"%s_%s\", \"real_time\": %s, " \
+                              "\"time_unit\": \"ms\", \"annot_ws_ps\": %s}",
+                              v["name"], v["mode"], v["wall_ms"], v["ws"])
+  }
+  /^SOCS_T2 / {
+    for (i = 2; i <= NF; ++i) { split($i, kv, "="); v[kv[1]] = kv[2] }
+    t2 = sprintf("  \"socs_t2\": {\"design\": \"%s\", \"ws_change_pct\": %s, " \
+                 "\"spearman\": %s, \"top10_displaced\": %s},",
+                 v["design"], v["ws_change_pct"], v["spearman"],
+                 v["top10_displaced"])
   }
   END {
-    printf "{\n  \"cache_bench\": [\n%s\n  ],\n", rows
-    if (ms["off"] > 0 && ms["on"] > 0)
-      printf "  \"cache_speedup\": %.3f,\n", ms["off"] / ms["on"]
+    printf "{\n  \"cache_bench\": [\n%s\n  ],\n", crows
+    if (cms["off"] > 0 && cms["on"] > 0)
+      printf "  \"cache_speedup\": %.3f,\n", cms["off"] / cms["on"]
+    srows = srow["abbe"] ",\n" srow["socs_draft"] ",\n" srow["socs_full"]
+    printf "  \"socs_e2e\": [\n%s\n  ],\n", srows
+    if (sms["abbe"] > 0) {
+      printf "  \"socs_e2e_draft_speedup\": %.3f,\n", sms["abbe"] / sms["socs_draft"]
+      printf "  \"socs_e2e_full_speedup\": %.3f,\n", sms["abbe"] / sms["socs_full"]
+    }
+    if (t2 != "") print t2
   }
 ' "$T2_LOG" >"$OUT"
 
-# Append the kernel timings, reduced to name/real_time/time_unit triples.
+# Kernel timings reduced to name/real_time/unit (+label when present —
+# the SOCS kernel sweep stores its cd_delta_nm accuracy figure there),
+# followed by the per-quality Abbe-over-SOCS aerial-image speedups.
+# google-benchmark prints "label" after "time_unit", so a record is only
+# complete when the next "name" (or EOF) arrives — flush there.
 awk '
-  /"name":/      { name = $0; sub(/^.*"name": "/, "", name); sub(/".*$/, "", name) }
-  /"real_time":/ { rt = $0; sub(/^.*"real_time": /, "", rt); sub(/,.*$/, "", rt) }
-  /"time_unit":/ {
-    unit = $0; sub(/^.*"time_unit": "/, "", unit); sub(/".*$/, "", unit)
-    if (name != "") {
-      row = sprintf("    {\"name\": \"%s\", \"real_time\": %s, \"time_unit\": \"%s\"}",
-                    name, rt, unit)
-      rows = rows (rows == "" ? "" : ",\n") row
-      name = ""
-    }
+  function flush_row() {
+    if (name == "") return
+    row = sprintf("    {\"name\": \"%s\", \"real_time\": %s, \"time_unit\": \"%s\"",
+                  name, rt, unit)
+    if (label != "") row = row sprintf(", \"label\": \"%s\"", label)
+    row = row "}"
+    rows = rows (rows == "" ? "" : ",\n") row
+    if (name ~ /^BM_AerialImage\//)     { q = name; sub(/^.*\//, "", q); abbe[q] = rt }
+    if (name ~ /^BM_AerialImageSocs\//) { q = name; sub(/^.*\//, "", q); socs[q] = rt }
+    name = ""; label = ""
   }
-  END { printf "  \"kernels\": [\n%s\n  ]\n}\n", rows }
+  /"run_name":/ || /"aggregate_name":/ { next }
+  /"name":/  { flush_row()
+               name = $0; sub(/^.*"name": "/, "", name); sub(/".*$/, "", name) }
+  /"label":/ { label = $0; sub(/^.*"label": "/, "", label); sub(/".*$/, "", label) }
+  /"real_time":/ { rt = $0; sub(/^.*"real_time": /, "", rt); sub(/,.*$/, "", rt) }
+  /"time_unit":/ { unit = $0; sub(/^.*"time_unit": "/, "", unit); sub(/".*$/, "", unit) }
+  END {
+    flush_row()
+    printf "  \"kernels\": [\n%s\n  ],\n", rows
+    printf "  \"socs_per_window_speedup\": {"
+    first = 1
+    for (q = 1; q <= 3; ++q)
+      if (abbe[q] > 0 && socs[q] > 0) {
+        printf "%s\"quality_%d\": %.3f", (first ? "" : ", "), q, abbe[q] / socs[q]
+        first = 0
+      }
+    printf "}\n}\n"
+  }
 ' "$KERNELS_JSON" >>"$OUT"
 
 rm -f "$KERNELS_JSON" "$T2_LOG"

@@ -31,4 +31,42 @@ void fft_2d(std::vector<Cplx>& data, std::size_t nx, std::size_t ny,
 /// (n * dx) when multiplied by the caller's 1/(n*dx).
 long long fft_freq_index(std::size_t k, std::size_t n);
 
+// --- Band-limited 2-D transforms -----------------------------------------
+//
+// The imaging code only ever consumes (or populates) the |kx| <= kx_max
+// corner of a spectrum — the pupil cuts everything beyond the coherent
+// band.  These variants skip the column transforms outside that band:
+// the forward pass runs every row but only the 2*kx_max+1 needed columns,
+// the inverse pass transforms only the nonzero columns before running the
+// rows.  Requires 2*kx_max + 1 <= nx.
+
+/// Forward 2-D FFT whose output is only guaranteed at storage columns with
+/// signed frequency |kx| <= kx_max (all ky); entries in other columns are
+/// left in an unspecified intermediate state.  The band entries are
+/// bit-identical to a full fft_2d of the same data (same per-span
+/// operation order), so callers that read only the band may switch freely.
+void fft_2d_band_forward(std::vector<Cplx>& data, std::size_t nx,
+                         std::size_t ny, std::size_t kx_max);
+
+/// Inverse 2-D FFT of a spectrum that is zero outside the |kx| <= kx_max
+/// columns.  Runs the column pass first (only the nonzero columns), then
+/// every row; mathematically equal to fft_2d(..., inverse=true) but with a
+/// different operation order, so results differ in the last bits.
+void fft_2d_band_inverse(std::vector<Cplx>& data, std::size_t nx,
+                         std::size_t ny, std::size_t kx_max);
+
+/// Forward 2-D FFT of real data, rows packed two-per-complex-transform;
+/// output is valid only at the |kx| <= kx_max columns (zero elsewhere).
+/// Requires even ny.  Not bit-identical to fft_2d on the widened input.
+std::vector<Cplx> rfft_2d_band(const std::vector<double>& in, std::size_t nx,
+                               std::size_t ny, std::size_t kx_max);
+
+/// Inverse 2-D FFT of a Hermitian spectrum (spec[-k] == conj(spec[k]) in
+/// both axes) that is zero outside the |kx| <= kx_max columns, returning
+/// the real result directly with rows packed two-per-complex-transform.
+/// Requires even ny.  Not bit-identical to fft_2d on the same input.
+std::vector<double> irfft_2d_band(const std::vector<Cplx>& spec,
+                                  std::size_t nx, std::size_t ny,
+                                  std::size_t kx_max);
+
 }  // namespace poc

@@ -1,5 +1,6 @@
 #include "src/common/linalg.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/check.h"
@@ -55,6 +56,116 @@ std::vector<double> least_squares(const std::vector<double>& x,
   const bool ok = solve_dense(ata, aty, cols);
   POC_ENSURES(ok);
   return aty;
+}
+
+HermitianEigen jacobi_hermitian(std::vector<Cplx> a, std::size_t n) {
+  POC_EXPECTS(a.size() == n * n);
+  POC_EXPECTS(n > 0);
+
+  // Symmetrize: trust the upper triangle, mirror its conjugate below, and
+  // drop any imaginary dust on the diagonal.  This makes the sweeps below
+  // exact regardless of how carefully the caller rounded the two halves.
+  for (std::size_t p = 0; p < n; ++p) {
+    a[p * n + p] = Cplx(a[p * n + p].real(), 0.0);
+    for (std::size_t q = p + 1; q < n; ++q) {
+      a[q * n + p] = std::conj(a[p * n + q]);
+    }
+  }
+
+  // Eigenvector accumulator V, starts as identity; columns become the
+  // eigenvectors as V <- V * R for every rotation R applied to A.
+  std::vector<Cplx> v(n * n, Cplx(0.0, 0.0));
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = Cplx(1.0, 0.0);
+
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n * n; ++i) scale += std::norm(a[i]);
+  scale = std::sqrt(scale);
+  const double off_tol = 1e-14 * (scale > 0.0 ? scale : 1.0);
+  const double skip_tol = 1e-18 * (scale > 0.0 ? scale : 1.0);
+
+  constexpr std::size_t kMaxSweeps = 64;
+  for (std::size_t sweep = 0; sweep < kMaxSweeps && n > 1; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += std::norm(a[p * n + q]);
+    }
+    if (std::sqrt(2.0 * off) <= off_tol) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const Cplx apq = a[p * n + q];
+        const double beta = std::abs(apq);
+        if (beta <= skip_tol) continue;
+
+        // Complex Jacobi rotation zeroing a[p][q]: with the pivot's phase
+        // split off (apq = beta * phase), the tangent solves
+        // t^2 - 2*tau*t - 1 = 0 for tau = (a_pp - a_qq) / (2*beta); the
+        // smaller root keeps the rotation angle under 45 degrees, which is
+        // what guarantees monotone off-diagonal decay.
+        const Cplx phase = apq / beta;
+        const double app = a[p * n + p].real();
+        const double aqq = a[q * n + q].real();
+        const double tau = (app - aqq) / (2.0 * beta);
+        const double t =
+            (tau >= 0.0 ? -1.0 : 1.0) / (std::abs(tau) + std::hypot(1.0, tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const Cplx s = (t * c) * phase;
+        const Cplx sc = std::conj(s);
+
+        // A <- R^H A (rows p and q).
+        for (std::size_t k = 0; k < n; ++k) {
+          const Cplx rp = a[p * n + k];
+          const Cplx rq = a[q * n + k];
+          a[p * n + k] = c * rp - s * rq;
+          a[q * n + k] = sc * rp + c * rq;
+        }
+        // A <- A R (columns p and q).
+        for (std::size_t k = 0; k < n; ++k) {
+          const Cplx cp = a[k * n + p];
+          const Cplx cq = a[k * n + q];
+          a[k * n + p] = cp * c - cq * sc;
+          a[k * n + q] = cp * s + cq * c;
+        }
+        // The pivot is now zero up to rounding; pin it (and keep the
+        // diagonal real) so residue cannot accumulate across sweeps.
+        a[p * n + q] = Cplx(0.0, 0.0);
+        a[q * n + p] = Cplx(0.0, 0.0);
+        a[p * n + p] = Cplx(a[p * n + p].real(), 0.0);
+        a[q * n + q] = Cplx(a[q * n + q].real(), 0.0);
+
+        // V <- V R.
+        for (std::size_t k = 0; k < n; ++k) {
+          const Cplx vp = v[k * n + p];
+          const Cplx vq = v[k * n + q];
+          v[k * n + p] = vp * c - vq * sc;
+          v[k * n + q] = vp * s + vq * c;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs descending by value; index-based tie-break keeps the
+  // ordering (and therefore downstream summation order) deterministic.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    const double dx = a[x * n + x].real();
+    const double dy = a[y * n + y].real();
+    if (dx != dy) return dx > dy;
+    return x < y;
+  });
+
+  HermitianEigen out;
+  out.values.resize(n);
+  out.vectors.resize(n * n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t col = order[k];
+    out.values[k] = a[col * n + col].real();
+    for (std::size_t i = 0; i < n; ++i) {
+      out.vectors[k * n + i] = v[i * n + col];
+    }
+  }
+  return out;
 }
 
 }  // namespace poc

@@ -1,10 +1,14 @@
-// Small dense linear algebra: Gaussian elimination with partial pivoting
-// and least-squares via normal equations.  Systems here are tiny (circuit
-// nodes, response-surface fits), so dense direct solves are appropriate.
+// Small dense linear algebra: Gaussian elimination with partial pivoting,
+// least-squares via normal equations, and a cyclic Jacobi eigensolver for
+// Hermitian matrices.  Systems here are tiny (circuit nodes, response-
+// surface fits, TCC source-Gram matrices), so dense direct methods are
+// appropriate.
 #pragma once
 
 #include <cstddef>
 #include <vector>
+
+#include "src/common/fft.h"  // Cplx
 
 namespace poc {
 
@@ -19,5 +23,22 @@ bool solve_dense(std::vector<double>& a, std::vector<double>& b,
 std::vector<double> least_squares(const std::vector<double>& x,
                                   const std::vector<double>& y,
                                   std::size_t rows, std::size_t cols);
+
+/// Eigendecomposition of a Hermitian matrix.
+struct HermitianEigen {
+  /// Eigenvalues, sorted descending (all real for a Hermitian input).
+  std::vector<double> values;
+  /// Orthonormal eigenvectors stored contiguously: component i of the
+  /// eigenvector paired with values[k] is vectors[k * n + i].
+  std::vector<Cplx> vectors;
+};
+
+/// Cyclic Jacobi eigensolver for a Hermitian matrix (row-major n*n).  Only
+/// the numerical Hermitian part of `a` is used (the strict lower triangle is
+/// read as the conjugate of the upper one).  Deterministic: fixed sweep
+/// order, no data-dependent pivoting, so identical inputs give bit-identical
+/// results on every call.  Intended for the small matrices in this codebase
+/// (source Gram matrices, S <= a few dozen).
+HermitianEigen jacobi_hermitian(std::vector<Cplx> a, std::size_t n);
 
 }  // namespace poc

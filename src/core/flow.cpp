@@ -50,8 +50,15 @@ void hash_optics(FpHasher& h, const OpticalSettings& o) {
       .f64(o.z7_coma_x_waves);
 }
 
+void hash_imaging(FpHasher& h, const ImagingOptions& im) {
+  h.u64(static_cast<std::uint64_t>(im.mode))
+      .u64(im.socs.max_kernels)
+      .f64(im.socs.energy_fraction);
+}
+
 void hash_sim(FpHasher& h, const LithoSimulator& sim) {
   hash_optics(h, sim.optics());
+  hash_imaging(h, sim.imaging());
   h.f64(sim.resist().diffusion_nm).f64(sim.resist().threshold);
 }
 
@@ -76,6 +83,8 @@ void hash_opc_options(FpHasher& h, const OpcOptions& o) {
       .u64(static_cast<std::uint64_t>(o.final_quality))
       .f64(o.handoff_epe_nm)
       .u64(o.final_iterations)
+      .u64(static_cast<std::uint64_t>(o.sim_imaging))
+      .u64(static_cast<std::uint64_t>(o.final_imaging))
       .u64(o.insert_srafs ? 1 : 0);
 }
 
@@ -132,7 +141,11 @@ PostOpcFlow::PostOpcFlow(const PlacedDesign& design, const StdCellLibrary& lib,
     silicon_resist.diffusion_nm += options_.silicon.diffusion_delta_nm;
     silicon_resist.threshold += options_.silicon.threshold_delta;
   }
-  silicon_sim_ = LithoSimulator(sim.optics(), silicon_resist);
+  // One imaging engine for the whole flow: the OPC model and the silicon
+  // reference both honour FlowOptions::imaging (per-phase OpcImaging knobs
+  // may still override inside the OPC loop).
+  sim_.set_imaging(options_.imaging);
+  silicon_sim_ = LithoSimulator(sim.optics(), silicon_resist, options_.imaging);
   if (options_.cache.enabled) {
     caches_ = std::make_shared<WindowCaches>(
         options_.cache.capacity_mb << 20, options_.cache.shards);
@@ -381,6 +394,7 @@ Image2D PostOpcFlow::latent_for_window(const LithoSimulator& sim,
   FpHasher h;
   h.str("latent");
   hash_optics(h, sim.optics());
+  hash_imaging(h, sim.imaging());
   h.f64(sim.resist().diffusion_nm);
   hash_exposure(h, exposure);
   h.u64(static_cast<std::uint64_t>(options_.extract_quality));

@@ -5,10 +5,9 @@
 #include <memory>
 #include <numbers>
 
-#include "src/cache/fingerprint.h"
-#include "src/cache/result_cache.h"
 #include "src/common/check.h"
 #include "src/common/fft.h"
+#include "src/litho/pupil_cache.h"
 
 namespace poc {
 namespace {
@@ -24,83 +23,48 @@ std::size_t spec_index(long long kx, long long ky, std::size_t nx,
   return iy * nx + ix;
 }
 
-/// Memoized per-source-point pupil values over the cropped spectral grid.
-/// Every window of the same pixel size and padded dimensions shares one
-/// spectral layout, so across a full-chip run the (optics, quality,
-/// defocus) combinations collapse to a handful of tables and the per-window
-/// pupil evaluation (sqrt + sin/cos per grid point per source point)
-/// disappears from the hot loop.  Values are the verbatim pupil_value
-/// results, so cached and uncached imaging are bit-identical.
-struct PupilTables {
-  /// tables[s][(ky + ky_max) * (2*kx_max + 1) + (kx + kx_max)] for source
-  /// point s.
-  std::vector<std::vector<Cplx>> tables;
-};
-
-std::shared_ptr<const PupilTables> pupil_tables(
-    const OpticalSettings& opt, const std::vector<SourcePoint>& source,
-    double defocus_nm, double dfx, double dfy, long long kx_max,
-    long long ky_max) {
-  // ~100 windows' worth of fine-quality tables; enough that a full flow
-  // never thrashes, bounded in case a sweep walks through many defocus
-  // values.
-  static ShardedCache<PupilTables> cache(128ull << 20, /*shards=*/8);
-
-  FpHasher h;
-  h.str("pupil")
-      .f64(opt.wavelength_nm)
-      .f64(opt.na)
-      .f64(opt.z9_spherical_waves)
-      .f64(opt.z7_coma_x_waves)
-      .f64(defocus_nm)
-      .f64(dfx)
-      .f64(dfy)
-      .i64(kx_max)
-      .i64(ky_max)
-      .u64(source.size());
-  for (const SourcePoint& sp : source) h.f64(sp.sx).f64(sp.sy);
-  const Fingerprint fp = h.digest();
-
-  if (auto hit = cache.find(fp)) return hit;
-
-  const double tilt_scale = opt.na / opt.wavelength_nm;
-  auto built = std::make_shared<PupilTables>();
-  built->tables.reserve(source.size());
-  const std::size_t row = static_cast<std::size_t>(2 * kx_max + 1);
-  const std::size_t rows = static_cast<std::size_t>(2 * ky_max + 1);
-  for (const SourcePoint& sp : source) {
-    const double fsx = sp.sx * tilt_scale;
-    const double fsy = sp.sy * tilt_scale;
-    std::vector<Cplx> table(row * rows);
-    std::size_t idx = 0;
-    for (long long ky = -ky_max; ky <= ky_max; ++ky) {
-      const double fy = static_cast<double>(ky) * dfy;
-      for (long long kx = -kx_max; kx <= kx_max; ++kx) {
-        const double fx = static_cast<double>(kx) * dfx;
-        table[idx++] = pupil_value(opt, fx + fsx, fy + fsy, defocus_nm);
-      }
+/// Accumulates one coherent system: scatter the band-limited filtered
+/// spectrum onto the cropped grid, inverse-transform, add weight * |E|^2.
+/// `band_inverse` selects the column-first band transform (SOCS only; the
+/// Abbe path keeps the full-grid order to stay bit-identical to the
+/// goldens).
+void accumulate_coherent(const std::vector<Cplx>& spectrum,
+                         const std::vector<Cplx>& table, double weight,
+                         const SpectralGrid& grid, std::size_t nx,
+                         std::size_t ny, std::size_t ncx, std::size_t ncy,
+                         double crop_scale, bool band_inverse,
+                         std::vector<Cplx>& field,
+                         std::vector<double>& intensity) {
+  std::fill(field.begin(), field.end(), Cplx(0.0, 0.0));
+  std::size_t idx = 0;
+  for (long long ky = -grid.ky_max; ky <= grid.ky_max; ++ky) {
+    for (long long kx = -grid.kx_max; kx <= grid.kx_max; ++kx) {
+      const Cplx p = table[idx++];
+      if (p == Cplx(0.0, 0.0)) continue;
+      field[spec_index(kx, ky, ncx, ncy)] =
+          spectrum[spec_index(kx, ky, nx, ny)] * p * crop_scale;
     }
-    built->tables.push_back(std::move(table));
   }
-  cache.insert(fp, built,
-               source.size() * row * rows * sizeof(Cplx) + sizeof(PupilTables));
-  return built;
+  if (band_inverse) {
+    fft_2d_band_inverse(field, ncx, ncy,
+                        static_cast<std::size_t>(grid.kx_max));
+  } else {
+    fft_2d(field, ncx, ncy, /*inverse=*/true);
+  }
+  for (std::size_t i = 0; i < ncx * ncy; ++i) {
+    intensity[i] += weight * std::norm(field[i]);
+  }
 }
 
 }  // namespace
 
 Image2D aerial_image_blurred(const Image2D& mask, const OpticalSettings& opt,
                              double defocus_nm, double blur_sigma_nm,
-                             const std::vector<SourcePoint>& source) {
+                             const std::vector<SourcePoint>& source,
+                             const ImagingOptions& imaging) {
   const std::size_t nx = mask.nx();
   const std::size_t ny = mask.ny();
   POC_EXPECTS(is_pow2(nx) && is_pow2(ny));
-
-  // Mask spectrum on the full grid (mask edges are not band-limited, so the
-  // forward transform needs full resolution).
-  std::vector<Cplx> spectrum(nx * ny);
-  for (std::size_t i = 0; i < nx * ny; ++i) spectrum[i] = mask.data()[i];
-  fft_2d(spectrum, nx, ny, /*inverse=*/false);
 
   const double dfx = 1.0 / (static_cast<double>(nx) * mask.pixel());
   const double dfy = 1.0 / (static_cast<double>(ny) * mask.pixel());
@@ -121,34 +85,101 @@ Image2D aerial_image_blurred(const Image2D& mask, const OpticalSettings& opt,
       nx, next_pow2(static_cast<std::size_t>(4 * kx_max + 2)));
   const std::size_t ncy = std::min(
       ny, next_pow2(static_cast<std::size_t>(4 * ky_max + 2)));
+  const SpectralGrid grid{dfx, dfy, kx_max, ky_max};
 
-  const std::shared_ptr<const PupilTables> pupils =
-      pupil_tables(opt, source, defocus_nm, dfx, dfy, kx_max, ky_max);
+  const bool socs = imaging.mode == ImagingMode::kSocs;
 
-  // Per-source-point coherent image on the coarse grid; intensities
-  // accumulate there.
+  // Mask spectrum on the full grid (mask edges are not band-limited, so the
+  // forward transform needs full resolution).  Only the |kx| <= kx_max
+  // columns are consumed below: the Abbe path runs the band-limited forward
+  // pass, which is bit-identical to the full transform on those columns;
+  // the SOCS path additionally packs the real rows two per transform.
+  std::vector<Cplx> spectrum;
+  if (socs) {
+    spectrum = rfft_2d_band(mask.data(), nx, ny,
+                            static_cast<std::size_t>(kx_max));
+  } else {
+    spectrum.resize(nx * ny);
+    for (std::size_t i = 0; i < nx * ny; ++i) spectrum[i] = mask.data()[i];
+    fft_2d_band_forward(spectrum, nx, ny, static_cast<std::size_t>(kx_max));
+  }
+
+  // Coherent systems on the coarse grid: one per source point (Abbe) or one
+  // per retained TCC kernel (SOCS); intensities accumulate there in fixed
+  // index order either way, so each path is deterministic.
   std::vector<double> intensity(ncx * ncy, 0.0);
   std::vector<Cplx> field(ncx * ncy);
   const double crop_scale = static_cast<double>(ncx) *
                             static_cast<double>(ncy) /
                             (static_cast<double>(nx) * static_cast<double>(ny));
 
-  for (std::size_t s = 0; s < source.size(); ++s) {
-    const SourcePoint& sp = source[s];
-    const std::vector<Cplx>& table = pupils->tables[s];
-    std::fill(field.begin(), field.end(), Cplx(0.0, 0.0));
-    std::size_t idx = 0;
-    for (long long ky = -ky_max; ky <= ky_max; ++ky) {
-      for (long long kx = -kx_max; kx <= kx_max; ++kx) {
-        const Cplx p = table[idx++];
-        if (p == Cplx(0.0, 0.0)) continue;
-        field[spec_index(kx, ky, ncx, ncy)] =
-            spectrum[spec_index(kx, ky, nx, ny)] * p * crop_scale;
+  if (socs) {
+    const std::shared_ptr<const SocsKernels> kernels =
+        socs_kernels(opt, source, defocus_nm, grid, imaging.socs);
+    if (kernels->parity_packable()) {
+      // Parity-pure real kernels (nominal focus, no aberrations): each
+      // kernel's filtered spectrum M*phi is Hermitian — directly for even
+      // kernels, after an -i twist for odd ones (whose fields are purely
+      // imaginary, so the twist rotates them onto the real axis without
+      // changing |E|^2).  Two Hermitian spectra ride one complex inverse
+      // transform as its real and imaginary parts, halving the per-kernel
+      // transform count with no truncation error.
+      const std::size_t nk = kernels->kernels.size();
+      for (std::size_t k = 0; k < nk; k += 2) {
+        const bool pair = k + 1 < nk;
+        std::fill(field.begin(), field.end(), Cplx(0.0, 0.0));
+        const std::vector<Cplx>& phi1 = kernels->kernels[k];
+        const std::vector<Cplx>* phi2 = pair ? &kernels->kernels[k + 1] : nullptr;
+        const bool odd1 = kernels->parity[k] == 2;
+        const bool odd2 = pair && kernels->parity[k + 1] == 2;
+        std::size_t idx = 0;
+        for (long long ky = -grid.ky_max; ky <= grid.ky_max; ++ky) {
+          for (long long kx = -grid.kx_max; kx <= grid.kx_max; ++kx, ++idx) {
+            const Cplx m =
+                spectrum[spec_index(kx, ky, nx, ny)] * crop_scale;
+            Cplx h1 = m * phi1[idx].real();
+            if (odd1) h1 = Cplx(h1.imag(), -h1.real());
+            Cplx h2(0.0, 0.0);
+            if (pair) {
+              h2 = m * (*phi2)[idx].real();
+              if (odd2) h2 = Cplx(h2.imag(), -h2.real());
+            }
+            field[spec_index(kx, ky, ncx, ncy)] =
+                Cplx(h1.real() - h2.imag(), h1.imag() + h2.real());
+          }
+        }
+        fft_2d_band_inverse(field, ncx, ncy,
+                            static_cast<std::size_t>(grid.kx_max));
+        const double w1 = kernels->weights[k];
+        if (pair) {
+          const double w2 = kernels->weights[k + 1];
+          for (std::size_t i = 0; i < ncx * ncy; ++i) {
+            const double re = field[i].real();
+            const double im = field[i].imag();
+            intensity[i] += w1 * re * re + w2 * im * im;
+          }
+        } else {
+          for (std::size_t i = 0; i < ncx * ncy; ++i) {
+            const double re = field[i].real();
+            intensity[i] += w1 * re * re;
+          }
+        }
+      }
+    } else {
+      for (std::size_t k = 0; k < kernels->kernels.size(); ++k) {
+        accumulate_coherent(spectrum, kernels->kernels[k],
+                            kernels->weights[k], grid, nx, ny, ncx, ncy,
+                            crop_scale, /*band_inverse=*/true, field,
+                            intensity);
       }
     }
-    fft_2d(field, ncx, ncy, /*inverse=*/true);
-    for (std::size_t i = 0; i < ncx * ncy; ++i) {
-      intensity[i] += sp.weight * std::norm(field[i]);
+  } else {
+    const std::shared_ptr<const PupilTables> pupils =
+        pupil_tables(opt, source, defocus_nm, grid);
+    for (std::size_t s = 0; s < source.size(); ++s) {
+      accumulate_coherent(spectrum, pupils->tables[s], source[s].weight, grid,
+                          nx, ny, ncx, ncy, crop_scale,
+                          /*band_inverse=*/false, field, intensity);
     }
   }
 
@@ -159,32 +190,88 @@ Image2D aerial_image_blurred(const Image2D& mask, const OpticalSettings& opt,
   for (std::size_t i = 0; i < ncx * ncy; ++i) coarse_spec[i] = intensity[i];
   fft_2d(coarse_spec, ncx, ncy, /*inverse=*/false);
 
-  std::vector<Cplx> full_spec(nx * ny, Cplx(0.0, 0.0));
   const double up_scale = static_cast<double>(nx) * static_cast<double>(ny) /
                           (static_cast<double>(ncx) * static_cast<double>(ncy));
   const double two_pi2_s2 = 2.0 * std::numbers::pi * std::numbers::pi *
                             blur_sigma_nm * blur_sigma_nm;
   const long long cx = static_cast<long long>(ncx) / 2 - 1;
   const long long cy = static_cast<long long>(ncy) / 2 - 1;
-  for (long long ky = -cy; ky <= cy; ++ky) {
-    const double fy = static_cast<double>(ky) * dfy;
-    for (long long kx = -cx; kx <= cx; ++kx) {
-      const double fx = static_cast<double>(kx) * dfx;
-      const double blur =
-          blur_sigma_nm > 0.0
-              ? std::exp(-two_pi2_s2 * (fx * fx + fy * fy))
-              : 1.0;
-      full_spec[spec_index(kx, ky, nx, ny)] =
-          coarse_spec[spec_index(kx, ky, ncx, ncy)] * (up_scale * blur);
-    }
-  }
-  fft_2d(full_spec, nx, ny, /*inverse=*/true);
 
   Image2D result(nx, ny, mask.pixel(), mask.origin_x(), mask.origin_y());
-  for (std::size_t i = 0; i < nx * ny; ++i) {
-    result.data()[i] = full_spec[i].real();
+  if (socs) {
+    // The irfft below only reads the band columns, and every band entry is
+    // rewritten each call, so the full-grid spectrum can live in a
+    // persistent per-thread buffer: only a geometry change pays the
+    // full-size zeroing again.
+    struct UpsampleScratch {
+      std::size_t nx = 0, ny = 0;
+      long long cx = -1, cy = -1;
+      std::vector<Cplx> spec;
+    };
+    thread_local UpsampleScratch scratch;
+    if (scratch.nx != nx || scratch.ny != ny || scratch.cx != cx ||
+        scratch.cy != cy) {
+      scratch.nx = nx;
+      scratch.ny = ny;
+      scratch.cx = cx;
+      scratch.cy = cy;
+      scratch.spec.assign(nx * ny, Cplx(0.0, 0.0));
+    }
+    // Separable blur factors keep exp() out of the inner loop (SOCS only:
+    // the Abbe loop below keeps the fused exponent so its rounding stays
+    // exactly as the reference path has always computed it).
+    std::vector<double> bx(static_cast<std::size_t>(2 * cx + 1));
+    std::vector<double> by(static_cast<std::size_t>(2 * cy + 1));
+    for (long long kx = -cx; kx <= cx; ++kx) {
+      const double fx = static_cast<double>(kx) * dfx;
+      bx[static_cast<std::size_t>(kx + cx)] =
+          blur_sigma_nm > 0.0 ? std::exp(-two_pi2_s2 * fx * fx) : 1.0;
+    }
+    for (long long ky = -cy; ky <= cy; ++ky) {
+      const double fy = static_cast<double>(ky) * dfy;
+      by[static_cast<std::size_t>(ky + cy)] =
+          blur_sigma_nm > 0.0 ? std::exp(-two_pi2_s2 * fy * fy) : 1.0;
+    }
+    for (long long ky = -cy; ky <= cy; ++ky) {
+      const double wy = up_scale * by[static_cast<std::size_t>(ky + cy)];
+      for (long long kx = -cx; kx <= cx; ++kx) {
+        scratch.spec[spec_index(kx, ky, nx, ny)] =
+            coarse_spec[spec_index(kx, ky, ncx, ncy)] *
+            (wy * bx[static_cast<std::size_t>(kx + cx)]);
+      }
+    }
+    // The intensity spectrum is Hermitian (intensity is real), so the
+    // upsampling inverse can pack two real output rows per transform.
+    const std::vector<double> real_img = irfft_2d_band(
+        scratch.spec, nx, ny, static_cast<std::size_t>(cx < 0 ? 0 : cx));
+    for (std::size_t i = 0; i < nx * ny; ++i) result.data()[i] = real_img[i];
+  } else {
+    std::vector<Cplx> full_spec(nx * ny, Cplx(0.0, 0.0));
+    for (long long ky = -cy; ky <= cy; ++ky) {
+      const double fy = static_cast<double>(ky) * dfy;
+      for (long long kx = -cx; kx <= cx; ++kx) {
+        const double fx = static_cast<double>(kx) * dfx;
+        const double blur =
+            blur_sigma_nm > 0.0
+                ? std::exp(-two_pi2_s2 * (fx * fx + fy * fy))
+                : 1.0;
+        full_spec[spec_index(kx, ky, nx, ny)] =
+            coarse_spec[spec_index(kx, ky, ncx, ncy)] * (up_scale * blur);
+      }
+    }
+    fft_2d(full_spec, nx, ny, /*inverse=*/true);
+    for (std::size_t i = 0; i < nx * ny; ++i) {
+      result.data()[i] = full_spec[i].real();
+    }
   }
   return result;
+}
+
+Image2D aerial_image_blurred(const Image2D& mask, const OpticalSettings& opt,
+                             double defocus_nm, double blur_sigma_nm,
+                             const std::vector<SourcePoint>& source) {
+  return aerial_image_blurred(mask, opt, defocus_nm, blur_sigma_nm, source,
+                              ImagingOptions{});
 }
 
 Image2D aerial_image_blurred(const Image2D& mask, const OpticalSettings& opt,

@@ -28,22 +28,30 @@ void LithoSimulator::init_quality_contexts() {
 
 Image2D LithoSimulator::aerial(const std::vector<Rect>& features,
                                const Rect& window, double defocus_nm,
-                               LithoQuality quality) const {
+                               LithoQuality quality,
+                               std::optional<ImagingMode> mode) const {
   const QualityContext& ctx = quality_context(quality);
   const Image2D mask =
       rasterize_mask(features, window, quality_params(quality).pixel_nm);
-  return aerial_image(mask, ctx.optics, defocus_nm, ctx.source);
+  ImagingOptions imaging = imaging_;
+  if (mode) imaging.mode = *mode;
+  return aerial_image_blurred(mask, ctx.optics, defocus_nm, 0.0, ctx.source,
+                              imaging);
 }
 
 Image2D LithoSimulator::latent(const std::vector<Rect>& features,
                                const Rect& window, const Exposure& exposure,
-                               LithoQuality quality) const {
+                               LithoQuality quality,
+                               std::optional<ImagingMode> mode) const {
   const QualityContext& ctx = quality_context(quality);
   const Image2D mask =
       rasterize_mask(features, window, quality_params(quality).pixel_nm);
+  ImagingOptions imaging = imaging_;
+  if (mode) imaging.mode = *mode;
   // Blur applied in the imaging upsample pass; only the dose scale remains.
   Image2D latent = aerial_image_blurred(mask, ctx.optics, exposure.focus_nm,
-                                        resist_.diffusion_nm, ctx.source);
+                                        resist_.diffusion_nm, ctx.source,
+                                        imaging);
   for (double& v : latent.data()) v *= exposure.dose;
   return latent;
 }

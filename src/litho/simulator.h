@@ -5,10 +5,12 @@
 #pragma once
 
 #include <array>
+#include <optional>
 #include <vector>
 
 #include "src/geom/rect.h"
 #include "src/litho/image.h"
+#include "src/litho/imaging.h"
 #include "src/litho/optics.h"
 #include "src/litho/resist.h"
 
@@ -27,24 +29,35 @@ QualityParams quality_params(LithoQuality q);
 class LithoSimulator {
  public:
   LithoSimulator() { init_quality_contexts(); }
-  LithoSimulator(OpticalSettings optics, ResistModel resist)
-      : optics_(optics), resist_(resist) {
+  LithoSimulator(OpticalSettings optics, ResistModel resist,
+                 ImagingOptions imaging = {})
+      : optics_(optics), resist_(resist), imaging_(imaging) {
     init_quality_contexts();
   }
 
   const OpticalSettings& optics() const { return optics_; }
   const ResistModel& resist() const { return resist_; }
 
+  /// Imaging engine (Abbe reference or SOCS fast path) used by aerial and
+  /// latent unless a per-call mode override is given.  Part of the window
+  /// fingerprints downstream, so flipping it can never alias cached images.
+  const ImagingOptions& imaging() const { return imaging_; }
+  void set_imaging(const ImagingOptions& imaging) { imaging_ = imaging; }
+
   /// Aerial intensity for chrome features in `window` at the given defocus.
+  /// `mode` overrides the simulator-level imaging mode for this call (the
+  /// SOCS truncation knobs still come from imaging()).
   Image2D aerial(const std::vector<Rect>& features, const Rect& window,
                  double defocus_nm,
-                 LithoQuality quality = LithoQuality::kStandard) const;
+                 LithoQuality quality = LithoQuality::kStandard,
+                 std::optional<ImagingMode> mode = std::nullopt) const;
 
   /// Latent (blurred, dose-scaled) image; features print where the value is
   /// below resist().threshold.
   Image2D latent(const std::vector<Rect>& features, const Rect& window,
                  const Exposure& exposure,
-                 LithoQuality quality = LithoQuality::kStandard) const;
+                 LithoQuality quality = LithoQuality::kStandard,
+                 std::optional<ImagingMode> mode = std::nullopt) const;
 
   /// The print threshold contour level in the latent image.
   double print_threshold() const { return resist_.threshold; }
@@ -66,6 +79,7 @@ class LithoSimulator {
 
   OpticalSettings optics_;
   ResistModel resist_;
+  ImagingOptions imaging_;
   std::array<QualityContext, 3> quality_;
 };
 

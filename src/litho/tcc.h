@@ -1,0 +1,98 @@
+// Hopkins transmission-cross-coefficient (TCC) formulation and its SOCS
+// (sum of coherent systems) decomposition.
+//
+// For a discretized source {(s, w_s)} and defocused pupil P, the TCC over
+// the cropped spectral grid is
+//
+//   T(f, f') = sum_s w_s P(f + f_s) conj(P(f' + f_s)),
+//
+// a Hermitian positive-semidefinite operator of rank <= S (number of source
+// points).  Writing b_s(f) = sqrt(w_s) P(f + f_s), T = sum_s b_s b_s^H, so
+// its nonzero spectrum equals that of the S x S Gram matrix
+// G[s][t] = b_s^H b_t ("method of snapshots").  Eigendecomposing G with the
+// Jacobi solver in src/common/linalg and mapping eigenvectors back through
+// B = [b_1 ... b_S] yields orthonormal coherent kernels phi_k with
+//
+//   T = sum_k lambda_k phi_k phi_k^H,   I(x) = sum_k lambda_k |phi_k * m|^2,
+//
+// exactly (all S kernels) or to any energy fraction of trace(T) when
+// truncated to K << S kernels — that truncation is the SOCS fast imaging
+// path: O(K) inverse transforms per window instead of O(S).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/fft.h"
+#include "src/litho/optics.h"
+#include "src/litho/pupil_cache.h"
+
+namespace poc {
+
+/// SOCS truncation knobs.  Kernels are kept in descending-eigenvalue order
+/// until they capture `energy_fraction` of the TCC trace, up to
+/// `max_kernels`; at least one kernel is always kept.  The defaults retain
+/// every non-negligible kernel (discretized-source TCC spectra have a flat
+/// tail, so aggressive truncation costs nm-scale CD error): default SOCS is
+/// numerically exchangeable with Abbe, and its speed comes from the packed
+/// band transforms and the parity kernel pairing, not from truncation.
+/// Tighter budgets remain available for draft-mode imaging where sub-nm CD
+/// fidelity is not needed.
+struct SocsOptions {
+  std::size_t max_kernels = 64;
+  double energy_fraction = 1.0;
+};
+
+/// A truncated SOCS decomposition over one spectral layout.
+struct SocsKernels {
+  SpectralGrid grid;
+  /// Eigenvalues lambda_k, descending; weights of the coherent systems.
+  std::vector<double> weights;
+  /// kernels[k][grid.index(kx, ky)]: orthonormal coherent kernels phi_k.
+  std::vector<std::vector<Cplx>> kernels;
+  /// trace(T) = sum_s w_s ||P_s||^2 — total partially-coherent energy.
+  double trace = 0.0;
+  /// sum of the retained eigenvalues (captured <= trace).
+  double captured = 0.0;
+  /// Number of source points the TCC was assembled from.
+  std::size_t source_points = 0;
+  /// Per-kernel parity under f -> -f, populated when the decomposition ran
+  /// the parity-blocked build (pupils exactly real and parity-matched, i.e.
+  /// zero defocus and no aberrations over a 180-degree-symmetric source):
+  /// 1 = even (phi(-f) = phi(f)), 2 = odd (phi(-f) = -phi(f)); such kernels
+  /// are exactly real.  0 = generic complex kernel.  When every kernel is
+  /// parity-pure the imaging loop packs two kernels per inverse transform
+  /// (their filtered spectra are Hermitian after an -i twist on odd
+  /// kernels), halving the per-kernel cost with no truncation error.
+  std::vector<std::uint8_t> parity;
+  bool parity_packable() const {
+    if (kernels.empty() || parity.size() != kernels.size()) return false;
+    for (std::uint8_t p : parity) {
+      if (p == 0) return false;
+    }
+    return true;
+  }
+};
+
+/// Explicit dense TCC matrix, row-major N x N with N = grid.size() and
+/// T[i * N + j] = T(f_i, f_j) over the grid's row-major frequency order.
+/// Quadratic in the grid size — intended for property tests and small
+/// grids, not for the imaging hot path (which goes through the Gram
+/// factorization in socs_kernels).
+std::vector<Cplx> tcc_matrix(const OpticalSettings& opt,
+                             const std::vector<SourcePoint>& source,
+                             double defocus_nm, const SpectralGrid& grid);
+
+/// Memoized SOCS decomposition, keyed like the pupil tables (optics fields,
+/// source positions AND weights, defocus, spectral layout) plus the
+/// truncation knobs, so distinct kernel budgets never alias.  Deterministic:
+/// the build is a fixed-order single-threaded computation and the cache
+/// stores the first inserted value, so every caller in the process sees
+/// bit-identical kernels.
+std::shared_ptr<const SocsKernels> socs_kernels(
+    const OpticalSettings& opt, const std::vector<SourcePoint>& source,
+    double defocus_nm, const SpectralGrid& grid, const SocsOptions& socs);
+
+}  // namespace poc

@@ -23,8 +23,10 @@ std::vector<Rect> OpcResult::mask_rects() const {
 void OpcEngine::measure_epe(std::vector<Fragment>& fragments,
                             const std::vector<Rect>& mask_rects,
                             const Rect& window, const Exposure& exposure,
-                            LithoQuality quality) const {
-  const Image2D latent = sim_->latent(mask_rects, window, exposure, quality);
+                            LithoQuality quality,
+                            std::optional<ImagingMode> mode) const {
+  const Image2D latent =
+      sim_->latent(mask_rects, window, exposure, quality, mode);
   const double th = sim_->print_threshold();
   const double step = latent.pixel() / 2.0;
   for (Fragment& f : fragments) {
@@ -72,11 +74,25 @@ OpcResult OpcEngine::correct(const std::vector<Polygon>& targets,
     result.srafs = insert_srafs(targets, window);
   }
 
+  // Per-phase imaging engine: draft iterations may run the SOCS fast path
+  // while sign-off iterations stay on the reference engine.
+  const auto imaging_override = [](OpcImaging oi) -> std::optional<ImagingMode> {
+    switch (oi) {
+      case OpcImaging::kAbbe: return ImagingMode::kAbbe;
+      case OpcImaging::kSocs: return ImagingMode::kSocs;
+      case OpcImaging::kFollowSimulator: break;
+    }
+    return std::nullopt;
+  };
+
   LithoQuality quality = options_.sim_quality;
   for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
     result.corrected = apply_fragments(targets, result.fragments);
+    const OpcImaging phase_imaging = quality == options_.final_quality
+                                         ? options_.final_imaging
+                                         : options_.sim_imaging;
     measure_epe(result.fragments, result.mask_rects(), window, nominal,
-                quality);
+                quality, imaging_override(phase_imaging));
 
     double max_abs = 0.0, sum_sq = 0.0;
     double body_max = 0.0, body_sum_sq = 0.0;

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/geom/polygon.h"
@@ -15,6 +17,12 @@
 #include "src/opc/fragment.h"
 
 namespace poc {
+
+/// Imaging engine selection for one OPC phase.  kFollowSimulator defers to
+/// the simulator's own ImagingOptions (the flow-level default); kAbbe/kSocs
+/// force that engine for the phase regardless of the simulator setting —
+/// the intended production schedule runs SOCS drafts with Abbe sign-off.
+enum class OpcImaging : std::uint8_t { kFollowSimulator, kAbbe, kSocs };
 
 struct OpcOptions {
   FragmentationOptions fragmentation;
@@ -34,6 +42,11 @@ struct OpcOptions {
   LithoQuality final_quality = LithoQuality::kStandard;
   double handoff_epe_nm = 2.5;
   std::size_t final_iterations = 3;  ///< budget reserved for fine iterations
+  /// Imaging engine per phase of the coarse-to-fine schedule: draft
+  /// iterations may run the SOCS fast path while sign-off iterations stay
+  /// on the Abbe reference (or follow the simulator's flow-level setting).
+  OpcImaging sim_imaging = OpcImaging::kFollowSimulator;
+  OpcImaging final_imaging = OpcImaging::kFollowSimulator;
   bool insert_srafs = false;     ///< rule-based scattering bars (see sraf.h)
 };
 
@@ -70,9 +83,11 @@ class OpcEngine {
 
   /// Measures EPE at each fragment of `fragments` for an arbitrary mask
   /// (used by ORC and by the convergence bench to score uncorrected masks).
+  /// `mode` overrides the simulator's imaging engine for this measurement.
   void measure_epe(std::vector<Fragment>& fragments,
                    const std::vector<Rect>& mask_rects, const Rect& window,
-                   const Exposure& exposure, LithoQuality quality) const;
+                   const Exposure& exposure, LithoQuality quality,
+                   std::optional<ImagingMode> mode = std::nullopt) const;
 
   const OpcOptions& options() const { return options_; }
 

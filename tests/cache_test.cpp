@@ -235,17 +235,16 @@ class CacheFlowFixture : public ::testing::Test {
   static PostOpcFlow& cached_par() { return *flows()[2]; }
 
  private:
-  static std::vector<PostOpcFlow*>& flows() {
+  static std::vector<std::unique_ptr<PostOpcFlow>>& flows() {
     static auto built = [] {
-      std::vector<PostOpcFlow*> f{
-          new PostOpcFlow(design(), lib(), LithoSimulator{},
-                          flow_options(1, /*cache=*/true)),
-          new PostOpcFlow(design(), lib(), LithoSimulator{},
-                          flow_options(1, /*cache=*/false)),
-          new PostOpcFlow(design(), lib(), LithoSimulator{},
-                          flow_options(4, /*cache=*/true)),
-      };
-      for (PostOpcFlow* flow : f) flow->run_opc(OpcMode::kModelBased);
+      std::vector<std::unique_ptr<PostOpcFlow>> f;
+      f.push_back(std::make_unique<PostOpcFlow>(
+          design(), lib(), LithoSimulator{}, flow_options(1, /*cache=*/true)));
+      f.push_back(std::make_unique<PostOpcFlow>(
+          design(), lib(), LithoSimulator{}, flow_options(1, /*cache=*/false)));
+      f.push_back(std::make_unique<PostOpcFlow>(
+          design(), lib(), LithoSimulator{}, flow_options(4, /*cache=*/true)));
+      for (auto& flow : f) flow->run_opc(OpcMode::kModelBased);
       return f;
     }();
     return built;
@@ -334,6 +333,35 @@ TEST(CacheFlowCapacityZero, DegradedCacheStaysBitIdentical) {
   EXPECT_GT(c.total().misses, 0u);
   EXPECT_GT(c.total().rejected, 0u);
   EXPECT_EQ(c.total().entries, 0u);
+}
+
+TEST(CacheFlowSocs, SocsFlowBitIdenticalCacheOnOffAndThreaded) {
+  // SOCS-mode window results are memoized under fingerprints that include
+  // the imaging mode and truncation knobs; a cached SOCS flow must replay
+  // exactly what an uncached one computes, serial or threaded.
+  PlacedDesign design = place_and_route(make_c17(), lib());
+  FlowOptions on = flow_options(1, /*cache=*/true);
+  on.imaging.mode = ImagingMode::kSocs;
+  FlowOptions off_opts = flow_options(1, /*cache=*/false);
+  off_opts.imaging.mode = ImagingMode::kSocs;
+  FlowOptions on_par = flow_options(4, /*cache=*/true);
+  on_par.imaging.mode = ImagingMode::kSocs;
+
+  PostOpcFlow cached(design, lib(), LithoSimulator{}, on);
+  PostOpcFlow uncached(design, lib(), LithoSimulator{}, off_opts);
+  PostOpcFlow cached_par(design, lib(), LithoSimulator{}, on_par);
+  for (PostOpcFlow* f : {&cached, &uncached, &cached_par}) {
+    f->run_opc(OpcMode::kModelBased);
+  }
+  expect_same_masks(cached, uncached, design.layout.num_instances());
+  expect_same_masks(cached_par, uncached, design.layout.num_instances());
+  expect_same_extraction(cached.extract({}), uncached.extract({}));
+  expect_same_extraction(cached_par.extract({60.0, 1.02}),
+                         uncached.extract({60.0, 1.02}));
+  // Repeat extraction replays from the latent cache.
+  const CacheCounters before = cached.cache_counters().latent;
+  expect_same_extraction(cached.extract({}), uncached.extract({}));
+  EXPECT_GT(cached.cache_counters().latent.hits, before.hits);
 }
 
 }  // namespace

@@ -121,6 +121,98 @@ TEST(Fft, FreqIndexSignedMapping) {
   EXPECT_EQ(fft_freq_index(7, 8), -1);
 }
 
+TEST(Fft, BandForwardBitIdenticalInBand) {
+  // The band-limited forward pass must agree with the full transform bit
+  // for bit at every |kx| <= kx_max column (the Abbe path relies on this to
+  // keep the golden results unchanged).
+  Rng rng(7);
+  const std::size_t nx = 32, ny = 16, kx_max = 5;
+  std::vector<Cplx> full(nx * ny), band(nx * ny);
+  for (std::size_t i = 0; i < nx * ny; ++i) {
+    full[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    band[i] = full[i];
+  }
+  fft_2d(full, nx, ny, false);
+  fft_2d_band_forward(band, nx, ny, kx_max);
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      const long long kx = fft_freq_index(x, nx);
+      if (kx < 0 ? -kx > static_cast<long long>(kx_max)
+                 : kx > static_cast<long long>(kx_max)) {
+        continue;
+      }
+      EXPECT_EQ(band[y * nx + x].real(), full[y * nx + x].real());
+      EXPECT_EQ(band[y * nx + x].imag(), full[y * nx + x].imag());
+    }
+  }
+}
+
+TEST(Fft, BandInverseMatchesFullOnBandLimitedSpectrum) {
+  Rng rng(11);
+  const std::size_t nx = 32, ny = 16, kx_max = 5;
+  std::vector<Cplx> spec(nx * ny, Cplx(0.0, 0.0));
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      const long long kx = fft_freq_index(x, nx);
+      if (std::llabs(kx) > static_cast<long long>(kx_max)) continue;
+      spec[y * nx + x] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    }
+  }
+  auto full = spec;
+  auto band = spec;
+  fft_2d(full, nx, ny, true);
+  fft_2d_band_inverse(band, nx, ny, kx_max);
+  for (std::size_t i = 0; i < nx * ny; ++i) {
+    EXPECT_NEAR(std::abs(band[i] - full[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, PackedRealForwardMatchesComplexTransform) {
+  Rng rng(17);
+  const std::size_t nx = 32, ny = 16, kx_max = 6;
+  std::vector<double> img(nx * ny);
+  for (auto& v : img) v = rng.uniform(0, 1);
+  std::vector<Cplx> full(nx * ny);
+  for (std::size_t i = 0; i < nx * ny; ++i) full[i] = img[i];
+  fft_2d(full, nx, ny, false);
+  const std::vector<Cplx> packed = rfft_2d_band(img, nx, ny, kx_max);
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      const long long kx = fft_freq_index(x, nx);
+      if (std::llabs(kx) > static_cast<long long>(kx_max)) continue;
+      EXPECT_NEAR(std::abs(packed[y * nx + x] - full[y * nx + x]), 0.0,
+                  1e-11);
+    }
+  }
+}
+
+TEST(Fft, PackedRealInverseMatchesComplexTransform) {
+  // Build a band-limited Hermitian spectrum from a real image, then check
+  // the packed real inverse against the plain complex inverse.
+  Rng rng(19);
+  const std::size_t nx = 32, ny = 16, kx_max = 6;
+  std::vector<double> img(nx * ny);
+  for (auto& v : img) v = rng.uniform(-1, 1);
+  std::vector<Cplx> spec(nx * ny);
+  for (std::size_t i = 0; i < nx * ny; ++i) spec[i] = img[i];
+  fft_2d(spec, nx, ny, false);
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      const long long kx = fft_freq_index(x, nx);
+      if (std::llabs(kx) > static_cast<long long>(kx_max)) {
+        spec[y * nx + x] = Cplx(0.0, 0.0);
+      }
+    }
+  }
+  auto full = spec;
+  fft_2d(full, nx, ny, true);
+  const std::vector<double> packed = irfft_2d_band(spec, nx, ny, kx_max);
+  for (std::size_t i = 0; i < nx * ny; ++i) {
+    EXPECT_NEAR(packed[i], full[i].real(), 1e-11);
+    EXPECT_NEAR(full[i].imag(), 0.0, 1e-11);
+  }
+}
+
 TEST(Stats, RunningBasics) {
   RunningStats s;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
@@ -238,6 +330,100 @@ TEST(Linalg, LeastSquaresRecoversLine) {
   const auto beta = least_squares(x, y, 10, 2);
   EXPECT_NEAR(beta[0], 1.0, 1e-9);
   EXPECT_NEAR(beta[1], 2.0, 1e-9);
+}
+
+TEST(JacobiHermitian, DiagonalPassesThroughSorted) {
+  // Already diagonal: eigenvalues are the diagonal, sorted descending.
+  std::vector<Cplx> a{{2.0, 0.0}, {0.0, 0.0}, {0.0, 0.0},
+                      {0.0, 0.0}, {7.0, 0.0}, {0.0, 0.0},
+                      {0.0, 0.0}, {0.0, 0.0}, {-1.0, 0.0}};
+  const HermitianEigen e = jacobi_hermitian(a, 3);
+  ASSERT_EQ(e.values.size(), 3u);
+  EXPECT_NEAR(e.values[0], 7.0, 1e-14);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-14);
+  EXPECT_NEAR(e.values[2], -1.0, 1e-14);
+  // Eigenvectors are permuted unit vectors.
+  EXPECT_NEAR(std::abs(e.vectors[0 * 3 + 1]), 1.0, 1e-14);
+  EXPECT_NEAR(std::abs(e.vectors[1 * 3 + 0]), 1.0, 1e-14);
+  EXPECT_NEAR(std::abs(e.vectors[2 * 3 + 2]), 1.0, 1e-14);
+}
+
+TEST(JacobiHermitian, KnownRealSymmetric2x2) {
+  // [[2, 1], [1, 2]] -> eigenvalues 3 and 1, eigenvectors (1,1) and (1,-1).
+  std::vector<Cplx> a{{2.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}};
+  const HermitianEigen e = jacobi_hermitian(a, 2);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-14);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-14);
+  const double inv_sq2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(e.vectors[0 * 2 + 0]), inv_sq2, 1e-12);
+  EXPECT_NEAR(std::abs(e.vectors[0 * 2 + 1]), inv_sq2, 1e-12);
+  // The (3.0) eigenvector has equal components, the (1.0) one opposite.
+  EXPECT_NEAR(std::abs(e.vectors[0 * 2 + 0] + e.vectors[0 * 2 + 1]),
+              std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(e.vectors[1 * 2 + 0] + e.vectors[1 * 2 + 1]), 0.0,
+              1e-12);
+}
+
+TEST(JacobiHermitian, KnownComplexHermitian2x2) {
+  // [[1, i], [-i, 1]]: eigenvalues 2 and 0.
+  std::vector<Cplx> a{{1.0, 0.0}, {0.0, 1.0}, {0.0, -1.0}, {1.0, 0.0}};
+  const HermitianEigen e = jacobi_hermitian(a, 2);
+  EXPECT_NEAR(e.values[0], 2.0, 1e-14);
+  EXPECT_NEAR(e.values[1], 0.0, 1e-14);
+}
+
+TEST(JacobiHermitian, RandomHermitianEigenEquation) {
+  // Residual test on a dense complex Hermitian matrix: A v = lambda v,
+  // orthonormal vectors, eigenvalue sum equals the trace.
+  Rng rng(29);
+  const std::size_t n = 9;
+  std::vector<Cplx> a(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i * n + i] = Cplx(rng.uniform(-2, 2), 0.0);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      a[i * n + j] = Cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+      a[j * n + i] = std::conj(a[i * n + j]);
+    }
+  }
+  const HermitianEigen e = jacobi_hermitian(a, n);
+  double trace = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace += a[i * n + i].real();
+    sum += e.values[i];
+    if (i > 0) {
+      EXPECT_GE(e.values[i - 1], e.values[i]);  // sorted descending
+    }
+  }
+  EXPECT_NEAR(trace, sum, 1e-10);
+  for (std::size_t k = 0; k < n; ++k) {
+    // |A v_k - lambda_k v_k| small.
+    for (std::size_t i = 0; i < n; ++i) {
+      Cplx av(0.0, 0.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        av += a[i * n + j] * e.vectors[k * n + j];
+      }
+      const Cplx resid = av - e.values[k] * e.vectors[k * n + i];
+      EXPECT_LT(std::abs(resid), 1e-11);
+    }
+    // Orthonormality against every other vector.
+    for (std::size_t m = 0; m < n; ++m) {
+      Cplx dot(0.0, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += std::conj(e.vectors[k * n + i]) * e.vectors[m * n + i];
+      }
+      EXPECT_NEAR(std::abs(dot), k == m ? 1.0 : 0.0, 1e-11);
+    }
+  }
+}
+
+TEST(JacobiHermitian, DeterministicAcrossCalls) {
+  std::vector<Cplx> a{{3.0, 0.0}, {1.0, 2.0}, {0.5, -0.25},
+                      {1.0, -2.0}, {-1.0, 0.0}, {0.0, 1.0},
+                      {0.5, 0.25}, {0.0, -1.0}, {2.0, 0.0}};
+  const HermitianEigen e1 = jacobi_hermitian(a, 3);
+  const HermitianEigen e2 = jacobi_hermitian(a, 3);
+  EXPECT_EQ(e1.values, e2.values);
+  EXPECT_EQ(e1.vectors, e2.vectors);
 }
 
 TEST(Rng, DeterministicStreams) {

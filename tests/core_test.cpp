@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,10 +31,11 @@ class FlowFixture : public ::testing::Test {
  protected:
   static PostOpcFlow& flow() {
     static PlacedDesign design = place_and_route(make_c17(), lib());
-    static PostOpcFlow* instance = [] {
+    static std::unique_ptr<PostOpcFlow> instance = [] {
       FlowOptions opts;
       opts.sta.clock_period = 90.0;  // ~20 ps margin on c17
-      auto* f = new PostOpcFlow(design, lib(), LithoSimulator{}, opts);
+      auto f = std::make_unique<PostOpcFlow>(design, lib(), LithoSimulator{},
+                                             opts);
       f->run_opc(OpcMode::kModelBased);
       return f;
     }();

@@ -5,6 +5,7 @@
 // threads=1 and threads=4.  EXPECT_EQ on doubles below is deliberate:
 // approximate equality would hide reduction-order bugs.
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -73,15 +74,16 @@ class DeterminismFixture : public ::testing::Test {
   }
 
  private:
-  static std::pair<PostOpcFlow*, PostOpcFlow*>& flows() {
+  static std::pair<std::unique_ptr<PostOpcFlow>, std::unique_ptr<PostOpcFlow>>&
+  flows() {
     static auto built = [] {
-      auto* s = new PostOpcFlow(design(), lib(), LithoSimulator{},
-                                options_with_threads(1));
-      auto* p = new PostOpcFlow(design(), lib(), LithoSimulator{},
-                                options_with_threads(4));
+      auto s = std::make_unique<PostOpcFlow>(design(), lib(), LithoSimulator{},
+                                             options_with_threads(1));
+      auto p = std::make_unique<PostOpcFlow>(design(), lib(), LithoSimulator{},
+                                             options_with_threads(4));
       s->run_opc(OpcMode::kModelBased);
       p->run_opc(OpcMode::kModelBased);
-      return std::pair<PostOpcFlow*, PostOpcFlow*>{s, p};
+      return std::make_pair(std::move(s), std::move(p));
     }();
     return built;
   }
@@ -171,6 +173,39 @@ TEST_F(DeterminismFixture, MonteCarloTimingBitIdentical) {
   }
   EXPECT_EQ(a.slack_stats.mean(), b.slack_stats.mean());
   EXPECT_EQ(a.leak_stats.stddev(), b.leak_stats.stddev());
+}
+
+TEST(DeterminismSocs, SocsFlowBitIdenticalAcrossThreads) {
+  // The SOCS fast imaging path must honour the same contract as Abbe:
+  // thread count is a pure performance knob.  Both the parity-packed
+  // nominal path (OPC iterations) and the generic complex path (defocused
+  // extraction) run inside this flow.
+  PlacedDesign design = place_and_route(make_c17(), lib());
+  FlowOptions serial_opts = options_with_threads(1);
+  serial_opts.imaging.mode = ImagingMode::kSocs;
+  FlowOptions parallel_opts = options_with_threads(4);
+  parallel_opts.imaging.mode = ImagingMode::kSocs;
+  PostOpcFlow serial(design, lib(), LithoSimulator{}, serial_opts);
+  PostOpcFlow parallel(design, lib(), LithoSimulator{}, parallel_opts);
+  serial.run_opc(OpcMode::kModelBased);
+  parallel.run_opc(OpcMode::kModelBased);
+  EXPECT_EQ(serial.opc_stats().iterations, parallel.opc_stats().iterations);
+  EXPECT_EQ(serial.opc_stats().rms_epe_sum, parallel.opc_stats().rms_epe_sum);
+  for (std::size_t i = 0; i < design.layout.num_instances(); ++i) {
+    const std::vector<Rect>& ma = serial.mask_for_instance(i);
+    const std::vector<Rect>& mb = parallel.mask_for_instance(i);
+    ASSERT_EQ(ma.size(), mb.size()) << "instance " << i;
+    for (std::size_t r = 0; r < ma.size(); ++r) {
+      EXPECT_EQ(ma[r], mb[r]) << "instance " << i << " rect " << r;
+    }
+  }
+  expect_same_extraction(serial.extract({}), parallel.extract({}));
+  expect_same_extraction(serial.extract({120.0, 1.04}),
+                         parallel.extract({120.0, 1.04}));
+  const TimingComparison a = serial.compare_timing();
+  const TimingComparison b = parallel.compare_timing();
+  EXPECT_EQ(a.annotated.worst_slack, b.annotated.worst_slack);
+  EXPECT_EQ(a.worst_slack_change_pct, b.worst_slack_change_pct);
 }
 
 TEST(DeterminismAdder4, SelectiveFlowBitIdentical) {

@@ -3,6 +3,7 @@
 // OPC model.
 #include <algorithm>
 #include <filesystem>
+#include <memory>
 
 #include <gtest/gtest.h>
 
@@ -24,8 +25,8 @@ class MetroFixture : public ::testing::Test {
   static PostOpcFlow& flow() {
     static Netlist nl = make_c17();
     static PlacedDesign design = place_and_route(nl, lib());
-    static PostOpcFlow* instance = [] {
-      auto* f = new PostOpcFlow(design, lib());
+    static std::unique_ptr<PostOpcFlow> instance = [] {
+      auto f = std::make_unique<PostOpcFlow>(design, lib());
       f->run_opc(OpcMode::kModelBased);
       return f;
     }();
