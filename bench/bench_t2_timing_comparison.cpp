@@ -14,6 +14,27 @@
 
 using namespace poc;
 
+namespace {
+
+/// An inverter chain places as rows of one identical cell: nearly every
+/// litho window repeats up to translation — the structure the cache bench
+/// exploits, and a uniform workload for the SOCS / containment overhead
+/// sections.
+PlacedDesign make_inv_chain64() {
+  Netlist chain("inv_chain64");
+  NetIdx prev = chain.add_net("in");
+  chain.mark_primary_input(prev);
+  for (int i = 0; i < 64; ++i) {
+    const NetIdx out = chain.add_net("c" + std::to_string(i));
+    chain.add_gate("inv" + std::to_string(i), "INV_X1", {prev}, out);
+    prev = out;
+  }
+  chain.mark_primary_output(prev);
+  return place_and_route(chain, bench::library());
+}
+
+}  // namespace
+
 int main() {
   bench::section("T2: drawn-CD vs post-OPC-CD timing");
   Table table({"design", "gates", "clock (ps)", "drawn WNS arr", "drawn WS",
@@ -77,20 +98,7 @@ int main() {
 
   bench::section("T2: window cache on/off (repeated-instance design)");
   {
-    // An inverter chain places as rows of one identical cell: nearly every
-    // litho window repeats up to translation, which is exactly the
-    // structure the content-addressed cache exploits (real designs repeat
-    // standard cells the same way, just less purely).
-    Netlist chain("inv_chain64");
-    NetIdx prev = chain.add_net("in");
-    chain.mark_primary_input(prev);
-    for (int i = 0; i < 64; ++i) {
-      const NetIdx out = chain.add_net("c" + std::to_string(i));
-      chain.add_gate("inv" + std::to_string(i), "INV_X1", {prev}, out);
-      prev = out;
-    }
-    chain.mark_primary_output(prev);
-    PlacedDesign design = place_and_route(chain, bench::library());
+    PlacedDesign design = make_inv_chain64();
 
     Table cache_table(
         {"cache", "opc+extract wall (ms)", "speedup", "hit rate %", "annot WS"});
@@ -124,16 +132,7 @@ int main() {
 
   bench::section("SOCS fast imaging: e2e opc+extract (inv_chain64, cache off)");
   {
-    Netlist chain("inv_chain64");
-    NetIdx prev = chain.add_net("in");
-    chain.mark_primary_input(prev);
-    for (int i = 0; i < 64; ++i) {
-      const NetIdx out = chain.add_net("c" + std::to_string(i));
-      chain.add_gate("inv" + std::to_string(i), "INV_X1", {prev}, out);
-      prev = out;
-    }
-    chain.mark_primary_output(prev);
-    PlacedDesign design = place_and_route(chain, bench::library());
+    PlacedDesign design = make_inv_chain64();
 
     struct Config {
       const char* mode;
@@ -176,6 +175,44 @@ int main() {
                   design.netlist.name().c_str(), c.mode, ms, annot_ws);
     }
     std::printf("%s", socs_table.render().c_str());
+  }
+
+  bench::section("Fault containment: fault-free overhead (inv_chain64, cache off)");
+  {
+    // Containment wraps every hot-loop window in a retry scope and a few
+    // injection probes (one relaxed atomic load each when the harness is
+    // off).  This section measures that fault-free tax: wall time with
+    // recovery on vs off over the same design must agree within noise, and
+    // the annotated WS must agree exactly (containment is not allowed to
+    // perturb a clean run).
+    PlacedDesign design = make_inv_chain64();
+    Table fault_table(
+        {"containment", "opc+extract wall (ms)", "overhead %", "annot WS"});
+    double off_ms = 0.0;
+    for (const bool enabled : {false, true}) {
+      FlowOptions fopt;
+      fopt.sta.max_paths = 16;
+      fopt.cache.enabled = false;
+      fopt.recovery.enabled = enabled;
+      PostOpcFlow flow = bench::make_flow(design, 0.12, fopt);
+      double annot_ws = 0.0;
+      const double ms = bench::wall_ms([&] {
+        flow.run_opc(OpcMode::kModelBased);
+        const auto ext = flow.extract({});
+        const auto ann = flow.annotate(ext);
+        annot_ws = flow.run_sta(&ann).worst_slack;
+      });
+      if (!enabled) off_ms = ms;
+      fault_table.add_row(
+          {enabled ? "on" : "off", Table::num(ms, 1),
+           Table::num(enabled ? (ms / off_ms - 1.0) * 100.0 : 0.0, 2),
+           Table::num(annot_ws, 9)});
+      // Greppable proof line consumed by scripts/bench.sh.
+      std::printf("FAULT_BENCH name=%s containment=%s wall_ms=%.3f ws=%.9f\n",
+                  design.netlist.name().c_str(), enabled ? "on" : "off", ms,
+                  annot_ws);
+    }
+    std::printf("%s", fault_table.render().c_str());
   }
 
   bench::section("SOCS fast imaging: T2 headline under full SOCS (adder8)");

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# PR3 performance proof: runs the kernel micro-benchmarks (now including
-# the SOCS fast-imaging path and its kernel-budget sweep) plus the T2
-# bench's cache and SOCS end-to-end sections, and assembles
-# BENCH_PR3.json:
+# Performance proof: runs the kernel micro-benchmarks (including the SOCS
+# fast-imaging path and its kernel-budget sweep) plus the T2 bench's
+# cache, SOCS and fault-containment sections, and assembles
+# BENCH_PR4.json:
 #   - kernels:        every google-benchmark row (name, real_time, unit,
 #                     label — the SOCS kernel sweep stores cd_delta_nm in
 #                     the label)
@@ -14,13 +14,17 @@
 #                     time + annotated WS) with computed speedups
 #   - socs_t2:        the T2 headline (WS change %, spearman, top-10
 #                     displacement) reproduced under full SOCS
+#   - fault_bench / fault_overhead_pct / fault_ws_identical: FAULT_BENCH
+#                     rows (containment on/off over the same design) — the
+#                     PR4 acceptance number is a noise-level overhead with
+#                     bit-identical annotated WS
 #
 # Usage: scripts/bench.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
-OUT=BENCH_PR3.json
+OUT=BENCH_PR4.json
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" --target bench_perf_kernels \
@@ -41,6 +45,7 @@ T2_LOG=$(mktemp)
 # CACHE_BENCH name=<n> cache=<on|off> wall_ms=<ms> hit_rate=<0..1>
 # SOCS_BENCH  name=<n> mode=<abbe|socs_draft|socs_full> wall_ms=<ms> ws=<ps>
 # SOCS_T2     design=<d> ws_change_pct=<pct> spearman=<r> top10_displaced=<n>
+# FAULT_BENCH name=<n> containment=<on|off> wall_ms=<ms> ws=<ps>
 awk '
   /^CACHE_BENCH / {
     for (i = 2; i <= NF; ++i) { split($i, kv, "="); v[kv[1]] = kv[2] }
@@ -64,6 +69,15 @@ awk '
                  v["design"], v["ws_change_pct"], v["spearman"],
                  v["top10_displaced"])
   }
+  /^FAULT_BENCH / {
+    for (i = 2; i <= NF; ++i) { split($i, kv, "="); v[kv[1]] = kv[2] }
+    row = sprintf("    {\"name\": \"%s_containment_%s\", \"real_time\": %s, " \
+                  "\"time_unit\": \"ms\", \"annot_ws_ps\": %s}",
+                  v["name"], v["containment"], v["wall_ms"], v["ws"])
+    frows = frows (frows == "" ? "" : ",\n") row
+    fms[v["containment"]] = v["wall_ms"]
+    fws[v["containment"]] = v["ws"]
+  }
   END {
     printf "{\n  \"cache_bench\": [\n%s\n  ],\n", crows
     if (cms["off"] > 0 && cms["on"] > 0)
@@ -73,6 +87,12 @@ awk '
     if (sms["abbe"] > 0) {
       printf "  \"socs_e2e_draft_speedup\": %.3f,\n", sms["abbe"] / sms["socs_draft"]
       printf "  \"socs_e2e_full_speedup\": %.3f,\n", sms["abbe"] / sms["socs_full"]
+    }
+    if (frows != "") {
+      printf "  \"fault_bench\": [\n%s\n  ],\n", frows
+      if (fms["off"] > 0 && fms["on"] > 0)
+        printf "  \"fault_overhead_pct\": %.3f,\n", (fms["on"] / fms["off"] - 1.0) * 100.0
+      printf "  \"fault_ws_identical\": %s,\n", (fws["on"] == fws["off"]) ? "true" : "false"
     }
     if (t2 != "") print t2
   }

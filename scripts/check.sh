@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full local gate: the tier-1 build + test pass, a ThreadSanitizer build
-# that runs the parallel-engine tests (par_test) and the flow-level tests
-# that exercise it (cache_test, core_test — now including the SOCS-mode
-# flows), and an AddressSanitizer build over the litho/SOCS/cache/core
-# tests.  The TSan step is what keeps the determinism contract honest —
+# that runs the parallel-engine tests (par_test), the fault-containment
+# suite (fault_test — injected faults + retries under 4 threads) and the
+# flow-level tests that exercise it (cache_test, core_test — now including
+# the SOCS-mode flows), and an AddressSanitizer build over the
+# litho/SOCS/cache/core/fault tests.  The TSan step is what keeps the
+# determinism contract honest —
 # slot writes and the work-stealing queues must be race-free, not just
 # produce the right answer on one scheduling.  The ASan step covers the
 # imaging scratch-buffer reuse and the kernel/pupil cache lifetimes.
@@ -21,18 +23,20 @@ cmake --build build -j "$JOBS"
 echo "== step 2/4: full test suite =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== step 3/4: TSan build + race tests (par_test, cache_test, socs_test, core_test) =="
+echo "== step 3/4: TSan build + race tests (par_test, fault_test, cache_test, socs_test, core_test) =="
 cmake -B build-tsan -S . -DPOC_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target par_test cache_test socs_test core_test
+cmake --build build-tsan -j "$JOBS" --target par_test fault_test cache_test socs_test core_test
 ./build-tsan/tests/par_test
+./build-tsan/tests/fault_test
 ./build-tsan/tests/cache_test
 ./build-tsan/tests/socs_test
 ./build-tsan/tests/core_test
 
-echo "== step 4/4: ASan build + memory tests (litho_test, socs_test, cache_test, core_test) =="
+echo "== step 4/4: ASan build + memory tests (litho_test, fault_test, socs_test, cache_test, core_test) =="
 cmake -B build-asan -S . -DPOC_SANITIZE=address >/dev/null
-cmake --build build-asan -j "$JOBS" --target litho_test socs_test cache_test core_test
+cmake --build build-asan -j "$JOBS" --target litho_test fault_test socs_test cache_test core_test
 ./build-asan/tests/litho_test
+./build-asan/tests/fault_test
 ./build-asan/tests/socs_test
 ./build-asan/tests/cache_test
 ./build-asan/tests/core_test

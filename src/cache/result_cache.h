@@ -29,6 +29,7 @@
 
 #include "src/cache/fingerprint.h"
 #include "src/common/check.h"
+#include "src/common/fault.h"
 
 namespace poc {
 
@@ -99,6 +100,10 @@ class ShardedCache {
   void insert(const Fingerprint& fp, std::shared_ptr<const Value> value,
               std::size_t cost_bytes) {
     POC_EXPECTS(value != nullptr);
+    // Injection point for the fault harness (default-off): an insert that
+    // throws bad_alloc exercises the callers' containment without touching
+    // the shard state.
+    fault::maybe_throw(fault::Kind::kCacheInsert);
     const std::size_t cost = std::max<std::size_t>(cost_bytes, 1);
     if (cost > shard_capacity_) {
       rejected_.fetch_add(1, std::memory_order_relaxed);

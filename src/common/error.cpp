@@ -1,0 +1,67 @@
+#include "src/common/error.h"
+
+#include <exception>
+#include <new>
+
+namespace poc {
+
+const char* fault_code_name(FaultCode code) {
+  switch (code) {
+    case FaultCode::kUnknown:
+      return "unknown";
+    case FaultCode::kCheckFailed:
+      return "check_failed";
+    case FaultCode::kNonFinite:
+      return "non_finite";
+    case FaultCode::kNonConvergence:
+      return "non_convergence";
+    case FaultCode::kAllocFailure:
+      return "alloc_failure";
+    case FaultCode::kMeasurement:
+      return "measurement";
+  }
+  return "invalid";
+}
+
+std::string FlowError::to_string() const {
+  std::string s = "[";
+  s += fault_code_name(code);
+  if (window != kNoWindowId) {
+    s += " window=";
+    s += std::to_string(window);
+  }
+  if (!origin.empty()) {
+    s += " at ";
+    s += origin;
+  }
+  s += "]";
+  if (!message.empty()) {
+    s += " ";
+    s += message;
+  }
+  return s;
+}
+
+FlowError capture_flow_error(std::uint64_t window, std::string_view origin) {
+  try {
+    throw;  // rethrow the exception in flight; callers invoke us from catch
+  } catch (const FlowException& e) {
+    FlowError err = e.error();
+    if (err.window == kNoWindowId) err.window = window;
+    return err;
+  } catch (const CheckError& e) {
+    return FlowError{FaultCode::kCheckFailed, window, std::string(origin),
+                     e.what()};
+  } catch (const std::bad_alloc& e) {
+    return FlowError{FaultCode::kAllocFailure, window, std::string(origin),
+                     e.what()};
+  } catch (const std::exception& e) {
+    return FlowError{FaultCode::kUnknown, window, std::string(origin),
+                     e.what()};
+  } catch (...) {
+    return FlowError{FaultCode::kUnknown, window, std::string(origin),
+                     "non-std exception"};
+  }
+}
+
+}  // namespace poc

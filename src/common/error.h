@@ -1,0 +1,117 @@
+// Structured error channel for the fault-contained full-chip flow.  The
+// window-shaped hot loops (per-instance OPC, per-gate extraction, per-window
+// ORC) must survive a bad window: instead of letting a raw CheckError /
+// std::bad_alloc / numeric fault abort the whole run, faults are captured as
+// a FlowError — error code + window id + origin string — at the containment
+// boundary, so the flow can retry, degrade, and report (see FlowHealth in
+// src/core/flow.h and the "Fault containment & degradation" section of
+// DESIGN.md).
+//
+// Deep layers that detect a fault themselves (non-finite latent intensity,
+// OPC non-convergence past the abort threshold, characterization
+// non-convergence) throw FlowException carrying an already-structured
+// FlowError; everything else (CheckError, bad_alloc, unknown exceptions) is
+// classified by capture_flow_error() at the catch site.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "src/common/check.h"
+
+namespace poc {
+
+/// Classification of a contained fault.  Codes, not exception types, are
+/// what the recovery policy and FlowHealth report act on.
+enum class FaultCode : std::uint8_t {
+  kUnknown = 0,     ///< unclassified std::exception (or a foreign throw)
+  kCheckFailed,     ///< a POC_EXPECTS / POC_ENSURES contract violation
+  kNonFinite,       ///< NaN/Inf escaped a numeric kernel (image, CD, slack)
+  kNonConvergence,  ///< an iteration failed to converge within its budget
+  kAllocFailure,    ///< std::bad_alloc (real or injected)
+  kMeasurement,     ///< a measurement produced no usable value
+};
+
+const char* fault_code_name(FaultCode code);
+
+/// Window id used when the fault is not attached to a window (library
+/// characterization, direct API misuse).
+inline constexpr std::uint64_t kNoWindowId = ~std::uint64_t{0};
+
+/// One structured fault: what went wrong (code), where in the chip it went
+/// wrong (window id — instance or gate index, kNoWindowId outside the window
+/// loops), and where in the code it was raised or caught (origin).
+struct FlowError {
+  FaultCode code = FaultCode::kUnknown;
+  std::uint64_t window = kNoWindowId;
+  std::string origin;   ///< raising/catching site, e.g. "litho.latent"
+  std::string message;  ///< human-readable detail
+
+  std::string to_string() const;
+};
+
+/// Exception wrapper for a FlowError, thrown by layers that detect a fault
+/// in structured form.  capture_flow_error() passes the payload through
+/// unchanged, so the code/origin survive the unwind to the containment
+/// boundary.
+class FlowException : public std::runtime_error {
+ public:
+  explicit FlowException(FlowError error)
+      : std::runtime_error(error.to_string()), error_(std::move(error)) {}
+
+  const FlowError& error() const { return error_; }
+
+ private:
+  FlowError error_;
+};
+
+/// Classifies the in-flight exception (must be called from a catch block)
+/// into a FlowError.  `window` and `origin` fill the corresponding fields
+/// when the exception does not already carry them (a FlowException keeps its
+/// own origin; a window id is only overwritten when unset).
+FlowError capture_flow_error(std::uint64_t window = kNoWindowId,
+                             std::string_view origin = {});
+
+/// Minimal Expected<T>: either a value or a FlowError.  The deliberate
+/// subset of std::expected (C++23) the flow needs — value access on an
+/// error state is a contract violation, not UB.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : v_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Expected(FlowError error) : v_(std::move(error)) {}    // NOLINT(google-explicit-constructor)
+
+  bool has_value() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() {
+    POC_EXPECTS(has_value());
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    POC_EXPECTS(has_value());
+    return std::get<T>(v_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const {
+    return has_value() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+  const FlowError& error() const {
+    POC_EXPECTS(!has_value());
+    return std::get<FlowError>(v_);
+  }
+
+ private:
+  std::variant<T, FlowError> v_;
+};
+
+}  // namespace poc

@@ -1,0 +1,132 @@
+#include "src/common/fault.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <new>
+#include <set>
+#include <tuple>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+
+namespace poc::fault {
+namespace {
+
+// Fast-path gate: probes load this with relaxed ordering and bail when
+// false, so the default-off harness costs one atomic load per probe site.
+std::atomic<bool> g_enabled{false};
+
+std::mutex g_mutex;
+Config g_config;  // guarded by g_mutex (mutated only while disabled)
+
+using TripleKey = std::tuple<std::uint8_t, std::uint8_t, std::uint64_t>;
+std::set<TripleKey> g_fired;          // guarded by g_mutex
+std::vector<Triggered> g_triggered;   // guarded by g_mutex
+
+thread_local Domain t_domain = Domain::kNone;
+thread_local std::uint64_t t_index = 0;
+
+TripleKey key(Kind kind, Domain domain, std::uint64_t index) {
+  return {static_cast<std::uint8_t>(kind), static_cast<std::uint8_t>(domain),
+          index};
+}
+
+// Deterministic rate draw: a pure hash of (seed, kind, domain, index)
+// mapped to [0, 1).  No state, so thread interleaving cannot change it.
+double rate_draw(std::uint64_t seed, Kind kind, Domain domain,
+                 std::uint64_t index) {
+  std::uint64_t h = splitmix64(seed ^ (std::uint64_t{0xfa17} << 48));
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(kind) << 8) ^
+                 static_cast<std::uint64_t>(domain));
+  h = splitmix64(h ^ index);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void configure(const Config& config) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_config = config;
+  g_fired.clear();
+  g_triggered.clear();
+  g_enabled.store(config.enabled, std::memory_order_release);
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_enabled.store(false, std::memory_order_release);
+  g_config = Config{};
+  g_fired.clear();
+  g_triggered.clear();
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+Scope::Scope(Domain domain, std::uint64_t index)
+    : prev_domain_(t_domain), prev_index_(t_index) {
+  t_domain = domain;
+  t_index = index;
+}
+
+Scope::~Scope() {
+  t_domain = prev_domain_;
+  t_index = prev_index_;
+}
+
+bool should(Kind kind) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return false;
+  const Domain domain = t_domain;
+  const std::uint64_t index = t_index;
+  if (domain == Domain::kNone) return false;
+
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_config.enabled) return false;
+
+  bool selected = false;
+  for (const Target& t : g_config.targets) {
+    if (t.kind == kind && t.domain == domain && t.index == index) {
+      selected = true;
+      break;
+    }
+  }
+  if (!selected && g_config.rate > 0.0) {
+    selected = rate_draw(g_config.seed, kind, domain, index) < g_config.rate;
+  }
+  if (!selected) return false;
+
+  const auto k = key(kind, domain, index);
+  const bool first = g_fired.insert(k).second;
+  if (g_config.transient && !first) return false;  // retry probes succeed
+  g_triggered.push_back({kind, domain, index});
+  return true;
+}
+
+void maybe_throw(Kind kind) {
+  if (!should(kind)) return;
+  switch (kind) {
+    case Kind::kConvergenceStall:
+      throw FlowException(FlowError{FaultCode::kNonConvergence, kNoWindowId,
+                                    "fault.injected",
+                                    "injected convergence stall"});
+    case Kind::kCacheInsert:
+    case Kind::kAlloc:
+      throw std::bad_alloc();
+    case Kind::kNanPixel:
+      // Data-corruption kind: sites use should() and poison the image
+      // themselves so the isfinite guard is what raises the fault.
+      break;
+  }
+}
+
+std::vector<Triggered> triggered() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::vector<Triggered> out = g_triggered;
+  std::sort(out.begin(), out.end(), [](const Triggered& a, const Triggered& b) {
+    return std::tie(a.domain, a.index, a.kind) <
+           std::tie(b.domain, b.index, b.kind);
+  });
+  return out;
+}
+
+}  // namespace poc::fault

@@ -9,6 +9,7 @@
 
 #include "src/cache/fingerprint.h"
 #include "src/common/check.h"
+#include "src/common/fault.h"
 #include "src/common/log.h"
 #include "src/geom/polygon_ops.h"
 #include "src/opc/rule_opc.h"
@@ -85,7 +86,8 @@ void hash_opc_options(FpHasher& h, const OpcOptions& o) {
       .u64(o.final_iterations)
       .u64(static_cast<std::uint64_t>(o.sim_imaging))
       .u64(static_cast<std::uint64_t>(o.final_imaging))
-      .u64(o.insert_srafs ? 1 : 0);
+      .u64(o.insert_srafs ? 1 : 0)
+      .f64(o.abort_epe_nm);
 }
 
 void hash_orc_options(FpHasher& h, const OrcOptions& o) {
@@ -102,6 +104,20 @@ void log_cache(const char* what, const CacheCounters& c) {
            c.evictions, " evictions");
 }
 
+// Retry-escalation helpers (see RecoveryOptions): sign-off quality instead
+// of the nominal setting, and the Abbe reference engine instead of SOCS.
+
+// Escalated retries always jump to the sign-off quality tier.
+constexpr LithoQuality kEscalatedQuality = LithoQuality::kFine;
+
+LithoSimulator with_abbe(const LithoSimulator& sim) {
+  ImagingOptions im = sim.imaging();
+  im.mode = ImagingMode::kAbbe;
+  LithoSimulator out = sim;
+  out.set_imaging(im);
+  return out;
+}
+
 }  // namespace
 
 /// The three flow-level result caches.  Values are stored in the window's
@@ -109,6 +125,16 @@ void log_cache(const char* what, const CacheCounters& c) {
 /// translated back on a hit, so one entry serves every placement of the
 /// same cell context.  Translation of integer geometry and of half-integer
 /// image origins is exact, which keeps hits bit-identical to recomputes.
+/// Containment bookkeeping.  Worker threads only ever touch the sorted
+/// degraded-gate set (order-independent); fault entries are appended by the
+/// calling thread in window-index order via record_outcomes, so health() is
+/// bit-identical at any thread count.
+struct PostOpcFlow::HealthState {
+  std::mutex mutex;
+  std::vector<FlowHealth::WindowFault> faults;
+  std::vector<GateIdx> degraded_gates;  ///< sorted, unique
+};
+
 struct PostOpcFlow::WindowCaches {
   /// Corrected mask + per-window OPC stats, local frame.
   struct OpcEntry {
@@ -150,6 +176,56 @@ PostOpcFlow::PostOpcFlow(const PlacedDesign& design, const StdCellLibrary& lib,
     caches_ = std::make_shared<WindowCaches>(
         options_.cache.capacity_mb << 20, options_.cache.shards);
   }
+  health_state_ = std::make_shared<HealthState>();
+}
+
+FlowHealth PostOpcFlow::health() const {
+  std::lock_guard<std::mutex> lock(health_state_->mutex);
+  FlowHealth h;
+  h.faults = health_state_->faults;
+  h.degraded_gates = health_state_->degraded_gates;
+  for (const FlowHealth::WindowFault& f : h.faults) {
+    if (f.attempts > 1) h.retries += f.attempts - 1;
+    if (f.recovered) ++h.recovered_windows;
+    if (f.degraded) ++h.degraded_windows;
+  }
+  return h;
+}
+
+void PostOpcFlow::reset_health() const {
+  std::lock_guard<std::mutex> lock(health_state_->mutex);
+  health_state_->faults.clear();
+  health_state_->degraded_gates.clear();
+}
+
+void PostOpcFlow::record_outcomes(
+    const char* phase, const std::vector<ItemOutcome>& outcomes,
+    const std::vector<std::uint64_t>& indices) const {
+  std::lock_guard<std::mutex> lock(health_state_->mutex);
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    const ItemOutcome& oc = outcomes[k];
+    if (!oc.faulted) continue;
+    FlowHealth::WindowFault f;
+    f.phase = phase;
+    f.index = indices[k];
+    f.code = oc.first_error.code;
+    f.origin = oc.first_error.origin;
+    f.attempts = oc.attempts;
+    f.recovered = oc.recovered;
+    f.degraded = oc.degraded;
+    log_warn("flow ", phase, " window ", f.index, " fault ",
+             oc.first_error.to_string(),
+             oc.degraded ? " -> degraded"
+                         : (oc.recovered ? " -> recovered" : ""));
+    health_state_->faults.push_back(std::move(f));
+  }
+}
+
+void PostOpcFlow::record_degraded_gate(GateIdx gate) const {
+  std::lock_guard<std::mutex> lock(health_state_->mutex);
+  std::vector<GateIdx>& v = health_state_->degraded_gates;
+  const auto it = std::lower_bound(v.begin(), v.end(), gate);
+  if (it == v.end() || *it != gate) v.insert(it, gate);
 }
 
 PostOpcFlow::FlowCacheCounters PostOpcFlow::cache_counters() const {
@@ -195,6 +271,13 @@ std::size_t PostOpcFlow::threads() const {
 
 PostOpcFlow::OpcWindowResult PostOpcFlow::opc_window(std::size_t instance,
                                                      OpcMode mode) const {
+  return opc_window_impl(instance, mode, sim_, options_.opc,
+                         /*use_cache=*/true);
+}
+
+PostOpcFlow::OpcWindowResult PostOpcFlow::opc_window_impl(
+    std::size_t instance, OpcMode mode, const LithoSimulator& sim,
+    const OpcOptions& opc_options, bool use_cache) const {
   OpcWindowResult out;
   const Instance& inst = design_->layout.instance(instance);
   const Rect boundary =
@@ -206,14 +289,17 @@ PostOpcFlow::OpcWindowResult PostOpcFlow::opc_window(std::size_t instance,
 
   // Cache key: window shape + targets in the local frame, plus everything
   // the correction depends on (mode, OPC options, the model simulator).
+  // Retry attempts pass use_cache=false and skip both find and insert:
+  // their escalated settings must never populate the nominal key.
+  const bool cache = use_cache && caches_ != nullptr;
   const Point anchor{window.xlo, window.ylo};
   Fingerprint fp;
-  if (caches_) {
+  if (cache) {
     FpHasher h;
     h.str("opc").u64(static_cast<std::uint64_t>(mode));
     h.i64(window.width()).i64(window.height());
-    hash_sim(h, sim_);
-    hash_opc_options(h, options_.opc);
+    hash_sim(h, sim);
+    hash_opc_options(h, opc_options);
     h.polys(targets, anchor);
     fp = h.digest();
     if (const auto hit = caches_->opc.find(fp)) {
@@ -236,7 +322,7 @@ PostOpcFlow::OpcWindowResult PostOpcFlow::opc_window(std::size_t instance,
     }
     case OpcMode::kRuleBased: {
       std::vector<Fragment> frags =
-          fragment_polygons(targets, options_.opc.fragmentation);
+          fragment_polygons(targets, opc_options.fragmentation);
       const std::vector<Polygon> corrected =
           rule_based_opc(targets, frags, RuleOpcTable{});
       std::vector<Rect> rects;
@@ -248,7 +334,7 @@ PostOpcFlow::OpcWindowResult PostOpcFlow::opc_window(std::size_t instance,
       break;
     }
     case OpcMode::kModelBased: {
-      OpcEngine engine(sim_, options_.opc);
+      OpcEngine engine(sim, opc_options);
       const OpcResult result = engine.correct(targets, window);
       out.mask = result.mask_rects();
       ++out.stats.model_based_windows;
@@ -260,7 +346,7 @@ PostOpcFlow::OpcWindowResult PostOpcFlow::opc_window(std::size_t instance,
     }
   }
 
-  if (caches_) {
+  if (cache) {
     auto entry = std::make_shared<WindowCaches::OpcEntry>();
     const Point to_local{-anchor.x, -anchor.y};
     entry->mask.reserve(out.mask.size());
@@ -273,19 +359,109 @@ PostOpcFlow::OpcWindowResult PostOpcFlow::opc_window(std::size_t instance,
   return out;
 }
 
+std::vector<Rect> PostOpcFlow::drawn_mask_for_instance(
+    std::size_t instance) const {
+  const Instance& inst = design_->layout.instance(instance);
+  const Rect window =
+      inst.transform.apply(design_->layout.cell(inst.cell).boundary)
+          .inflated(options_.ambit_nm);
+  const std::vector<Polygon> targets =
+      design_->layout.flatten_layer_polys(window, Layer::kPoly);
+  std::vector<Rect> rects;
+  for (const Polygon& p : targets) {
+    for (const Rect& r : decompose(p)) rects.push_back(r);
+  }
+  return disjoint_union(rects);
+}
+
 void PostOpcFlow::run_opc_windows(
     const std::function<OpcMode(std::size_t)>& mode_for_instance) {
   const std::size_t n = design_->layout.num_instances();
   masks_.assign(n, {});
+  opc_degraded_.assign(n, 0);
   // Each window writes its own mask slot; the per-window stats are merged
   // on the calling thread in instance order, so the aggregate is
   // bit-identical whatever the thread count.
   std::vector<OpcStats> per_window(n);
-  parallel_for(threads(), n, /*chunk=*/1, [&](std::size_t i) {
-    OpcWindowResult r = opc_window(i, mode_for_instance(i));
-    masks_[i] = std::move(r.mask);
-    per_window[i] = r.stats;
-  });
+  const RecoveryOptions& rec = options_.recovery;
+  if (!rec.enabled) {
+    // Fail-fast mode still names its windows for the fault harness, so an
+    // injected fault aborts the run instead of being silently skipped —
+    // containment is what changes the outcome, not the injection.
+    parallel_for(threads(), n, /*chunk=*/1, [&](std::size_t i) {
+      fault::Scope scope(fault::Domain::kOpc, i);
+      fault::maybe_throw(fault::Kind::kAlloc);
+      OpcWindowResult r = opc_window(i, mode_for_instance(i));
+      masks_[i] = std::move(r.mask);
+      per_window[i] = r.stats;
+    });
+  } else {
+    // Escalated settings shared by every retry attempt: sign-off quality
+    // for the draft iterations and the Abbe reference engine when the
+    // nominal path runs SOCS.
+    OpcOptions retry_opts = options_.opc;
+    if (rec.escalate_quality) retry_opts.sim_quality = retry_opts.final_quality;
+    LithoSimulator retry_sim = sim_;
+    if (rec.fallback_to_abbe && sim_.imaging().mode == ImagingMode::kSocs) {
+      retry_sim = with_abbe(sim_);
+      retry_opts.sim_imaging = OpcImaging::kAbbe;
+      retry_opts.final_imaging = OpcImaging::kAbbe;
+    }
+    std::vector<ItemOutcome> outcomes(n);
+    std::vector<std::uint64_t> indices(n);
+    for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+    const std::vector<IndexedError> escaped = try_parallel_for(
+        threads(), n, /*chunk=*/1,
+        [&](std::size_t i) {
+          ItemOutcome& oc = outcomes[i];
+          fault::Scope scope(fault::Domain::kOpc, i);
+          const std::size_t max_attempts = 1 + rec.max_retries;
+          for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+            try {
+              fault::maybe_throw(fault::Kind::kAlloc);
+              OpcWindowResult r =
+                  attempt == 0
+                      ? opc_window(i, mode_for_instance(i))
+                      : opc_window_impl(i, mode_for_instance(i), retry_sim,
+                                        retry_opts, /*use_cache=*/false);
+              masks_[i] = std::move(r.mask);
+              per_window[i] = r.stats;
+              oc.attempts = attempt + 1;
+              oc.recovered = attempt > 0;
+              return;
+            } catch (...) {
+              if (!oc.faulted) {
+                oc.faulted = true;
+                oc.first_error = capture_flow_error(i, "flow.opc");
+              }
+              oc.attempts = attempt + 1;
+            }
+          }
+          // Degrade: keep the run alive on the drawn (uncorrected) mask and
+          // flag the instance so its gates fall back to drawn-CD timing
+          // instead of extracting CDs from a silently-uncorrected mask.
+          oc.degraded = true;
+          try {
+            masks_[i] = drawn_mask_for_instance(i);
+          } catch (...) {
+            masks_[i].clear();
+          }
+          per_window[i] = {};
+          per_window[i].windows = 1;
+          opc_degraded_[i] = 1;
+        },
+        "flow.opc");
+    // The containment above absorbs everything, so try_parallel_for only
+    // reports bugs in the degrade path itself — still fold them in rather
+    // than lose them.
+    for (const IndexedError& e : escaped) {
+      outcomes[e.index].faulted = true;
+      outcomes[e.index].degraded = true;
+      outcomes[e.index].first_error = e.error;
+      opc_degraded_[e.index] = 1;
+    }
+    record_outcomes("opc", outcomes, indices);
+  }
   opc_stats_ = {};
   for (const OpcStats& w : per_window) opc_stats_ = merge_stats(opc_stats_, w);
   if (caches_) log_cache("OPC window", caches_->opc.counters());
@@ -362,14 +538,83 @@ std::vector<GateExtraction> PostOpcFlow::extract_impl(
   // Per-gate silicon/model litho simulation + CD extraction is the flow's
   // dominant cost; every gate is independent and writes its own slot.
   std::vector<GateExtraction> out(gates.size());
-  parallel_for(threads(), gates.size(), /*chunk=*/1, [&](std::size_t k) {
-    const GateIdx g = gates[k];
-    const std::size_t instance = design_->gate_to_instance[g];
-    const Rect window = design_->litho_window(g, options_.ambit_nm);
-    const Image2D latent = latent_for_window(
-        sim, mask_for_instance(instance), window, exposure);
-    out[k] = extract_gate(g, latent, sim.print_threshold());
-  });
+  const RecoveryOptions& rec = options_.recovery;
+  if (!rec.enabled) {
+    parallel_for(threads(), gates.size(), /*chunk=*/1, [&](std::size_t k) {
+      const GateIdx g = gates[k];
+      fault::Scope scope(fault::Domain::kExtract, g);
+      fault::maybe_throw(fault::Kind::kAlloc);
+      const std::size_t instance = design_->gate_to_instance[g];
+      const Rect window = design_->litho_window(g, options_.ambit_nm);
+      const Image2D latent = latent_for_window(
+          sim, mask_for_instance(instance), window, exposure,
+          options_.extract_quality, /*use_cache=*/true);
+      out[k] = extract_gate(g, latent, sim.print_threshold());
+    });
+  } else {
+    const LithoSimulator retry_sim =
+        rec.fallback_to_abbe && sim.imaging().mode == ImagingMode::kSocs
+            ? with_abbe(sim)
+            : sim;
+    const LithoQuality retry_quality =
+        rec.escalate_quality ? kEscalatedQuality : options_.extract_quality;
+    std::vector<ItemOutcome> outcomes(gates.size());
+    std::vector<std::uint64_t> indices(gates.size());
+    for (std::size_t k = 0; k < gates.size(); ++k) indices[k] = gates[k];
+    const std::vector<IndexedError> escaped = try_parallel_for(
+        threads(), gates.size(), /*chunk=*/1,
+        [&](std::size_t k) {
+          const GateIdx g = gates[k];
+          // The slot keeps its gate id whatever happens below: an empty-
+          // device record is exactly the existing "gate without extraction"
+          // path in annotate (drawn-CD timing), and it still consumes its
+          // ACLV noise draw so every other gate's offset is unchanged.
+          out[k].gate = g;
+          const std::size_t instance = design_->gate_to_instance[g];
+          if (opc_degraded_[instance]) {
+            // The instance's OPC window already degraded; its drawn-mask
+            // fallback must not feed CDs into STA.
+            record_degraded_gate(g);
+            return;
+          }
+          ItemOutcome& oc = outcomes[k];
+          fault::Scope scope(fault::Domain::kExtract, g);
+          const Rect window = design_->litho_window(g, options_.ambit_nm);
+          const std::size_t max_attempts = 1 + rec.max_retries;
+          for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+            const LithoSimulator& s = attempt == 0 ? sim : retry_sim;
+            const LithoQuality q =
+                attempt == 0 ? options_.extract_quality : retry_quality;
+            try {
+              fault::maybe_throw(fault::Kind::kAlloc);
+              const Image2D latent =
+                  latent_for_window(s, mask_for_instance(instance), window,
+                                    exposure, q, /*use_cache=*/attempt == 0);
+              out[k] = extract_gate(g, latent, s.print_threshold());
+              oc.attempts = attempt + 1;
+              oc.recovered = attempt > 0;
+              return;
+            } catch (...) {
+              if (!oc.faulted) {
+                oc.faulted = true;
+                oc.first_error = capture_flow_error(g, "flow.extract");
+              }
+              oc.attempts = attempt + 1;
+            }
+          }
+          oc.degraded = true;
+          out[k].devices.clear();
+          record_degraded_gate(g);
+        },
+        "flow.extract");
+    for (const IndexedError& e : escaped) {
+      outcomes[e.index].faulted = true;
+      outcomes[e.index].degraded = true;
+      outcomes[e.index].first_error = e.error;
+      record_degraded_gate(gates[e.index]);
+    }
+    record_outcomes("extract", outcomes, indices);
+  }
   if (caches_) {
     const CacheCounters c = caches_->latent.counters();
     log_debug("latent cache: ", c.hits, " hits / ", c.misses, " misses (",
@@ -381,9 +626,11 @@ std::vector<GateExtraction> PostOpcFlow::extract_impl(
 Image2D PostOpcFlow::latent_for_window(const LithoSimulator& sim,
                                        const std::vector<Rect>& mask,
                                        const Rect& window,
-                                       const Exposure& exposure) const {
-  if (!caches_) {
-    return sim.latent(mask, window, exposure, options_.extract_quality);
+                                       const Exposure& exposure,
+                                       LithoQuality quality,
+                                       bool use_cache) const {
+  if (!caches_ || !use_cache) {
+    return sim.latent(mask, window, exposure, quality);
   }
   // The latent image depends on optics, resist diffusion (the threshold
   // only applies downstream, at contour extraction), exposure, quality and
@@ -397,7 +644,7 @@ Image2D PostOpcFlow::latent_for_window(const LithoSimulator& sim,
   hash_imaging(h, sim.imaging());
   h.f64(sim.resist().diffusion_nm);
   hash_exposure(h, exposure);
-  h.u64(static_cast<std::uint64_t>(options_.extract_quality));
+  h.u64(static_cast<std::uint64_t>(quality));
   h.i64(window.width()).i64(window.height());
   h.rects(mask, anchor);
   const Fingerprint fp = h.digest();
@@ -411,7 +658,7 @@ Image2D PostOpcFlow::latent_for_window(const LithoSimulator& sim,
     return img;
   }
 
-  Image2D latent = sim.latent(mask, window, exposure, options_.extract_quality);
+  Image2D latent = sim.latent(mask, window, exposure, quality);
   auto entry = std::make_shared<Image2D>(latent.nx(), latent.ny(),
                                          latent.pixel(), latent.origin_x() - ax,
                                          latent.origin_y() - ay);
@@ -520,6 +767,13 @@ TimingComparison PostOpcFlow::compare_timing(const Exposure& exposure) {
                               cmp.drawn.total_leakage_ua) /
                              cmp.drawn.total_leakage_ua * 100.0;
   }
+  cmp.health = health();
+  if (!cmp.health.clean()) {
+    log_warn("flow health: ", cmp.health.faults.size(), " faulted windows, ",
+             cmp.health.recovered_windows, " recovered, ",
+             cmp.health.degraded_windows, " degraded (",
+             cmp.health.degraded_gates.size(), " gates on drawn-CD timing)");
+  }
   return cmp;
 }
 
@@ -531,91 +785,141 @@ PostOpcFlow::HotspotReport PostOpcFlow::scan_hotspots(
   const std::size_t n = design_->layout.num_instances();
   // Per-window ORC across all corners; partial reports land in per-window
   // slots and merge in instance order, so violation order and counts match
-  // the serial scan exactly.
-  const HotspotReport report = parallel_map_reduce(
-      threads(), n, /*chunk=*/1, HotspotReport{},
-      [&](std::size_t i) {
-        HotspotReport partial;
-        const Instance& inst = design_->layout.instance(i);
-        const Rect window =
-            inst.transform.apply(design_->layout.cell(inst.cell).boundary)
-                .inflated(options_.ambit_nm);
-        const std::vector<Polygon> targets =
-            design_->layout.flatten_layer_polys(window, Layer::kPoly);
-        if (targets.empty()) return partial;
-        ++partial.windows_checked;
-        const Point anchor{window.xlo, window.ylo};
-        // Everything but the exposure is corner-invariant, so the window
-        // geometry is hashed once and the hasher forked per corner.  The
-        // key covers both simulators: run_orc probes pinch/bridge with the
-        // silicon latent and measures EPE through the engine's model sim.
-        FpHasher base;
-        if (caches_) {
-          base.str("orc");
-          hash_sim(base, silicon_sim_);
-          hash_sim(base, sim_);
-          hash_opc_options(base, options_.opc);
-          hash_orc_options(base, orc_options);
-          base.i64(window.width()).i64(window.height());
-          base.polys(targets, anchor);
-          base.rects(mask_for_instance(i), anchor);
+  // the serial scan exactly.  Retries (`use_cache` false) bypass the ORC
+  // cache so nothing computed on the recovery path lands under the nominal
+  // key.
+  const auto scan_window = [&](std::size_t i, bool use_cache) {
+    HotspotReport partial;
+    const bool cache_window = caches_ != nullptr && use_cache;
+    const Instance& inst = design_->layout.instance(i);
+    const Rect window =
+        inst.transform.apply(design_->layout.cell(inst.cell).boundary)
+            .inflated(options_.ambit_nm);
+    const std::vector<Polygon> targets =
+        design_->layout.flatten_layer_polys(window, Layer::kPoly);
+    if (targets.empty()) return partial;
+    ++partial.windows_checked;
+    const Point anchor{window.xlo, window.ylo};
+    // Everything but the exposure is corner-invariant, so the window
+    // geometry is hashed once and the hasher forked per corner.  The
+    // key covers both simulators: run_orc probes pinch/bridge with the
+    // silicon latent and measures EPE through the engine's model sim.
+    FpHasher base;
+    if (cache_window) {
+      base.str("orc");
+      hash_sim(base, silicon_sim_);
+      hash_sim(base, sim_);
+      hash_opc_options(base, options_.opc);
+      hash_orc_options(base, orc_options);
+      base.i64(window.width()).i64(window.height());
+      base.polys(targets, anchor);
+      base.rects(mask_for_instance(i), anchor);
+    }
+    for (const ProcessCorner& corner : conditions) {
+      // Hotspots are judged against the silicon reference, not the
+      // model.
+      const Exposure exposure = silicon_exposure(corner.exposure);
+      OrcReport orc;
+      bool cached = false;
+      Fingerprint fp;
+      if (cache_window) {
+        FpHasher h = base;
+        hash_exposure(h, exposure);
+        fp = h.digest();
+        if (const auto hit = caches_->orc.find(fp)) {
+          orc = hit->report;
+          for (OrcViolation& v : orc.violations) {
+            v.where = v.where + anchor;
+          }
+          cached = true;
         }
-        for (const ProcessCorner& corner : conditions) {
-          // Hotspots are judged against the silicon reference, not the
-          // model.
-          const Exposure exposure = silicon_exposure(corner.exposure);
-          OrcReport orc;
-          bool cached = false;
-          Fingerprint fp;
-          if (caches_) {
-            FpHasher h = base;
-            hash_exposure(h, exposure);
-            fp = h.digest();
-            if (const auto hit = caches_->orc.find(fp)) {
-              orc = hit->report;
-              for (OrcViolation& v : orc.violations) {
-                v.where = v.where + anchor;
-              }
-              cached = true;
-            }
+      }
+      if (!cached) {
+        orc = run_orc(silicon_sim_, engine, targets, mask_for_instance(i),
+                      window, exposure, orc_options);
+        if (cache_window) {
+          auto entry = std::make_shared<WindowCaches::OrcEntry>();
+          entry->report = orc;
+          const Point to_local{-anchor.x, -anchor.y};
+          for (OrcViolation& v : entry->report.violations) {
+            v.where = v.where + to_local;
           }
-          if (!cached) {
-            orc = run_orc(silicon_sim_, engine, targets, mask_for_instance(i),
-                          window, exposure, orc_options);
-            if (caches_) {
-              auto entry = std::make_shared<WindowCaches::OrcEntry>();
-              entry->report = orc;
-              const Point to_local{-anchor.x, -anchor.y};
-              for (OrcViolation& v : entry->report.violations) {
-                v.where = v.where + to_local;
-              }
-              const std::size_t cost =
-                  orc.violations.size() * sizeof(OrcViolation) +
-                  sizeof(WindowCaches::OrcEntry);
-              caches_->orc.insert(fp, std::move(entry), cost);
-            }
-          }
-          for (const OrcViolation& v : orc.violations) {
-            switch (v.kind) {
-              case OrcViolation::Kind::kPinch: ++partial.pinches; break;
-              case OrcViolation::Kind::kBridge: ++partial.bridges; break;
-              case OrcViolation::Kind::kEpe: ++partial.epe_violations; break;
-            }
-            partial.hotspots.push_back({i, corner.name, v});
-          }
+          const std::size_t cost =
+              orc.violations.size() * sizeof(OrcViolation) +
+              sizeof(WindowCaches::OrcEntry);
+          caches_->orc.insert(fp, std::move(entry), cost);
         }
-        return partial;
-      },
-      [](HotspotReport acc, HotspotReport w) {
-        acc.windows_checked += w.windows_checked;
-        acc.pinches += w.pinches;
-        acc.bridges += w.bridges;
-        acc.epe_violations += w.epe_violations;
-        acc.hotspots.insert(acc.hotspots.end(),
-                            std::make_move_iterator(w.hotspots.begin()),
-                            std::make_move_iterator(w.hotspots.end()));
-        return acc;
-      });
+      }
+      for (const OrcViolation& v : orc.violations) {
+        switch (v.kind) {
+          case OrcViolation::Kind::kPinch: ++partial.pinches; break;
+          case OrcViolation::Kind::kBridge: ++partial.bridges; break;
+          case OrcViolation::Kind::kEpe: ++partial.epe_violations; break;
+        }
+        partial.hotspots.push_back({i, corner.name, v});
+      }
+    }
+    return partial;
+  };
+
+  std::vector<HotspotReport> slots(n);
+  const RecoveryOptions& rec = options_.recovery;
+  if (!rec.enabled) {
+    parallel_for(threads(), n, /*chunk=*/1, [&](std::size_t i) {
+      fault::Scope scope(fault::Domain::kScan, i);
+      fault::maybe_throw(fault::Kind::kAlloc);
+      slots[i] = scan_window(i, true);
+    });
+  } else {
+    std::vector<ItemOutcome> outcomes(n);
+    std::vector<std::uint64_t> indices(n);
+    for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+    const std::vector<IndexedError> escaped = try_parallel_for(
+        threads(), n, /*chunk=*/1,
+        [&](std::size_t i) {
+          ItemOutcome& oc = outcomes[i];
+          fault::Scope scope(fault::Domain::kScan, i);
+          const std::size_t max_attempts = 1 + rec.max_retries;
+          for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+            try {
+              fault::maybe_throw(fault::Kind::kAlloc);
+              slots[i] = scan_window(i, /*use_cache=*/attempt == 0);
+              oc.attempts = attempt + 1;
+              oc.recovered = attempt > 0;
+              return;
+            } catch (...) {
+              if (!oc.faulted) {
+                oc.faulted = true;
+                oc.first_error = capture_flow_error(i, "flow.scan");
+              }
+              oc.attempts = attempt + 1;
+            }
+          }
+          // Degrade: the window's violations are dropped (conservative for
+          // timing, not for ORC — the fault record is the signal).
+          oc.degraded = true;
+          slots[i] = {};
+        },
+        "flow.scan");
+    for (const IndexedError& e : escaped) {
+      outcomes[e.index].faulted = true;
+      outcomes[e.index].degraded = true;
+      outcomes[e.index].first_error = e.error;
+      slots[e.index] = {};
+    }
+    record_outcomes("scan", outcomes, indices);
+  }
+
+  HotspotReport report;
+  for (HotspotReport& w : slots) {
+    report.windows_checked += w.windows_checked;
+    report.pinches += w.pinches;
+    report.bridges += w.bridges;
+    report.epe_violations += w.epe_violations;
+    report.hotspots.insert(report.hotspots.end(),
+                           std::make_move_iterator(w.hotspots.begin()),
+                           std::make_move_iterator(w.hotspots.end()));
+  }
   log_info("hotspot scan: ", report.hotspots.size(), " violations over ",
            report.windows_checked, " windows x ", conditions.size(),
            " conditions");

@@ -8,12 +8,16 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/cache/result_cache.h"
+#include "src/common/error.h"
 #include "src/cdx/cd_extract.h"
 #include "src/device/nonrect.h"
 #include "src/litho/simulator.h"
@@ -67,6 +71,53 @@ struct CacheOptions {
   std::size_t shards = 16;  ///< concurrency granularity of each cache
 };
 
+/// Per-window fault containment policy for the hot loops.  When enabled
+/// (the default), a window that throws — CheckError, bad_alloc, non-finite
+/// intensity, OPC non-convergence — is retried up to `max_retries` times
+/// with escalated settings, then degraded instead of aborting the run:
+/// an OPC window falls back to the drawn (uncorrected) mask, an extraction
+/// window falls back to the drawn-CD annotation for its gate, and a scan
+/// window is skipped.  Every fault, retry and degradation is recorded in
+/// FlowHealth.  Fault-free results are bit-identical with containment on
+/// or off; disabling restores fail-fast semantics (first error by window
+/// index is rethrown).
+struct RecoveryOptions {
+  bool enabled = true;
+  std::size_t max_retries = 1;
+  /// Retry with sign-off litho quality instead of the nominal (draft /
+  /// standard) setting.  Retries always bypass the window caches, so an
+  /// escalated result can never be served under the nominal fingerprint.
+  bool escalate_quality = true;
+  /// Retry with the Abbe reference imaging engine when the faulting window
+  /// was running the SOCS fast path.
+  bool fallback_to_abbe = true;
+};
+
+/// Containment outcome of one run: which windows faulted, what happened to
+/// them, and which gates lost their extraction to the drawn-CD fallback.
+/// Deterministic — entries are merged in window-index order, so the report
+/// is bit-identical at any thread count.
+struct FlowHealth {
+  struct WindowFault {
+    std::string phase;            ///< "opc" | "extract" | "scan"
+    std::uint64_t index = 0;      ///< instance (opc/scan) or gate (extract)
+    FaultCode code = FaultCode::kUnknown;
+    std::string origin;
+    std::size_t attempts = 0;     ///< total tries, including the first
+    bool recovered = false;       ///< a retry eventually succeeded
+    bool degraded = false;        ///< all retries failed; fallback applied
+  };
+  std::vector<WindowFault> faults;
+  std::size_t retries = 0;            ///< extra attempts across all windows
+  std::size_t recovered_windows = 0;
+  std::size_t degraded_windows = 0;
+  /// Gates annotated with drawn-CD timing because their own extraction
+  /// degraded or their instance's OPC window degraded.  Sorted, unique.
+  std::vector<GateIdx> degraded_gates;
+
+  bool clean() const { return faults.empty(); }
+};
+
 struct FlowOptions {
   OpcOptions opc;
   CdExtractOptions cdx;
@@ -83,6 +134,7 @@ struct FlowOptions {
   std::uint64_t seed = 42;      ///< ACLV noise stream
   SiliconMismatch silicon;
   CacheOptions cache;
+  RecoveryOptions recovery;
   /// Threads for the window-shaped hot loops (OPC, extraction, hotspot
   /// scan, Monte Carlo).  0 = hardware concurrency; 1 = serial.  Results
   /// are bit-identical for every value — see the determinism contract in
@@ -125,6 +177,9 @@ struct TimingComparison {
   /// +36.4 % on its test design.
   double worst_slack_change_pct = 0.0;
   double leakage_change_pct = 0.0;
+  /// Containment outcome of the run that produced this comparison (empty
+  /// when every window completed nominally).
+  FlowHealth health;
 };
 
 class PostOpcFlow {
@@ -229,6 +284,12 @@ class PostOpcFlow {
   /// Threads the hot loops actually use (options().threads resolved).
   std::size_t threads() const;
 
+  /// Containment record accumulated since construction (or the last
+  /// reset_health()): faults, retries, recoveries, degraded gates.  Empty
+  /// on a fault-free run.
+  FlowHealth health() const;
+  void reset_health() const;
+
   /// Window-cache counters per hot path (all zero when the cache is
   /// disabled).  Hit rates climb with instance repetition: a row of
   /// identical cells collapses to one computed window each for OPC,
@@ -255,6 +316,16 @@ class PostOpcFlow {
     OpcStats stats;
   };
   OpcWindowResult opc_window(std::size_t instance, OpcMode mode) const;
+  /// opc_window with explicit simulator/options (the escalated-retry path)
+  /// and cache control — retries must bypass the cache so a result produced
+  /// under non-nominal settings is never stored under the nominal key.
+  OpcWindowResult opc_window_impl(std::size_t instance, OpcMode mode,
+                                  const LithoSimulator& sim,
+                                  const OpcOptions& opc_options,
+                                  bool use_cache) const;
+  /// Drawn (uncorrected) mask for one instance window: the degradation
+  /// fallback when every OPC attempt faulted.
+  std::vector<Rect> drawn_mask_for_instance(std::size_t instance) const;
   void run_opc_windows(
       const std::function<OpcMode(std::size_t)>& mode_for_instance);
   GateExtraction extract_gate(GateIdx gate, const Image2D& latent,
@@ -263,10 +334,27 @@ class PostOpcFlow {
       const LithoSimulator& sim, const Exposure& exposure,
       const std::optional<std::vector<GateIdx>>& subset) const;
   /// sim.latent() memoized through the window cache (bit-identical either
-  /// way); falls through to a plain call when the cache is disabled.
+  /// way); falls through to a plain call when the cache is disabled or
+  /// `use_cache` is false (retry attempts).
   Image2D latent_for_window(const LithoSimulator& sim,
                             const std::vector<Rect>& mask, const Rect& window,
-                            const Exposure& exposure) const;
+                            const Exposure& exposure, LithoQuality quality,
+                            bool use_cache) const;
+
+  /// Per-window containment bookkeeping shared by the three hot loops.
+  /// Outcomes land in pre-sized slots and are merged into health_ in window
+  /// index order by record_outcomes() on the calling thread.
+  struct ItemOutcome {
+    bool faulted = false;    ///< at least one attempt threw
+    FlowError first_error;   ///< the first attempt's failure
+    std::size_t attempts = 1;
+    bool recovered = false;
+    bool degraded = false;
+  };
+  void record_outcomes(const char* phase,
+                       const std::vector<ItemOutcome>& outcomes,
+                       const std::vector<std::uint64_t>& indices) const;
+  void record_degraded_gate(GateIdx gate) const;
 
   const PlacedDesign* design_;
   const StdCellLibrary* lib_;
@@ -278,6 +366,18 @@ class PostOpcFlow {
   /// slots — the parallel engine's write targets).  Empty until run_opc.
   std::vector<std::vector<Rect>> masks_;
   OpcStats opc_stats_;
+
+  /// Instances whose OPC window degraded to the drawn mask; their gates
+  /// skip extraction (drawn-CD annotation) so a silently-uncorrected mask
+  /// never feeds CDs into STA.  Sized with masks_ by run_opc.
+  std::vector<char> opc_degraded_;
+
+  /// Containment record (see health()).  Behind a shared_ptr — like
+  /// caches_ — so the flow stays movable/copyable despite the mutex;
+  /// extraction and the scan are const, but a faulted window still has to
+  /// be reported.
+  struct HealthState;
+  std::shared_ptr<HealthState> health_state_;
 
   /// Content-addressed window caches (see CacheOptions); null when
   /// disabled.  shared_ptr so flow copies share one cache — the memoized

@@ -57,6 +57,13 @@ double Image2D::max_value() const {
   return *std::max_element(data_.begin(), data_.end());
 }
 
+bool Image2D::all_finite() const {
+  for (const double v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
 std::vector<double> Image2D::cross_section_x(double y, double x0, double x1,
                                              std::size_t n) const {
   POC_EXPECTS(n >= 2);

@@ -41,6 +41,11 @@ class Image2D {
   double min_value() const;
   double max_value() const;
 
+  /// True when every pixel is a finite number — the boundary guard between
+  /// the imaging stack and CD extraction (a NaN CD must raise a structured
+  /// fault, never propagate into STA).
+  bool all_finite() const;
+
   /// Horizontal cross-section I(x) at fixed y (bilinear sampled), n points
   /// from x0 to x1 inclusive.
   std::vector<double> cross_section_x(double y, double x0, double x1,

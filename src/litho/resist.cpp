@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "src/common/check.h"
+#include "src/common/error.h"
 #include "src/common/fft.h"
 
 namespace poc {
@@ -38,6 +39,14 @@ Image2D ResistModel::latent_image(const Image2D& aerial, double dose) const {
   Image2D latent = aerial;
   gaussian_blur(latent, diffusion_nm);
   for (double& v : latent.data()) v *= dose;
+  // Same boundary guard as LithoSimulator::latent: a non-finite resist
+  // signal (blown-up FFT, corrupt aerial input) must surface as a
+  // structured fault, not as NaN CDs downstream.
+  if (!latent.all_finite()) {
+    throw FlowException(FlowError{FaultCode::kNonFinite, kNoWindowId,
+                                  "resist.latent_image",
+                                  "non-finite intensity after resist blur"});
+  }
   return latent;
 }
 

@@ -1,5 +1,9 @@
 #include "src/litho/simulator.h"
 
+#include <limits>
+
+#include "src/common/error.h"
+#include "src/common/fault.h"
 #include "src/litho/imaging.h"
 #include "src/litho/mask.h"
 
@@ -53,6 +57,17 @@ Image2D LithoSimulator::latent(const std::vector<Rect>& features,
                                         resist_.diffusion_nm, ctx.source,
                                         imaging);
   for (double& v : latent.data()) v *= exposure.dose;
+  if (fault::enabled() && fault::should(fault::Kind::kNanPixel)) {
+    latent.data()[0] = std::numeric_limits<double>::quiet_NaN();
+  }
+  // Boundary guard: contour extraction bisects this image for CDs, and a
+  // NaN CD would flow silently into the device model and STA.  Raise the
+  // structured fault here, where the window loops can contain it.
+  if (!latent.all_finite()) {
+    throw FlowException(FlowError{FaultCode::kNonFinite, kNoWindowId,
+                                  "litho.latent",
+                                  "non-finite intensity in latent image"});
+  }
   return latent;
 }
 

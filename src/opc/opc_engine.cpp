@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "src/cdx/contour.h"
 #include "src/common/check.h"
+#include "src/common/error.h"
+#include "src/common/fault.h"
 #include "src/common/log.h"
 #include "src/geom/polygon_ops.h"
 #include "src/opc/sraf.h"
@@ -65,6 +68,9 @@ OpcResult OpcEngine::correct(const std::vector<Polygon>& targets,
                              const Rect& window,
                              const Exposure& nominal) const {
   POC_EXPECTS(!targets.empty());
+  // Injection point for the fault harness (default-off): a window-level
+  // convergence stall, raised before any iteration work.
+  fault::maybe_throw(fault::Kind::kConvergenceStall);
   OpcResult result;
   result.fragments = fragment_polygons(targets, options_.fragmentation);
   // Halo: geometry near the tile boundary is context, not correction work.
@@ -139,6 +145,17 @@ OpcResult OpcEngine::correct(const std::vector<Polygon>& targets,
       f.bias = std::clamp<DbUnit>(f.bias + move, options_.min_bias,
                                   options_.max_bias);
     }
+  }
+  // Optional hard abort on non-convergence: a window whose residual EPE
+  // still exceeds the threshold after the full budget raises a structured
+  // fault rather than handing a silently-bad mask downstream.
+  if (options_.abort_epe_nm > 0.0 &&
+      result.max_abs_epe_body_nm >= options_.abort_epe_nm) {
+    throw FlowException(FlowError{
+        FaultCode::kNonConvergence, kNoWindowId, "opc.correct",
+        "body EPE " + std::to_string(result.max_abs_epe_body_nm) +
+            " nm above abort threshold after " +
+            std::to_string(result.iterations) + " iterations"});
   }
   log_debug("OPC window converged: iters=", result.iterations,
             " maxEPE=", result.max_abs_epe_nm, "nm rms=", result.rms_epe_nm,

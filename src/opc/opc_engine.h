@@ -48,6 +48,12 @@ struct OpcOptions {
   OpcImaging sim_imaging = OpcImaging::kFollowSimulator;
   OpcImaging final_imaging = OpcImaging::kFollowSimulator;
   bool insert_srafs = false;     ///< rule-based scattering bars (see sraf.h)
+  /// Non-convergence abort threshold (0 = off, the default): when the body
+  /// EPE still exceeds this after the full iteration budget, correct()
+  /// raises a structured kNonConvergence fault instead of returning a
+  /// silently-bad mask.  The flow's containment retries or degrades the
+  /// window; without containment the failure is at least explicit.
+  double abort_epe_nm = 0.0;
 };
 
 struct OpcResult {

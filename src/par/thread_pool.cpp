@@ -164,4 +164,28 @@ void parallel_for(std::size_t threads, std::size_t n, std::size_t chunk,
   global_pool().parallel_for(n, chunk, fn, threads);
 }
 
+std::vector<IndexedError> try_parallel_for(
+    std::size_t threads, std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t)>& fn, std::string_view origin) {
+  std::mutex mutex;
+  std::vector<IndexedError> errors;
+  // The wrapper absorbs every throw at item granularity, so from the
+  // pool's point of view no chunk ever fails and all items run.
+  const std::function<void(std::size_t)> guarded = [&](std::size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      FlowError err = capture_flow_error(i, origin);
+      std::lock_guard<std::mutex> lock(mutex);
+      errors.push_back({i, std::move(err)});
+    }
+  };
+  parallel_for(threads, n, chunk, guarded);
+  std::sort(errors.begin(), errors.end(),
+            [](const IndexedError& a, const IndexedError& b) {
+              return a.index < b.index;
+            });
+  return errors;
+}
+
 }  // namespace poc

@@ -31,11 +31,13 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/error.h"
 
 namespace poc {
 
@@ -129,6 +131,22 @@ ThreadPool& global_pool();
 /// nesting.  `chunk` must be >= 1.
 void parallel_for(std::size_t threads, std::size_t n, std::size_t chunk,
                   const std::function<void(std::size_t)>& fn);
+
+/// One captured per-item failure from try_parallel_for.
+struct IndexedError {
+  std::size_t index = 0;
+  FlowError error;
+};
+
+/// Error-capturing variant of parallel_for: fn(i) still runs for every i
+/// in [0, n), but a throwing item is captured as a FlowError (classified
+/// via capture_flow_error, window = i, origin as given) instead of
+/// unwinding — so a bad item never aborts the rest of its chunk, and
+/// *every* failing index is reported, not just the lowest.  Returns the
+/// failures sorted by index: bit-identical at any thread count.
+std::vector<IndexedError> try_parallel_for(
+    std::size_t threads, std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t)>& fn, std::string_view origin = {});
 
 /// Deterministic map/reduce: materializes map(i) into per-item slots in
 /// parallel, then folds acc = reduce(move(acc), move(slot[i])) on the

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "src/ckt/transient.h"
 #include "src/common/check.h"
+#include "src/common/log.h"
 
 namespace poc {
 namespace {
@@ -86,10 +88,25 @@ CellDeck build_cell_deck(const CellSpec& spec, const CharParams& params,
   return deck;
 }
 
-ArcMeasurement measure_arc(const CellSpec& spec, const CharParams& params,
-                           std::size_t arc_input, bool input_rising,
-                           Ps input_slew, Ff load, double l_nmos_nm,
-                           double l_pmos_nm) {
+namespace {
+
+/// Context string for characterization faults: which cell, arc and sweep
+/// point failed.
+std::string arc_context(const CellSpec& spec, std::size_t arc_input,
+                        bool input_rising, Ps input_slew, Ff load) {
+  return "cell " + spec.name + " input " + std::to_string(arc_input) +
+         (input_rising ? " rising" : " falling") + " slew " +
+         std::to_string(input_slew) + " ps load " + std::to_string(load) +
+         " fF";
+}
+
+}  // namespace
+
+Expected<ArcMeasurement> measure_arc(const CellSpec& spec,
+                                     const CharParams& params,
+                                     std::size_t arc_input, bool input_rising,
+                                     Ps input_slew, Ff load, double l_nmos_nm,
+                                     double l_pmos_nm) {
   POC_EXPECTS(arc_input < spec.inputs.size());
   POC_EXPECTS(input_slew > 0.0 && load >= 0.0);
   CellDeck deck = build_cell_deck(spec, params, l_nmos_nm, l_pmos_nm);
@@ -114,15 +131,33 @@ ArcMeasurement measure_arc(const CellSpec& spec, const CharParams& params,
   topt.t_end = t0 + input_slew + 1400.0;
   const TransientResult sim = simulate(ckt, topt);
 
-  ArcMeasurement m;
-  if (!sim.converged) return m;
+  if (!sim.converged) {
+    // This used to return a silent empty measurement; characterization
+    // failures now surface through the structured error channel.
+    FlowError err{FaultCode::kNonConvergence, kNoWindowId,
+                  "stdcell.measure_arc",
+                  "transient did not converge: " +
+                      arc_context(spec, arc_input, input_rising, input_slew,
+                                  load)};
+    log_warn("characterization fault ", err.to_string());
+    return err;
+  }
   const Trace& out = sim.traces[deck.out];
   // Negative-unate single stage: input rise -> output fall.
   const bool out_rising = !input_rising;
   const Ps t_in_50 = t0 + input_slew / 2.0;
   const auto t_out_50 = out.cross_time(vdd / 2.0, out_rising, t0);
   const auto out_slew = out.slew(vdd, out_rising, t0);
-  if (!t_out_50 || !out_slew) return m;
+  if (!t_out_50 || !out_slew) {
+    FlowError err{FaultCode::kMeasurement, kNoWindowId,
+                  "stdcell.measure_arc",
+                  "output never crossed the measurement levels: " +
+                      arc_context(spec, arc_input, input_rising, input_slew,
+                                  load)};
+    log_warn("characterization fault ", err.to_string());
+    return err;
+  }
+  ArcMeasurement m;
   m.delay = *t_out_50 - t_in_50;
   m.out_slew = *out_slew;
   m.valid = true;
@@ -177,20 +212,20 @@ CellTiming characterize_cell_with_l(const CellSpec& spec,
     arc.slew_rise = NldmTable(params.slew_axis, params.load_axis);
     for (std::size_t si = 0; si < params.slew_axis.size(); ++si) {
       for (std::size_t li = 0; li < params.load_axis.size(); ++li) {
-        const ArcMeasurement fall =
+        const Expected<ArcMeasurement> fall =
             measure_arc(spec, params, i, /*input_rising=*/true,
                         params.slew_axis[si], params.load_axis[li],
                         l_nmos_nm, l_pmos_nm);
-        POC_ENSURES(fall.valid);
-        arc.delay_fall.set(si, li, fall.delay);
-        arc.slew_fall.set(si, li, fall.out_slew);
-        const ArcMeasurement rise =
+        if (!fall) throw FlowException(fall.error());
+        arc.delay_fall.set(si, li, fall->delay);
+        arc.slew_fall.set(si, li, fall->out_slew);
+        const Expected<ArcMeasurement> rise =
             measure_arc(spec, params, i, /*input_rising=*/false,
                         params.slew_axis[si], params.load_axis[li],
                         l_nmos_nm, l_pmos_nm);
-        POC_ENSURES(rise.valid);
-        arc.delay_rise.set(si, li, rise.delay);
-        arc.slew_rise.set(si, li, rise.out_slew);
+        if (!rise) throw FlowException(rise.error());
+        arc.delay_rise.set(si, li, rise->delay);
+        arc.slew_rise.set(si, li, rise->out_slew);
       }
     }
     timing.arcs.push_back(std::move(arc));

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "src/ckt/circuit.h"
+#include "src/common/error.h"
 #include "src/stdcell/cell_spec.h"
 #include "src/stdcell/nldm.h"
 
@@ -40,10 +41,16 @@ struct ArcMeasurement {
   bool valid = false;
 };
 
-ArcMeasurement measure_arc(const CellSpec& spec, const CharParams& params,
-                           std::size_t arc_input, bool input_rising,
-                           Ps input_slew, Ff load, double l_nmos_nm,
-                           double l_pmos_nm);
+/// Measures one arc, or reports a structured error: kNonConvergence when
+/// the transient simulation fails to converge, kMeasurement when the output
+/// never crosses the measurement levels.  Both used to come back as a
+/// silent invalid measurement; now the failure carries the cell/arc context
+/// and is logged at the source.
+Expected<ArcMeasurement> measure_arc(const CellSpec& spec,
+                                     const CharParams& params,
+                                     std::size_t arc_input, bool input_rising,
+                                     Ps input_slew, Ff load, double l_nmos_nm,
+                                     double l_pmos_nm);
 
 /// Full characterization at the drawn channel length.
 CellTiming characterize_cell(const CellSpec& spec, const CharParams& params);

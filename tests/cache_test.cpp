@@ -13,6 +13,7 @@
 
 #include "src/cache/fingerprint.h"
 #include "src/cache/result_cache.h"
+#include "src/common/fault.h"
 #include "src/core/flow.h"
 #include "src/netlist/generators.h"
 
@@ -333,6 +334,46 @@ TEST(CacheFlowCapacityZero, DegradedCacheStaysBitIdentical) {
   EXPECT_GT(c.total().misses, 0u);
   EXPECT_GT(c.total().rejected, 0u);
   EXPECT_EQ(c.total().entries, 0u);
+}
+
+TEST(CacheFlowFaults, EscalatedRetryNeverPoisonsNominalFingerprints) {
+  // Containment hygiene: a retry attempt runs with escalated settings
+  // (sign-off quality) and must bypass the cache entirely — if it stored
+  // its result under the nominal fingerprint, every later nominal lookup
+  // would replay escalated bits.  Inject a transient cache-insert fault on
+  // one gate's extraction, let the retry recover, then extract again
+  // fault-free: the cached flow must match a cache-off fault-free flow bit
+  // for bit.
+  PlacedDesign design = place_and_route(make_c17(), lib());
+  PostOpcFlow cached(design, lib(), LithoSimulator{},
+                     flow_options(1, /*cache=*/true));
+  PostOpcFlow reference(design, lib(), LithoSimulator{},
+                        flow_options(1, /*cache=*/false));
+  cached.run_opc(OpcMode::kModelBased);
+  reference.run_opc(OpcMode::kModelBased);
+
+  // Target gate 0: with one thread it extracts first, so its latent-image
+  // lookup always misses and reaches the insert (later gates may hit
+  // entries shared with an identical window and never insert at all).
+  fault::Config cfg;
+  cfg.enabled = true;
+  cfg.transient = true;
+  cfg.targets.push_back({fault::Kind::kCacheInsert, fault::Domain::kExtract, 0});
+  fault::configure(cfg);
+  const auto faulted = cached.extract({});
+  fault::reset();
+
+  const FlowHealth h = cached.health();
+  ASSERT_EQ(h.faults.size(), 1u);
+  EXPECT_EQ(h.faults[0].code, FaultCode::kAllocFailure);
+  EXPECT_TRUE(h.faults[0].recovered);
+  EXPECT_TRUE(h.degraded_gates.empty());
+  EXPECT_FALSE(faulted[0].devices.empty());  // escalated retry delivered
+
+  // Fault-free re-extraction through the (possibly poisoned) cache must
+  // equal the cache-off fault-free reference on every gate — including
+  // gate 2, whose recovered-run result came from the escalated settings.
+  expect_same_extraction(cached.extract({}), reference.extract({}));
 }
 
 TEST(CacheFlowSocs, SocsFlowBitIdenticalCacheOnOffAndThreaded) {

@@ -195,15 +195,16 @@ TEST_F(CharFixture, DriveRatioScalingPredictsShortChannelDelay) {
   const auto specs = standard_cell_specs();
   const CellSpec& inv = find_spec(specs, "INV_X1");
   for (double l : {84.0, 96.0}) {
-    const ArcMeasurement direct =
+    const Expected<ArcMeasurement> direct =
         measure_arc(inv, cp, 0, /*input_rising=*/true, 50.0, 10.0, l, l);
-    const ArcMeasurement nominal =
+    const Expected<ArcMeasurement> nominal =
         measure_arc(inv, cp, 0, true, 50.0, 10.0, 90.0, 90.0);
-    ASSERT_TRUE(direct.valid && nominal.valid);
+    ASSERT_TRUE(direct.has_value() && nominal.has_value());
+    ASSERT_TRUE(direct->valid && nominal->valid);
     const double scale = cp.nmos.ion_per_um(90.0) / cp.nmos.ion_per_um(l);
-    const double predicted = nominal.delay * scale;
+    const double predicted = nominal->delay * scale;
     // First-order model: within 10 % of the resimulated truth.
-    EXPECT_NEAR(predicted / direct.delay, 1.0, 0.10) << "L=" << l;
+    EXPECT_NEAR(predicted / direct->delay, 1.0, 0.10) << "L=" << l;
   }
 }
 
