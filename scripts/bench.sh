@@ -18,13 +18,19 @@
 #                     rows (containment on/off over the same design) — the
 #                     PR4 acceptance number is a noise-level overhead with
 #                     bit-identical annotated WS
+#   - journal_bench / journal_overhead_pct / journal_ws_identical /
+#                     journal_resume_speedup: JOURNAL_BENCH rows (write-
+#                     ahead journal off/on/resume over the same design) —
+#                     the PR5 acceptance number is < 2 % fault-free
+#                     overhead with a bit-identical annotated WS, and the
+#                     resume row shows full-replay wall time
 #
 # Usage: scripts/bench.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
-OUT=BENCH_PR4.json
+OUT=BENCH_PR5.json
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" --target bench_perf_kernels \
@@ -46,6 +52,7 @@ T2_LOG=$(mktemp)
 # SOCS_BENCH  name=<n> mode=<abbe|socs_draft|socs_full> wall_ms=<ms> ws=<ps>
 # SOCS_T2     design=<d> ws_change_pct=<pct> spearman=<r> top10_displaced=<n>
 # FAULT_BENCH name=<n> containment=<on|off> wall_ms=<ms> ws=<ps>
+# JOURNAL_BENCH name=<n> journal=<off|on|resume> wall_ms=<ms> ws=<ps> replayed=<k>
 awk '
   /^CACHE_BENCH / {
     for (i = 2; i <= NF; ++i) { split($i, kv, "="); v[kv[1]] = kv[2] }
@@ -78,6 +85,16 @@ awk '
     fms[v["containment"]] = v["wall_ms"]
     fws[v["containment"]] = v["ws"]
   }
+  /^JOURNAL_BENCH / {
+    for (i = 2; i <= NF; ++i) { split($i, kv, "="); v[kv[1]] = kv[2] }
+    row = sprintf("    {\"name\": \"%s_journal_%s\", \"real_time\": %s, " \
+                  "\"time_unit\": \"ms\", \"annot_ws_ps\": %s, " \
+                  "\"replayed\": %s}",
+                  v["name"], v["journal"], v["wall_ms"], v["ws"], v["replayed"])
+    jrows = jrows (jrows == "" ? "" : ",\n") row
+    jms[v["journal"]] = v["wall_ms"]
+    jws[v["journal"]] = v["ws"]
+  }
   END {
     printf "{\n  \"cache_bench\": [\n%s\n  ],\n", crows
     if (cms["off"] > 0 && cms["on"] > 0)
@@ -93,6 +110,15 @@ awk '
       if (fms["off"] > 0 && fms["on"] > 0)
         printf "  \"fault_overhead_pct\": %.3f,\n", (fms["on"] / fms["off"] - 1.0) * 100.0
       printf "  \"fault_ws_identical\": %s,\n", (fws["on"] == fws["off"]) ? "true" : "false"
+    }
+    if (jrows != "") {
+      printf "  \"journal_bench\": [\n%s\n  ],\n", jrows
+      if (jms["off"] > 0 && jms["on"] > 0)
+        printf "  \"journal_overhead_pct\": %.3f,\n", (jms["on"] / jms["off"] - 1.0) * 100.0
+      if (jms["resume"] > 0 && jms["off"] > 0)
+        printf "  \"journal_resume_speedup\": %.1f,\n", jms["off"] / jms["resume"]
+      printf "  \"journal_ws_identical\": %s,\n", \
+             (jws["on"] == jws["off"] && jws["resume"] == jws["off"]) ? "true" : "false"
     }
     if (t2 != "") print t2
   }

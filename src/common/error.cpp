@@ -1,7 +1,9 @@
 #include "src/common/error.h"
 
 #include <exception>
+#include <ios>
 #include <new>
+#include <system_error>
 
 namespace poc {
 
@@ -19,6 +21,12 @@ const char* fault_code_name(FaultCode code) {
       return "alloc_failure";
     case FaultCode::kMeasurement:
       return "measurement";
+    case FaultCode::kCancelled:
+      return "cancelled";
+    case FaultCode::kJournalIo:
+      return "journal_io";
+    case FaultCode::kJournalMismatch:
+      return "journal_mismatch";
   }
   return "invalid";
 }
@@ -54,6 +62,16 @@ FlowError capture_flow_error(std::uint64_t window, std::string_view origin) {
                      e.what()};
   } catch (const std::bad_alloc& e) {
     return FlowError{FaultCode::kAllocFailure, window, std::string(origin),
+                     e.what()};
+  } catch (const std::ios_base::failure& e) {
+    // Stream-based journal I/O reports through iostream failure states.
+    return FlowError{FaultCode::kJournalIo, window, std::string(origin),
+                     e.what()};
+  } catch (const std::system_error& e) {
+    // OS-level I/O faults (open/write/fsync/rename on the journal path)
+    // surface as system_error; classify them as journal I/O so the flow's
+    // health report separates durability faults from compute faults.
+    return FlowError{FaultCode::kJournalIo, window, std::string(origin),
                      e.what()};
   } catch (const std::exception& e) {
     return FlowError{FaultCode::kUnknown, window, std::string(origin),

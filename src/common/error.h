@@ -34,6 +34,10 @@ enum class FaultCode : std::uint8_t {
   kNonConvergence,  ///< an iteration failed to converge within its budget
   kAllocFailure,    ///< std::bad_alloc (real or injected)
   kMeasurement,     ///< a measurement produced no usable value
+  kCancelled,       ///< cooperative cancellation (SIGINT/SIGTERM drain)
+  kJournalIo,       ///< run-journal I/O failure (open/write/fsync/rename)
+  kJournalMismatch, ///< journal record rejected: bad checksum, truncated
+                    ///< tail, or config-fingerprint mismatch
 };
 
 const char* fault_code_name(FaultCode code);

@@ -1,0 +1,34 @@
+#include "src/common/serialize.h"
+
+#include <array>
+
+namespace poc {
+namespace {
+
+/// CRC-64/XZ: reflected ECMA-182 polynomial 0x42F0E1EBA9EA3693.
+constexpr std::uint64_t kPolyReflected = 0xC96C5795D7870F42ULL;
+
+std::array<std::uint64_t, 256> make_crc_table() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint64_t crc64(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::uint64_t, 256> table = make_crc_table();
+  std::uint64_t crc = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace poc

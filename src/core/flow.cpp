@@ -11,6 +11,7 @@
 #include "src/common/check.h"
 #include "src/common/fault.h"
 #include "src/common/log.h"
+#include "src/common/serialize.h"
 #include "src/geom/polygon_ops.h"
 #include "src/opc/rule_opc.h"
 #include "src/par/thread_pool.h"
@@ -118,6 +119,178 @@ LithoSimulator with_abbe(const LithoSimulator& sim) {
   return out;
 }
 
+// ---- Run-journal payload codecs --------------------------------------------
+//
+// Payloads store exactly the bits the hot loops would recompute (integers
+// verbatim, doubles as IEEE-754 bit patterns), so a replay is
+// indistinguishable from a recompute downstream.  Decoders return false on
+// any structural mismatch; the caller then recomputes the window.
+
+void encode_rects(ByteWriter& w, const std::vector<Rect>& rects) {
+  w.u32(static_cast<std::uint32_t>(rects.size()));
+  for (const Rect& r : rects) {
+    w.i64(r.xlo);
+    w.i64(r.ylo);
+    w.i64(r.xhi);
+    w.i64(r.yhi);
+  }
+}
+
+bool decode_rects(ByteReader& r, std::vector<Rect>& rects) {
+  const std::uint32_t n = r.u32();
+  rects.clear();
+  rects.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    Rect rect;
+    rect.xlo = r.i64();
+    rect.ylo = r.i64();
+    rect.xhi = r.i64();
+    rect.yhi = r.i64();
+    rects.push_back(rect);
+  }
+  return r.ok();
+}
+
+std::vector<std::uint8_t> encode_opc_payload(const std::vector<Rect>& mask,
+                                             const OpcStats& s,
+                                             bool degraded) {
+  ByteWriter w;
+  encode_rects(w, mask);
+  w.u64(s.windows);
+  w.u64(s.model_based_windows);
+  w.u64(s.fragments);
+  w.u64(s.iterations);
+  w.f64(s.max_abs_epe_nm);
+  w.f64(s.rms_epe_sum);
+  w.u8(degraded ? 1 : 0);
+  return w.take();
+}
+
+bool decode_opc_payload(const std::vector<std::uint8_t>& bytes,
+                        std::vector<Rect>& mask, OpcStats& s,
+                        bool& degraded) {
+  ByteReader r(bytes);
+  if (!decode_rects(r, mask)) return false;
+  s.windows = r.u64();
+  s.model_based_windows = r.u64();
+  s.fragments = r.u64();
+  s.iterations = r.u64();
+  s.max_abs_epe_nm = r.f64();
+  s.rms_epe_sum = r.f64();
+  degraded = r.u8() != 0;
+  return r.done();
+}
+
+std::vector<std::uint8_t> encode_extract_payload(const GateExtraction& ext) {
+  ByteWriter w;
+  w.u64(ext.gate);
+  w.u32(static_cast<std::uint32_t>(ext.devices.size()));
+  for (const DeviceCd& d : ext.devices) {
+    w.str(d.device);
+    w.u8(d.is_nmos ? 1 : 0);
+    w.f64(d.drawn_l_nm);
+    w.f64(d.drawn_w_nm);
+    w.u32(static_cast<std::uint32_t>(d.profile.slice_cd_nm.size()));
+    for (double cd : d.profile.slice_cd_nm) w.f64(cd);
+    w.f64(d.profile.slice_width_nm);
+    w.f64(d.profile.drawn_cd_nm);
+    w.f64(d.eq.width_um);
+    w.f64(d.eq.ion_ua);
+    w.f64(d.eq.ioff_ua);
+    w.f64(d.eq.l_eff_drive_nm);
+    w.f64(d.eq.l_eff_leak_nm);
+    w.f64(d.eq.l_mean_nm);
+    w.u8(d.eq.functional ? 1 : 0);
+  }
+  return w.take();
+}
+
+bool decode_extract_payload(const std::vector<std::uint8_t>& bytes,
+                            GateExtraction& ext) {
+  ByteReader r(bytes);
+  ext.gate = r.u64();
+  const std::uint32_t ndev = r.u32();
+  ext.devices.clear();
+  for (std::uint32_t i = 0; i < ndev && r.ok(); ++i) {
+    DeviceCd d;
+    d.device = r.str();
+    d.is_nmos = r.u8() != 0;
+    d.drawn_l_nm = r.f64();
+    d.drawn_w_nm = r.f64();
+    const std::uint32_t nslices = r.u32();
+    for (std::uint32_t s = 0; s < nslices && r.ok(); ++s) {
+      d.profile.slice_cd_nm.push_back(r.f64());
+    }
+    d.profile.slice_width_nm = r.f64();
+    d.profile.drawn_cd_nm = r.f64();
+    d.eq.width_um = r.f64();
+    d.eq.ion_ua = r.f64();
+    d.eq.ioff_ua = r.f64();
+    d.eq.l_eff_drive_nm = r.f64();
+    d.eq.l_eff_leak_nm = r.f64();
+    d.eq.l_mean_nm = r.f64();
+    d.eq.functional = r.u8() != 0;
+    ext.devices.push_back(std::move(d));
+  }
+  return r.done();
+}
+
+std::vector<std::uint8_t> encode_scan_payload(
+    const PostOpcFlow::HotspotReport& rep) {
+  ByteWriter w;
+  w.u64(rep.windows_checked);
+  w.u64(rep.pinches);
+  w.u64(rep.bridges);
+  w.u64(rep.epe_violations);
+  w.u32(static_cast<std::uint32_t>(rep.hotspots.size()));
+  for (const PostOpcFlow::Hotspot& h : rep.hotspots) {
+    w.u64(h.instance);
+    w.str(h.exposure_name);
+    w.u8(static_cast<std::uint8_t>(h.violation.kind));
+    w.i64(h.violation.where.x);
+    w.i64(h.violation.where.y);
+    w.f64(h.violation.value_nm);
+  }
+  return w.take();
+}
+
+bool decode_scan_payload(const std::vector<std::uint8_t>& bytes,
+                         PostOpcFlow::HotspotReport& rep) {
+  ByteReader r(bytes);
+  rep = {};
+  rep.windows_checked = r.u64();
+  rep.pinches = r.u64();
+  rep.bridges = r.u64();
+  rep.epe_violations = r.u64();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    PostOpcFlow::Hotspot h;
+    h.instance = r.u64();
+    h.exposure_name = r.str();
+    h.violation.kind = static_cast<OrcViolation::Kind>(r.u8());
+    h.violation.where.x = r.i64();
+    h.violation.where.y = r.i64();
+    h.violation.value_nm = r.f64();
+    rep.hotspots.push_back(std::move(h));
+  }
+  return r.done();
+}
+
+void hash_mosfet(FpHasher& h, const MosfetParams& p) {
+  h.u64(p.is_nmos ? 1 : 0)
+      .f64(p.vdd)
+      .f64(p.vth_long)
+      .f64(p.dvt_rolloff)
+      .f64(p.rolloff_lc_nm)
+      .f64(p.alpha)
+      .f64(p.k_ua_per_um)
+      .f64(p.l_ref_nm)
+      .f64(p.kv_sat)
+      .f64(p.subthreshold_n)
+      .f64(p.i0_leak_ua_per_um)
+      .f64(p.temp_vt);
+}
+
 }  // namespace
 
 /// The three flow-level result caches.  Values are stored in the window's
@@ -177,6 +350,168 @@ PostOpcFlow::PostOpcFlow(const PlacedDesign& design, const StdCellLibrary& lib,
         options_.cache.capacity_mb << 20, options_.cache.shards);
   }
   health_state_ = std::make_shared<HealthState>();
+  if (options_.journal.enabled) {
+    try {
+      journal_ =
+          std::make_shared<RunJournal>(options_.journal, config_fingerprint());
+    } catch (...) {
+      // A run that cannot journal still runs — undurable, but reported.
+      const FlowError err = capture_flow_error(kNoWindowId, "journal.open");
+      log_warn("run journal disabled: ", err.to_string());
+      FlowHealth::WindowFault f;
+      f.phase = "journal";
+      f.index = kNoWindowId;
+      f.code = err.code;
+      f.origin = err.origin;
+      f.attempts = 1;
+      health_state_->faults.push_back(std::move(f));
+    }
+    if (journal_) {
+      const RunJournal::Stats js = journal_->stats();
+      if (js.loaded_records > 0 || !journal_->issues().empty()) {
+        log_info("run journal: replayed ", js.loaded_records,
+                 " records from ", options_.journal.path, ", rejected ",
+                 js.rejected_records);
+      }
+      // Rejected records are a reportable event, not a silent skip: every
+      // replay issue lands in health as a phase-"journal" fault.
+      std::lock_guard<std::mutex> lock(health_state_->mutex);
+      for (const ReplayIssue& issue : journal_->issues()) {
+        FlowHealth::WindowFault f;
+        f.phase = "journal";
+        f.index = issue.offset;
+        f.code = issue.code;
+        f.origin = issue.segment;
+        f.attempts = 1;
+        health_state_->faults.push_back(std::move(f));
+      }
+    }
+  }
+}
+
+const CancelToken* PostOpcFlow::cancel_token() const {
+  return options_.cancel != nullptr ? options_.cancel : &global_cancel_token();
+}
+
+Fingerprint PostOpcFlow::config_fingerprint() const {
+  FpHasher h;
+  h.str("poc-run-config-v1");
+  hash_sim(h, sim_);
+  hash_sim(h, silicon_sim_);
+  hash_opc_options(h, options_.opc);
+  h.f64(options_.cdx.edge_trim_fraction)
+      .u64(options_.cdx.num_slices)
+      .f64(options_.cdx.reach_factor);
+  h.u64(static_cast<std::uint64_t>(options_.extract_quality));
+  h.i64(options_.ambit_nm);
+  h.u64(options_.seed);
+  h.u64(options_.silicon.enabled ? 1 : 0)
+      .f64(options_.silicon.diffusion_delta_nm)
+      .f64(options_.silicon.threshold_delta)
+      .f64(options_.silicon.focus_bias_nm)
+      .f64(options_.silicon.dose_scale)
+      .f64(options_.silicon.aclv_sigma_nm);
+  // Recovery shapes outcomes (retry counts, degradations), so records from
+  // a differently-contained run must not replay.  threads and cache/journal
+  // knobs are deliberately absent: results are bit-identical across them.
+  h.u64(options_.recovery.enabled ? 1 : 0)
+      .u64(options_.recovery.max_retries)
+      .u64(options_.recovery.escalate_quality ? 1 : 0)
+      .u64(options_.recovery.fallback_to_abbe ? 1 : 0);
+  // Design identity: placement (cell + transform per instance) and the
+  // gate map.  Window geometry itself is hashed per record; this coarse
+  // gate catches a swapped design wholesale.
+  const LayoutDb& layout = design_->layout;
+  h.u64(layout.num_instances());
+  for (std::size_t i = 0; i < layout.num_instances(); ++i) {
+    const Instance& inst = layout.instance(i);
+    h.u64(inst.cell);
+    h.u64(static_cast<std::uint64_t>(inst.transform.orient));
+    h.i64(inst.transform.offset.x).i64(inst.transform.offset.y);
+  }
+  h.u64(design_->netlist.num_gates());
+  for (const std::size_t inst : design_->gate_to_instance) h.u64(inst);
+  // Library characterization feeds the equivalent-gate records.
+  const CharParams& cp = lib_->char_params();
+  hash_mosfet(h, cp.nmos);
+  hash_mosfet(h, cp.pmos);
+  h.f64(cp.cgate_ff_per_um).f64(cp.cdiff_ff_per_um);
+  return h.digest();
+}
+
+RunJournal::Stats PostOpcFlow::journal_stats() const {
+  return journal_ ? journal_->stats() : RunJournal::Stats{};
+}
+
+std::vector<ReplayIssue> PostOpcFlow::journal_issues() const {
+  return journal_ ? journal_->issues() : std::vector<ReplayIssue>{};
+}
+
+Fingerprint PostOpcFlow::opc_record_fp(std::size_t instance,
+                                       OpcMode mode) const {
+  const Instance& inst = design_->layout.instance(instance);
+  const Rect window =
+      inst.transform.apply(design_->layout.cell(inst.cell).boundary)
+          .inflated(options_.ambit_nm);
+  const std::vector<Polygon> targets =
+      design_->layout.flatten_layer_polys(window, Layer::kPoly);
+  FpHasher h;
+  h.str("jopc").u64(instance).u64(static_cast<std::uint64_t>(mode));
+  h.i64(window.xlo).i64(window.ylo).i64(window.xhi).i64(window.yhi);
+  hash_sim(h, sim_);
+  hash_opc_options(h, options_.opc);
+  h.polys(targets, Point{0, 0});
+  return h.digest();
+}
+
+Fingerprint PostOpcFlow::extract_record_fp(const LithoSimulator& sim,
+                                           const Exposure& exposure,
+                                           GateIdx gate) const {
+  const std::size_t instance = design_->gate_to_instance[gate];
+  const Rect window = design_->litho_window(gate, options_.ambit_nm);
+  FpHasher h;
+  h.str("jext").u64(gate).u64(instance);
+  h.i64(window.xlo).i64(window.ylo).i64(window.xhi).i64(window.yhi);
+  hash_sim(h, sim);
+  hash_exposure(h, exposure);
+  h.u64(static_cast<std::uint64_t>(options_.extract_quality));
+  h.f64(options_.cdx.edge_trim_fraction)
+      .u64(options_.cdx.num_slices)
+      .f64(options_.cdx.reach_factor);
+  // The extraction reads the post-OPC mask, so the record dies with it: a
+  // resumed run whose OPC degraded differently can never replay a stale CD.
+  h.rects(mask_for_instance(instance), Point{0, 0});
+  for (const PlacedGate* pg : design_->gates_of(gate)) {
+    h.rect(pg->region, Point{0, 0});
+    h.u64(pg->vertical_poly ? 1 : 0);
+  }
+  return h.digest();
+}
+
+Fingerprint PostOpcFlow::scan_record_fp(
+    std::size_t instance, const std::vector<ProcessCorner>& conditions,
+    const OrcOptions& orc_options) const {
+  const Instance& inst = design_->layout.instance(instance);
+  const Rect window =
+      inst.transform.apply(design_->layout.cell(inst.cell).boundary)
+          .inflated(options_.ambit_nm);
+  const std::vector<Polygon> targets =
+      design_->layout.flatten_layer_polys(window, Layer::kPoly);
+  FpHasher h;
+  h.str("jscan").u64(instance);
+  h.i64(window.xlo).i64(window.ylo).i64(window.xhi).i64(window.yhi);
+  hash_sim(h, silicon_sim_);
+  hash_sim(h, sim_);
+  hash_opc_options(h, options_.opc);
+  hash_orc_options(h, orc_options);
+  h.polys(targets, Point{0, 0});
+  h.rects(mask_for_instance(instance), Point{0, 0});
+  h.u64(conditions.size());
+  for (const ProcessCorner& c : conditions) {
+    h.str(c.name);
+    hash_exposure(h, c.exposure);
+  }
+  return h.digest();
 }
 
 FlowHealth PostOpcFlow::health() const {
@@ -383,18 +718,58 @@ void PostOpcFlow::run_opc_windows(
   // on the calling thread in instance order, so the aggregate is
   // bit-identical whatever the thread count.
   std::vector<OpcStats> per_window(n);
+  const CancelToken* cancel = cancel_token();
+  // Flush on every exit path — including the kCancelled unwind — so a
+  // graceful shutdown leaves each drained window durable on disk.
+  struct JournalFlusher {
+    RunJournal* j;
+    ~JournalFlusher() {
+      if (j != nullptr) j->flush();
+    }
+  } flusher{journal_.get()};
+  // Journal replay/append around the compute: a hit restores the window's
+  // mask/stats/degradation bits; a computed window appends them.  Returns
+  // true when the record replayed cleanly.
+  const auto replay_window = [&](const JournalRecord& rec, std::size_t i) {
+    bool degraded = false;
+    if (!decode_opc_payload(rec.payload, masks_[i], per_window[i], degraded)) {
+      return false;
+    }
+    opc_degraded_[i] = degraded ? 1 : 0;
+    return true;
+  };
+  const auto journal_window = [&](const Fingerprint& fp, std::size_t i,
+                                  const JournalOutcome& outcome) {
+    JournalRecord rec;
+    rec.phase = JournalPhase::kOpc;
+    rec.index = i;
+    rec.fp = fp;
+    rec.outcome = outcome;
+    rec.payload =
+        encode_opc_payload(masks_[i], per_window[i], opc_degraded_[i] != 0);
+    journal_->append(std::move(rec));
+  };
   const RecoveryOptions& rec = options_.recovery;
   if (!rec.enabled) {
     // Fail-fast mode still names its windows for the fault harness, so an
     // injected fault aborts the run instead of being silently skipped —
     // containment is what changes the outcome, not the injection.
     parallel_for(threads(), n, /*chunk=*/1, [&](std::size_t i) {
+      const OpcMode mode = mode_for_instance(i);
+      Fingerprint jfp;
+      if (journal_) {
+        jfp = opc_record_fp(i, mode);
+        if (const JournalRecord* hit = journal_->find(jfp)) {
+          if (replay_window(*hit, i)) return;
+        }
+      }
       fault::Scope scope(fault::Domain::kOpc, i);
       fault::maybe_throw(fault::Kind::kAlloc);
-      OpcWindowResult r = opc_window(i, mode_for_instance(i));
+      OpcWindowResult r = opc_window(i, mode);
       masks_[i] = std::move(r.mask);
       per_window[i] = r.stats;
-    });
+      if (journal_) journal_window(jfp, i, JournalOutcome{});
+    }, cancel);
   } else {
     // Escalated settings shared by every retry attempt: sign-off quality
     // for the draft iterations and the Abbe reference engine when the
@@ -414,6 +789,25 @@ void PostOpcFlow::run_opc_windows(
         threads(), n, /*chunk=*/1,
         [&](std::size_t i) {
           ItemOutcome& oc = outcomes[i];
+          const OpcMode mode = mode_for_instance(i);
+          Fingerprint jfp;
+          if (journal_) {
+            jfp = opc_record_fp(i, mode);
+            if (const JournalRecord* hit = journal_->find(jfp)) {
+              if (replay_window(*hit, i)) {
+                // Reconstruct the containment outcome so health() matches
+                // the uninterrupted run entry for entry.
+                oc.faulted = hit->outcome.faulted;
+                oc.first_error = FlowError{hit->outcome.code, i,
+                                           hit->outcome.origin,
+                                           hit->outcome.message};
+                oc.attempts = hit->outcome.attempts;
+                oc.recovered = hit->outcome.recovered;
+                oc.degraded = hit->outcome.degraded;
+                return;
+              }
+            }
+          }
           fault::Scope scope(fault::Domain::kOpc, i);
           const std::size_t max_attempts = 1 + rec.max_retries;
           for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
@@ -421,13 +815,22 @@ void PostOpcFlow::run_opc_windows(
               fault::maybe_throw(fault::Kind::kAlloc);
               OpcWindowResult r =
                   attempt == 0
-                      ? opc_window(i, mode_for_instance(i))
-                      : opc_window_impl(i, mode_for_instance(i), retry_sim,
+                      ? opc_window(i, mode)
+                      : opc_window_impl(i, mode, retry_sim,
                                         retry_opts, /*use_cache=*/false);
               masks_[i] = std::move(r.mask);
               per_window[i] = r.stats;
               oc.attempts = attempt + 1;
               oc.recovered = attempt > 0;
+              if (journal_) {
+                journal_window(jfp, i,
+                               JournalOutcome{oc.faulted, oc.first_error.code,
+                                              oc.first_error.origin,
+                                              oc.first_error.message,
+                                              static_cast<std::uint32_t>(
+                                                  oc.attempts),
+                                              oc.recovered, false});
+              }
               return;
             } catch (...) {
               if (!oc.faulted) {
@@ -449,8 +852,17 @@ void PostOpcFlow::run_opc_windows(
           per_window[i] = {};
           per_window[i].windows = 1;
           opc_degraded_[i] = 1;
+          if (journal_) {
+            journal_window(jfp, i,
+                           JournalOutcome{oc.faulted, oc.first_error.code,
+                                          oc.first_error.origin,
+                                          oc.first_error.message,
+                                          static_cast<std::uint32_t>(
+                                              oc.attempts),
+                                          false, true});
+          }
         },
-        "flow.opc");
+        "flow.opc", cancel);
     // The containment above absorbs everything, so try_parallel_for only
     // reports bugs in the degrade path itself — still fold them in rather
     // than lose them.
@@ -538,10 +950,35 @@ std::vector<GateExtraction> PostOpcFlow::extract_impl(
   // Per-gate silicon/model litho simulation + CD extraction is the flow's
   // dominant cost; every gate is independent and writes its own slot.
   std::vector<GateExtraction> out(gates.size());
+  const CancelToken* cancel = cancel_token();
+  struct JournalFlusher {
+    RunJournal* j;
+    ~JournalFlusher() {
+      if (j != nullptr) j->flush();
+    }
+  } flusher{journal_.get()};
+  const auto journal_gate = [&](const Fingerprint& fp, GateIdx g,
+                                const GateExtraction& ext,
+                                const JournalOutcome& outcome) {
+    JournalRecord rec;
+    rec.phase = JournalPhase::kExtract;
+    rec.index = g;
+    rec.fp = fp;
+    rec.outcome = outcome;
+    rec.payload = encode_extract_payload(ext);
+    journal_->append(std::move(rec));
+  };
   const RecoveryOptions& rec = options_.recovery;
   if (!rec.enabled) {
     parallel_for(threads(), gates.size(), /*chunk=*/1, [&](std::size_t k) {
       const GateIdx g = gates[k];
+      Fingerprint jfp;
+      if (journal_) {
+        jfp = extract_record_fp(sim, exposure, g);
+        if (const JournalRecord* hit = journal_->find(jfp)) {
+          if (decode_extract_payload(hit->payload, out[k])) return;
+        }
+      }
       fault::Scope scope(fault::Domain::kExtract, g);
       fault::maybe_throw(fault::Kind::kAlloc);
       const std::size_t instance = design_->gate_to_instance[g];
@@ -550,7 +987,8 @@ std::vector<GateExtraction> PostOpcFlow::extract_impl(
           sim, mask_for_instance(instance), window, exposure,
           options_.extract_quality, /*use_cache=*/true);
       out[k] = extract_gate(g, latent, sim.print_threshold());
-    });
+      if (journal_) journal_gate(jfp, g, out[k], JournalOutcome{});
+    }, cancel);
   } else {
     const LithoSimulator retry_sim =
         rec.fallback_to_abbe && sim.imaging().mode == ImagingMode::kSocs
@@ -573,11 +1011,29 @@ std::vector<GateExtraction> PostOpcFlow::extract_impl(
           const std::size_t instance = design_->gate_to_instance[g];
           if (opc_degraded_[instance]) {
             // The instance's OPC window already degraded; its drawn-mask
-            // fallback must not feed CDs into STA.
+            // fallback must not feed CDs into STA.  Cheap enough that it is
+            // recomputed on resume rather than journaled.
             record_degraded_gate(g);
             return;
           }
           ItemOutcome& oc = outcomes[k];
+          Fingerprint jfp;
+          if (journal_) {
+            jfp = extract_record_fp(sim, exposure, g);
+            if (const JournalRecord* hit = journal_->find(jfp)) {
+              if (decode_extract_payload(hit->payload, out[k])) {
+                oc.faulted = hit->outcome.faulted;
+                oc.first_error = FlowError{hit->outcome.code, g,
+                                           hit->outcome.origin,
+                                           hit->outcome.message};
+                oc.attempts = hit->outcome.attempts;
+                oc.recovered = hit->outcome.recovered;
+                oc.degraded = hit->outcome.degraded;
+                if (oc.degraded) record_degraded_gate(g);
+                return;
+              }
+            }
+          }
           fault::Scope scope(fault::Domain::kExtract, g);
           const Rect window = design_->litho_window(g, options_.ambit_nm);
           const std::size_t max_attempts = 1 + rec.max_retries;
@@ -593,6 +1049,15 @@ std::vector<GateExtraction> PostOpcFlow::extract_impl(
               out[k] = extract_gate(g, latent, s.print_threshold());
               oc.attempts = attempt + 1;
               oc.recovered = attempt > 0;
+              if (journal_) {
+                journal_gate(jfp, g, out[k],
+                             JournalOutcome{oc.faulted, oc.first_error.code,
+                                            oc.first_error.origin,
+                                            oc.first_error.message,
+                                            static_cast<std::uint32_t>(
+                                                oc.attempts),
+                                            oc.recovered, false});
+              }
               return;
             } catch (...) {
               if (!oc.faulted) {
@@ -605,8 +1070,17 @@ std::vector<GateExtraction> PostOpcFlow::extract_impl(
           oc.degraded = true;
           out[k].devices.clear();
           record_degraded_gate(g);
+          if (journal_) {
+            journal_gate(jfp, g, out[k],
+                         JournalOutcome{oc.faulted, oc.first_error.code,
+                                        oc.first_error.origin,
+                                        oc.first_error.message,
+                                        static_cast<std::uint32_t>(
+                                            oc.attempts),
+                                        false, true});
+          }
         },
-        "flow.extract");
+        "flow.extract", cancel);
     for (const IndexedError& e : escaped) {
       outcomes[e.index].faulted = true;
       outcomes[e.index].degraded = true;
@@ -863,13 +1337,38 @@ PostOpcFlow::HotspotReport PostOpcFlow::scan_hotspots(
   };
 
   std::vector<HotspotReport> slots(n);
+  const CancelToken* cancel = cancel_token();
+  struct JournalFlusher {
+    RunJournal* j;
+    ~JournalFlusher() {
+      if (j != nullptr) j->flush();
+    }
+  } flusher{journal_.get()};
+  const auto journal_scan = [&](const Fingerprint& fp, std::size_t i,
+                                const JournalOutcome& outcome) {
+    JournalRecord rec;
+    rec.phase = JournalPhase::kScan;
+    rec.index = i;
+    rec.fp = fp;
+    rec.outcome = outcome;
+    rec.payload = encode_scan_payload(slots[i]);
+    journal_->append(std::move(rec));
+  };
   const RecoveryOptions& rec = options_.recovery;
   if (!rec.enabled) {
     parallel_for(threads(), n, /*chunk=*/1, [&](std::size_t i) {
+      Fingerprint jfp;
+      if (journal_) {
+        jfp = scan_record_fp(i, conditions, orc_options);
+        if (const JournalRecord* hit = journal_->find(jfp)) {
+          if (decode_scan_payload(hit->payload, slots[i])) return;
+        }
+      }
       fault::Scope scope(fault::Domain::kScan, i);
       fault::maybe_throw(fault::Kind::kAlloc);
       slots[i] = scan_window(i, true);
-    });
+      if (journal_) journal_scan(jfp, i, JournalOutcome{});
+    }, cancel);
   } else {
     std::vector<ItemOutcome> outcomes(n);
     std::vector<std::uint64_t> indices(n);
@@ -878,6 +1377,22 @@ PostOpcFlow::HotspotReport PostOpcFlow::scan_hotspots(
         threads(), n, /*chunk=*/1,
         [&](std::size_t i) {
           ItemOutcome& oc = outcomes[i];
+          Fingerprint jfp;
+          if (journal_) {
+            jfp = scan_record_fp(i, conditions, orc_options);
+            if (const JournalRecord* hit = journal_->find(jfp)) {
+              if (decode_scan_payload(hit->payload, slots[i])) {
+                oc.faulted = hit->outcome.faulted;
+                oc.first_error = FlowError{hit->outcome.code, i,
+                                           hit->outcome.origin,
+                                           hit->outcome.message};
+                oc.attempts = hit->outcome.attempts;
+                oc.recovered = hit->outcome.recovered;
+                oc.degraded = hit->outcome.degraded;
+                return;
+              }
+            }
+          }
           fault::Scope scope(fault::Domain::kScan, i);
           const std::size_t max_attempts = 1 + rec.max_retries;
           for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
@@ -886,6 +1401,15 @@ PostOpcFlow::HotspotReport PostOpcFlow::scan_hotspots(
               slots[i] = scan_window(i, /*use_cache=*/attempt == 0);
               oc.attempts = attempt + 1;
               oc.recovered = attempt > 0;
+              if (journal_) {
+                journal_scan(jfp, i,
+                             JournalOutcome{oc.faulted, oc.first_error.code,
+                                            oc.first_error.origin,
+                                            oc.first_error.message,
+                                            static_cast<std::uint32_t>(
+                                                oc.attempts),
+                                            oc.recovered, false});
+              }
               return;
             } catch (...) {
               if (!oc.faulted) {
@@ -899,8 +1423,17 @@ PostOpcFlow::HotspotReport PostOpcFlow::scan_hotspots(
           // timing, not for ORC — the fault record is the signal).
           oc.degraded = true;
           slots[i] = {};
+          if (journal_) {
+            journal_scan(jfp, i,
+                         JournalOutcome{oc.faulted, oc.first_error.code,
+                                        oc.first_error.origin,
+                                        oc.first_error.message,
+                                        static_cast<std::uint32_t>(
+                                            oc.attempts),
+                                        false, true});
+          }
         },
-        "flow.scan");
+        "flow.scan", cancel);
     for (const IndexedError& e : escaped) {
       outcomes[e.index].faulted = true;
       outcomes[e.index].degraded = true;

@@ -24,11 +24,14 @@
 #include "src/opc/opc_engine.h"
 #include "src/opc/orc.h"
 #include "src/pnr/design.h"
+#include "src/run/journal.h"
 #include "src/sta/paths.h"
 #include "src/sta/sta.h"
 #include "src/var/variation.h"
 
 namespace poc {
+
+class CancelToken;
 
 enum class OpcMode { kNone, kRuleBased, kModelBased };
 
@@ -135,6 +138,22 @@ struct FlowOptions {
   SiliconMismatch silicon;
   CacheOptions cache;
   RecoveryOptions recovery;
+  /// Write-ahead run journal (src/run): when enabled, every completed
+  /// window of the three hot loops is appended — content fingerprint,
+  /// serialized result bits, containment outcome — and a restarted flow
+  /// with the same config replays completed windows instead of recomputing
+  /// them.  Records from a different flow config (imaging mode, OPC knobs,
+  /// seed, ...) are rejected at replay via the config fingerprint; the
+  /// thread count is deliberately NOT part of that fingerprint, so a run
+  /// may resume at any thread count.  See "Durable runs & resume" in
+  /// DESIGN.md.
+  JournalOptions journal;
+  /// Cooperative cancellation token polled by the hot loops at chunk
+  /// boundaries.  Null routes to global_cancel_token() — the one the
+  /// SIGINT/SIGTERM bridge (ScopedGracefulShutdown) trips.  On
+  /// cancellation, in-flight windows drain and are journaled, the journal
+  /// is flushed, and the loop raises FlowException(kCancelled).
+  const CancelToken* cancel = nullptr;
   /// Threads for the window-shaped hot loops (OPC, extraction, hotspot
   /// scan, Monte Carlo).  0 = hardware concurrency; 1 = serial.  Results
   /// are bit-identical for every value — see the determinism contract in
@@ -307,6 +326,22 @@ class PostOpcFlow {
   };
   FlowCacheCounters cache_counters() const;
 
+  /// Fingerprint of everything that makes journal records replayable into
+  /// this flow: both simulators, OPC/CD-extraction/recovery knobs, seed,
+  /// silicon mismatch, design placement and library characterization —
+  /// but NOT the thread count (resume is thread-independent) and NOT the
+  /// cache/journal knobs (pure performance).  Stamped into every journal
+  /// segment header and validated at replay.
+  Fingerprint config_fingerprint() const;
+
+  /// Journal counters for this run (all zero when journaling is off):
+  /// records replayed vs appended, rejects, fsyncs.
+  RunJournal::Stats journal_stats() const;
+  /// Records/segments rejected during journal replay (empty when the
+  /// journal is off or replay was clean).  Mirrored into health() as
+  /// phase "journal" faults.
+  std::vector<ReplayIssue> journal_issues() const;
+
  private:
   /// One instance's OPC window, computed without touching shared state so
   /// windows can run concurrently; run_opc merges the stats in instance
@@ -356,6 +391,19 @@ class PostOpcFlow {
                        const std::vector<std::uint64_t>& indices) const;
   void record_degraded_gate(GateIdx gate) const;
 
+  /// Effective cancellation token for the hot loops (options().cancel, or
+  /// the process-global token when unset and journaling wants one).
+  const CancelToken* cancel_token() const;
+  /// Per-window journal record identities.  Each covers everything the
+  /// window's result depends on (and its index), so a replayed record is
+  /// bit-equal to a recompute or it does not match at all.
+  Fingerprint opc_record_fp(std::size_t instance, OpcMode mode) const;
+  Fingerprint extract_record_fp(const LithoSimulator& sim,
+                                const Exposure& exposure, GateIdx gate) const;
+  Fingerprint scan_record_fp(std::size_t instance,
+                             const std::vector<ProcessCorner>& conditions,
+                             const OrcOptions& orc_options) const;
+
   const PlacedDesign* design_;
   const StdCellLibrary* lib_;
   LithoSimulator sim_;          ///< the model OPC converges against
@@ -385,6 +433,12 @@ class PostOpcFlow {
   /// always sound.
   struct WindowCaches;
   std::shared_ptr<WindowCaches> caches_;
+
+  /// Write-ahead run journal (see JournalOptions); null when disabled or
+  /// when opening it failed (the failure is recorded in health, and the
+  /// run proceeds undurable).  shared_ptr for the same copyability reason
+  /// as the caches; appends are internally synchronized.
+  std::shared_ptr<RunJournal> journal_;
 };
 
 }  // namespace poc

@@ -7,7 +7,21 @@ namespace {
 
 thread_local bool t_on_worker_thread = false;
 
+/// The cancellation exception every cancelled loop raises — same code and
+/// origin whatever the thread count or kill timing, so callers can match
+/// on FaultCode::kCancelled alone.
+[[noreturn]] void throw_cancelled() {
+  throw FlowException(FlowError{FaultCode::kCancelled, kNoWindowId,
+                                "par.cancel",
+                                "cancelled at chunk boundary"});
+}
+
 }  // namespace
+
+CancelToken& global_cancel_token() {
+  static CancelToken token;
+  return token;
+}
 
 ThreadPool::ThreadPool(std::size_t workers) {
   threads_.reserve(workers);
@@ -54,6 +68,10 @@ void ThreadPool::run_chunks(Batch& batch, std::size_t home_queue) {
   const std::size_t num_queues = batch.queues.size();
   std::size_t completed = 0;
   while (true) {
+    // Cancellation is honoured at chunk boundaries only: chunks already
+    // running elsewhere drain normally; chunks claimed from here on are
+    // discarded (still counted, so the batch terminates promptly).
+    const bool cancelled = batch.cancel != nullptr && batch.cancel->cancelled();
     std::size_t chunk_index = batch.num_chunks;  // sentinel: none found
     // Own queue first (front), then steal from the back of the others.
     for (std::size_t probe = 0; probe < num_queues; ++probe) {
@@ -71,6 +89,11 @@ void ThreadPool::run_chunks(Batch& batch, std::size_t home_queue) {
       break;
     }
     if (chunk_index == batch.num_chunks) break;  // nothing left to claim
+    if (cancelled) {
+      batch.chunks_skipped.fetch_add(1, std::memory_order_relaxed);
+      ++completed;
+      continue;
+    }
 
     const std::size_t first = chunk_index * batch.chunk;
     const std::size_t last = std::min(first + batch.chunk, batch.n);
@@ -92,9 +115,31 @@ void ThreadPool::run_chunks(Batch& batch, std::size_t home_queue) {
   }
 }
 
+namespace {
+
+/// Serial loop with the same chunk-boundary cancellation contract as the
+/// pooled path: poll before each chunk, drain nothing (there is nothing in
+/// flight), throw kCancelled when items were left unrun.
+void serial_for_cancellable(std::size_t n, std::size_t chunk,
+                            const std::function<void(std::size_t)>& fn,
+                            const CancelToken* cancel) {
+  if (cancel == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  for (std::size_t first = 0; first < n; first += chunk) {
+    if (cancel->cancelled()) throw_cancelled();
+    const std::size_t last = std::min(first + chunk, n);
+    for (std::size_t i = first; i < last; ++i) fn(i);
+  }
+}
+
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
                               const std::function<void(std::size_t)>& fn,
-                              std::size_t max_threads) {
+                              std::size_t max_threads,
+                              const CancelToken* cancel) {
   POC_EXPECTS(chunk >= 1);
   if (n == 0) return;
   const std::size_t num_chunks = (n + chunk - 1) / chunk;
@@ -103,7 +148,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
   participants = std::min(participants, num_chunks);
   if (participants <= 1) {
     // Serial fast path: same call sequence a 1-thread batch would make.
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    serial_for_cancellable(n, chunk, fn, cancel);
     return;
   }
 
@@ -112,6 +157,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
   batch->chunk = chunk;
   batch->num_chunks = num_chunks;
   batch->fn = &fn;
+  batch->cancel = cancel;
   batch->queues = std::vector<Batch::Queue>(workers() + 1);
   batch->max_extra_workers = participants - 1;
   batch->chunks_remaining = num_chunks;
@@ -140,6 +186,9 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
     batch_.reset();
   }
   if (batch->error) std::rethrow_exception(batch->error);
+  if (batch->chunks_skipped.load(std::memory_order_relaxed) > 0) {
+    throw_cancelled();
+  }
 }
 
 std::size_t resolve_threads(std::size_t requested) {
@@ -154,23 +203,27 @@ ThreadPool& global_pool() {
 }
 
 void parallel_for(std::size_t threads, std::size_t n, std::size_t chunk,
-                  const std::function<void(std::size_t)>& fn) {
+                  const std::function<void(std::size_t)>& fn,
+                  const CancelToken* cancel) {
   POC_EXPECTS(chunk >= 1);
   threads = resolve_threads(threads);
   if (threads <= 1 || n <= 1 || ThreadPool::on_worker_thread()) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    serial_for_cancellable(n, chunk, fn, cancel);
     return;
   }
-  global_pool().parallel_for(n, chunk, fn, threads);
+  global_pool().parallel_for(n, chunk, fn, threads, cancel);
 }
 
 std::vector<IndexedError> try_parallel_for(
     std::size_t threads, std::size_t n, std::size_t chunk,
-    const std::function<void(std::size_t)>& fn, std::string_view origin) {
+    const std::function<void(std::size_t)>& fn, std::string_view origin,
+    const CancelToken* cancel) {
   std::mutex mutex;
   std::vector<IndexedError> errors;
   // The wrapper absorbs every throw at item granularity, so from the
   // pool's point of view no chunk ever fails and all items run.
+  // Cancellation is raised by the loop itself, never by an item, so it
+  // passes through uncaptured.
   const std::function<void(std::size_t)> guarded = [&](std::size_t i) {
     try {
       fn(i);
@@ -180,7 +233,7 @@ std::vector<IndexedError> try_parallel_for(
       errors.push_back({i, std::move(err)});
     }
   };
-  parallel_for(threads, n, chunk, guarded);
+  parallel_for(threads, n, chunk, guarded, cancel);
   std::sort(errors.begin(), errors.end(),
             [](const IndexedError& a, const IndexedError& b) {
               return a.index < b.index;

@@ -41,6 +41,31 @@
 
 namespace poc {
 
+/// Cooperative cancellation flag for the window loops.  Checked by
+/// parallel_for / try_parallel_for at chunk boundaries only: a set token
+/// stops new chunks from being claimed, every in-flight window finishes
+/// (so its result can still be journaled), and the loop then raises
+/// FlowException(kCancelled).  request_cancel() is a single relaxed atomic
+/// store — async-signal-safe, so a SIGINT/SIGTERM handler may call it
+/// directly (see ScopedGracefulShutdown in src/run/shutdown.h).
+class CancelToken {
+ public:
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Process-wide token the signal handlers target.  Loops that pass no
+/// explicit token are not affected by it — cancellation is opt-in per call.
+CancelToken& global_cancel_token();
+
 /// Work-stealing pool of `workers` persistent threads.  The thread calling
 /// parallel_for always participates, so a pool with W workers runs batches
 /// on up to W + 1 threads.  A pool with 0 workers degrades to serial
@@ -62,10 +87,15 @@ class ThreadPool {
   /// throws, the remaining items of that chunk are skipped, every other
   /// chunk still runs, and the exception from the lowest-indexed throwing
   /// chunk is rethrown on the caller — deterministically, whatever the
-  /// thread count.
+  /// thread count.  A non-null `cancel` token is polled before each chunk
+  /// claim: once set, unclaimed chunks are abandoned (in-flight chunks
+  /// finish) and FlowException(kCancelled) is thrown after the drain, but
+  /// only if work was actually skipped — a token set after the last chunk
+  /// completed changes nothing.
   void parallel_for(std::size_t n, std::size_t chunk,
                     const std::function<void(std::size_t)>& fn,
-                    std::size_t max_threads = 0);
+                    std::size_t max_threads = 0,
+                    const CancelToken* cancel = nullptr);
 
   /// True when the current thread is a pool worker (any pool's).  Nested
   /// parallel_for calls from inside a worker run serially inline — see
@@ -97,6 +127,11 @@ class ThreadPool {
     std::mutex error_mutex;
     std::exception_ptr error;
     std::size_t error_chunk = 0;
+
+    /// Cooperative cancellation: polled before each chunk claim; a claimed
+    /// chunk after cancellation is discarded, not run.
+    const CancelToken* cancel = nullptr;
+    std::atomic<std::size_t> chunks_skipped{0};
   };
 
   void worker_loop(std::size_t queue_index);
@@ -128,9 +163,13 @@ ThreadPool& global_pool();
 /// OS threads (after resolve_threads).  threads <= 1, n <= 1, or a call
 /// from inside a pool worker (nested submission) runs serially inline on
 /// the caller — bit-identical by construction, and deadlock-free under
-/// nesting.  `chunk` must be >= 1.
+/// nesting.  `chunk` must be >= 1.  A non-null `cancel` token makes the
+/// loop cooperative: it is checked at chunk boundaries (in the serial path
+/// too), in-flight chunks drain, and FlowException(kCancelled) is thrown
+/// when any item was left unrun.
 void parallel_for(std::size_t threads, std::size_t n, std::size_t chunk,
-                  const std::function<void(std::size_t)>& fn);
+                  const std::function<void(std::size_t)>& fn,
+                  const CancelToken* cancel = nullptr);
 
 /// One captured per-item failure from try_parallel_for.
 struct IndexedError {
@@ -144,9 +183,12 @@ struct IndexedError {
 /// unwinding — so a bad item never aborts the rest of its chunk, and
 /// *every* failing index is reported, not just the lowest.  Returns the
 /// failures sorted by index: bit-identical at any thread count.
+/// Cancellation (see parallel_for) is NOT absorbed per item — a cancelled
+/// loop still throws FlowException(kCancelled) after draining.
 std::vector<IndexedError> try_parallel_for(
     std::size_t threads, std::size_t n, std::size_t chunk,
-    const std::function<void(std::size_t)>& fn, std::string_view origin = {});
+    const std::function<void(std::size_t)>& fn, std::string_view origin = {},
+    const CancelToken* cancel = nullptr);
 
 /// Deterministic map/reduce: materializes map(i) into per-item slots in
 /// parallel, then folds acc = reduce(move(acc), move(slot[i])) on the

@@ -1,0 +1,481 @@
+#include "src/run/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "src/common/serialize.h"
+
+namespace poc {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Segment header: magic "POCJRNL1" (little-endian u64), format version,
+// reserved word, the flow config fingerprint, and a CRC over the preceding
+// fields.  32 payload bytes + 8 CRC bytes.
+constexpr std::uint64_t kSegmentMagic = 0x314C4E524A434F50ULL;  // "POCJRNL1"
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderBytes = 40;
+
+// Record frame: marker "PRC1" (u32), body length (u32), body, crc64(body).
+constexpr std::uint32_t kRecordMarker = 0x31435250U;  // "PRC1"
+constexpr std::size_t kFrameBytes = 4 + 4 + 8;        // marker + len + crc
+
+std::string segment_name(std::uint64_t seq, bool active) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "journal-%06llu.%s",
+                static_cast<unsigned long long>(seq),
+                active ? "open" : "seg");
+  return buf;
+}
+
+/// Sequence number parsed from a journal file name, or 0 when the name is
+/// not a journal segment.
+std::uint64_t parse_seq(const std::string& name, bool* active) {
+  const bool is_seg = name.size() == 18 && name.rfind(".seg") == 14;
+  const bool is_open = name.size() == 19 && name.rfind(".open") == 14;
+  if (name.rfind("journal-", 0) != 0 || (!is_seg && !is_open)) return 0;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 8; i < 14; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    seq = seq * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  if (active != nullptr) *active = is_open;
+  return seq;
+}
+
+void encode_record(const JournalRecord& rec, ByteWriter& out) {
+  ByteWriter body;
+  body.u8(static_cast<std::uint8_t>(rec.phase));
+  body.u8(rec.outcome.faulted ? 1 : 0);
+  body.u8(rec.outcome.recovered ? 1 : 0);
+  body.u8(rec.outcome.degraded ? 1 : 0);
+  body.u8(static_cast<std::uint8_t>(rec.outcome.code));
+  body.u32(rec.outcome.attempts);
+  body.u64(rec.index);
+  body.u64(rec.fp.hi);
+  body.u64(rec.fp.lo);
+  body.str(rec.outcome.origin);
+  body.str(rec.outcome.message);
+  body.str(std::string_view(reinterpret_cast<const char*>(rec.payload.data()),
+                            rec.payload.size()));
+  out.u32(kRecordMarker);
+  out.u32(static_cast<std::uint32_t>(body.size()));
+  out.bytes(body.data().data(), body.size());
+  out.u64(crc64(body.data()));
+}
+
+bool decode_record_body(const std::uint8_t* data, std::size_t size,
+                        JournalRecord& rec) {
+  ByteReader r(data, size);
+  rec.phase = static_cast<JournalPhase>(r.u8());
+  rec.outcome.faulted = r.u8() != 0;
+  rec.outcome.recovered = r.u8() != 0;
+  rec.outcome.degraded = r.u8() != 0;
+  rec.outcome.code = static_cast<FaultCode>(r.u8());
+  rec.outcome.attempts = r.u32();
+  rec.index = r.u64();
+  rec.fp.hi = r.u64();
+  rec.fp.lo = r.u64();
+  rec.outcome.origin = r.str();
+  rec.outcome.message = r.str();
+  const std::string payload = r.str();
+  rec.payload.assign(payload.begin(), payload.end());
+  return r.done();
+}
+
+[[noreturn]] void throw_journal_io(const std::string& what) {
+  throw FlowException(
+      FlowError{FaultCode::kJournalIo, kNoWindowId, "journal.open", what});
+}
+
+/// Best-effort fsync of the directory containing `path`, so a rename or
+/// file creation inside it survives a crash.  Failure is non-fatal: some
+/// filesystems refuse directory fsync.
+void sync_directory(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+const char* journal_phase_name(JournalPhase phase) {
+  switch (phase) {
+    case JournalPhase::kOpc:
+      return "opc";
+    case JournalPhase::kExtract:
+      return "extract";
+    case JournalPhase::kScan:
+      return "scan";
+  }
+  return "invalid";
+}
+
+RunJournal::RunJournal(const JournalOptions& options, Fingerprint config_fp)
+    : options_(options), config_fp_(config_fp) {
+  if (options_.flush_every_records == 0) options_.flush_every_records = 1;
+  if (const char* env = std::getenv("POC_JOURNAL_KILL_AFTER")) {
+    options_.kill_after_appends =
+        static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+
+  std::error_code ec;
+  fs::create_directories(options_.path, ec);
+  if (ec) {
+    throw_journal_io("cannot create journal directory " + options_.path +
+                     ": " + ec.message());
+  }
+
+  // Replay existing segments in sequence order; the previous run's active
+  // segment (at most one) is replayed last and sealed afterwards.
+  std::vector<std::pair<std::uint64_t, std::string>> sealed;
+  std::string active;
+  std::uint64_t active_seq = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(options_.path, ec)) {
+    bool is_active = false;
+    const std::string name = entry.path().filename().string();
+    const std::uint64_t seq = parse_seq(name, &is_active);
+    if (seq == 0) continue;
+    next_seq_ = std::max(next_seq_, seq + 1);
+    if (is_active) {
+      // Two .open files would mean a previous seal was interrupted between
+      // creating the new segment and renaming the old one; replay both,
+      // seal both.
+      if (!active.empty()) sealed.emplace_back(active_seq, active);
+      active = name;
+      active_seq = seq;
+    } else {
+      sealed.emplace_back(seq, name);
+    }
+  }
+  std::sort(sealed.begin(), sealed.end());
+  for (const auto& [seq, name] : sealed) {
+    (void)seq;
+    load_segment(name, /*active=*/false);
+  }
+  if (!active.empty()) load_segment(active, /*active=*/true);
+  stats_.segments = sealed.size() + (active.empty() ? 0 : 1);
+
+  open_active_segment();
+}
+
+RunJournal::~RunJournal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    write_buffer_locked(/*sync=*/true);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void RunJournal::load_segment(const std::string& name, bool active) {
+  const std::string path = options_.path + "/" + name;
+
+  // Read the whole segment: journal segments are bounded by segment_bytes
+  // and replay happens once per run.
+  std::vector<std::uint8_t> bytes;
+  {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      issues_.push_back({FaultCode::kJournalIo, name, 0,
+                         std::string("cannot open segment: ") +
+                             std::strerror(errno)});
+      return;
+    }
+    std::uint8_t chunk[1 << 16];
+    ssize_t got;
+    while ((got = ::read(fd, chunk, sizeof chunk)) > 0) {
+      bytes.insert(bytes.end(), chunk, chunk + got);
+    }
+    ::close(fd);
+    if (got < 0) {
+      issues_.push_back({FaultCode::kJournalIo, name, 0,
+                         std::string("cannot read segment: ") +
+                             std::strerror(errno)});
+      return;
+    }
+  }
+
+  // Header: reject the whole segment when the magic/version/CRC or the
+  // config fingerprint does not match — records produced under different
+  // flow options must never be replayed into this run.
+  bool config_ok = false;
+  std::size_t valid_end = 0;
+  if (bytes.size() < kHeaderBytes) {
+    issues_.push_back({FaultCode::kJournalMismatch, name, 0,
+                       "segment shorter than its header"});
+    ++stats_.rejected_records;
+  } else {
+    ByteReader h(bytes.data(), kHeaderBytes);
+    const std::uint64_t magic = h.u64();
+    const std::uint32_t version = h.u32();
+    h.u32();  // reserved
+    Fingerprint fp;
+    fp.hi = h.u64();
+    fp.lo = h.u64();
+    const std::uint64_t stored_crc = h.u64();
+    const std::uint64_t actual_crc = crc64(bytes.data(), kHeaderBytes - 8);
+    if (magic != kSegmentMagic || version != kFormatVersion ||
+        stored_crc != actual_crc) {
+      issues_.push_back({FaultCode::kJournalMismatch, name, 0,
+                         "bad segment header (magic/version/checksum)"});
+      ++stats_.rejected_records;
+    } else if (fp != config_fp_) {
+      issues_.push_back(
+          {FaultCode::kJournalMismatch, name, 0,
+           "config fingerprint mismatch: segment was written under "
+           "different flow options"});
+      ++stats_.rejected_records;
+    } else {
+      config_ok = true;
+      valid_end = kHeaderBytes;
+    }
+  }
+
+  if (config_ok) {
+    std::size_t pos = kHeaderBytes;
+    while (pos < bytes.size()) {
+      if (bytes.size() - pos < kFrameBytes) {
+        issues_.push_back({FaultCode::kJournalMismatch, name, pos,
+                           "truncated record tail (partial frame)"});
+        ++stats_.rejected_records;
+        break;
+      }
+      ByteReader frame(bytes.data() + pos, bytes.size() - pos);
+      const std::uint32_t marker = frame.u32();
+      const std::uint32_t body_len = frame.u32();
+      if (marker != kRecordMarker) {
+        issues_.push_back({FaultCode::kJournalMismatch, name, pos,
+                           "bad record marker; stopping replay of segment"});
+        ++stats_.rejected_records;
+        break;
+      }
+      if (frame.remaining() < static_cast<std::size_t>(body_len) + 8) {
+        issues_.push_back({FaultCode::kJournalMismatch, name, pos,
+                           "truncated record tail (body cut short)"});
+        ++stats_.rejected_records;
+        break;
+      }
+      const std::uint8_t* body = bytes.data() + pos + 8;
+      const std::uint64_t actual_crc = crc64(body, body_len);
+      std::uint64_t stored_crc;
+      std::memcpy(&stored_crc, body + body_len, sizeof stored_crc);
+      const std::size_t record_end = pos + kFrameBytes + body_len;
+      if (stored_crc != actual_crc) {
+        // A flipped bit inside one record: reject it, keep replaying the
+        // rest — the frame length still delimits the record.
+        issues_.push_back({FaultCode::kJournalMismatch, name, pos,
+                           "record checksum mismatch"});
+        ++stats_.rejected_records;
+        pos = record_end;
+        continue;
+      }
+      JournalRecord rec;
+      if (!decode_record_body(body, body_len, rec)) {
+        issues_.push_back({FaultCode::kJournalMismatch, name, pos,
+                           "record body failed to decode"});
+        ++stats_.rejected_records;
+        pos = record_end;
+        continue;
+      }
+      valid_end = record_end;
+      pos = record_end;
+      if (loaded_.emplace(rec.fp, std::move(rec)).second) {
+        ++stats_.loaded_records;
+      }
+    }
+  }
+
+  if (!active) return;
+
+  // Seal the previous run's active segment: drop any torn tail past the
+  // last valid record, then atomically rename .open -> .seg.  A crash
+  // between truncate and rename just repeats this step on the next open.
+  if (config_ok && valid_end < bytes.size()) {
+    if (::truncate(path.c_str(), static_cast<off_t>(valid_end)) != 0) {
+      issues_.push_back({FaultCode::kJournalIo, name, valid_end,
+                         std::string("cannot truncate torn tail: ") +
+                             std::strerror(errno)});
+      return;  // keep the file as-is; replay already skipped the tail
+    }
+  }
+  std::string sealed_name = name;
+  sealed_name.replace(sealed_name.size() - 5, 5, ".seg");
+  const std::string sealed_path = options_.path + "/" + sealed_name;
+  if (::rename(path.c_str(), sealed_path.c_str()) != 0) {
+    issues_.push_back({FaultCode::kJournalIo, name, 0,
+                       std::string("cannot seal segment: ") +
+                           std::strerror(errno)});
+    return;
+  }
+  sync_directory(options_.path);
+}
+
+void RunJournal::open_active_segment() {
+  active_file_ = options_.path + "/" + segment_name(next_seq_, /*active=*/true);
+  ++next_seq_;
+  fd_ = ::open(active_file_.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd_ < 0) {
+    throw_journal_io("cannot create active segment " + active_file_ + ": " +
+                     std::strerror(errno));
+  }
+  ByteWriter header;
+  header.u64(kSegmentMagic);
+  header.u32(kFormatVersion);
+  header.u32(0);  // reserved
+  header.u64(config_fp_.hi);
+  header.u64(config_fp_.lo);
+  header.u64(crc64(header.data()));
+  buffer_ = header.take();
+  active_bytes_ = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    write_buffer_locked(/*sync=*/true);
+    if (inert_) {
+      throw_journal_io("cannot write segment header to " + active_file_);
+    }
+  }
+  sync_directory(options_.path);
+  ++stats_.segments;
+}
+
+const JournalRecord* RunJournal::find(const Fingerprint& fp) {
+  const auto it = loaded_.find(fp);
+  if (it == loaded_.end()) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.replayed_hits;
+  }
+  return &it->second;
+}
+
+bool RunJournal::append(JournalRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (inert_ || fd_ < 0) return false;
+  if (loaded_.count(record.fp) != 0 || !appended_.emplace(record.fp, true).second) {
+    return false;  // already durable (replayed or appended this run)
+  }
+
+  ByteWriter out;
+  encode_record(record, out);
+  const std::vector<std::uint8_t>& encoded = out.data();
+  buffer_.insert(buffer_.end(), encoded.begin(), encoded.end());
+  ++buffered_records_;
+  ++stats_.appended_records;
+
+  const bool kill_now = options_.kill_after_appends != 0 &&
+                        stats_.appended_records >= options_.kill_after_appends;
+  if (buffered_records_ >= options_.flush_every_records || kill_now) {
+    write_buffer_locked(/*sync=*/true);
+  }
+  if (kill_now) {
+    // Deterministic crash hook: every appended record is durable, the
+    // process dies at an exact window boundary.  SIGKILL on purpose — no
+    // unwinding, no flush-at-exit, exactly what a kill -9 or OOM does.
+    ::raise(SIGKILL);
+  }
+
+  if (active_bytes_ >= options_.segment_bytes) seal_active_locked();
+  return !inert_;
+}
+
+void RunJournal::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  write_buffer_locked(/*sync=*/true);
+}
+
+void RunJournal::seal_active_locked() {
+  write_buffer_locked(/*sync=*/true);
+  if (inert_) return;
+  ::close(fd_);
+  fd_ = -1;
+  std::string sealed = active_file_;
+  sealed.replace(sealed.size() - 5, 5, ".seg");
+  if (::rename(active_file_.c_str(), sealed.c_str()) != 0) {
+    io_failure_locked(std::string("cannot seal full segment: ") +
+                      std::strerror(errno));
+    return;
+  }
+  sync_directory(options_.path);
+
+  active_file_ = options_.path + "/" + segment_name(next_seq_, /*active=*/true);
+  ++next_seq_;
+  fd_ = ::open(active_file_.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd_ < 0) {
+    io_failure_locked("cannot create next segment " + active_file_ + ": " +
+                      std::strerror(errno));
+    return;
+  }
+  ByteWriter header;
+  header.u64(kSegmentMagic);
+  header.u32(kFormatVersion);
+  header.u32(0);  // reserved
+  header.u64(config_fp_.hi);
+  header.u64(config_fp_.lo);
+  header.u64(crc64(header.data()));
+  buffer_ = header.take();
+  active_bytes_ = 0;
+  write_buffer_locked(/*sync=*/true);
+  sync_directory(options_.path);
+  ++stats_.segments;
+}
+
+void RunJournal::write_buffer_locked(bool sync) {
+  if (inert_ || fd_ < 0 || buffer_.empty()) {
+    buffered_records_ = 0;
+    return;
+  }
+  const std::uint8_t* p = buffer_.data();
+  std::size_t left = buffer_.size();
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd_, p, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      io_failure_locked(std::string("write failed: ") + std::strerror(errno));
+      return;
+    }
+    p += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  active_bytes_ += buffer_.size();
+  buffer_.clear();
+  buffered_records_ = 0;
+  if (sync) {
+    if (::fsync(fd_) != 0) {
+      io_failure_locked(std::string("fsync failed: ") + std::strerror(errno));
+      return;
+    }
+    ++stats_.fsyncs;
+  }
+}
+
+void RunJournal::io_failure_locked(const std::string& what) {
+  // Journaling must never corrupt a run: park the journal, surface the
+  // failure through issues(), let the flow finish undurable.
+  inert_ = true;
+  issues_.push_back({FaultCode::kJournalIo, active_file_, active_bytes_, what});
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+RunJournal::Stats RunJournal::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace poc

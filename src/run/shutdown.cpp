@@ -1,0 +1,62 @@
+#include "src/run/shutdown.h"
+
+#include <csignal>
+
+#include "src/common/check.h"
+#include "src/par/thread_pool.h"
+
+namespace poc {
+namespace {
+
+// Handler state.  Plain (lock-free) atomics only: everything the handler
+// touches must be async-signal-safe.
+std::sig_atomic_t g_last_signal = 0;
+CancelToken* g_token = nullptr;  ///< written before handlers are installed
+
+struct sigaction g_old_int;
+struct sigaction g_old_term;
+bool g_installed = false;
+
+extern "C" void on_shutdown_signal(int sig) {
+  if (g_token != nullptr) {
+    if (g_token->cancelled()) {
+      // Second signal: the user is done waiting for the drain.  Restore
+      // the default disposition and re-raise so the process dies with the
+      // conventional signal exit status.
+      std::signal(sig, SIG_DFL);
+      std::raise(sig);
+      return;
+    }
+    g_token->request_cancel();
+  }
+  g_last_signal = sig;
+}
+
+}  // namespace
+
+ScopedGracefulShutdown::ScopedGracefulShutdown(CancelToken* token) {
+  POC_EXPECTS(!g_installed);  // one bridge at a time; nesting is a bug
+  g_token = token != nullptr ? token : &global_cancel_token();
+  g_last_signal = 0;
+
+  struct sigaction sa;
+  sa.sa_handler = on_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: let blocking syscalls see the signal
+  sigaction(SIGINT, &sa, &g_old_int);
+  sigaction(SIGTERM, &sa, &g_old_term);
+  g_installed = true;
+}
+
+ScopedGracefulShutdown::~ScopedGracefulShutdown() {
+  sigaction(SIGINT, &g_old_int, nullptr);
+  sigaction(SIGTERM, &g_old_term, nullptr);
+  g_installed = false;
+  g_token = nullptr;
+}
+
+int ScopedGracefulShutdown::last_signal() {
+  return static_cast<int>(g_last_signal);
+}
+
+}  // namespace poc

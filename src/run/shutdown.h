@@ -1,0 +1,31 @@
+// Graceful shutdown for journaled full-chip runs.  Installing a
+// ScopedGracefulShutdown routes SIGINT/SIGTERM to the process-wide
+// CancelToken (src/par): the parallel window loops stop claiming chunks,
+// in-flight windows drain and journal their results, the flow flushes the
+// journal, and the run exits with FlowException(kCancelled) — resumable
+// from exactly where it stopped.  The handler is async-signal-safe: it
+// performs one relaxed atomic store and records the signal number.
+#pragma once
+
+namespace poc {
+
+class CancelToken;
+
+/// RAII installer for the SIGINT/SIGTERM -> cancel-token bridge.  The
+/// previous handlers are restored on destruction.  A second signal while
+/// cancellation is already draining re-raises the default disposition, so
+/// a double Ctrl-C still kills a wedged process the traditional way.
+class ScopedGracefulShutdown {
+ public:
+  /// Routes signals to `token`, or to global_cancel_token() when null.
+  explicit ScopedGracefulShutdown(CancelToken* token = nullptr);
+  ~ScopedGracefulShutdown();
+
+  ScopedGracefulShutdown(const ScopedGracefulShutdown&) = delete;
+  ScopedGracefulShutdown& operator=(const ScopedGracefulShutdown&) = delete;
+
+  /// Last signal observed by the handler since installation (0 = none).
+  static int last_signal();
+};
+
+}  // namespace poc

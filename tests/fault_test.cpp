@@ -10,10 +10,13 @@
 #include <algorithm>
 #include <cstddef>
 #include <filesystem>
+#include <ios>
 #include <memory>
 #include <new>
 #include <stdexcept>
 #include <string>
+#include <system_error>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -97,6 +100,76 @@ TEST(CaptureFlowError, ClassifiesInFlightExceptions) {
     EXPECT_EQ(e.code, FaultCode::kUnknown);
     EXPECT_EQ(e.message, "plain");
   }
+}
+
+TEST(Expected, MoveConstructionAndAssignmentPreserveState) {
+  // Move construction out of a value state.
+  Expected<std::string> src = std::string("payload");
+  Expected<std::string> moved = std::move(src);
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_EQ(*moved, "payload");
+
+  // Move construction out of an error state.
+  Expected<std::string> bad =
+      FlowError{FaultCode::kJournalIo, 5, "journal.write", "disk full"};
+  Expected<std::string> moved_bad = std::move(bad);
+  ASSERT_FALSE(moved_bad.has_value());
+  EXPECT_EQ(moved_bad.error().code, FaultCode::kJournalIo);
+  EXPECT_EQ(moved_bad.error().window, 5u);
+  EXPECT_EQ(moved_bad.error().message, "disk full");
+
+  // Move assignment across states: error <- value, then value <- error.
+  moved_bad = std::move(moved);
+  ASSERT_TRUE(moved_bad.has_value());
+  EXPECT_EQ(*moved_bad, "payload");
+  moved_bad = Expected<std::string>(
+      FlowError{FaultCode::kJournalMismatch, 7, "journal.replay", "crc"});
+  ASSERT_FALSE(moved_bad.has_value());
+  EXPECT_EQ(moved_bad.error().code, FaultCode::kJournalMismatch);
+
+  // Copy construction and assignment leave the source usable.
+  const Expected<std::string> orig = std::string("keep");
+  Expected<std::string> copy = orig;
+  EXPECT_EQ(*copy, "keep");
+  EXPECT_EQ(*orig, "keep");
+  copy = moved_bad;
+  ASSERT_FALSE(copy.has_value());
+  EXPECT_EQ(copy.error().origin, "journal.replay");
+  EXPECT_EQ(moved_bad.error().origin, "journal.replay");
+}
+
+TEST(CaptureFlowError, ClassifiesJournalIoFailures) {
+  // Stream-level I/O failure (iostream-based journal access paths).
+  try {
+    throw std::ios_base::failure("stream write failed");
+  } catch (...) {
+    const FlowError e = capture_flow_error(kNoWindowId, "journal.write");
+    EXPECT_EQ(e.code, FaultCode::kJournalIo);
+    EXPECT_EQ(e.origin, "journal.write");
+  }
+  // OS-level I/O failure (open/write/fsync/rename on the journal path).
+  try {
+    throw std::system_error(std::make_error_code(std::errc::io_error),
+                            "fsync");
+  } catch (...) {
+    const FlowError e = capture_flow_error(kNoWindowId, "journal.fsync");
+    EXPECT_EQ(e.code, FaultCode::kJournalIo);
+    EXPECT_NE(e.message.find("fsync"), std::string::npos);
+  }
+  // A structured journal fault keeps its own code through the unwind.
+  try {
+    throw FlowException(FlowError{FaultCode::kJournalMismatch, kNoWindowId,
+                                  "journal.replay", "bad checksum"});
+  } catch (...) {
+    EXPECT_EQ(capture_flow_error().code, FaultCode::kJournalMismatch);
+  }
+}
+
+TEST(FlowErrorFormat, NamesTheDurableRunFaultCodes) {
+  EXPECT_STREQ(fault_code_name(FaultCode::kCancelled), "cancelled");
+  EXPECT_STREQ(fault_code_name(FaultCode::kJournalIo), "journal_io");
+  EXPECT_STREQ(fault_code_name(FaultCode::kJournalMismatch),
+               "journal_mismatch");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,717 @@
+// Durable-run subsystem tests: byte-exact serialization and CRC-64, the
+// write-ahead RunJournal (replay, checksum/config validation, torn-tail
+// sealing, rotation, dedup), cooperative cancellation in the parallel
+// engine, the SIGINT/SIGTERM graceful-shutdown bridge, and the flow-level
+// resume contract — a killed or cancelled journaled run, resumed at any
+// thread count, reproduces the uninterrupted TimingComparison bit for bit
+// (EXPECT_EQ on doubles, as in determinism_test).
+#include <algorithm>
+#include <cmath>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/common/serialize.h"
+#include "src/core/flow.h"
+#include "src/netlist/generators.h"
+#include "src/par/thread_pool.h"
+#include "src/run/journal.h"
+#include "src/run/shutdown.h"
+
+namespace poc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test; removed on teardown.  The kill-resume
+/// death tests rely on the ctor wiping and the SIGKILLed child never
+/// running the dtor, so the parent finds the child's journal intact.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& name)
+      : path(fs::temp_directory_path() / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+std::vector<fs::path> journal_files(const fs::path& dir) {
+  std::vector<fs::path> out;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    out.push_back(e.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization + checksum
+
+TEST(Serialize, RoundTripsEveryTypeBitExactly) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(-0.0);                      // sign bit must survive
+  w.f64(0.1 + 0.2);                 // a value with no short decimal form
+  w.str("journal");
+  w.str("");                        // empty strings are legal
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.f64(), 0.1 + 0.2);    // bit pattern, not approximate
+  EXPECT_EQ(r.str(), "journal");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, ReaderLatchesInsteadOfThrowingOnTruncation) {
+  ByteWriter w;
+  w.u64(7);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u64(), 7u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.u64(), 0u);  // past the end: zero value, latched failure
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u32(), 0u);  // stays failed
+  EXPECT_FALSE(r.done());
+}
+
+TEST(Serialize, ReaderRejectsOverlongString) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes, provides none
+  ByteReader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Crc64, MatchesKnownVectorAndSeesBitFlips) {
+  // CRC-64/XZ check value for the ASCII string "123456789".
+  const std::string check = "123456789";
+  EXPECT_EQ(crc64(reinterpret_cast<const std::uint8_t*>(check.data()),
+                  check.size()),
+            0x995DC9BBDF1939FAull);
+
+  std::vector<std::uint8_t> bytes(128);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  const std::uint64_t base = crc64(bytes);
+  bytes[64] ^= 0x01;  // single bit flip
+  EXPECT_NE(crc64(bytes), base);
+  bytes[64] ^= 0x01;
+  EXPECT_EQ(crc64(bytes), base);
+  bytes.pop_back();  // truncation
+  EXPECT_NE(crc64(bytes), base);
+}
+
+// ---------------------------------------------------------------------------
+// RunJournal: append / replay / reject
+
+JournalRecord make_record(JournalPhase phase, std::uint64_t index,
+                          std::uint64_t salt) {
+  JournalRecord rec;
+  rec.phase = phase;
+  rec.index = index;
+  rec.fp = {salt * 1000003u + index, ~index};
+  rec.outcome.attempts = 1;
+  ByteWriter w;
+  w.u64(index);
+  w.f64(static_cast<double>(index) * 1.5 + 0.125);
+  w.str("payload-" + std::to_string(index));
+  rec.payload = w.take();
+  return rec;
+}
+
+constexpr Fingerprint kConfigA{0x1111, 0x2222};
+constexpr Fingerprint kConfigB{0x3333, 0x4444};
+
+TEST(RunJournal, AppendThenReplayAcrossReopen) {
+  TempDir dir("poc_run_journal_roundtrip");
+  JournalOptions opts;
+  opts.enabled = true;
+  opts.path = dir.path.string();
+  opts.flush_every_records = 2;
+  {
+    RunJournal j(opts, kConfigA);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      EXPECT_TRUE(j.append(make_record(JournalPhase::kOpc, i, 1)));
+    }
+    // Same-run appends are not served back: replay is a reopen concept.
+    EXPECT_EQ(j.find(make_record(JournalPhase::kOpc, 0, 1).fp), nullptr);
+    // Duplicate append is dropped.
+    EXPECT_FALSE(j.append(make_record(JournalPhase::kOpc, 2, 1)));
+    const RunJournal::Stats s = j.stats();
+    EXPECT_EQ(s.appended_records, 5u);
+    EXPECT_EQ(s.loaded_records, 0u);
+  }
+
+  RunJournal j2(opts, kConfigA);
+  const RunJournal::Stats s = j2.stats();
+  EXPECT_EQ(s.loaded_records, 5u);
+  EXPECT_EQ(s.rejected_records, 0u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const JournalRecord want = make_record(JournalPhase::kOpc, i, 1);
+    const JournalRecord* got = j2.find(want.fp);
+    ASSERT_NE(got, nullptr) << "record " << i;
+    EXPECT_EQ(got->phase, want.phase);
+    EXPECT_EQ(got->index, want.index);
+    EXPECT_EQ(got->payload, want.payload);
+    EXPECT_EQ(got->outcome.attempts, want.outcome.attempts);
+  }
+  // A replayed-then-recomputed window must not be re-written.
+  EXPECT_FALSE(j2.append(make_record(JournalPhase::kOpc, 3, 1)));
+  EXPECT_TRUE(j2.issues().empty());
+
+  // The previous active segment was sealed by the reopen.
+  bool saw_sealed = false;
+  for (const fs::path& p : journal_files(dir.path)) {
+    if (p.extension() == ".seg") saw_sealed = true;
+  }
+  EXPECT_TRUE(saw_sealed);
+}
+
+TEST(RunJournal, RejectsSegmentsFromDifferentConfig) {
+  TempDir dir("poc_run_journal_config");
+  JournalOptions opts;
+  opts.enabled = true;
+  opts.path = dir.path.string();
+  {
+    RunJournal j(opts, kConfigA);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      j.append(make_record(JournalPhase::kExtract, i, 2));
+    }
+  }
+  RunJournal j2(opts, kConfigB);
+  EXPECT_EQ(j2.stats().loaded_records, 0u);
+  EXPECT_EQ(j2.find(make_record(JournalPhase::kExtract, 1, 2).fp), nullptr);
+  ASSERT_FALSE(j2.issues().empty());
+  EXPECT_EQ(j2.issues()[0].code, FaultCode::kJournalMismatch);
+  EXPECT_NE(j2.issues()[0].detail.find("config fingerprint"),
+            std::string::npos);
+}
+
+TEST(RunJournal, TruncatedTailIsRejectedReportedAndSealedAway) {
+  TempDir dir("poc_run_journal_trunc");
+  JournalOptions opts;
+  opts.enabled = true;
+  opts.path = dir.path.string();
+  fs::path active;
+  {
+    RunJournal j(opts, kConfigA);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      j.append(make_record(JournalPhase::kScan, i, 3));
+    }
+    j.flush();
+  }
+  for (const fs::path& p : journal_files(dir.path)) {
+    if (p.extension() == ".open") active = p;
+  }
+  ASSERT_FALSE(active.empty());
+  // SIGKILL mid-write: the tail of the last record is missing.
+  fs::resize_file(active, fs::file_size(active) - 7);
+
+  RunJournal j2(opts, kConfigA);
+  EXPECT_EQ(j2.stats().loaded_records, 3u);
+  EXPECT_EQ(j2.stats().rejected_records, 1u);
+  ASSERT_FALSE(j2.issues().empty());
+  EXPECT_EQ(j2.issues()[0].code, FaultCode::kJournalMismatch);
+  EXPECT_NE(j2.issues()[0].detail.find("truncated"), std::string::npos);
+  EXPECT_EQ(j2.find(make_record(JournalPhase::kScan, 3, 3).fp), nullptr);
+  EXPECT_NE(j2.find(make_record(JournalPhase::kScan, 2, 3).fp), nullptr);
+
+  // The torn record must also be gone from disk (valid-prefix truncation),
+  // so a third open replays cleanly.
+  RunJournal j3(opts, kConfigA);
+  EXPECT_EQ(j3.stats().loaded_records, 3u);
+  EXPECT_EQ(j3.stats().rejected_records, 0u);
+  EXPECT_TRUE(j3.issues().empty());
+}
+
+TEST(RunJournal, BitFlippedRecordIsRejectedOthersSurvive) {
+  TempDir dir("poc_run_journal_flip");
+  JournalOptions opts;
+  opts.enabled = true;
+  opts.path = dir.path.string();
+  {
+    RunJournal j(opts, kConfigA);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      j.append(make_record(JournalPhase::kOpc, i, 4));
+    }
+  }
+  fs::path active;
+  for (const fs::path& p : journal_files(dir.path)) {
+    if (p.extension() == ".open") active = p;
+  }
+  ASSERT_FALSE(active.empty());
+  {
+    // Flip one bit inside the last record's body.
+    std::fstream f(active, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    f.seekg(size - 16);
+    char byte;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(size - 16);
+    f.write(&byte, 1);
+  }
+
+  RunJournal j2(opts, kConfigA);
+  EXPECT_EQ(j2.stats().loaded_records, 3u);
+  EXPECT_GE(j2.stats().rejected_records, 1u);
+  bool saw_checksum_issue = false;
+  for (const ReplayIssue& issue : j2.issues()) {
+    if (issue.code == FaultCode::kJournalMismatch) saw_checksum_issue = true;
+  }
+  EXPECT_TRUE(saw_checksum_issue);
+  EXPECT_NE(j2.find(make_record(JournalPhase::kOpc, 0, 4).fp), nullptr);
+}
+
+TEST(RunJournal, RotatesSegmentsAndReplaysAcrossAllOfThem) {
+  TempDir dir("poc_run_journal_rotate");
+  JournalOptions opts;
+  opts.enabled = true;
+  opts.path = dir.path.string();
+  opts.segment_bytes = 128;       // force a rotation on nearly every append
+  opts.flush_every_records = 1;   // rotation is checked after each flush
+  {
+    RunJournal j(opts, kConfigA);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      j.append(make_record(JournalPhase::kExtract, i, 5));
+    }
+    EXPECT_GE(j.stats().segments, 3u);
+  }
+  std::size_t sealed = 0;
+  for (const fs::path& p : journal_files(dir.path)) {
+    if (p.extension() == ".seg") ++sealed;
+  }
+  EXPECT_GE(sealed, 2u);
+
+  RunJournal j2(opts, kConfigA);
+  EXPECT_EQ(j2.stats().loaded_records, 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_NE(j2.find(make_record(JournalPhase::kExtract, i, 5).fp), nullptr);
+  }
+}
+
+TEST(RunJournal, FsyncBatchingHonoursFlushInterval) {
+  TempDir dir("poc_run_journal_fsync");
+  JournalOptions opts;
+  opts.enabled = true;
+  opts.path = dir.path.string();
+  opts.flush_every_records = 4;
+  RunJournal j(opts, kConfigA);
+  const std::size_t baseline = j.stats().fsyncs;  // header flush
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    j.append(make_record(JournalPhase::kOpc, i, 6));
+  }
+  EXPECT_EQ(j.stats().fsyncs, baseline + 2);  // 8 records / 4 per batch
+  j.flush();
+  EXPECT_EQ(j.stats().fsyncs, baseline + 2);  // nothing buffered: no-op
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation in src/par
+
+TEST(CancelToken, SerialLoopStopsAtChunkBoundary) {
+  CancelToken token;
+  std::vector<char> ran(12, 0);
+  try {
+    parallel_for(/*threads=*/1, 12, /*chunk=*/3,
+                 [&](std::size_t i) {
+                   ran[i] = 1;
+                   if (i == 4) token.request_cancel();
+                 },
+                 &token);
+    FAIL() << "expected FlowException(kCancelled)";
+  } catch (const FlowException& e) {
+    EXPECT_EQ(e.error().code, FaultCode::kCancelled);
+  }
+  // The chunk in flight ([3,6)) finishes; later chunks never start.
+  EXPECT_EQ(ran[4], 1);
+  EXPECT_EQ(ran[5], 1);
+  EXPECT_EQ(ran[6], 0);
+  EXPECT_EQ(ran[11], 0);
+}
+
+TEST(CancelToken, ParallelLoopDrainsInFlightAndThrowsCancelled) {
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    CancelToken token;
+    token.request_cancel();  // cancelled before the loop even starts
+    std::size_t ran = 0;
+    try {
+      parallel_for(threads, 64, /*chunk=*/1, [&](std::size_t) { ++ran; },
+                   &token);
+      FAIL() << "expected FlowException(kCancelled)";
+    } catch (const FlowException& e) {
+      EXPECT_EQ(e.error().code, FaultCode::kCancelled);
+    }
+    EXPECT_EQ(ran, 0u);
+  }
+}
+
+TEST(CancelToken, UnsetTokenChangesNothing) {
+  CancelToken token;
+  std::size_t ran = 0;
+  std::mutex m;
+  parallel_for(4, 32, /*chunk=*/2,
+               [&](std::size_t) {
+                 std::lock_guard<std::mutex> lock(m);
+                 ++ran;
+               },
+               &token);
+  EXPECT_EQ(ran, 32u);
+}
+
+TEST(CancelToken, SetAfterLastChunkDoesNotThrow) {
+  CancelToken token;
+  // Serial loop: the token trips inside the final chunk, after which no
+  // further chunk boundary is crossed — nothing was skipped, no throw.
+  std::size_t ran = 0;
+  parallel_for(1, 8, /*chunk=*/4,
+               [&](std::size_t i) {
+                 ++ran;
+                 if (i == 7) token.request_cancel();
+               },
+               &token);
+  EXPECT_EQ(ran, 8u);
+}
+
+TEST(CancelToken, TryParallelForPropagatesCancellationUncaptured) {
+  CancelToken token;
+  token.request_cancel();
+  EXPECT_THROW(
+      try_parallel_for(2, 16, 1, [](std::size_t) {}, "test.cancel", &token),
+      FlowException);
+}
+
+TEST(GracefulShutdown, SignalTripsGlobalTokenAndCancelsLoops) {
+  global_cancel_token().reset();
+  {
+    ScopedGracefulShutdown guard;
+    EXPECT_EQ(ScopedGracefulShutdown::last_signal(), 0);
+    std::raise(SIGINT);  // delivered synchronously to this thread
+    EXPECT_TRUE(global_cancel_token().cancelled());
+    EXPECT_EQ(ScopedGracefulShutdown::last_signal(), SIGINT);
+    try {
+      parallel_for(1, 4, 1, [](std::size_t) {}, &global_cancel_token());
+      FAIL() << "expected cancellation";
+    } catch (const FlowException& e) {
+      EXPECT_EQ(e.error().code, FaultCode::kCancelled);
+    }
+  }
+  global_cancel_token().reset();
+}
+
+// ---------------------------------------------------------------------------
+// Flow-level resume: bit-identical TimingComparison
+
+const StdCellLibrary& lib() {
+  static const StdCellLibrary l = StdCellLibrary::load_or_characterize(
+      (fs::temp_directory_path() / "poc_cells_test.lib").string());
+  return l;
+}
+
+const PlacedDesign& design() {
+  static PlacedDesign d = place_and_route(make_c17(), lib());
+  return d;
+}
+
+FlowOptions run_flow_options(std::size_t threads) {
+  FlowOptions opts;
+  opts.sta.clock_period = 90.0;
+  opts.threads = threads;
+  // Cache off so journal replay counters are exact; results are
+  // bit-identical either way.
+  opts.cache.enabled = false;
+  return opts;
+}
+
+FlowOptions journaled_options(std::size_t threads, const fs::path& dir) {
+  FlowOptions opts = run_flow_options(threads);
+  opts.journal.enabled = true;
+  opts.journal.path = dir.string();
+  return opts;
+}
+
+/// Uninterrupted, journal-free ground truth.
+const TimingComparison& reference_cmp() {
+  static const TimingComparison ref = [] {
+    PostOpcFlow flow(design(), lib(), LithoSimulator{}, run_flow_options(1));
+    flow.run_opc(OpcMode::kModelBased);
+    return flow.compare_timing({});
+  }();
+  return ref;
+}
+
+void expect_same_comparison(const TimingComparison& a,
+                            const TimingComparison& b) {
+  EXPECT_EQ(a.drawn.worst_slack, b.drawn.worst_slack);
+  EXPECT_EQ(a.drawn.worst_arrival, b.drawn.worst_arrival);
+  EXPECT_EQ(a.annotated.worst_slack, b.annotated.worst_slack);
+  EXPECT_EQ(a.annotated.worst_arrival, b.annotated.worst_arrival);
+  EXPECT_EQ(a.annotated.total_leakage_ua, b.annotated.total_leakage_ua);
+  EXPECT_EQ(a.worst_slack_change_pct, b.worst_slack_change_pct);
+  EXPECT_EQ(a.leakage_change_pct, b.leakage_change_pct);
+  ASSERT_EQ(a.annotated.gate_slack.size(), b.annotated.gate_slack.size());
+  for (std::size_t g = 0; g < a.annotated.gate_slack.size(); ++g) {
+    EXPECT_EQ(a.annotated.gate_slack[g], b.annotated.gate_slack[g]);
+  }
+  EXPECT_EQ(a.ranks.rank1_changed, b.ranks.rank1_changed);
+  EXPECT_EQ(a.ranks.spearman, b.ranks.spearman);
+  EXPECT_EQ(a.health.degraded_gates, b.health.degraded_gates);
+}
+
+TEST(FlowResume, PartialRunResumesBitIdenticalAtAnyThreadCount) {
+  TempDir dir("poc_run_resume_partial");
+  // Interrupted run: OPC completes, extraction covers only half the gates
+  // (as if cancellation landed mid-phase), then the process "dies".
+  {
+    PostOpcFlow flow(design(), lib(), LithoSimulator{},
+                     journaled_options(2, dir.path));
+    flow.run_opc(OpcMode::kModelBased);
+    const std::size_t half = design().netlist.num_gates() / 2;
+    std::vector<GateIdx> subset(half);
+    for (std::size_t g = 0; g < half; ++g) subset[g] = g;
+    flow.extract({}, subset);
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    PostOpcFlow flow(design(), lib(), LithoSimulator{},
+                     journaled_options(threads, dir.path));
+    flow.run_opc(OpcMode::kModelBased);
+    const TimingComparison cmp = flow.compare_timing({});
+    expect_same_comparison(cmp, reference_cmp());
+    EXPECT_TRUE(cmp.health.clean());
+    const RunJournal::Stats s = flow.journal_stats();
+    EXPECT_GT(s.replayed_hits, 0u) << "resume must replay, not recompute";
+  }
+}
+
+TEST(FlowResume, CancelledRunIsResumable) {
+  TempDir dir("poc_run_resume_cancel");
+  CancelToken token;
+  {
+    FlowOptions opts = journaled_options(4, dir.path);
+    opts.cancel = &token;
+    PostOpcFlow flow(design(), lib(), LithoSimulator{}, opts);
+    flow.run_opc(OpcMode::kModelBased);
+    token.request_cancel();  // "SIGINT" between OPC and extraction
+    try {
+      flow.compare_timing({});
+      FAIL() << "expected FlowException(kCancelled)";
+    } catch (const FlowException& e) {
+      EXPECT_EQ(e.error().code, FaultCode::kCancelled);
+    }
+  }
+  PostOpcFlow flow(design(), lib(), LithoSimulator{},
+                   journaled_options(1, dir.path));
+  flow.run_opc(OpcMode::kModelBased);  // replayed from the journal
+  const TimingComparison cmp = flow.compare_timing({});
+  expect_same_comparison(cmp, reference_cmp());
+  EXPECT_GT(flow.journal_stats().replayed_hits, 0u);
+}
+
+TEST(FlowResume, KilledAtOpcBoundaryResumesBitIdentical) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TempDir dir("poc_run_resume_kill_opc");
+  // The child SIGKILLs itself after the 3rd journal append — mid-OPC, at
+  // an exact window boundary (the hook fsyncs first).  No unwinding, no
+  // destructor flush: exactly what kill -9 delivers.
+  EXPECT_EXIT(
+      {
+        FlowOptions opts = journaled_options(1, dir.path);
+        opts.journal.kill_after_appends = 3;
+        PostOpcFlow flow(design(), lib(), LithoSimulator{}, opts);
+        flow.run_opc(OpcMode::kModelBased);
+        flow.compare_timing({});
+        std::exit(0);  // unreachable: the journal kills us first
+      },
+      ::testing::KilledBySignal(SIGKILL), "");
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    PostOpcFlow flow(design(), lib(), LithoSimulator{},
+                     journaled_options(threads, dir.path));
+    flow.run_opc(OpcMode::kModelBased);
+    const TimingComparison cmp = flow.compare_timing({});
+    expect_same_comparison(cmp, reference_cmp());
+    EXPECT_TRUE(cmp.health.clean()) << "boundary kill leaves a clean tail";
+    EXPECT_GT(flow.journal_stats().replayed_hits, 0u);
+  }
+}
+
+TEST(FlowResume, KilledDuringExtractionResumesBitIdentical) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TempDir dir("poc_run_resume_kill_extract");
+  const std::size_t opc_windows = design().layout.num_instances();
+  EXPECT_EXIT(
+      {
+        FlowOptions opts = journaled_options(1, dir.path);
+        opts.journal.kill_after_appends = opc_windows + 2;  // mid-extract
+        PostOpcFlow flow(design(), lib(), LithoSimulator{}, opts);
+        flow.run_opc(OpcMode::kModelBased);
+        flow.compare_timing({});
+        std::exit(0);
+      },
+      ::testing::KilledBySignal(SIGKILL), "");
+
+  PostOpcFlow flow(design(), lib(), LithoSimulator{},
+                   journaled_options(4, dir.path));
+  flow.run_opc(OpcMode::kModelBased);
+  const TimingComparison cmp = flow.compare_timing({});
+  expect_same_comparison(cmp, reference_cmp());
+  const RunJournal::Stats s = flow.journal_stats();
+  EXPECT_GE(s.replayed_hits, opc_windows + 2);
+}
+
+TEST(FlowResume, HotspotScanReplaysFromJournal) {
+  TempDir dir("poc_run_resume_scan");
+  const std::vector<ProcessCorner> corners = {{"nominal", {0.0, 1.0}}};
+  PostOpcFlow::HotspotReport first;
+  {
+    PostOpcFlow flow(design(), lib(), LithoSimulator{},
+                     journaled_options(2, dir.path));
+    flow.run_opc(OpcMode::kModelBased);
+    first = flow.scan_hotspots(corners);
+  }
+  PostOpcFlow flow(design(), lib(), LithoSimulator{},
+                   journaled_options(1, dir.path));
+  flow.run_opc(OpcMode::kModelBased);
+  const std::size_t hits_before = flow.journal_stats().replayed_hits;
+  const PostOpcFlow::HotspotReport second = flow.scan_hotspots(corners);
+  EXPECT_GT(flow.journal_stats().replayed_hits, hits_before);
+  EXPECT_EQ(second.windows_checked, first.windows_checked);
+  EXPECT_EQ(second.pinches, first.pinches);
+  EXPECT_EQ(second.bridges, first.bridges);
+  EXPECT_EQ(second.epe_violations, first.epe_violations);
+  ASSERT_EQ(second.hotspots.size(), first.hotspots.size());
+  for (std::size_t i = 0; i < second.hotspots.size(); ++i) {
+    EXPECT_EQ(second.hotspots[i].instance, first.hotspots[i].instance);
+    EXPECT_EQ(second.hotspots[i].exposure_name,
+              first.hotspots[i].exposure_name);
+    EXPECT_EQ(second.hotspots[i].violation.value_nm,
+              first.hotspots[i].violation.value_nm);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flow-level rejection reporting (never silently skip)
+
+/// Completes a journaled run so the directory holds a full record set.
+void complete_journaled_run(const fs::path& dir) {
+  PostOpcFlow flow(design(), lib(), LithoSimulator{},
+                   journaled_options(2, dir));
+  flow.run_opc(OpcMode::kModelBased);
+  flow.compare_timing({});
+}
+
+fs::path active_segment(const fs::path& dir) {
+  for (const fs::path& p : journal_files(dir)) {
+    if (p.extension() == ".open") return p;
+  }
+  ADD_FAILURE() << "no active segment in " << dir;
+  return {};
+}
+
+TEST(FlowJournalRejects, ConfigFingerprintMismatchIsReportedInHealth) {
+  TempDir dir("poc_run_reject_config");
+  complete_journaled_run(dir.path);
+
+  FlowOptions opts = journaled_options(1, dir.path);
+  opts.seed = 43;  // any config change invalidates the journal wholesale
+  PostOpcFlow flow(design(), lib(), LithoSimulator{}, opts);
+  EXPECT_EQ(flow.journal_stats().loaded_records, 0u);
+  const FlowHealth h = flow.health();
+  ASSERT_FALSE(h.faults.empty());
+  bool saw_mismatch = false;
+  for (const FlowHealth::WindowFault& f : h.faults) {
+    if (f.phase == "journal" && f.code == FaultCode::kJournalMismatch) {
+      saw_mismatch = true;
+    }
+  }
+  EXPECT_TRUE(saw_mismatch);
+  // The run itself proceeds on recompute: no replay, correct results.
+  flow.run_opc(OpcMode::kModelBased);
+  EXPECT_EQ(flow.journal_stats().replayed_hits, 0u);
+}
+
+TEST(FlowJournalRejects, TruncatedTailIsReportedAndTimingUnaffected) {
+  TempDir dir("poc_run_reject_trunc");
+  complete_journaled_run(dir.path);
+  const fs::path active = active_segment(dir.path);
+  ASSERT_FALSE(active.empty());
+  fs::resize_file(active, fs::file_size(active) - 5);
+
+  PostOpcFlow flow(design(), lib(), LithoSimulator{},
+                   journaled_options(1, dir.path));
+  const FlowHealth h0 = flow.health();
+  bool saw_mismatch = false;
+  for (const FlowHealth::WindowFault& f : h0.faults) {
+    if (f.phase == "journal" && f.code == FaultCode::kJournalMismatch) {
+      saw_mismatch = true;
+    }
+  }
+  EXPECT_TRUE(saw_mismatch) << "torn tail must be reported, not skipped";
+  EXPECT_GE(flow.journal_stats().rejected_records, 1u);
+
+  // Annotated timing is still bit-identical: the torn record is simply
+  // recomputed.
+  flow.run_opc(OpcMode::kModelBased);
+  const TimingComparison cmp = flow.compare_timing({});
+  EXPECT_EQ(cmp.annotated.worst_slack, reference_cmp().annotated.worst_slack);
+  EXPECT_EQ(cmp.worst_slack_change_pct, reference_cmp().worst_slack_change_pct);
+}
+
+TEST(FlowJournalRejects, BitFlippedRecordIsReportedAndTimingUnaffected) {
+  TempDir dir("poc_run_reject_flip");
+  complete_journaled_run(dir.path);
+  const fs::path active = active_segment(dir.path);
+  ASSERT_FALSE(active.empty());
+  {
+    std::fstream f(active, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    f.seekp(size - 24);
+    char byte = 0x55;
+    f.write(&byte, 1);
+  }
+
+  PostOpcFlow flow(design(), lib(), LithoSimulator{},
+                   journaled_options(4, dir.path));
+  bool saw_mismatch = false;
+  for (const FlowHealth::WindowFault& f : flow.health().faults) {
+    if (f.phase == "journal" && f.code == FaultCode::kJournalMismatch) {
+      saw_mismatch = true;
+    }
+  }
+  EXPECT_TRUE(saw_mismatch);
+
+  flow.run_opc(OpcMode::kModelBased);
+  const TimingComparison cmp = flow.compare_timing({});
+  EXPECT_EQ(cmp.annotated.worst_slack, reference_cmp().annotated.worst_slack);
+  EXPECT_EQ(cmp.annotated.total_leakage_ua,
+            reference_cmp().annotated.total_leakage_ua);
+}
+
+}  // namespace
+}  // namespace poc
