@@ -7,12 +7,16 @@
 // STA) on three designs and prints the same comparison: worst arrival,
 // worst slack, slack change %, leakage change %, and the rank-correlation
 // summary of the top speed paths.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <random>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "src/sta/paths.h"
+#include "src/sta/timing_graph.h"
 
 using namespace poc;
 
@@ -260,6 +264,87 @@ int main() {
     }
     std::printf("%s", journal_table.render().c_str());
     std::filesystem::remove_all(journal_dir);
+  }
+
+  bench::section("Incremental STA: full re-time vs worklist update");
+  {
+    // The T4 selective loop re-times after perturbing a handful of gates.
+    // Pre-PR cost: a full stateless re-time (StaEngine::run — graph build,
+    // full forward+backward propagation, path enumeration).  Post-PR cost:
+    // a worklist update of the warm TimingGraph followed by the worst-slack
+    // query.  Both sides process the identical perturbation sequence and
+    // must agree on the worst slack bit-for-bit at every step.
+    Table incr_table({"design", "k gates", "full (us/step)", "incr (us/step)",
+                      "speedup", "ws (ps)"});
+    for (const char* name : {"inv_chain64", "adder8"}) {
+      PlacedDesign design = name == std::string("inv_chain64")
+                                ? make_inv_chain64()
+                                : bench::make_design(name);
+      const Netlist& nl = design.netlist;
+      const std::vector<NetParasitics> parasitics =
+          Extractor(design.tech).extract_design(design);
+      StaOptions sopt;
+      sopt.max_paths = 16;
+
+      for (const std::size_t k : {std::size_t{1}, std::size_t{8},
+                                  std::size_t{64}}) {
+        if (k > nl.num_gates()) continue;
+        std::mt19937_64 rng(42);
+        std::uniform_int_distribution<std::size_t> gate_pick(
+            0, nl.num_gates() - 1);
+        std::uniform_real_distribution<double> scale(0.85, 1.25);
+        std::vector<DelayAnnotation> current(nl.num_gates());
+
+        StaEngine engine(nl, bench::library());
+        engine.set_parasitics(parasitics);
+        TimingGraph warm(nl, bench::library(), sopt, /*threads=*/1);
+        warm.set_parasitics(parasitics);
+        warm.worst_slack();  // settle the warm graph before timing it
+
+        const std::size_t steps = 50;
+        double full_ns = 0.0, incr_ns = 0.0;
+        double ws_full = 0.0, ws_incr = 0.0;
+        for (std::size_t step = 0; step < steps; ++step) {
+          std::vector<GateIdx> changed;
+          for (std::size_t i = 0; i < k; ++i) {
+            const GateIdx g = gate_pick(rng);
+            current[g] = {scale(rng), scale(rng), 1.0};
+            changed.push_back(g);
+          }
+          const auto t0 = std::chrono::steady_clock::now();
+          for (GateIdx g : changed) warm.set_annotation(g, current[g]);
+          warm.update_delays(changed);
+          ws_incr = warm.worst_slack();
+          const auto t1 = std::chrono::steady_clock::now();
+          engine.set_annotations(current);
+          ws_full = engine.run(sopt).worst_slack;
+          const auto t2 = std::chrono::steady_clock::now();
+          incr_ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+          full_ns += std::chrono::duration<double, std::nano>(t2 - t1).count();
+          if (std::memcmp(&ws_full, &ws_incr, sizeof(double)) != 0) {
+            std::fprintf(stderr,
+                         "INCR_BENCH MISMATCH %s k=%zu step=%zu: %.17g vs "
+                         "%.17g\n",
+                         name, k, step, ws_full, ws_incr);
+            return 1;
+          }
+        }
+        const double full_us = full_ns / 1e3 / steps;
+        const double incr_us = incr_ns / 1e3 / steps;
+        incr_table.add_row({name, std::to_string(k), Table::num(full_us, 1),
+                            Table::num(incr_us, 1),
+                            Table::num(full_us / incr_us, 2),
+                            Table::num(ws_incr, 9)});
+        // Greppable proof lines consumed by scripts/bench.sh.
+        std::printf("INCR_BENCH name=%s k=%zu mode=full wall_us=%.3f "
+                    "ws=%.9f\n",
+                    name, k, full_us, ws_full);
+        std::printf("INCR_BENCH name=%s k=%zu mode=incr wall_us=%.3f "
+                    "ws=%.9f\n",
+                    name, k, incr_us, ws_incr);
+      }
+    }
+    std::printf("%s", incr_table.render().c_str());
   }
 
   bench::section("SOCS fast imaging: T2 headline under full SOCS (adder8)");

@@ -1,0 +1,187 @@
+// Long-lived timing-query service: load a design once, warm the flow
+// (OPC + post-OPC extraction + back-annotation), then answer a stream of
+// commands against the incremental TimingGraph without ever re-timing the
+// whole netlist.  Each answer is printed with its per-query latency.
+//
+//   ./timing_service [benchmark] [--stdin]      (default: adder8)
+//
+// Commands (one per line with --stdin, otherwise a built-in demo script):
+//   ws                      worst slack of the warm graph
+//   slack <net>             pin slack by net name
+//   paths <K>               top-K worst paths
+//   retime <n>              commit +5 % delay on the n most critical gates
+//   whatif <focus> <dose> <n>  re-extract the n most critical gates at the
+//                           shifted exposure through the cached flow, push
+//                           the new CDs as a candidate, report the worst-
+//                           slack delta, revert
+//   stats                   per-command latency counters
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/log.h"
+#include "src/core/flow.h"
+#include "src/netlist/generators.h"
+#include "src/sta/service.h"
+
+using namespace poc;
+
+namespace {
+
+struct Session {
+  PostOpcFlow* flow = nullptr;
+  TimingService* service = nullptr;
+  std::vector<GateIdx> critical;  ///< most-critical-first retime targets
+};
+
+double elapsed_us(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::vector<GateRetime> scaled_candidates(const Session& s, std::size_t n,
+                                          double scale) {
+  std::vector<GateRetime> out;
+  for (std::size_t i = 0; i < n && i < s.critical.size(); ++i) {
+    const GateIdx g = s.critical[i];
+    DelayAnnotation ann = s.service->graph().annotations()[g];
+    ann.fall_scale *= scale;
+    ann.rise_scale *= scale;
+    out.push_back({g, ann});
+  }
+  return out;
+}
+
+bool run_command(Session& s, const std::string& line) {
+  std::istringstream is(line);
+  std::string cmd;
+  if (!(is >> cmd) || cmd[0] == '#') return true;
+  const auto start = std::chrono::steady_clock::now();
+  if (cmd == "quit") return false;
+  if (cmd == "ws") {
+    const Ps ws = s.service->worst_slack();
+    std::printf("ws: %.6f ps  [%.1f us]\n", ws, elapsed_us(start));
+  } else if (cmd == "slack") {
+    std::string net;
+    is >> net;
+    if (!s.flow->design().netlist.has_net(net)) {
+      std::printf("slack: unknown net '%s'\n", net.c_str());
+      return true;
+    }
+    const Ps sl = s.service->slack(net);
+    std::printf("slack %s: %.6f ps  [%.1f us]\n", net.c_str(), sl,
+                elapsed_us(start));
+  } else if (cmd == "paths") {
+    std::size_t k = 5;
+    is >> k;
+    const auto paths = s.service->paths(k);
+    std::printf("paths %zu:  [%.1f us]\n", k, elapsed_us(start));
+    for (const TimingPath& p : paths) {
+      std::printf("  %s\n",
+                  format_path(s.flow->design().netlist, p).c_str());
+    }
+  } else if (cmd == "retime") {
+    std::size_t n = 1;
+    is >> n;
+    const RetimeReport r = s.service->retime(scaled_candidates(s, n, 1.05));
+    std::printf("retime %zu: ws %.6f -> %.6f ps (%zu gates moved, %zu "
+                "arrival evals)  [%.1f us]\n",
+                n, r.worst_slack_before, r.worst_slack_after,
+                r.gates_changed, r.arrival_evals, elapsed_us(start));
+  } else if (cmd == "whatif") {
+    double focus = 0.0, dose = 1.0;
+    std::size_t n = 4;
+    is >> focus >> dose >> n;
+    Exposure e;
+    e.focus_nm = focus;
+    e.dose = dose;
+    std::vector<GateIdx> subset(
+        s.critical.begin(),
+        s.critical.begin() +
+            std::min<std::size_t>(n, s.critical.size()));
+    // Re-extract just those windows through the cached flow and push the
+    // fresh CDs as a candidate annotation set.
+    const auto ann = s.flow->annotate(s.flow->extract(e, subset));
+    std::vector<GateRetime> candidate;
+    for (GateIdx g : subset) candidate.push_back({g, ann[g]});
+    const WhatIfReport r = s.service->whatif(candidate);
+    std::printf("whatif focus=%.0f dose=%.3f over %zu gates: ws %.6f -> "
+                "%.6f ps (delta %+.6f)  [%.1f us]\n",
+                focus, dose, subset.size(), r.worst_slack_before,
+                r.worst_slack_after, r.delta_ps, elapsed_us(start));
+  } else if (cmd == "stats") {
+    std::printf("%s", s.service->stats_summary().c_str());
+  } else {
+    std::printf("unknown command '%s'\n", cmd.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  std::string bench = "adder8";
+  bool use_stdin = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stdin") {
+      use_stdin = true;
+    } else {
+      bench = arg;
+    }
+  }
+
+  const StdCellLibrary lib = StdCellLibrary::load_or_characterize(
+      (std::filesystem::temp_directory_path() / "poc_cells_example.lib")
+          .string());
+  const Netlist nl = make_benchmark(bench);
+  const PlacedDesign design = place_and_route(nl, lib);
+
+  FlowOptions opts;
+  {
+    PostOpcFlow probe(design, lib);
+    opts.sta.clock_period = probe.run_sta(nullptr).worst_arrival * 1.12;
+  }
+  PostOpcFlow flow(design, lib, LithoSimulator{}, opts);
+
+  // Warm once: OPC every window, extract post-OPC CDs at nominal exposure,
+  // load the annotations into the service's graph.
+  const auto warm_start = std::chrono::steady_clock::now();
+  flow.run_opc(OpcMode::kRuleBased);
+  TimingService service = flow.make_timing_service();
+  service.load_annotations(flow.annotate(flow.extract({})));
+  std::printf("loaded %s: %zu gates, warm-up %.1f ms, annotated ws %.6f ps\n",
+              bench.c_str(), nl.num_gates(),
+              elapsed_us(warm_start) / 1000.0, service.worst_slack());
+
+  Session session{&flow, &service, flow.tag_critical_gates(30.0)};
+
+  if (use_stdin) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!run_command(session, line)) break;
+    }
+  } else {
+    const std::vector<std::string> script = {
+        "ws",
+        "paths 3",
+        "retime 2",
+        "ws",
+        "whatif 60 1.02 4",
+        "whatif -60 0.98 4",
+        "ws",
+        "stats",
+    };
+    for (const std::string& line : script) {
+      std::printf("> %s\n", line.c_str());
+      if (!run_command(session, line)) break;
+    }
+  }
+  return 0;
+}

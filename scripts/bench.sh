@@ -24,13 +24,18 @@
 #                     the PR5 acceptance number is < 2 % fault-free
 #                     overhead with a bit-identical annotated WS, and the
 #                     resume row shows full-replay wall time
+#   - incr_bench / incr_speedup: INCR_BENCH rows (full stateless re-time vs
+#                     incremental worklist update after 1/8/64-gate
+#                     perturbations, identical worst slack asserted by the
+#                     bench itself) — the PR6 acceptance number is >= 5x
+#                     for <= 8-gate perturbations on inv_chain64
 #
 # Usage: scripts/bench.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
-OUT=BENCH_PR5.json
+OUT=BENCH_PR6.json
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" --target bench_perf_kernels \
@@ -53,6 +58,7 @@ T2_LOG=$(mktemp)
 # SOCS_T2     design=<d> ws_change_pct=<pct> spearman=<r> top10_displaced=<n>
 # FAULT_BENCH name=<n> containment=<on|off> wall_ms=<ms> ws=<ps>
 # JOURNAL_BENCH name=<n> journal=<off|on|resume> wall_ms=<ms> ws=<ps> replayed=<k>
+# INCR_BENCH  name=<n> k=<gates> mode=<full|incr> wall_us=<us> ws=<ps>
 awk '
   /^CACHE_BENCH / {
     for (i = 2; i <= NF; ++i) { split($i, kv, "="); v[kv[1]] = kv[2] }
@@ -95,6 +101,16 @@ awk '
     jms[v["journal"]] = v["wall_ms"]
     jws[v["journal"]] = v["ws"]
   }
+  /^INCR_BENCH / {
+    for (i = 2; i <= NF; ++i) { split($i, kv, "="); v[kv[1]] = kv[2] }
+    key = v["name"] "_k" v["k"]
+    row = sprintf("    {\"name\": \"%s_%s\", \"real_time\": %s, " \
+                  "\"time_unit\": \"us\", \"ws_ps\": %s}",
+                  key, v["mode"], v["wall_us"], v["ws"])
+    irows = irows (irows == "" ? "" : ",\n") row
+    ius[key "_" v["mode"]] = v["wall_us"]
+    if (index(ikeys "|", "|" key "|") == 0) ikeys = ikeys "|" key
+  }
   END {
     printf "{\n  \"cache_bench\": [\n%s\n  ],\n", crows
     if (cms["off"] > 0 && cms["on"] > 0)
@@ -119,6 +135,21 @@ awk '
         printf "  \"journal_resume_speedup\": %.1f,\n", jms["off"] / jms["resume"]
       printf "  \"journal_ws_identical\": %s,\n", \
              (jws["on"] == jws["off"] && jws["resume"] == jws["off"]) ? "true" : "false"
+    }
+    if (irows != "") {
+      printf "  \"incr_bench\": [\n%s\n  ],\n", irows
+      n = split(substr(ikeys, 2), keys, "|")
+      printf "  \"incr_speedup\": {"
+      first = 1
+      for (i = 1; i <= n; ++i) {
+        key = keys[i]
+        if (ius[key "_full"] > 0 && ius[key "_incr"] > 0) {
+          printf "%s\"%s\": %.2f", (first ? "" : ", "), key, \
+                 ius[key "_full"] / ius[key "_incr"]
+          first = 0
+        }
+      }
+      printf "},\n"
     }
     if (t2 != "") print t2
   }

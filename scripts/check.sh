@@ -26,9 +26,9 @@ cmake --build build -j "$JOBS"
 echo "== step 2/5: full test suite =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== step 3/5: TSan build + race tests (par_test, fault_test, run_test, cache_test, socs_test, core_test) =="
+echo "== step 3/5: TSan build + race tests (par_test, fault_test, run_test, cache_test, socs_test, core_test, sta_incremental_test) =="
 cmake -B build-tsan -S . -DPOC_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target par_test fault_test run_test cache_test socs_test core_test
+cmake --build build-tsan -j "$JOBS" --target par_test fault_test run_test cache_test socs_test core_test sta_incremental_test
 ./build-tsan/tests/par_test
 ./build-tsan/tests/fault_test
 # Death tests fork; TSan dislikes forking multithreaded processes, and the
@@ -37,6 +37,10 @@ cmake --build build-tsan -j "$JOBS" --target par_test fault_test run_test cache_
 ./build-tsan/tests/cache_test
 ./build-tsan/tests/socs_test
 ./build-tsan/tests/core_test
+# The incremental-STA equivalence fuzz harness: its 4-thread legs drive the
+# TimingGraph per-level parallel evaluation, so TSan checks the disjoint-
+# slot write contract while the asserts check bit-identity.
+./build-tsan/tests/sta_incremental_test
 
 echo "== step 4/5: ASan build + memory tests (litho_test, fault_test, socs_test, cache_test, core_test) =="
 cmake -B build-asan -S . -DPOC_SANITIZE=address >/dev/null

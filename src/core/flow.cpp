@@ -308,6 +308,11 @@ struct PostOpcFlow::HealthState {
   std::vector<GateIdx> degraded_gates;  ///< sorted, unique
 };
 
+struct PostOpcFlow::TimingState {
+  std::mutex mutex;
+  std::unique_ptr<TimingGraph> graph;  ///< null until first warm re-time
+};
+
 struct PostOpcFlow::WindowCaches {
   /// Corrected mask + per-window OPC stats, local frame.
   struct OpcEntry {
@@ -333,6 +338,7 @@ PostOpcFlow::PostOpcFlow(const PlacedDesign& design, const StdCellLibrary& lib,
                          LithoSimulator sim, FlowOptions options)
     : design_(&design), lib_(&lib), sim_(sim), options_(options) {
   POC_EXPECTS(design.layout.frozen());
+  timing_ = std::make_shared<TimingState>();
   // The silicon reference is the OPC model perturbed by the calibration
   // mismatch; with the mismatch disabled they are identical.
   ResistModel silicon_resist = sim.resist();
@@ -595,9 +601,47 @@ StaReport PostOpcFlow::run_sta(
   return engine.run(options_.sta);
 }
 
+StaReport PostOpcFlow::run_sta_incremental(
+    const std::vector<DelayAnnotation>* annotations) const {
+  std::lock_guard<std::mutex> lock(timing_->mutex);
+  if (timing_->graph == nullptr) {
+    timing_->graph = std::make_unique<TimingGraph>(
+        design_->netlist, *lib_, options_.sta, /*threads=*/threads());
+    if (options_.use_parasitics && !design_->routes.empty()) {
+      Extractor ex(design_->tech);
+      timing_->graph->set_parasitics(ex.extract_design(*design_));
+    }
+  }
+  // set_annotations diffs against the graph's current state, so only the
+  // gates this re-time actually moved re-propagate.
+  if (annotations != nullptr) {
+    timing_->graph->set_annotations(*annotations);
+  } else {
+    timing_->graph->clear_annotations();
+  }
+  return timing_->graph->report();
+}
+
+TimingService PostOpcFlow::make_timing_service() const {
+  TimingService service(design_->netlist, *lib_, options_.sta, threads());
+  if (options_.use_parasitics && !design_->routes.empty()) {
+    Extractor ex(design_->tech);
+    service.set_parasitics(ex.extract_design(*design_));
+  }
+  return service;
+}
+
 std::vector<GateIdx> PostOpcFlow::tag_critical_gates(Ps slack_window) const {
-  StaEngine engine = make_sta();
-  return engine.critical_gates(options_.sta, slack_window);
+  // Warm-graph re-time with drawn CDs; bit-identical to the old
+  // StaEngine::critical_gates since both share TimingGraph's propagation.
+  const StaReport report = run_sta_incremental(nullptr);
+  std::vector<GateIdx> out;
+  for (GateIdx g = 0; g < design_->netlist.num_gates(); ++g) {
+    if (report.gate_slack[g] <= report.worst_slack + slack_window) {
+      out.push_back(g);
+    }
+  }
+  return out;
 }
 
 std::size_t PostOpcFlow::threads() const {
@@ -1219,7 +1263,11 @@ std::vector<DelayAnnotation> PostOpcFlow::annotate_with_aclv(
 
 TimingComparison PostOpcFlow::compare_timing(const Exposure& exposure) {
   TimingComparison cmp;
-  cmp.drawn = run_sta(nullptr);
+  // Both re-times go through the warm graph: the drawn run marks whatever
+  // the previous state left dirty, the annotated run re-propagates only the
+  // gates whose extracted CDs moved off drawn.  Reports stay bit-identical
+  // to stateless run_sta (GoldenT2 pins this).
+  cmp.drawn = run_sta_incremental(nullptr);
   const std::vector<GateExtraction> ext = extract(exposure);
   // Silicon CDs carry the across-chip random component on top of the
   // systematic residual; deterministic in the flow seed.
@@ -1227,7 +1275,7 @@ TimingComparison PostOpcFlow::compare_timing(const Exposure& exposure) {
   const std::vector<DelayAnnotation> ann = annotate_with_aclv(
       ext, options_.silicon.enabled ? options_.silicon.aclv_sigma_nm : 0.0,
       rng);
-  cmp.annotated = run_sta(&ann);
+  cmp.annotated = run_sta_incremental(&ann);
   cmp.ranks =
       compare_path_ranks(design_->netlist, cmp.drawn.paths,
                          cmp.annotated.paths);

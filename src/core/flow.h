@@ -26,7 +26,9 @@
 #include "src/pnr/design.h"
 #include "src/run/journal.h"
 #include "src/sta/paths.h"
+#include "src/sta/service.h"
 #include "src/sta/sta.h"
+#include "src/sta/timing_graph.h"
 #include "src/var/variation.h"
 
 namespace poc {
@@ -254,7 +256,23 @@ class PostOpcFlow {
 
   /// STA engine preloaded with this design's parasitics.
   StaEngine make_sta() const;
+  /// From-scratch STA (fresh graph per call) — stateless, safe to call
+  /// concurrently; the Monte-Carlo loop depends on that.
   StaReport run_sta(const std::vector<DelayAnnotation>* annotations) const;
+
+  /// Re-times through the flow's warm incremental TimingGraph: only gates
+  /// whose annotations differ from the graph's current state re-propagate
+  /// (full re-time = everything differs = mark everything dirty).  Reports
+  /// are bit-identical to run_sta over the same annotations.  Serialized
+  /// internally — compare_timing and tag_critical_gates use it; the
+  /// concurrent Monte-Carlo loop must keep using run_sta.
+  StaReport run_sta_incremental(
+      const std::vector<DelayAnnotation>* annotations) const;
+
+  /// Long-lived timing-query service over this design (own warm graph,
+  /// parasitics preloaded): retime / slack / paths / whatif against it,
+  /// feeding whatif candidates from extract() + annotate().
+  TimingService make_timing_service() const;
 
   /// Process-window response surfaces: fits cd(focus, dose) per device from
   /// a 3x3 exposure grid so Monte-Carlo timing needs no further litho
@@ -439,6 +457,13 @@ class PostOpcFlow {
   /// run proceeds undurable).  shared_ptr for the same copyability reason
   /// as the caches; appends are internally synchronized.
   std::shared_ptr<RunJournal> journal_;
+
+  /// Warm incremental timing graph, built lazily on the first
+  /// run_sta_incremental call (parasitics extraction included) and reused
+  /// across re-times so only changed-annotation cones re-propagate.
+  /// Mutex-guarded behind a shared_ptr (copyability, const re-times).
+  struct TimingState;
+  std::shared_ptr<TimingState> timing_;
 };
 
 }  // namespace poc

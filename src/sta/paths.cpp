@@ -9,6 +9,183 @@
 
 namespace poc {
 
+namespace {
+
+/// Backward DFS path enumeration with arrival-bound pruning and explicit
+/// deterministic tie-breaking (pin id) in every ordering.
+class Enumerator {
+ public:
+  Enumerator(const Netlist& nl, const StdCellLibrary& lib,
+             const std::vector<DelayAnnotation>& annotations,
+             const std::vector<NetParasitics>& parasitics,
+             const StaOptions& options, const std::vector<NodeTime>& rise,
+             const std::vector<NodeTime>& fall, Ps best_arrival)
+      : nl_(nl), lib_(lib), annotations_(annotations), parasitics_(parasitics),
+        options_(options), rise_(rise), fall_(fall),
+        cutoff_(best_arrival - options.path_window) {}
+
+  std::vector<TimingPath> enumerate() {
+    // Endpoints worst-first, so global budgets never drop the most critical
+    // paths; ties by endpoint net id, rise before fall.
+    struct End {
+      NetIdx net;
+      bool rising;
+      Ps at;
+    };
+    std::vector<End> ends;
+    for (NetIdx e : nl_.primary_outputs()) {
+      for (bool rising : {true, false}) {
+        const auto& node = rising ? rise_[e] : fall_[e];
+        if (node.valid) ends.push_back({e, rising, node.at});
+      }
+    }
+    std::sort(ends.begin(), ends.end(), [](const End& a, const End& b) {
+      if (a.at != b.at) return a.at > b.at;
+      if (a.net != b.net) return a.net < b.net;
+      return a.rising && !b.rising;
+    });
+    for (const End& end : ends) {
+      chain_.clear();
+      endpoint_emitted_ = 0;
+      walk(end.net, end.rising, 0.0);
+    }
+    std::sort(paths_.begin(), paths_.end(),
+              [](const TimingPath& a, const TimingPath& b) {
+                if (a.arrival != b.arrival) return a.arrival > b.arrival;
+                return path_less(a, b);
+              });
+    if (paths_.size() > options_.max_paths) paths_.resize(options_.max_paths);
+    for (TimingPath& p : paths_) {
+      p.slack = options_.clock_period - p.arrival;
+    }
+    return std::move(paths_);
+  }
+
+ private:
+  struct Hop {
+    NetIdx net;
+    bool rising;
+    Ps edge_delay;  ///< delay from this net to the next hop toward endpoint
+  };
+
+  /// Total order on equal-arrival paths: endpoint net id, rise before
+  /// fall, then lexicographic over traversed (net, transition) points.
+  static bool path_less(const TimingPath& a, const TimingPath& b) {
+    if (a.endpoint != b.endpoint) return a.endpoint < b.endpoint;
+    if (a.endpoint_rising != b.endpoint_rising) return a.endpoint_rising;
+    const std::size_t n = std::min(a.points.size(), b.points.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a.points[i].net != b.points[i].net) {
+        return a.points[i].net < b.points[i].net;
+      }
+      if (a.points[i].rising != b.points[i].rising) return a.points[i].rising;
+    }
+    return a.points.size() < b.points.size();
+  }
+
+  void walk(NetIdx net, bool rising, Ps suffix) {
+    if (paths_.size() >= options_.max_paths * 4) return;  // global budget
+    if (endpoint_emitted_ >= options_.max_paths) return;  // per endpoint
+    const auto& node = rising ? rise_[net] : fall_[net];
+    if (!node.valid || node.at + suffix < cutoff_) return;
+    const Net& n = nl_.net(net);
+    chain_.push_back({net, rising, 0.0});
+    if (n.driver == kNoIndex) {
+      emit();
+      chain_.pop_back();
+      return;
+    }
+    const GateInst& gate = nl_.gate(n.driver);
+    const CellTiming& timing = lib_.timing(gate.cell);
+    const DelayAnnotation ann =
+        annotations_.empty() ? DelayAnnotation{} : annotations_[n.driver];
+    const Ff load = sta_net_load(nl_, lib_, parasitics_, net, options_);
+    // Expand fanins worst-first so the first completed path per endpoint is
+    // its critical path (greedy max-contributor backtrace); ties by input
+    // net id.
+    struct Cand {
+      NetIdx in;
+      Ps edge;
+      Ps through;  // in-arrival + edge delay
+    };
+    std::vector<Cand> cands;
+    for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
+      const NetIdx in = gate.inputs[pin];
+      const bool in_rising = !rising;  // negative unate
+      const auto& in_node = in_rising ? rise_[in] : fall_[in];
+      if (!in_node.valid) continue;
+      const TimingArc& arc = timing.arcs[pin];
+      const Ps wire = sta_sink_wire_delay(
+          parasitics_, in, sta_sink_ordinal(nl_, in, n.driver, pin));
+      const Ps slew_in = StaEngine::degraded_slew(in_node.slew, wire);
+      const Ps d = (rising
+                        ? arc.delay_rise.lookup(slew_in, load) * ann.rise_scale
+                        : arc.delay_fall.lookup(slew_in, load) *
+                              ann.fall_scale) *
+                   options_.late_derate;
+      cands.push_back({in, wire + d, in_node.at + wire + d});
+    }
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.through != b.through) return a.through > b.through;
+      return a.in < b.in;
+    });
+    for (const Cand& c : cands) {
+      chain_.back().edge_delay = c.edge;
+      walk(c.in, !rising, suffix + c.edge);
+    }
+    chain_.pop_back();
+  }
+
+  void emit() {
+    TimingPath path;
+    // chain_ is endpoint-first; reverse into PI-first with cumulative
+    // arrivals.
+    Ps cum = 0.0;
+    for (std::size_t i = chain_.size(); i-- > 0;) {
+      PathPoint pt;
+      pt.net = chain_[i].net;
+      pt.rising = chain_[i].rising;
+      pt.arrival = cum;
+      path.points.push_back(pt);
+      if (i > 0) cum += chain_[i - 1].edge_delay;
+    }
+    // The final cumulative value is the path arrival at the endpoint.
+    path.points.back().arrival = cum;
+    path.arrival = cum;
+    path.endpoint = chain_.front().net;
+    path.endpoint_rising = chain_.front().rising;
+    ++endpoint_emitted_;
+    paths_.push_back(std::move(path));
+  }
+
+  const Netlist& nl_;
+  const StdCellLibrary& lib_;
+  const std::vector<DelayAnnotation>& annotations_;
+  const std::vector<NetParasitics>& parasitics_;
+  const StaOptions& options_;
+  const std::vector<NodeTime>& rise_;
+  const std::vector<NodeTime>& fall_;
+  Ps cutoff_;
+  std::vector<Hop> chain_;
+  std::vector<TimingPath> paths_;
+  std::size_t endpoint_emitted_ = 0;
+};
+
+}  // namespace
+
+std::vector<TimingPath> top_paths(const Netlist& nl,
+                                  const StdCellLibrary& lib,
+                                  const std::vector<DelayAnnotation>& annotations,
+                                  const std::vector<NetParasitics>& parasitics,
+                                  const StaOptions& options,
+                                  const std::vector<NodeTime>& rise,
+                                  const std::vector<NodeTime>& fall,
+                                  Ps worst_arrival) {
+  Enumerator en(nl, lib, annotations, parasitics, options, rise, fall,
+                worst_arrival);
+  return en.enumerate();
+}
+
 PathRankComparison compare_path_ranks(const Netlist& nl,
                                       const std::vector<TimingPath>& base,
                                       const std::vector<TimingPath>& other) {

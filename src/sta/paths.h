@@ -1,6 +1,8 @@
-// Speed-path comparison utilities for the path-reordering analysis
-// (experiment F4): matches paths between two STA runs by signature and
-// quantifies how much the criticality ranking reshuffles.
+// Path enumeration and speed-path comparison utilities.
+//
+// top_paths() is the single enumerator both STA entry points share
+// (StaEngine::run and TimingGraph); compare_path_ranks/format_path serve
+// the path-reordering analysis (experiment F4).
 #pragma once
 
 #include <cstddef>
@@ -10,6 +12,22 @@
 #include "src/sta/sta.h"
 
 namespace poc {
+
+/// Top-K worst paths via backward DFS with arrival-bound pruning over
+/// already-propagated arrivals.  All orderings break ties explicitly by
+/// pin (net) id — worst-first by arrival, then lowest endpoint net, rise
+/// before fall, then lexicographically by traversed net ids — so the
+/// ranking is deterministic across levelization and traversal-order
+/// changes.  `annotations` is empty (= all drawn) or per-gate;
+/// `worst_arrival` sets the enumeration cutoff (path_window below it).
+std::vector<TimingPath> top_paths(const Netlist& nl,
+                                  const StdCellLibrary& lib,
+                                  const std::vector<DelayAnnotation>& annotations,
+                                  const std::vector<NetParasitics>& parasitics,
+                                  const StaOptions& options,
+                                  const std::vector<NodeTime>& rise,
+                                  const std::vector<NodeTime>& fall,
+                                  Ps worst_arrival);
 
 struct PathRankComparison {
   std::size_t matched = 0;        ///< paths present in both runs

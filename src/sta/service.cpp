@@ -1,0 +1,125 @@
+#include "src/sta/service.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace poc {
+
+namespace {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(QueryStats& stats)
+      : stats_(stats), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const double us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    ++stats_.count;
+    stats_.total_us += us;
+    stats_.max_us = std::max(stats_.max_us, us);
+  }
+
+ private:
+  QueryStats& stats_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+TimingService::TimingService(const Netlist& nl, const StdCellLibrary& lib,
+                             StaOptions options, std::size_t threads)
+    : nl_(&nl), graph_(nl, lib, options, threads) {}
+
+void TimingService::set_parasitics(std::vector<NetParasitics> parasitics) {
+  graph_.set_parasitics(std::move(parasitics));
+}
+
+void TimingService::load_annotations(
+    const std::vector<DelayAnnotation>& annotations) {
+  graph_.set_annotations(annotations);
+}
+
+std::size_t TimingService::apply(const std::vector<GateRetime>& changes) {
+  std::size_t changed = 0;
+  for (const GateRetime& c : changes) {
+    const DelayAnnotation before = graph_.annotations()[c.gate];
+    graph_.set_annotation(c.gate, c.annotation);
+    const DelayAnnotation& after = graph_.annotations()[c.gate];
+    if (before.fall_scale != after.fall_scale ||
+        before.rise_scale != after.rise_scale ||
+        before.leak_scale != after.leak_scale) {
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+RetimeReport TimingService::retime(const std::vector<GateRetime>& changes) {
+  ScopedTimer timer(retime_stats_);
+  RetimeReport report;
+  report.worst_slack_before = graph_.worst_slack();
+  const std::size_t evals_before = graph_.stats().arrival_evals;
+  report.gates_changed = apply(changes);
+  graph_.flush();
+  report.arrival_evals = graph_.stats().arrival_evals - evals_before;
+  report.worst_slack_after = graph_.worst_slack();
+  return report;
+}
+
+Ps TimingService::slack(NetIdx net) {
+  ScopedTimer timer(slack_stats_);
+  POC_EXPECTS(net < nl_->num_nets());
+  return graph_.pin_slack(net);
+}
+
+Ps TimingService::slack(const std::string& net_name) {
+  POC_EXPECTS(nl_->has_net(net_name));
+  return slack(nl_->net_index(net_name));
+}
+
+Ps TimingService::worst_slack() {
+  ScopedTimer timer(slack_stats_);
+  return graph_.worst_slack();
+}
+
+std::vector<TimingPath> TimingService::paths(std::size_t k) {
+  ScopedTimer timer(paths_stats_);
+  return graph_.top_paths(k);
+}
+
+WhatIfReport TimingService::whatif(const std::vector<GateRetime>& candidate) {
+  ScopedTimer timer(whatif_stats_);
+  WhatIfReport report;
+  report.worst_slack_before = graph_.worst_slack();
+  // Save the annotations we are about to overwrite, apply, measure, revert.
+  std::vector<GateRetime> saved;
+  saved.reserve(candidate.size());
+  for (const GateRetime& c : candidate) {
+    saved.push_back({c.gate, graph_.annotations()[c.gate]});
+  }
+  report.gates_changed = apply(candidate);
+  report.worst_slack_after = graph_.worst_slack();
+  report.delta_ps = report.worst_slack_after - report.worst_slack_before;
+  apply(saved);
+  graph_.flush();
+  return report;
+}
+
+std::string TimingService::stats_summary() const {
+  std::ostringstream os;
+  const auto line = [&os](const char* name, const QueryStats& s) {
+    os << name << ": count=" << s.count << " mean_us=" << s.mean_us()
+       << " max_us=" << s.max_us << "\n";
+  };
+  line("retime", retime_stats_);
+  line("slack", slack_stats_);
+  line("paths", paths_stats_);
+  line("whatif", whatif_stats_);
+  return os.str();
+}
+
+}  // namespace poc

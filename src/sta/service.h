@@ -1,0 +1,107 @@
+// Long-lived timing-query service over a warm TimingGraph: load a design
+// once, then answer a stream of retime / slack / paths / whatif commands
+// without ever re-propagating more than the affected cone.  This is the
+// interactive counterpart of the batch flow — the paper's selective-OPC
+// loop (T4) re-times a handful of gates per iteration, and the
+// timing-model-extraction line of work (PAPERS.md) wants exactly this
+// "persistent timer" interface.
+//
+// The service is flow-agnostic (src/sta cannot depend on src/core): a
+// whatif candidate is a set of per-gate annotations the caller obtained
+// however it likes — examples/timing_service.cpp produces them by
+// re-extracting layout windows through the cached/SOCS flow.
+//
+// Every query updates a per-command latency counter (QueryStats), so a
+// driver can report service responsiveness alongside answers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/sta/timing_graph.h"
+
+namespace poc {
+
+/// Latency aggregate for one command kind.
+struct QueryStats {
+  std::size_t count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+
+  double mean_us() const { return count == 0 ? 0.0 : total_us / count; }
+};
+
+/// One gate's new delay annotation, as produced by a re-extraction.
+struct GateRetime {
+  GateIdx gate = kNoIndex;
+  DelayAnnotation annotation;
+};
+
+/// Outcome of a retime: how the worst slack moved and how much work the
+/// incremental engine actually did.
+struct RetimeReport {
+  Ps worst_slack_before = 0.0;
+  Ps worst_slack_after = 0.0;
+  std::size_t gates_changed = 0;   ///< gates whose annotation actually moved
+  std::size_t arrival_evals = 0;   ///< cone size actually re-propagated
+};
+
+/// Outcome of a whatif: the candidate is applied, measured and reverted;
+/// the graph answers queries exactly as before afterwards.
+struct WhatIfReport {
+  Ps worst_slack_before = 0.0;
+  Ps worst_slack_after = 0.0;
+  Ps delta_ps = 0.0;  ///< after - before (negative = candidate hurts slack)
+  std::size_t gates_changed = 0;
+};
+
+class TimingService {
+ public:
+  TimingService(const Netlist& nl, const StdCellLibrary& lib,
+                StaOptions options = {}, std::size_t threads = 1);
+
+  /// Wire parasitics for the loaded design (full re-propagation).
+  void set_parasitics(std::vector<NetParasitics> parasitics);
+
+  /// Replaces the full annotation set (diffed — unchanged gates cost
+  /// nothing).  The way a driver loads a fresh extraction result.
+  void load_annotations(const std::vector<DelayAnnotation>& annotations);
+
+  /// `retime <gate-set>`: commit new annotations for the given gates and
+  /// re-propagate their cones.
+  RetimeReport retime(const std::vector<GateRetime>& changes);
+
+  /// `slack <pin>`: worst slack over the net's valid transitions.
+  Ps slack(NetIdx net);
+  Ps slack(const std::string& net_name);  ///< throws CheckError if unknown
+
+  Ps worst_slack();
+
+  /// `paths <K>`: top-K worst paths (deterministic tie-breaking).
+  std::vector<TimingPath> paths(std::size_t k);
+
+  /// `whatif <candidate>`: apply the candidate annotations, measure the
+  /// worst slack, then revert — the graph is bit-identical to its
+  /// pre-whatif state afterwards.
+  WhatIfReport whatif(const std::vector<GateRetime>& candidate);
+
+  TimingGraph& graph() { return graph_; }
+  const TimingGraph& graph() const { return graph_; }
+
+  const QueryStats& retime_stats() const { return retime_stats_; }
+  const QueryStats& slack_stats() const { return slack_stats_; }
+  const QueryStats& paths_stats() const { return paths_stats_; }
+  const QueryStats& whatif_stats() const { return whatif_stats_; }
+  /// One line per command kind: count / mean / max latency.
+  std::string stats_summary() const;
+
+ private:
+  std::size_t apply(const std::vector<GateRetime>& changes);
+
+  const Netlist* nl_;
+  TimingGraph graph_;
+  QueryStats retime_stats_, slack_stats_, paths_stats_, whatif_stats_;
+};
+
+}  // namespace poc

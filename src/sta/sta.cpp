@@ -1,9 +1,9 @@
 #include "src/sta/sta.h"
 
-#include <algorithm>
 #include <sstream>
 
 #include "src/common/check.h"
+#include "src/sta/timing_graph.h"
 
 namespace poc {
 
@@ -12,6 +12,39 @@ std::string TimingPath::signature(const Netlist& nl) const {
   os << (endpoint_rising ? "R:" : "F:");
   for (const PathPoint& p : points) os << nl.net(p.net).name << "/";
   return os.str();
+}
+
+Ff sta_net_load(const Netlist& nl, const StdCellLibrary& lib,
+                const std::vector<NetParasitics>& parasitics, NetIdx net,
+                const StaOptions& options) {
+  const Net& n = nl.net(net);
+  Ff load = 0.0;
+  if (!parasitics.empty()) load += parasitics[net].wire_cap;
+  for (const auto& [sink_gate, pin] : n.sinks) {
+    load += lib.timing(nl.gate(sink_gate).cell).input_caps[pin];
+  }
+  if (n.is_primary_output) load += options.po_load_ff;
+  if (n.driver != kNoIndex) {
+    load += lib.timing(nl.gate(n.driver).cell).output_self_cap;
+  }
+  return load;
+}
+
+Ps sta_sink_wire_delay(const std::vector<NetParasitics>& parasitics,
+                       NetIdx net, std::size_t sink_ordinal) {
+  if (parasitics.empty()) return 0.0;
+  const NetParasitics& p = parasitics[net];
+  if (sink_ordinal >= p.sinks.size()) return 0.0;
+  return p.sinks[sink_ordinal].elmore_ps;
+}
+
+std::size_t sta_sink_ordinal(const Netlist& nl, NetIdx net, GateIdx gate,
+                             std::size_t pin) {
+  const auto& sinks = nl.net(net).sinks;
+  for (std::size_t k = 0; k < sinks.size(); ++k) {
+    if (sinks[k].first == gate && sinks[k].second == pin) return k;
+  }
+  return 0;
 }
 
 StaEngine::StaEngine(const Netlist& nl, const StdCellLibrary& lib)
@@ -30,320 +63,21 @@ void StaEngine::set_annotations(std::vector<DelayAnnotation> annotations) {
 void StaEngine::clear_annotations() { annotations_.clear(); }
 
 Ff StaEngine::net_load(NetIdx net, const StaOptions& options) const {
-  const Net& n = nl_->net(net);
-  Ff load = 0.0;
-  if (!parasitics_.empty()) load += parasitics_[net].wire_cap;
-  for (const auto& [sink_gate, pin] : n.sinks) {
-    load += lib_->timing(nl_->gate(sink_gate).cell).input_caps[pin];
-  }
-  if (n.is_primary_output) load += options.po_load_ff;
-  if (n.driver != kNoIndex) {
-    load += lib_->timing(nl_->gate(n.driver).cell).output_self_cap;
-  }
-  return load;
+  return sta_net_load(*nl_, *lib_, parasitics_, net, options);
 }
 
 Ps StaEngine::sink_wire_delay(NetIdx net, std::size_t sink_ordinal) const {
-  if (parasitics_.empty()) return 0.0;
-  const NetParasitics& p = parasitics_[net];
-  if (sink_ordinal >= p.sinks.size()) return 0.0;
-  return p.sinks[sink_ordinal].elmore_ps;
+  return sta_sink_wire_delay(parasitics_, net, sink_ordinal);
 }
-
-void StaEngine::propagate(const StaOptions& options,
-                          std::vector<NodeTime>& rise,
-                          std::vector<NodeTime>& fall) const {
-  rise.assign(nl_->num_nets(), {});
-  fall.assign(nl_->num_nets(), {});
-  for (NetIdx n : nl_->primary_inputs()) {
-    rise[n] = {0.0, options.input_slew, true};
-    fall[n] = {0.0, options.input_slew, true};
-  }
-  for (GateIdx g : nl_->topological_order()) {
-    const GateInst& gate = nl_->gate(g);
-    const CellTiming& timing = lib_->timing(gate.cell);
-    const DelayAnnotation ann =
-        annotations_.empty() ? DelayAnnotation{} : annotations_[g];
-    const Ff load = net_load(gate.output, options);
-
-    NodeTime out_rise{}, out_fall{};
-    for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
-      const NetIdx in = gate.inputs[pin];
-      const TimingArc& arc = timing.arcs[pin];
-      // Which sink ordinal of the input net feeds this pin?
-      std::size_t ordinal = 0;
-      {
-        const auto& sinks = nl_->net(in).sinks;
-        for (std::size_t k = 0; k < sinks.size(); ++k) {
-          if (sinks[k].first == g && sinks[k].second == pin) {
-            ordinal = k;
-            break;
-          }
-        }
-      }
-      const Ps wire = sink_wire_delay(in, ordinal);
-      // Negative unate: input rise -> output fall.
-      if (rise[in].valid) {
-        const Ps slew_in = degraded_slew(rise[in].slew, wire);
-        const Ps d = arc.delay_fall.lookup(slew_in, load) * ann.fall_scale *
-                     options.late_derate;
-        const Ps at = rise[in].at + wire + d;
-        if (!out_fall.valid || at > out_fall.at) {
-          out_fall = {at, arc.slew_fall.lookup(slew_in, load) * ann.fall_scale,
-                      true};
-        }
-      }
-      if (fall[in].valid) {
-        const Ps slew_in = degraded_slew(fall[in].slew, wire);
-        const Ps d = arc.delay_rise.lookup(slew_in, load) * ann.rise_scale *
-                     options.late_derate;
-        const Ps at = fall[in].at + wire + d;
-        if (!out_rise.valid || at > out_rise.at) {
-          out_rise = {at, arc.slew_rise.lookup(slew_in, load) * ann.rise_scale,
-                      true};
-        }
-      }
-    }
-    rise[gate.output] = out_rise;
-    fall[gate.output] = out_fall;
-  }
-}
-
-namespace {
-
-/// Backward DFS path enumeration with arrival-bound pruning.
-class Enumerator {
- public:
-  Enumerator(const StaEngine& eng, const Netlist& nl,
-             const StdCellLibrary& lib,
-             const std::vector<StaEngine::NodeTime>& rise,
-             const std::vector<StaEngine::NodeTime>& fall,
-             const StaOptions& options, Ps best_arrival)
-      : eng_(eng), nl_(nl), lib_(lib), rise_(rise), fall_(fall),
-        options_(options), cutoff_(best_arrival - options.path_window) {}
-
-  std::vector<TimingPath> enumerate() {
-    // Endpoints worst-first, so global budgets never drop the most critical
-    // paths.
-    struct End {
-      NetIdx net;
-      bool rising;
-      Ps at;
-    };
-    std::vector<End> ends;
-    for (NetIdx e : nl_.primary_outputs()) {
-      for (bool rising : {true, false}) {
-        const auto& node = rising ? rise_[e] : fall_[e];
-        if (node.valid) ends.push_back({e, rising, node.at});
-      }
-    }
-    std::sort(ends.begin(), ends.end(),
-              [](const End& a, const End& b) { return a.at > b.at; });
-    for (const End& end : ends) {
-      chain_.clear();
-      endpoint_emitted_ = 0;
-      walk(end.net, end.rising, 0.0);
-    }
-    std::sort(paths_.begin(), paths_.end(),
-              [](const TimingPath& a, const TimingPath& b) {
-                return a.arrival > b.arrival;
-              });
-    if (paths_.size() > options_.max_paths) paths_.resize(options_.max_paths);
-    for (TimingPath& p : paths_) {
-      p.slack = options_.clock_period - p.arrival;
-    }
-    return std::move(paths_);
-  }
-
- private:
-  struct Hop {
-    NetIdx net;
-    bool rising;
-    Ps edge_delay;  ///< delay from this net to the next hop toward endpoint
-  };
-
-  void walk(NetIdx net, bool rising, Ps suffix) {
-    if (paths_.size() >= options_.max_paths * 4) return;  // global budget
-    if (endpoint_emitted_ >= options_.max_paths) return;  // per endpoint
-    const auto& node = rising ? rise_[net] : fall_[net];
-    if (!node.valid || node.at + suffix < cutoff_) return;
-    const Net& n = nl_.net(net);
-    chain_.push_back({net, rising, 0.0});
-    if (n.driver == kNoIndex) {
-      emit(suffix);
-      chain_.pop_back();
-      return;
-    }
-    const GateInst& gate = nl_.gate(n.driver);
-    const CellTiming& timing = lib_.timing(gate.cell);
-    const DelayAnnotation ann = eng_.annotations().empty()
-                                    ? DelayAnnotation{}
-                                    : eng_.annotations()[n.driver];
-    const Ff load = eng_.net_load(net, options_);
-    // Expand fanins worst-first so the first completed path per endpoint is
-    // its critical path (greedy max-contributor backtrace).
-    struct Cand {
-      NetIdx in;
-      Ps edge;
-      Ps through;  // in-arrival + edge delay
-    };
-    std::vector<Cand> cands;
-    for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
-      const NetIdx in = gate.inputs[pin];
-      const bool in_rising = !rising;  // negative unate
-      const auto& in_node = in_rising ? rise_[in] : fall_[in];
-      if (!in_node.valid) continue;
-      const TimingArc& arc = timing.arcs[pin];
-      std::size_t ordinal = 0;
-      {
-        const auto& sinks = nl_.net(in).sinks;
-        for (std::size_t k = 0; k < sinks.size(); ++k) {
-          if (sinks[k].first == n.driver && sinks[k].second == pin) {
-            ordinal = k;
-            break;
-          }
-        }
-      }
-      const Ps wire = eng_.sink_wire_delay(in, ordinal);
-      const Ps slew_in = StaEngine::degraded_slew(in_node.slew, wire);
-      const Ps d = (rising
-                        ? arc.delay_rise.lookup(slew_in, load) * ann.rise_scale
-                        : arc.delay_fall.lookup(slew_in, load) *
-                              ann.fall_scale) *
-                   options_.late_derate;
-      cands.push_back({in, wire + d, in_node.at + wire + d});
-    }
-    std::sort(cands.begin(), cands.end(),
-              [](const Cand& a, const Cand& b) { return a.through > b.through; });
-    for (const Cand& c : cands) {
-      chain_.back().edge_delay = c.edge;
-      walk(c.in, !rising, suffix + c.edge);
-    }
-    chain_.pop_back();
-  }
-
-  void emit(Ps total_from_pi) {
-    TimingPath path;
-    // chain_ is endpoint-first; reverse into PI-first with cumulative
-    // arrivals.
-    Ps cum = 0.0;
-    for (std::size_t i = chain_.size(); i-- > 0;) {
-      PathPoint pt;
-      pt.net = chain_[i].net;
-      pt.rising = chain_[i].rising;
-      pt.arrival = cum;
-      path.points.push_back(pt);
-      if (i > 0) cum += chain_[i - 1].edge_delay;
-    }
-    // The final cumulative value is the path arrival at the endpoint.
-    path.points.back().arrival = cum;
-    path.arrival = cum;
-    path.endpoint = chain_.front().net;
-    path.endpoint_rising = chain_.front().rising;
-    (void)total_from_pi;
-    ++endpoint_emitted_;
-    paths_.push_back(std::move(path));
-  }
-
-  const StaEngine& eng_;
-  const Netlist& nl_;
-  const StdCellLibrary& lib_;
-  const std::vector<StaEngine::NodeTime>& rise_;
-  const std::vector<StaEngine::NodeTime>& fall_;
-  const StaOptions& options_;
-  Ps cutoff_;
-  std::vector<Hop> chain_;
-  std::vector<TimingPath> paths_;
-  std::size_t endpoint_emitted_ = 0;
-};
-
-}  // namespace
 
 StaReport StaEngine::run(const StaOptions& options) const {
-  std::vector<NodeTime> rise, fall;
-  propagate(options, rise, fall);
-
-  StaReport report;
-  report.worst_slack = options.clock_period;
-  for (NetIdx e : nl_->primary_outputs()) {
-    for (bool rising : {true, false}) {
-      const NodeTime& node = rising ? rise[e] : fall[e];
-      if (!node.valid) continue;
-      EndpointTime et;
-      et.net = e;
-      et.rising = rising;
-      et.arrival = node.at;
-      et.slack = options.clock_period - node.at;
-      report.endpoints.push_back(et);
-      report.worst_arrival = std::max(report.worst_arrival, node.at);
-    }
-  }
-  std::sort(report.endpoints.begin(), report.endpoints.end(),
-            [](const EndpointTime& a, const EndpointTime& b) {
-              return a.arrival > b.arrival;
-            });
-  report.worst_slack = options.clock_period - report.worst_arrival;
-
-  Enumerator en(*this, *nl_, *lib_, rise, fall, options,
-                report.worst_arrival);
-  report.paths = en.enumerate();
-
-  // Leakage.
-  for (GateIdx g = 0; g < nl_->num_gates(); ++g) {
-    const double leak = lib_->timing(nl_->gate(g).cell).leakage_ua;
-    const double scale =
-        annotations_.empty() ? 1.0 : annotations_[g].leak_scale;
-    report.total_leakage_ua += leak * scale;
-  }
-
-  // Per-gate slack: backward required times.
-  std::vector<Ps> req_rise(nl_->num_nets(), options.clock_period);
-  std::vector<Ps> req_fall(nl_->num_nets(), options.clock_period);
-  const auto order = nl_->topological_order();
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const GateIdx g = *it;
-    const GateInst& gate = nl_->gate(g);
-    const CellTiming& timing = lib_->timing(gate.cell);
-    const DelayAnnotation ann =
-        annotations_.empty() ? DelayAnnotation{} : annotations_[g];
-    const Ff load = net_load(gate.output, options);
-    for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
-      const NetIdx in = gate.inputs[pin];
-      const TimingArc& arc = timing.arcs[pin];
-      std::size_t ordinal = 0;
-      {
-        const auto& sinks = nl_->net(in).sinks;
-        for (std::size_t k = 0; k < sinks.size(); ++k) {
-          if (sinks[k].first == g && sinks[k].second == pin) {
-            ordinal = k;
-            break;
-          }
-        }
-      }
-      const Ps wire = sink_wire_delay(in, ordinal);
-      if (rise[in].valid) {
-        const Ps d = arc.delay_fall.lookup(
-                         degraded_slew(rise[in].slew, wire), load) *
-                     ann.fall_scale * options.late_derate;
-        req_rise[in] = std::min(req_rise[in], req_fall[gate.output] - d - wire);
-      }
-      if (fall[in].valid) {
-        const Ps d = arc.delay_rise.lookup(
-                         degraded_slew(fall[in].slew, wire), load) *
-                     ann.rise_scale * options.late_derate;
-        req_fall[in] = std::min(req_fall[in], req_rise[gate.output] - d - wire);
-      }
-    }
-  }
-  report.gate_slack.assign(nl_->num_gates(), options.clock_period);
-  for (GateIdx g = 0; g < nl_->num_gates(); ++g) {
-    const NetIdx out = nl_->gate(g).output;
-    Ps slack = options.clock_period;
-    if (rise[out].valid) slack = std::min(slack, req_rise[out] - rise[out].at);
-    if (fall[out].valid) slack = std::min(slack, req_fall[out] - fall[out].at);
-    report.gate_slack[g] = slack;
-  }
-  return report;
+  // A fresh graph per call keeps this entry point stateless (the
+  // Monte-Carlo loop calls it concurrently); the warm incremental path is
+  // TimingGraph itself.
+  TimingGraph graph(*nl_, *lib_, options, /*threads=*/1);
+  graph.borrow_parasitics(&parasitics_);
+  graph.set_annotations(annotations_);
+  return graph.report();
 }
 
 std::vector<GateIdx> StaEngine::critical_gates(const StaOptions& options,

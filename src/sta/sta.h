@@ -3,6 +3,16 @@
 // post-OPC extracted CDs into timing — the paper's "back-annotation"
 // mechanism — so the same engine runs drawn-CD and silicon-calibrated
 // analyses and everything between (corners, Monte Carlo).
+//
+// Two entry points share one propagation implementation (the levelized
+// TimingGraph in timing_graph.h):
+//   * StaEngine::run() — stateless from-scratch analysis: builds a fresh
+//     graph, marks everything dirty, propagates, reports.  Safe to call
+//     concurrently (the Monte-Carlo loop does).
+//   * TimingGraph — the warm incremental engine: keeps arrivals/requireds
+//     current across update_delays() calls that re-propagate only the
+//     affected cone.  The equivalence fuzz harness
+//     (tests/sta_incremental_test.cpp) proves both answer bit-identically.
 #pragma once
 
 #include <cmath>
@@ -71,6 +81,29 @@ struct StaReport {
   std::vector<Ps> gate_slack;
 };
 
+/// Arrival time + transition slew of one (net, transition) timing node.
+struct NodeTime {
+  Ps at = 0.0;
+  Ps slew = 0.0;
+  bool valid = false;
+};
+
+/// Effective capacitive load on a net's driver (wire + pins + self + PO).
+/// The one summation both engines and the path enumerator share — the
+/// addition order is part of the bit-identity contract.
+Ff sta_net_load(const Netlist& nl, const StdCellLibrary& lib,
+                const std::vector<NetParasitics>& parasitics, NetIdx net,
+                const StaOptions& options);
+
+/// Elmore wire delay from a net's driver to its k-th sink (0 without
+/// parasitics).
+Ps sta_sink_wire_delay(const std::vector<NetParasitics>& parasitics,
+                       NetIdx net, std::size_t sink_ordinal);
+
+/// Ordinal of (gate, pin) within net's sink list.
+std::size_t sta_sink_ordinal(const Netlist& nl, NetIdx net, GateIdx gate,
+                             std::size_t pin);
+
 class StaEngine {
  public:
   StaEngine(const Netlist& nl, const StdCellLibrary& lib);
@@ -83,6 +116,8 @@ class StaEngine {
   void set_annotations(std::vector<DelayAnnotation> annotations);
   void clear_annotations();
 
+  /// From-scratch analysis: builds a TimingGraph, marks everything dirty,
+  /// propagates, reports.  Stateless — safe to call concurrently.
   StaReport run(const StaOptions& options = {}) const;
 
   /// Gates whose slack is within `window` of the worst (the paper's
@@ -106,18 +141,12 @@ class StaEngine {
   const std::vector<DelayAnnotation>& annotations() const {
     return annotations_;
   }
+  const std::vector<NetParasitics>& parasitics() const { return parasitics_; }
 
-  struct NodeTime {
-    Ps at = 0.0;
-    Ps slew = 0.0;
-    bool valid = false;
-  };
+  /// Deprecated nested alias; the node type now lives at namespace scope.
+  using NodeTime = poc::NodeTime;
 
  private:
-  /// Forward propagation; fills arrival/slew for both transitions.
-  void propagate(const StaOptions& options, std::vector<NodeTime>& rise,
-                 std::vector<NodeTime>& fall) const;
-
   const Netlist* nl_;
   const StdCellLibrary* lib_;
   std::vector<NetParasitics> parasitics_;

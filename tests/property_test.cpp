@@ -2,6 +2,7 @@
 // inputs and the whole cell/benchmark space, complementing the per-module
 // example-based tests.
 #include <algorithm>
+#include <cstring>
 #include <filesystem>
 
 #include <gtest/gtest.h>
@@ -15,6 +16,7 @@
 #include "src/netlist/verilog.h"
 #include "src/opc/fragment.h"
 #include "src/sta/sta.h"
+#include "src/sta/timing_graph.h"
 #include "src/stdcell/library.h"
 
 namespace poc {
@@ -206,6 +208,147 @@ INSTANTIATE_TEST_SUITE_P(Benchmarks, StaSanity,
                          ::testing::Values("c17", "adder4", "adder8",
                                            "adder16", "mult4", "rand100",
                                            "rand200"));
+
+// ------------------------------------------------- incremental worklist STA
+
+bool node_bits_eq(const NodeTime& a, const NodeTime& b) {
+  return a.valid == b.valid &&
+         std::memcmp(&a.at, &b.at, sizeof(double)) == 0 &&
+         std::memcmp(&a.slew, &b.slew, sizeof(double)) == 0;
+}
+
+DelayAnnotation perturbed(Rng& rng) {
+  DelayAnnotation a;
+  a.fall_scale = 1.0 + rng.uniform(0.05, 0.35);
+  a.rise_scale = 1.0 + rng.uniform(0.05, 0.35);
+  a.leak_scale = 1.0 + rng.uniform(-0.1, 0.2);
+  return a;
+}
+
+class IncrementalCone : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalCone, PerturbationStaysInsideAffectedRegion) {
+  // Cone containment: a perturbation of gate g changes arrivals only in
+  // fanout_cone(g) and slacks only in affected_region(g) (the fanin closure
+  // of the fanout cone — reconvergent siblings see required-time shifts).
+  Rng rng(GetParam() * 71);
+  const Netlist nl = make_random_logic(70, 8, GetParam());
+  TimingGraph graph(nl, lib());
+  std::vector<NodeTime> rise_before(nl.num_nets()), fall_before(nl.num_nets());
+  for (NetIdx n = 0; n < nl.num_nets(); ++n) {
+    rise_before[n] = graph.arrival(n, true);
+    fall_before[n] = graph.arrival(n, false);
+  }
+  const std::vector<Ps> slack_before = graph.gate_slacks();
+
+  const GateIdx g = static_cast<GateIdx>(
+      rng.uniform_int(0, static_cast<int>(nl.num_gates()) - 1));
+  graph.set_annotation(g, perturbed(rng));
+  graph.update_delays({g});
+
+  std::vector<char> in_cone(nl.num_gates(), 0);
+  for (GateIdx c : graph.fanout_cone(g)) in_cone[c] = 1;
+  std::vector<char> in_region(nl.num_gates(), 0);
+  for (GateIdx c : graph.affected_region(g)) in_region[c] = 1;
+
+  for (GateIdx h = 0; h < nl.num_gates(); ++h) {
+    const NetIdx out = nl.gate(h).output;
+    if (!in_cone[h]) {
+      EXPECT_TRUE(node_bits_eq(graph.arrival(out, true), rise_before[out]))
+          << "arrival moved outside fanout cone, gate " << h;
+      EXPECT_TRUE(node_bits_eq(graph.arrival(out, false), fall_before[out]))
+          << "arrival moved outside fanout cone, gate " << h;
+    }
+  }
+  const std::vector<Ps> slack_after = graph.gate_slacks();
+  for (GateIdx h = 0; h < nl.num_gates(); ++h) {
+    if (!in_region[h]) {
+      EXPECT_EQ(slack_after[h], slack_before[h])
+          << "slack moved outside affected region, gate " << h;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalCone, ::testing::Range(1, 9));
+
+TEST(IncrementalProperty, NoChangeUpdateIsNoOp) {
+  // Idempotence: re-applying the current annotations, or update_delays on
+  // gates whose values did not move, performs zero re-evaluation.
+  const Netlist nl = make_benchmark("adder8");
+  TimingGraph graph(nl, lib());
+  std::vector<DelayAnnotation> ann(nl.num_gates());
+  ann[5].fall_scale = 1.2;
+  graph.set_annotations(ann);
+  graph.report();  // settle arrivals and requireds
+  graph.reset_stats();
+
+  graph.set_annotations(ann);  // identical vector: diff marks nothing
+  graph.flush();
+  EXPECT_EQ(graph.stats().forward_flushes, 0u);
+  EXPECT_EQ(graph.stats().arrival_evals, 0u);
+
+  // update_delays on an unchanged gate re-evaluates it (the caller claimed
+  // it changed) but propagation must cut immediately at its bit-identical
+  // output.
+  const Ps ws = graph.worst_slack();
+  graph.update_delays({3});
+  EXPECT_LE(graph.stats().arrival_evals, 1u);
+  EXPECT_EQ(graph.worst_slack(), ws);
+}
+
+TEST(IncrementalProperty, DisjointUpdatesCommute) {
+  // Commutativity: updates whose affected regions are disjoint give the
+  // same graph state applied in either order (and match one-shot).
+  const Netlist nl = make_random_logic(80, 10, 11);
+  Rng rng(1234);
+  TimingGraph probe(nl, lib());
+  // Find a disjoint pair of affected regions.
+  GateIdx a = kNoIndex, b = kNoIndex;
+  [&] {
+    for (GateIdx i = 0; i < nl.num_gates(); ++i) {
+      std::vector<char> ra(nl.num_gates(), 0);
+      for (GateIdx x : probe.affected_region(i)) ra[x] = 1;
+      for (GateIdx j = i + 1; j < nl.num_gates(); ++j) {
+        bool disjoint = true;
+        for (GateIdx x : probe.affected_region(j)) {
+          if (ra[x]) {
+            disjoint = false;
+            break;
+          }
+        }
+        if (disjoint) {
+          a = i;
+          b = j;
+          return;
+        }
+      }
+    }
+  }();
+  ASSERT_NE(a, kNoIndex) << "benchmark has no disjoint affected regions";
+
+  const DelayAnnotation ann_a = perturbed(rng);
+  const DelayAnnotation ann_b = perturbed(rng);
+  const auto apply = [&](TimingGraph& g, GateIdx gate,
+                         const DelayAnnotation& ann) {
+    g.set_annotation(gate, ann);
+    g.update_delays({gate});
+  };
+
+  TimingGraph ab(nl, lib());
+  apply(ab, a, ann_a);
+  apply(ab, b, ann_b);
+  TimingGraph ba(nl, lib());
+  apply(ba, b, ann_b);
+  apply(ba, a, ann_a);
+
+  for (NetIdx n = 0; n < nl.num_nets(); ++n) {
+    EXPECT_TRUE(node_bits_eq(ab.arrival(n, true), ba.arrival(n, true)));
+    EXPECT_TRUE(node_bits_eq(ab.arrival(n, false), ba.arrival(n, false)));
+    EXPECT_EQ(ab.required(n, true), ba.required(n, true));
+    EXPECT_EQ(ab.required(n, false), ba.required(n, false));
+  }
+  EXPECT_EQ(ab.worst_slack(), ba.worst_slack());
+}
 
 }  // namespace
 }  // namespace poc

@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include "src/ckt/transient.h"
+#include "src/core/flow.h"
 #include "src/netlist/generators.h"
 #include "src/stdcell/characterize.h"
 #include "src/sta/paths.h"
+#include "src/sta/service.h"
 #include "src/sta/sta.h"
 
 namespace poc {
@@ -392,6 +394,184 @@ TEST(Sta, LeakageSumAndScaling) {
   for (auto& a : ann) a.leak_scale = 3.0;
   engine.set_annotations(ann);
   EXPECT_NEAR(engine.run({}).total_leakage_ua, 3.0 * base, 1e-9);
+}
+
+// ----------------------------------------------------------- path ordering
+
+std::vector<std::string> path_signatures(const Netlist& nl,
+                                         const std::vector<TimingPath>& ps) {
+  std::vector<std::string> sigs;
+  for (const TimingPath& p : ps) sigs.push_back(p.signature(nl));
+  return sigs;
+}
+
+TEST(Paths, TiesBreakByPinIdNotTraversalOrder) {
+  // Two identical inverters off one PI: every arrival ties pairwise across
+  // o0/o1.  The order must be pinned by net id (o0 before o1, rise before
+  // fall at the same net), independent of the order gates were declared —
+  // i.e. of levelization/traversal order.
+  const auto build = [](bool reversed) {
+    Netlist nl("tie");
+    const NetIdx in = nl.add_net("in");
+    nl.mark_primary_input(in);
+    const NetIdx o0 = nl.add_net("o0");
+    const NetIdx o1 = nl.add_net("o1");
+    if (reversed) {
+      nl.add_gate("g1", "INV_X1", {in}, o1);
+      nl.add_gate("g0", "INV_X1", {in}, o0);
+    } else {
+      nl.add_gate("g0", "INV_X1", {in}, o0);
+      nl.add_gate("g1", "INV_X1", {in}, o1);
+    }
+    nl.mark_primary_output(o0);
+    nl.mark_primary_output(o1);
+    return nl;
+  };
+  const Netlist a = build(false);
+  const Netlist b = build(true);
+  const StaReport ra = StaEngine(a, lib()).run({});
+  const StaReport rb = StaEngine(b, lib()).run({});
+  ASSERT_EQ(ra.paths.size(), 4u);
+  // Equal-arrival groups ordered by endpoint net id, rise before fall.
+  for (std::size_t i = 0; i + 1 < ra.paths.size(); ++i) {
+    ASSERT_GE(ra.paths[i].arrival, ra.paths[i + 1].arrival);
+    if (ra.paths[i].arrival == ra.paths[i + 1].arrival) {
+      EXPECT_LT(ra.paths[i].endpoint, ra.paths[i + 1].endpoint);
+    }
+  }
+  // Declaration order (levelization) must not leak into the ranking.
+  EXPECT_EQ(path_signatures(a, ra.paths), path_signatures(b, rb.paths));
+  // The warm graph enumerates through the same code and ties.
+  TimingGraph graph(a, lib());
+  EXPECT_EQ(path_signatures(a, graph.report().paths),
+            path_signatures(a, ra.paths));
+}
+
+// ---------------------------------------------------------- timing service
+
+void expect_paths_bit_eq(const Netlist& nl, const std::vector<TimingPath>& a,
+                         const std::vector<TimingPath>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].signature(nl), b[i].signature(nl)) << "path " << i;
+    EXPECT_EQ(a[i].arrival, b[i].arrival) << "path " << i;
+    EXPECT_EQ(a[i].slack, b[i].slack) << "path " << i;
+  }
+}
+
+TEST(TimingService, QueriesUnchangedAcrossInterleavedRetime) {
+  const Netlist nl = make_benchmark("adder8");
+  TimingService svc(nl, lib());
+
+  const Ps ws0 = svc.worst_slack();
+  const auto paths0 = svc.paths(6);
+  std::vector<Ps> slack0;
+  for (NetIdx e : nl.primary_outputs()) slack0.push_back(svc.slack(e));
+
+  // whatif is apply-measure-revert: answers afterwards are bit-identical.
+  std::vector<GateRetime> candidate;
+  candidate.push_back({3, {1.3, 1.25, 1.1}});
+  candidate.push_back({11, {0.9, 0.95, 1.0}});
+  const WhatIfReport wr = svc.whatif(candidate);
+  EXPECT_EQ(wr.worst_slack_before, ws0);
+  EXPECT_EQ(wr.gates_changed, 2u);
+  EXPECT_NE(wr.worst_slack_after, ws0);
+  EXPECT_EQ(svc.worst_slack(), ws0);
+  expect_paths_bit_eq(nl, svc.paths(6), paths0);
+
+  // Interleaved retime: answers track a from-scratch engine over the new
+  // state; retiming back restores every answer bitwise.
+  const RetimeReport rr = svc.retime(candidate);
+  EXPECT_EQ(rr.worst_slack_before, ws0);
+  EXPECT_EQ(rr.worst_slack_after, wr.worst_slack_after);
+  std::vector<DelayAnnotation> full(nl.num_gates());
+  full[3] = {1.3, 1.25, 1.1};
+  full[11] = {0.9, 0.95, 1.0};
+  TimingGraph fresh(nl, lib());
+  fresh.set_annotations(full);
+  EXPECT_EQ(svc.worst_slack(), fresh.worst_slack());
+  expect_paths_bit_eq(nl, svc.paths(6), fresh.top_paths(6));
+
+  std::vector<GateRetime> revert;
+  revert.push_back({3, {}});
+  revert.push_back({11, {}});
+  svc.retime(revert);
+  EXPECT_EQ(svc.worst_slack(), ws0);
+  expect_paths_bit_eq(nl, svc.paths(6), paths0);
+  std::size_t k = 0;
+  for (NetIdx e : nl.primary_outputs()) EXPECT_EQ(svc.slack(e), slack0[k++]);
+
+  EXPECT_GE(svc.retime_stats().count, 2u);
+  EXPECT_GE(svc.whatif_stats().count, 1u);
+  EXPECT_FALSE(svc.stats_summary().empty());
+}
+
+TEST(TimingService, WhatIfOnJournaledFlowKeepsReplayBitIdentical) {
+  // A whatif re-extracts windows at a different exposure through a
+  // journaled flow, appending records a plain run never wrote.  Replay
+  // looks records up by content fingerprint, so the extra records must be
+  // ignored and a resumed run must stay bit-identical to an unjournaled
+  // reference.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "poc_sta_whatif_journal";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const Netlist nl = make_benchmark("c17");
+  const PlacedDesign design = place_and_route(nl, lib());
+  FlowOptions base;
+  base.sta.clock_period = 90.0;
+  base.cache.enabled = false;  // exact replay counters
+
+  // Unjournaled ground truth.
+  TimingComparison ref;
+  {
+    PostOpcFlow flow(design, lib(), LithoSimulator{}, base);
+    flow.run_opc(OpcMode::kRuleBased);
+    ref = flow.compare_timing({});
+  }
+
+  FlowOptions journaled = base;
+  journaled.journal.enabled = true;
+  journaled.journal.path = dir.string();
+  {
+    PostOpcFlow flow(design, lib(), LithoSimulator{}, journaled);
+    flow.run_opc(OpcMode::kRuleBased);
+    const TimingComparison cmp = flow.compare_timing({});
+    EXPECT_EQ(cmp.annotated.worst_slack, ref.annotated.worst_slack);
+
+    // whatif against the warm service: off-nominal re-extraction of a few
+    // gates (journaled under different fingerprints), applied and reverted.
+    TimingService svc = flow.make_timing_service();
+    svc.load_annotations(flow.annotate(flow.extract({})));
+    Exposure shifted;
+    shifted.focus_nm = 60.0;
+    const std::vector<GateIdx> subset{0, 1, 2};
+    const auto ann = flow.annotate(flow.extract(shifted, subset));
+    std::vector<GateRetime> candidate;
+    for (GateIdx g : subset) candidate.push_back({g, ann[g]});
+    const WhatIfReport wr = svc.whatif(candidate);
+    EXPECT_EQ(wr.worst_slack_before, svc.worst_slack());
+  }
+
+  // Resume from the journal (now containing the whatif's extra records):
+  // replay must be bit-identical to the reference.
+  {
+    PostOpcFlow flow(design, lib(), LithoSimulator{}, journaled);
+    flow.run_opc(OpcMode::kRuleBased);
+    const TimingComparison cmp = flow.compare_timing({});
+    EXPECT_EQ(cmp.drawn.worst_slack, ref.drawn.worst_slack);
+    EXPECT_EQ(cmp.annotated.worst_slack, ref.annotated.worst_slack);
+    EXPECT_EQ(cmp.annotated.worst_arrival, ref.annotated.worst_arrival);
+    EXPECT_EQ(cmp.annotated.total_leakage_ua, ref.annotated.total_leakage_ua);
+    ASSERT_EQ(cmp.annotated.gate_slack.size(), ref.annotated.gate_slack.size());
+    for (std::size_t g = 0; g < cmp.annotated.gate_slack.size(); ++g) {
+      EXPECT_EQ(cmp.annotated.gate_slack[g], ref.annotated.gate_slack[g]);
+    }
+    EXPECT_GT(flow.journal_stats().replayed_hits, 0u)
+        << "resume must replay, not recompute";
+  }
+  fs::remove_all(dir);
 }
 
 }  // namespace
