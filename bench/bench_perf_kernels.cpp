@@ -12,6 +12,7 @@
 #include "src/cdx/cd_extract.h"
 #include "src/common/fft.h"
 #include "src/geom/polygon_ops.h"
+#include "src/litho/batch.h"
 #include "src/litho/imaging.h"
 #include "src/litho/mask.h"
 #include "src/opc/opc_engine.h"
@@ -122,6 +123,90 @@ void BM_AerialImageSocsKernels(benchmark::State& state) {
 }
 BENCHMARK(BM_AerialImageSocsKernels)
     ->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(24);
+
+void BM_Fft2DBatched(benchmark::State& state) {
+  // Lane-batched SoA transform vs BM_Fft2D: same 256x256 size, 8 lanes per
+  // pass; per-transform time is time / lanes.
+  const std::size_t n = 256;
+  const std::size_t lanes = 8;
+  std::vector<double> re(n * n * lanes), im(n * n * lanes);
+  Rng rng(1);
+  for (auto& v : re) v = rng.uniform();
+  for (auto _ : state) {
+    fft_2d_soa(re.data(), im.data(), n, n, false, lanes);
+    fft_2d_soa(re.data(), im.data(), n, n, true, lanes);
+    benchmark::DoNotOptimize(re.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(lanes));
+}
+BENCHMARK(BM_Fft2DBatched);
+
+/// Fine-quality SOCS conditions shared by the scalar/batched pair below:
+/// kFine pixel (5 nm) and source sampling (3 rings x 12 spokes).
+struct FineSocsFixture {
+  std::vector<Image2D> masks;
+  OpticalSettings opt;
+  std::vector<SourcePoint> source;
+  ImagingOptions imaging{ImagingMode::kSocs, SocsOptions{}};
+
+  explicit FineSocsFixture(std::size_t count) {
+    opt.source_rings = 3;
+    opt.source_spokes = 12;
+    source = sample_source(opt);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::vector<Rect> lines;
+      const DbUnit w = 80 + 10 * static_cast<DbUnit>(i % 5);
+      for (int k = -3; k <= 3; ++k) {
+        lines.push_back({k * 250, -600, k * 250 + w, 600});
+      }
+      masks.push_back(rasterize_mask(lines, {-900, -700, 990, 700}, 5.0));
+    }
+  }
+};
+
+void BM_AerialImageSocsFine(benchmark::State& state) {
+  // Scalar SOCS per-window baseline at fine quality (the PR6 path).
+  const FineSocsFixture fx(4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aerial_image_blurred(
+        fx.masks[i % fx.masks.size()], fx.opt, 0.0, 25.0, fx.source,
+        fx.imaging));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AerialImageSocsFine);
+
+void BM_AerialImageSocsBatched(benchmark::State& state) {
+  // Batched SoA engine at the same fine-quality conditions; Arg is the
+  // batch size (window lanes per pass).  Per-window time is time / batch;
+  // the label asserts lane 0 of the batch stayed bit-identical to scalar.
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  const FineSocsFixture fx(batch);
+  std::vector<const Image2D*> ptrs;
+  for (const Image2D& m : fx.masks) ptrs.push_back(&m);
+  ScratchArena arena;
+  std::vector<Image2D> out(batch);
+  aerial_image_blurred_socs_batch(ptrs.data(), batch, fx.opt, 0.0, 25.0,
+                                  fx.source, fx.imaging.socs, arena,
+                                  out.data());
+  const Image2D ref = aerial_image_blurred(fx.masks[0], fx.opt, 0.0, 25.0,
+                                           fx.source, fx.imaging);
+  const bool identical =
+      ref.data() == out[0].data() && ref.nx() == out[0].nx();
+  state.SetLabel(identical ? "batched_identical=1" : "batched_identical=0");
+  for (auto _ : state) {
+    aerial_image_blurred_socs_batch(ptrs.data(), batch, fx.opt, 0.0, 25.0,
+                                    fx.source, fx.imaging.socs, arena,
+                                    out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_AerialImageSocsBatched)->Arg(1)->Arg(4)->Arg(16);
 
 void BM_OpcWindow(benchmark::State& state) {
   const LithoSimulator sim;

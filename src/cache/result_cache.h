@@ -94,6 +94,19 @@ class ShardedCache {
     return it->second.value;
   }
 
+  /// find() without the bookkeeping: no hit/miss counters, no LRU recency
+  /// refresh.  The batched hot loops probe with peek() while assembling a
+  /// batch (deciding which windows still need computing) and leave the
+  /// authoritative find() to the per-window consumption path, so observable
+  /// cache statistics — and eviction order — match the unbatched loop
+  /// exactly.
+  std::shared_ptr<const Value> peek(const Fingerprint& fp) {
+    Shard& s = shard_of(fp);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.map.find(fp);
+    return it == s.map.end() ? nullptr : it->second.value;
+  }
+
   /// Inserts `value` with the given approximate byte cost, evicting LRU
   /// entries as needed.  If the key is already present (a concurrent miss
   /// computed the same pure result), the existing entry is kept.

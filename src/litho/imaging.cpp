@@ -4,9 +4,11 @@
 #include <cmath>
 #include <memory>
 #include <numbers>
+#include <type_traits>
 
 #include "src/common/check.h"
 #include "src/common/fft.h"
+#include "src/litho/batch.h"
 #include "src/litho/pupil_cache.h"
 
 namespace poc {
@@ -201,14 +203,9 @@ Image2D aerial_image_blurred(const Image2D& mask, const OpticalSettings& opt,
   if (socs) {
     // The irfft below only reads the band columns, and every band entry is
     // rewritten each call, so the full-grid spectrum can live in a
-    // persistent per-thread buffer: only a geometry change pays the
-    // full-size zeroing again.
-    struct UpsampleScratch {
-      std::size_t nx = 0, ny = 0;
-      long long cx = -1, cy = -1;
-      std::vector<Cplx> spec;
-    };
-    thread_local UpsampleScratch scratch;
+    // persistent per-worker buffer (the thread's ScratchArena): only a
+    // geometry change pays the full-size zeroing again.
+    ScratchArena::UpsampleSpec& scratch = tls_scratch_arena().upsample_spec();
     if (scratch.nx != nx || scratch.ny != ny || scratch.cx != cx ||
         scratch.cy != cy) {
       scratch.nx = nx;
@@ -265,6 +262,351 @@ Image2D aerial_image_blurred(const Image2D& mask, const OpticalSettings& opt,
     }
   }
   return result;
+}
+
+// --- Batched SOCS engine -------------------------------------------------
+//
+// Lane-parallel mirror of the scalar kSocs branch above.  Each helper
+// transcribes the scalar complex arithmetic as the compiler's naive
+// expansion (4-multiply products, componentwise real scaling) so every
+// lane's floating-point sequence — including signed zeros — matches the
+// scalar path bit for bit; see the determinism notes in src/common/fft.h.
+
+namespace {
+
+/// One parity-packed kernel pair applied to the batch: the scalar loop body
+/// (m = M * crop_scale; h = m * phi.real(); odd twist; Hermitian packing)
+/// widened across lanes.  pair/odd flags are uniform per kernel, so they
+/// template-dispatch out of the lane loop.
+template <bool kHasPair, bool kOdd1, bool kOdd2>
+void socs_apply_pair_lanes(const double* spec_re, const double* spec_im,
+                           std::size_t lanes, std::size_t nx, std::size_t ny,
+                           const SpectralGrid& grid, std::size_t ncx,
+                           std::size_t ncy, double crop_scale,
+                           const Cplx* phi1, const Cplx* phi2,
+                           double* field_re, double* field_im) {
+  const std::size_t nb = 2 * static_cast<std::size_t>(grid.kx_max) + 1;
+  (void)nx;
+  std::size_t idx = 0;
+  for (long long ky = -grid.ky_max; ky <= grid.ky_max; ++ky) {
+    const std::size_t ys =
+        ky >= 0 ? static_cast<std::size_t>(ky) : ny - static_cast<std::size_t>(-ky);
+    for (long long kx = -grid.kx_max; kx <= grid.kx_max; ++kx, ++idx) {
+      const double p1 = phi1[idx].real();
+      const double p2 = kHasPair ? phi2[idx].real() : 0.0;
+      const std::size_t c = kx >= 0 ? static_cast<std::size_t>(kx)
+                                    : static_cast<std::size_t>(kx) + nb;
+      const double* POC_RESTRICT sr = spec_re + (c * ny + ys) * lanes;
+      const double* POC_RESTRICT si = spec_im + (c * ny + ys) * lanes;
+      const std::size_t fidx = spec_index(kx, ky, ncx, ncy);
+      double* POC_RESTRICT fr = field_re + fidx * lanes;
+      double* POC_RESTRICT fi = field_im + fidx * lanes;
+      // VEC-LOOP(socs-kernel-apply): independent window lanes of the scalar
+      // kernel-application body.
+      for (std::size_t w = 0; w < lanes; ++w) {
+        const double mr = sr[w] * crop_scale;
+        const double mi = si[w] * crop_scale;
+        const double t1r = mr * p1;
+        const double t1i = mi * p1;
+        const double h1r = kOdd1 ? t1i : t1r;
+        const double h1i = kOdd1 ? -t1r : t1i;
+        if constexpr (kHasPair) {
+          const double t2r = mr * p2;
+          const double t2i = mi * p2;
+          const double h2r = kOdd2 ? t2i : t2r;
+          const double h2i = kOdd2 ? -t2r : t2i;
+          fr[w] = h1r - h2i;
+          fi[w] = h1i + h2r;
+        } else {
+          // Scalar path: h2 stays Cplx(0.0, 0.0) — keep the literal +0.0
+          // operations so signed zeros round-trip identically.
+          fr[w] = h1r - 0.0;
+          fi[w] = h1i + 0.0;
+        }
+      }
+    }
+  }
+}
+
+void socs_apply_pair_lanes_dispatch(const double* spec_re,
+                                    const double* spec_im, std::size_t lanes,
+                                    std::size_t nx, std::size_t ny,
+                                    const SpectralGrid& grid, std::size_t ncx,
+                                    std::size_t ncy, double crop_scale,
+                                    bool pair, bool odd1, bool odd2,
+                                    const Cplx* phi1, const Cplx* phi2,
+                                    double* field_re, double* field_im) {
+  const auto call = [&](auto has_pair, auto o1, auto o2) {
+    socs_apply_pair_lanes<decltype(has_pair)::value, decltype(o1)::value,
+                          decltype(o2)::value>(spec_re, spec_im, lanes, nx, ny,
+                                               grid, ncx, ncy, crop_scale,
+                                               phi1, phi2, field_re, field_im);
+  };
+  using T = std::true_type;
+  using F = std::false_type;
+  if (pair) {
+    if (odd1) {
+      odd2 ? call(T{}, T{}, T{}) : call(T{}, T{}, F{});
+    } else {
+      odd2 ? call(T{}, F{}, T{}) : call(T{}, F{}, F{});
+    }
+  } else {
+    odd1 ? call(F{}, T{}, F{}) : call(F{}, F{}, F{});
+  }
+}
+
+/// Generic (non-parity-packed) kernel application: the accumulate_coherent
+/// scatter loop widened across lanes.  The p == 0 skip is uniform per
+/// spectral sample, so skipped entries stay at the batch-wide zero fill.
+void socs_apply_generic_lanes(const double* spec_re, const double* spec_im,
+                              std::size_t lanes, std::size_t ny,
+                              const SpectralGrid& grid, std::size_t ncx,
+                              std::size_t ncy, double crop_scale,
+                              const Cplx* table, double* field_re,
+                              double* field_im) {
+  const std::size_t nb = 2 * static_cast<std::size_t>(grid.kx_max) + 1;
+  std::size_t idx = 0;
+  for (long long ky = -grid.ky_max; ky <= grid.ky_max; ++ky) {
+    const std::size_t ys =
+        ky >= 0 ? static_cast<std::size_t>(ky) : ny - static_cast<std::size_t>(-ky);
+    for (long long kx = -grid.kx_max; kx <= grid.kx_max; ++kx) {
+      const Cplx p = table[idx++];
+      if (p == Cplx(0.0, 0.0)) continue;
+      const double pr = p.real();
+      const double pi = p.imag();
+      const std::size_t c = kx >= 0 ? static_cast<std::size_t>(kx)
+                                    : static_cast<std::size_t>(kx) + nb;
+      const double* POC_RESTRICT sr = spec_re + (c * ny + ys) * lanes;
+      const double* POC_RESTRICT si = spec_im + (c * ny + ys) * lanes;
+      const std::size_t fidx = spec_index(kx, ky, ncx, ncy);
+      double* POC_RESTRICT fr = field_re + fidx * lanes;
+      double* POC_RESTRICT fi = field_im + fidx * lanes;
+      for (std::size_t w = 0; w < lanes; ++w) {
+        // spectrum * p (naive complex product), then * crop_scale.
+        const double vr = sr[w] * pr - si[w] * pi;
+        const double vi = sr[w] * pi + si[w] * pr;
+        fr[w] = vr * crop_scale;
+        fi[w] = vi * crop_scale;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void aerial_image_blurred_socs_batch(const Image2D* const* masks,
+                                     std::size_t count,
+                                     const OpticalSettings& opt,
+                                     double defocus_nm, double blur_sigma_nm,
+                                     const std::vector<SourcePoint>& source,
+                                     const SocsOptions& socs,
+                                     ScratchArena& arena, Image2D* out) {
+  POC_EXPECTS(count > 0);
+  const std::size_t lanes = count;
+  const std::size_t nx = masks[0]->nx();
+  const std::size_t ny = masks[0]->ny();
+  const double pixel = masks[0]->pixel();
+  POC_EXPECTS(is_pow2(nx) && is_pow2(ny));
+  for (std::size_t w = 1; w < count; ++w) {
+    POC_EXPECTS(masks[w]->nx() == nx && masks[w]->ny() == ny &&
+                masks[w]->pixel() == pixel);
+  }
+
+  // Spectral layout: the same arithmetic on the same inputs as the scalar
+  // path, so every derived quantity (and the memoized kernel set) matches.
+  const double dfx = 1.0 / (static_cast<double>(nx) * pixel);
+  const double dfy = 1.0 / (static_cast<double>(ny) * pixel);
+  const double fc = opt.cutoff_freq();
+  const double reach = fc * (1.0 + opt.sigma_outer) * 1.001;
+  const long long kx_max = std::min<long long>(
+      static_cast<long long>(nx) / 2 - 1,
+      static_cast<long long>(reach / dfx) + 1);
+  const long long ky_max = std::min<long long>(
+      static_cast<long long>(ny) / 2 - 1,
+      static_cast<long long>(reach / dfy) + 1);
+  const std::size_t ncx = std::min(
+      nx, next_pow2(static_cast<std::size_t>(4 * kx_max + 2)));
+  const std::size_t ncy = std::min(
+      ny, next_pow2(static_cast<std::size_t>(4 * ky_max + 2)));
+  const SpectralGrid grid{dfx, dfy, kx_max, ky_max};
+
+  const std::shared_ptr<const SocsKernels> kernels =
+      socs_kernels(opt, source, defocus_nm, grid, socs);
+
+  // Shared per-call setup: blur factor tables and the persistent upsample
+  // spectrum (sized for the whole batch; each tile below owns a contiguous
+  // nbu*ny*nw slice of it).
+  const std::size_t nb = 2 * static_cast<std::size_t>(kx_max) + 1;
+  const std::size_t nc = ncx * ncy;
+  const double crop_scale = static_cast<double>(ncx) *
+                            static_cast<double>(ncy) /
+                            (static_cast<double>(nx) * static_cast<double>(ny));
+  const double up_scale = static_cast<double>(nx) * static_cast<double>(ny) /
+                          (static_cast<double>(ncx) * static_cast<double>(ncy));
+  const double two_pi2_s2 = 2.0 * std::numbers::pi * std::numbers::pi *
+                            blur_sigma_nm * blur_sigma_nm;
+  const long long cx = static_cast<long long>(ncx) / 2 - 1;
+  const long long cy = static_cast<long long>(ncy) / 2 - 1;
+  std::vector<double>& bx = arena.blur_x();
+  std::vector<double>& by = arena.blur_y();
+  bx.resize(static_cast<std::size_t>(2 * cx + 1));
+  by.resize(static_cast<std::size_t>(2 * cy + 1));
+  for (long long kx = -cx; kx <= cx; ++kx) {
+    const double fx = static_cast<double>(kx) * dfx;
+    bx[static_cast<std::size_t>(kx + cx)] =
+        blur_sigma_nm > 0.0 ? std::exp(-two_pi2_s2 * fx * fx) : 1.0;
+  }
+  for (long long ky = -cy; ky <= cy; ++ky) {
+    const double fy = static_cast<double>(ky) * dfy;
+    by[static_cast<std::size_t>(ky + cy)] =
+        blur_sigma_nm > 0.0 ? std::exp(-two_pi2_s2 * fy * fy) : 1.0;
+  }
+  const std::size_t kxu = static_cast<std::size_t>(cx < 0 ? 0 : cx);
+  const std::size_t nbu = 2 * kxu + 1;
+
+  // The batch runs in fixed-width lane tiles: kTileLanes doubles is one
+  // AVX2 vector, so every inner lane loop fills a SIMD register, while the
+  // per-tile working set (field + intensity + the touched band rows of the
+  // tile spectrum, ~1.6 MiB at fine quality) stays cache-resident the way
+  // the scalar path's per-window buffers do — full-batch-wide buffers
+  // would stream through L2 on every butterfly stage instead.  Tiling only
+  // partitions the independent lane dimension, so results stay
+  // bit-identical for every tile width.
+  constexpr std::size_t kTileLanes = 4;
+  for (std::size_t w0 = 0; w0 < lanes; w0 += kTileLanes) {
+    const std::size_t nw = std::min(kTileLanes, lanes - w0);
+
+    // Pack: batched real-input band transform of the tile's masks.
+    double* row_re = arena.buf(ScratchArena::kRowRe, nx * nw);
+    double* row_im = arena.buf(ScratchArena::kRowIm, nx * nw);
+    double* spec_re = arena.buf(ScratchArena::kSpecRe, nb * ny * nw);
+    double* spec_im = arena.buf(ScratchArena::kSpecIm, nb * ny * nw);
+    std::vector<const double*>& src = arena.src_ptrs();
+    src.resize(nw);
+    for (std::size_t w = 0; w < nw; ++w) src[w] = masks[w0 + w]->data().data();
+    rfft_2d_band_soa(src.data(), nw, nx, ny, static_cast<std::size_t>(kx_max),
+                     spec_re, spec_im, row_re, row_im);
+
+    // Compute: coherent systems accumulate on the coarse grid in fixed
+    // kernel order, each one a tile-wide zero fill + scatter + band inverse
+    // + add.
+    double* intensity = arena.buf(ScratchArena::kIntensity, nc * nw);
+    double* field_re = arena.buf(ScratchArena::kFieldRe, nc * nw);
+    double* field_im = arena.buf(ScratchArena::kFieldIm, nc * nw);
+    std::fill(intensity, intensity + nc * nw, 0.0);
+
+    if (kernels->parity_packable()) {
+      const std::size_t nk = kernels->kernels.size();
+      for (std::size_t k = 0; k < nk; k += 2) {
+        const bool pair = k + 1 < nk;
+        std::fill(field_re, field_re + nc * nw, 0.0);
+        std::fill(field_im, field_im + nc * nw, 0.0);
+        const bool odd1 = kernels->parity[k] == 2;
+        const bool odd2 = pair && kernels->parity[k + 1] == 2;
+        socs_apply_pair_lanes_dispatch(
+            spec_re, spec_im, nw, nx, ny, grid, ncx, ncy, crop_scale, pair,
+            odd1, odd2, kernels->kernels[k].data(),
+            pair ? kernels->kernels[k + 1].data() : nullptr, field_re,
+            field_im);
+        fft_2d_band_inverse_soa(field_re, field_im, ncx, ncy,
+                                static_cast<std::size_t>(grid.kx_max), nw);
+        const double w1 = kernels->weights[k];
+        double* POC_RESTRICT acc = intensity;
+        const double* POC_RESTRICT fr = field_re;
+        const double* POC_RESTRICT fi = field_im;
+        if (pair) {
+          const double w2 = kernels->weights[k + 1];
+          for (std::size_t j = 0; j < nc * nw; ++j) {
+            acc[j] += w1 * fr[j] * fr[j] + w2 * fi[j] * fi[j];
+          }
+        } else {
+          for (std::size_t j = 0; j < nc * nw; ++j) {
+            acc[j] += w1 * fr[j] * fr[j];
+          }
+        }
+      }
+    } else {
+      for (std::size_t k = 0; k < kernels->kernels.size(); ++k) {
+        std::fill(field_re, field_re + nc * nw, 0.0);
+        std::fill(field_im, field_im + nc * nw, 0.0);
+        socs_apply_generic_lanes(spec_re, spec_im, nw, ny, grid, ncx, ncy,
+                                 crop_scale, kernels->kernels[k].data(),
+                                 field_re, field_im);
+        fft_2d_band_inverse_soa(field_re, field_im, ncx, ncy,
+                                static_cast<std::size_t>(grid.kx_max), nw);
+        const double weight = kernels->weights[k];
+        double* POC_RESTRICT acc = intensity;
+        const double* POC_RESTRICT fr = field_re;
+        const double* POC_RESTRICT fi = field_im;
+        for (std::size_t j = 0; j < nc * nw; ++j) {
+          acc[j] += weight * (fr[j] * fr[j] + fi[j] * fi[j]);
+        }
+      }
+    }
+
+    // Upsample + blur: forward transform of the coarse intensity, then a
+    // separable-blur scatter straight into the compact band spectrum the
+    // inverse below consumes in place.  The scatter rewrites every band
+    // entry within blur reach (rows 0..cy and ny-cy..ny-1 of each band
+    // column) and the fill covers the rows beyond reach, so the whole
+    // spectrum is rebuilt each call — no persistent zero-padded buffer,
+    // and none of the multi-MiB defensive copy irfft_2d_band_soa would
+    // make of one.
+    double* coarse_re = arena.buf(ScratchArena::kCoarseRe, nc * nw);
+    double* coarse_im = arena.buf(ScratchArena::kCoarseIm, nc * nw);
+    for (std::size_t j = 0; j < nc * nw; ++j) {
+      coarse_re[j] = intensity[j];
+      coarse_im[j] = 0.0;
+    }
+    fft_2d_soa(coarse_re, coarse_im, ncx, ncy, /*inverse=*/false, nw);
+
+    double* const up_re = arena.buf(ScratchArena::kUpWorkRe, nbu * ny * nw);
+    double* const up_im = arena.buf(ScratchArena::kUpWorkIm, nbu * ny * nw);
+    const std::size_t mid_lo = static_cast<std::size_t>(cy) + 1;
+    const std::size_t mid_rows = ny - (2 * static_cast<std::size_t>(cy) + 1);
+    for (std::size_t c = 0; c < nbu; ++c) {
+      double* mr = up_re + (c * ny + mid_lo) * nw;
+      double* mi = up_im + (c * ny + mid_lo) * nw;
+      std::fill(mr, mr + mid_rows * nw, 0.0);
+      std::fill(mi, mi + mid_rows * nw, 0.0);
+    }
+    for (long long ky = -cy; ky <= cy; ++ky) {
+      const double wy = up_scale * by[static_cast<std::size_t>(ky + cy)];
+      const std::size_t ys = ky >= 0 ? static_cast<std::size_t>(ky)
+                                     : ny - static_cast<std::size_t>(-ky);
+      for (long long kx = -cx; kx <= cx; ++kx) {
+        const double f = wy * bx[static_cast<std::size_t>(kx + cx)];
+        const std::size_t c = kx >= 0 ? static_cast<std::size_t>(kx)
+                                      : static_cast<std::size_t>(kx) + nbu;
+        const std::size_t sidx = spec_index(kx, ky, ncx, ncy);
+        const double* POC_RESTRICT cr = coarse_re + sidx * nw;
+        const double* POC_RESTRICT ci = coarse_im + sidx * nw;
+        double* POC_RESTRICT ur = up_re + (c * ny + ys) * nw;
+        double* POC_RESTRICT ui = up_im + (c * ny + ys) * nw;
+        // VEC-LOOP(blur-scatter): componentwise coarse * (wy * bx) per lane.
+        for (std::size_t w = 0; w < nw; ++w) {
+          ur[w] = cr[w] * f;
+          ui[w] = ci[w] * f;
+        }
+      }
+    }
+
+    // Unpack: batched Hermitian inverse straight into the tile's output
+    // images, in window-index order.
+    std::vector<double*>& dst = arena.dst_ptrs();
+    dst.resize(nw);
+    for (std::size_t w = 0; w < nw; ++w) {
+      const Image2D& mk = *masks[w0 + w];
+      Image2D& o = out[w0 + w];
+      if (o.nx() != nx || o.ny() != ny || o.pixel() != mk.pixel() ||
+          o.origin_x() != mk.origin_x() || o.origin_y() != mk.origin_y()) {
+        o = Image2D(nx, ny, mk.pixel(), mk.origin_x(), mk.origin_y());
+      }
+      dst[w] = o.data().data();
+    }
+    irfft_2d_band_soa_inplace(up_re, up_im, nw, nx, ny, kxu, row_re, row_im,
+                              dst.data());
+  }
 }
 
 Image2D aerial_image_blurred(const Image2D& mask, const OpticalSettings& opt,

@@ -4,6 +4,7 @@
 
 #include "src/common/error.h"
 #include "src/common/fault.h"
+#include "src/litho/batch.h"
 #include "src/litho/imaging.h"
 #include "src/litho/mask.h"
 
@@ -56,6 +57,32 @@ Image2D LithoSimulator::latent(const std::vector<Rect>& features,
   Image2D latent = aerial_image_blurred(mask, ctx.optics, exposure.focus_nm,
                                         resist_.diffusion_nm, ctx.source,
                                         imaging);
+  finish_latent(latent, exposure);
+  return latent;
+}
+
+Image2D LithoSimulator::rasterize(const std::vector<Rect>& features,
+                                  const Rect& window,
+                                  LithoQuality quality) const {
+  return rasterize_mask(features, window, quality_params(quality).pixel_nm);
+}
+
+std::vector<Image2D> LithoSimulator::latent_batch(
+    const Image2D* const* masks, std::size_t count, const Exposure& exposure,
+    LithoQuality quality, ScratchArena& arena,
+    std::optional<ImagingMode> mode) const {
+  const QualityContext& ctx = quality_context(quality);
+  ImagingOptions imaging = imaging_;
+  if (mode) imaging.mode = *mode;
+  std::vector<Image2D> out = aerial_image_blurred_batch(
+      masks, count, ctx.optics, exposure.focus_nm, resist_.diffusion_nm,
+      ctx.source, imaging, arena);
+  for (Image2D& latent : out) finish_latent(latent, exposure);
+  return out;
+}
+
+void LithoSimulator::finish_latent(Image2D& latent,
+                                   const Exposure& exposure) const {
   for (double& v : latent.data()) v *= exposure.dose;
   if (fault::enabled() && fault::should(fault::Kind::kNanPixel)) {
     latent.data()[0] = std::numeric_limits<double>::quiet_NaN();
@@ -68,7 +95,6 @@ Image2D LithoSimulator::latent(const std::vector<Rect>& features,
                                   "litho.latent",
                                   "non-finite intensity in latent image"});
   }
-  return latent;
 }
 
 }  // namespace poc

@@ -16,6 +16,8 @@
 
 namespace poc {
 
+class ScratchArena;  // src/litho/batch.h
+
 enum class LithoQuality { kDraft, kStandard, kFine };
 
 struct QualityParams {
@@ -58,6 +60,31 @@ class LithoSimulator {
                  const Exposure& exposure,
                  LithoQuality quality = LithoQuality::kStandard,
                  std::optional<ImagingMode> mode = std::nullopt) const;
+
+  /// The mask transmission grid latent() images: rasterized at the quality
+  /// preset's pixel pitch.  The batched hot loops rasterize per window and
+  /// hand same-shape groups to latent_batch below.
+  Image2D rasterize(const std::vector<Rect>& features, const Rect& window,
+                    LithoQuality quality = LithoQuality::kStandard) const;
+
+  /// latent() for a batch of same-shape pre-rasterized masks: images all
+  /// `count` masks through the batched SoA engine (SOCS; the Abbe reference
+  /// falls back to per-mask scalar calls inside the batch layer) and
+  /// finishes each in ascending batch order.  Element w is bit-identical to
+  /// latent() over the features that rasterized masks[w] — batching never
+  /// changes values, only amortizes the transforms.  Scratch comes from
+  /// `arena` (per worker; see tls_scratch_arena).
+  std::vector<Image2D> latent_batch(const Image2D* const* masks,
+                                    std::size_t count,
+                                    const Exposure& exposure,
+                                    LithoQuality quality, ScratchArena& arena,
+                                    std::optional<ImagingMode> mode =
+                                        std::nullopt) const;
+
+  /// The resist-side tail of latent(): dose scaling plus the non-finite
+  /// guard (and its fault-injection probe).  latent() and latent_batch()
+  /// share it so a batched window finishes through exactly the scalar code.
+  void finish_latent(Image2D& latent, const Exposure& exposure) const;
 
   /// The print threshold contour level in the latent image.
   double print_threshold() const { return resist_.threshold; }
