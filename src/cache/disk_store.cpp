@@ -1,0 +1,186 @@
+#include "src/cache/disk_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "src/common/serialize.h"
+
+namespace poc {
+namespace {
+
+// Entry layout: magic "POCDCHE1", payload length, payload, crc64(payload).
+constexpr std::uint64_t kEntryMagic = 0x3145484344434F50ULL;  // "POCDCHE1"
+constexpr std::size_t kEntryOverhead = 8 + 8 + 8;
+
+std::string fp_hex(const Fingerprint& fp) {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(fp.hi),
+                static_cast<unsigned long long>(fp.lo));
+  return buf;
+}
+
+bool write_all(int fd, const std::uint8_t* p, std::size_t left) {
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd, p, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+}  // namespace
+
+DiskCacheStore::DiskCacheStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  ok_ = !ec;
+  if (!ok_) io_errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string DiskCacheStore::entry_path(const Fingerprint& fp) const {
+  return dir_ + "/" + fp_hex(fp) + ".entry";
+}
+
+bool DiskCacheStore::contains(const Fingerprint& fp) const {
+  if (!ok_) return false;
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  return ::access(entry_path(fp).c_str(), F_OK) == 0;
+}
+
+bool DiskCacheStore::get(const Fingerprint& fp,
+                         std::vector<std::uint8_t>* out) const {
+  if (!ok_) return false;
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  const std::string path = entry_path(fp);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;  // plain miss
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  ssize_t got;
+  while ((got = ::read(fd, chunk, sizeof chunk)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  ::close(fd);
+  if (got < 0 || bytes.size() < kEntryOverhead) {
+    load_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  ByteReader r(bytes.data(), bytes.size());
+  const std::uint64_t magic = r.u64();
+  const std::uint64_t len = r.u64();
+  if (magic != kEntryMagic || len != bytes.size() - kEntryOverhead) {
+    load_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const std::uint8_t* payload = bytes.data() + 16;
+  std::uint64_t stored_crc;
+  std::memcpy(&stored_crc, bytes.data() + 16 + len, sizeof stored_crc);
+  if (stored_crc != crc64(payload, static_cast<std::size_t>(len))) {
+    load_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  out->assign(payload, payload + len);
+  loads_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool DiskCacheStore::put(const Fingerprint& fp, const std::uint8_t* data,
+                         std::size_t size) {
+  if (!ok_) return false;
+  const std::string final_path = entry_path(fp);
+  if (::access(final_path.c_str(), F_OK) == 0) {
+    races_lost_.fetch_add(1, std::memory_order_relaxed);
+    return false;  // already published (possibly by another worker)
+  }
+
+  ByteWriter framed;
+  framed.u64(kEntryMagic);
+  framed.u64(size);
+  framed.bytes(data, size);
+  framed.u64(crc64(data, size));
+  const std::vector<std::uint8_t>& bytes = framed.data();
+
+  // Preferred publish path: an unlinked O_TMPFILE linked under the final
+  // name — the entry either appears whole or not at all, and a lost race
+  // (linkat EEXIST) leaves no residue.
+  int fd = ::open(dir_.c_str(), O_TMPFILE | O_WRONLY, 0644);
+  if (fd >= 0) {
+    if (!write_all(fd, bytes.data(), bytes.size()) || ::fsync(fd) != 0) {
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      return false;
+    }
+    char proc_path[64];
+    std::snprintf(proc_path, sizeof proc_path, "/proc/self/fd/%d", fd);
+    const int rc = ::linkat(AT_FDCWD, proc_path, AT_FDCWD, final_path.c_str(),
+                            AT_SYMLINK_FOLLOW);
+    ::close(fd);
+    if (rc != 0) {
+      if (errno == EEXIST) {
+        races_lost_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        io_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return false;
+    }
+    publishes_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Fallback (filesystems without O_TMPFILE): private temp file + link(2),
+  // which also refuses to replace an existing entry atomically.
+  char tmp_name[64];
+  std::snprintf(tmp_name, sizeof tmp_name, "/.tmp-%ld-%llx",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(fp.lo));
+  const std::string tmp_path = dir_ + tmp_name;
+  fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const bool wrote = write_all(fd, bytes.data(), bytes.size()) &&
+                     ::fsync(fd) == 0;
+  ::close(fd);
+  if (!wrote) {
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    ::unlink(tmp_path.c_str());
+    return false;
+  }
+  const int rc = ::link(tmp_path.c_str(), final_path.c_str());
+  ::unlink(tmp_path.c_str());
+  if (rc != 0) {
+    if (errno == EEXIST) {
+      races_lost_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return false;
+  }
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+DiskCacheStore::Counters DiskCacheStore::counters() const {
+  Counters c;
+  c.probes = probes_.load(std::memory_order_relaxed);
+  c.loads = loads_.load(std::memory_order_relaxed);
+  c.load_failures = load_failures_.load(std::memory_order_relaxed);
+  c.publishes = publishes_.load(std::memory_order_relaxed);
+  c.races_lost = races_lost_.load(std::memory_order_relaxed);
+  c.io_errors = io_errors_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace poc

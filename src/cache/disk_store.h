@@ -1,0 +1,79 @@
+// Disk-backed content-addressed store behind ShardedCache: the spill tier
+// that lets N worker processes share one window cache.  Each entry is a
+// file named by the 128-bit fingerprint, holding [magic, length, payload,
+// crc64(payload)].  Publication is atomic and first-insert-wins — a writer
+// fills an unlinked O_TMPFILE (or a private temp file) and links it under
+// the final name, so concurrent writers of the same fingerprint race
+// benignly: exactly one link succeeds, the loser discards its bits, and a
+// reader never observes a partially written entry.  Because entries are
+// keyed by a fingerprint covering every result-affecting input, the loser's
+// bits equal the winner's anyway; first-insert-wins is the same policy the
+// in-memory shards apply.
+//
+// Failure policy mirrors the run journal: an I/O error never perturbs
+// results.  get() misses, put() drops the entry, and the counters record
+// what happened — the store is a pure performance layer.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cache/fingerprint.h"
+
+namespace poc {
+
+class DiskCacheStore {
+ public:
+  /// Opens (creating if needed) the store directory.  A directory that
+  /// cannot be created parks the store inert: every probe misses, every
+  /// publish is dropped, and ok() reports false.
+  explicit DiskCacheStore(std::string dir);
+
+  DiskCacheStore(const DiskCacheStore&) = delete;
+  DiskCacheStore& operator=(const DiskCacheStore&) = delete;
+
+  bool ok() const { return ok_; }
+  const std::string& dir() const { return dir_; }
+
+  /// True when an entry for `fp` has been published (by any process).
+  bool contains(const Fingerprint& fp) const;
+
+  /// Loads and validates the entry for `fp`.  False on absence or on a
+  /// corrupt file (bad magic/length/checksum) — corruption counts in
+  /// load_failures and the caller recomputes.
+  bool get(const Fingerprint& fp, std::vector<std::uint8_t>* out) const;
+
+  /// Publishes `size` bytes under `fp` (first-insert-wins).  Returns true
+  /// when this call created the entry; false when it already existed, lost
+  /// the publish race, or I/O failed.
+  bool put(const Fingerprint& fp, const std::uint8_t* data, std::size_t size);
+
+  struct Counters {
+    std::uint64_t probes = 0;         ///< contains() + get() calls
+    std::uint64_t loads = 0;          ///< successful get()
+    std::uint64_t load_failures = 0;  ///< corrupt/unreadable entries
+    std::uint64_t publishes = 0;      ///< entries this process created
+    std::uint64_t races_lost = 0;     ///< entry appeared first elsewhere
+    std::uint64_t io_errors = 0;
+  };
+  Counters counters() const;
+
+  /// Entry file path for `fp` (fingerprint hex under the store directory).
+  std::string entry_path(const Fingerprint& fp) const;
+
+ private:
+  std::string dir_;
+  bool ok_ = false;
+
+  mutable std::atomic<std::uint64_t> probes_{0};
+  mutable std::atomic<std::uint64_t> loads_{0};
+  mutable std::atomic<std::uint64_t> load_failures_{0};
+  std::atomic<std::uint64_t> publishes_{0};
+  std::atomic<std::uint64_t> races_lost_{0};
+  mutable std::atomic<std::uint64_t> io_errors_{0};
+};
+
+}  // namespace poc

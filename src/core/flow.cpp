@@ -7,6 +7,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "src/cache/disk_store.h"
 #include "src/cache/fingerprint.h"
 #include "src/common/check.h"
 #include "src/common/fault.h"
@@ -406,6 +407,104 @@ struct PostOpcFlow::WindowCaches {
         orc(bytes_each, shards) {}
 };
 
+namespace {
+
+// ---- Disk-tier codecs ------------------------------------------------------
+//
+// Same discipline as the journal payload codecs above: integers verbatim,
+// doubles as IEEE-754 bit patterns, decoders return null on any structural
+// mismatch (the cache then reports a miss and the window recomputes).
+
+std::vector<std::uint8_t> encode_opc_entry(
+    const PostOpcFlow::WindowCaches::OpcEntry& e) {
+  ByteWriter w;
+  encode_rects(w, e.mask);
+  w.u64(e.stats.windows);
+  w.u64(e.stats.model_based_windows);
+  w.u64(e.stats.fragments);
+  w.u64(e.stats.iterations);
+  w.f64(e.stats.max_abs_epe_nm);
+  w.f64(e.stats.rms_epe_sum);
+  return w.take();
+}
+
+std::shared_ptr<PostOpcFlow::WindowCaches::OpcEntry> decode_opc_entry(
+    const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  auto e = std::make_shared<PostOpcFlow::WindowCaches::OpcEntry>();
+  if (!decode_rects(r, e->mask)) return nullptr;
+  e->stats.windows = r.u64();
+  e->stats.model_based_windows = r.u64();
+  e->stats.fragments = r.u64();
+  e->stats.iterations = r.u64();
+  e->stats.max_abs_epe_nm = r.f64();
+  e->stats.rms_epe_sum = r.f64();
+  return r.done() ? e : nullptr;
+}
+
+std::vector<std::uint8_t> encode_latent_entry(const Image2D& img) {
+  ByteWriter w;
+  w.u64(img.nx());
+  w.u64(img.ny());
+  w.f64(img.pixel());
+  w.f64(img.origin_x());
+  w.f64(img.origin_y());
+  for (double v : img.data()) w.f64(v);
+  return w.take();
+}
+
+std::shared_ptr<Image2D> decode_latent_entry(
+    const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  const std::uint64_t nx = r.u64();
+  const std::uint64_t ny = r.u64();
+  const double pixel = r.f64();
+  const double ox = r.f64();
+  const double oy = r.f64();
+  if (!r.ok() || nx * ny != r.remaining() / sizeof(double)) return nullptr;
+  auto img = std::make_shared<Image2D>(static_cast<std::size_t>(nx),
+                                       static_cast<std::size_t>(ny), pixel, ox,
+                                       oy);
+  for (double& v : img->data()) v = r.f64();
+  return r.done() ? img : nullptr;
+}
+
+std::vector<std::uint8_t> encode_orc_entry(
+    const PostOpcFlow::WindowCaches::OrcEntry& e) {
+  ByteWriter w;
+  w.f64(e.report.max_abs_epe_nm);
+  w.f64(e.report.rms_epe_nm);
+  w.u32(static_cast<std::uint32_t>(e.report.violations.size()));
+  for (const OrcViolation& v : e.report.violations) {
+    w.u8(static_cast<std::uint8_t>(v.kind));
+    w.i64(v.where.x);
+    w.i64(v.where.y);
+    w.f64(v.value_nm);
+  }
+  return w.take();
+}
+
+std::shared_ptr<PostOpcFlow::WindowCaches::OrcEntry> decode_orc_entry(
+    const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  auto e = std::make_shared<PostOpcFlow::WindowCaches::OrcEntry>();
+  e->report.max_abs_epe_nm = r.f64();
+  e->report.rms_epe_nm = r.f64();
+  const std::uint32_t n = r.u32();
+  e->report.violations.reserve(r.ok() ? n : 0);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    OrcViolation v;
+    v.kind = static_cast<OrcViolation::Kind>(r.u8());
+    v.where.x = r.i64();
+    v.where.y = r.i64();
+    v.value_nm = r.f64();
+    e->report.violations.push_back(v);
+  }
+  return r.done() ? e : nullptr;
+}
+
+}  // namespace
+
 PostOpcFlow::PostOpcFlow(const PlacedDesign& design, const StdCellLibrary& lib,
                          LithoSimulator sim, FlowOptions options)
     : design_(&design), lib_(&lib), sim_(sim), options_(options) {
@@ -426,6 +525,21 @@ PostOpcFlow::PostOpcFlow(const PlacedDesign& design, const StdCellLibrary& lib,
   if (options_.cache.enabled) {
     caches_ = std::make_shared<WindowCaches>(
         options_.cache.capacity_mb << 20, options_.cache.shards);
+    if (!options_.cache.disk_path.empty()) {
+      // One store per cache kind, shared across worker processes.  Spill is
+      // a pure performance layer: entries round-trip bit-exactly, so a
+      // cross-worker hit is indistinguishable from an in-process recompute.
+      const std::string& root = options_.cache.disk_path;
+      caches_->opc.attach_disk(
+          std::make_shared<DiskCacheStore>(root + "/opc"), encode_opc_entry,
+          decode_opc_entry);
+      caches_->latent.attach_disk(
+          std::make_shared<DiskCacheStore>(root + "/latent"),
+          encode_latent_entry, decode_latent_entry);
+      caches_->orc.attach_disk(
+          std::make_shared<DiskCacheStore>(root + "/orc"), encode_orc_entry,
+          decode_orc_entry);
+    }
   }
   health_state_ = std::make_shared<HealthState>();
   if (options_.journal.enabled) {
@@ -826,10 +940,18 @@ std::vector<Rect> PostOpcFlow::drawn_mask_for_instance(
 }
 
 void PostOpcFlow::run_opc_windows(
-    const std::function<OpcMode(std::size_t)>& mode_for_instance) {
+    const std::function<OpcMode(std::size_t)>& mode_for_instance,
+    const std::vector<std::size_t>* subset) {
   const std::size_t n = design_->layout.num_instances();
   masks_.assign(n, {});
   opc_degraded_.assign(n, 0);
+  // Loop space: all instances, or a shard's subset of them.  Slots stay
+  // design-sized (indexed by instance); the loop index k maps through
+  // inst_of so the shard path shares every line below.
+  const std::size_t m = subset != nullptr ? subset->size() : n;
+  const auto inst_of = [subset](std::size_t k) {
+    return subset != nullptr ? (*subset)[k] : k;
+  };
   // Each window writes its own mask slot; the per-window stats are merged
   // on the calling thread in instance order, so the aggregate is
   // bit-identical whatever the thread count.
@@ -875,14 +997,15 @@ void PostOpcFlow::run_opc_windows(
   const bool batching = batching_enabled(sim_);
   std::vector<std::unique_ptr<OpcResult>> staged(n);
   const auto stage_chunk = [&](std::size_t first) {
-    const ChunkSpan span = chunk_span(n, chunk, first);
+    const ChunkSpan span = chunk_span(m, chunk, first);
     struct Pending {
       std::size_t i = 0;
       Rect window;
       std::vector<Polygon> targets;
     };
     std::vector<Pending> pending;
-    for (std::size_t i = span.lo; i < span.hi; ++i) {
+    for (std::size_t k = span.lo; k < span.hi; ++k) {
+      const std::size_t i = inst_of(k);
       if (mode_for_instance(i) != OpcMode::kModelBased) continue;
       if (journal_ &&
           journal_->find(opc_record_fp(i, OpcMode::kModelBased)) != nullptr) {
@@ -911,12 +1034,12 @@ void PostOpcFlow::run_opc_windows(
       const OpcEngine engine(sim_, options_.opc);
       std::vector<OpcResult> results = engine.correct_batch(
           jobs.data(), jobs.size(), Exposure{}, tls_scratch_arena());
-      for (std::size_t m = 0; m < pending.size(); ++m) {
-        staged[pending[m].i] =
-            std::make_unique<OpcResult>(std::move(results[m]));
+      for (std::size_t b = 0; b < pending.size(); ++b) {
+        staged[pending[b].i] =
+            std::make_unique<OpcResult>(std::move(results[b]));
       }
     } catch (...) {
-      for (std::size_t i = span.lo; i < span.hi; ++i) staged[i].reset();
+      for (std::size_t k = span.lo; k < span.hi; ++k) staged[inst_of(k)].reset();
     }
   };
 
@@ -925,8 +1048,9 @@ void PostOpcFlow::run_opc_windows(
     // Fail-fast mode still names its windows for the fault harness, so an
     // injected fault aborts the run instead of being silently skipped —
     // containment is what changes the outcome, not the injection.
-    parallel_for(threads(), n, chunk, [&](std::size_t i) {
-      if (batching && chunk_span(n, chunk, i).lo == i) stage_chunk(i);
+    parallel_for(threads(), m, chunk, [&](std::size_t k) {
+      if (batching && chunk_span(m, chunk, k).lo == k) stage_chunk(k);
+      const std::size_t i = inst_of(k);
       const OpcMode mode = mode_for_instance(i);
       Fingerprint jfp;
       if (journal_) {
@@ -955,14 +1079,15 @@ void PostOpcFlow::run_opc_windows(
       retry_opts.sim_imaging = OpcImaging::kAbbe;
       retry_opts.final_imaging = OpcImaging::kAbbe;
     }
-    std::vector<ItemOutcome> outcomes(n);
-    std::vector<std::uint64_t> indices(n);
-    for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+    std::vector<ItemOutcome> outcomes(m);
+    std::vector<std::uint64_t> indices(m);
+    for (std::size_t k = 0; k < m; ++k) indices[k] = inst_of(k);
     const std::vector<IndexedError> escaped = try_parallel_for(
-        threads(), n, chunk,
-        [&](std::size_t i) {
-          if (batching && chunk_span(n, chunk, i).lo == i) stage_chunk(i);
-          ItemOutcome& oc = outcomes[i];
+        threads(), m, chunk,
+        [&](std::size_t k) {
+          if (batching && chunk_span(m, chunk, k).lo == k) stage_chunk(k);
+          const std::size_t i = inst_of(k);
+          ItemOutcome& oc = outcomes[k];
           const OpcMode mode = mode_for_instance(i);
           Fingerprint jfp;
           if (journal_) {
@@ -1047,7 +1172,7 @@ void PostOpcFlow::run_opc_windows(
       outcomes[e.index].faulted = true;
       outcomes[e.index].degraded = true;
       outcomes[e.index].first_error = e.error;
-      opc_degraded_[e.index] = 1;
+      opc_degraded_[inst_of(e.index)] = 1;
     }
     record_outcomes("opc", outcomes, indices);
   }
@@ -1059,6 +1184,15 @@ void PostOpcFlow::run_opc_windows(
 void PostOpcFlow::run_opc(OpcMode mode) {
   run_opc_windows([mode](std::size_t) { return mode; });
   log_info("OPC done: ", opc_stats_.windows, " windows, ",
+           opc_stats_.fragments, " fragments, max EPE ",
+           opc_stats_.max_abs_epe_nm, " nm");
+}
+
+void PostOpcFlow::run_opc_subset(OpcMode mode,
+                                 const std::vector<std::size_t>& instances) {
+  run_opc_windows([mode](std::size_t) { return mode; }, &instances);
+  log_info("OPC shard done: ", instances.size(), "/",
+           design_->layout.num_instances(), " windows, ",
            opc_stats_.fragments, " fragments, max EPE ",
            opc_stats_.max_abs_epe_nm, " nm");
 }

@@ -74,6 +74,14 @@ struct CacheOptions {
   /// every insert is rejected (the capacity-0 path of the tests).
   std::size_t capacity_mb = 256;
   std::size_t shards = 16;  ///< concurrency granularity of each cache
+  /// Shared spill-to-disk tier (sharded multi-process runs): when set,
+  /// every cache entry is also published — serialized, content-addressed
+  /// by its fingerprint, first-insert-wins — under this directory, and a
+  /// memory miss probes the directory before computing.  Point every
+  /// worker of a sharded run at the same path so repeated cells hit across
+  /// processes.  Purely a performance knob: a disk hit restores the exact
+  /// bits a recompute would produce.  Empty = no disk tier.
+  std::string disk_path;
 };
 
 /// Per-window fault containment policy for the hot loops.  When enabled
@@ -228,6 +236,15 @@ class PostOpcFlow {
   void run_opc(OpcMode mode);
   void run_opc_selective(const std::vector<GateIdx>& critical_gates);
 
+  /// Shard-range execution (sharded multi-process runs, see
+  /// src/core/flow_shard): OPC only the given instance windows, in `mode`.
+  /// Untouched instances keep empty masks and must not be extracted in
+  /// this process — a shard worker extracts only the gates whose instances
+  /// it owns.  Journal records carry the same fingerprints run_opc(mode)
+  /// would produce, so a coordinator replaying the merged journal restores
+  /// every shard's windows bit-identically.
+  void run_opc_subset(OpcMode mode, const std::vector<std::size_t>& instances);
+
   /// Step 3: post-OPC patterning simulation + CD extraction at `exposure`
   /// for all gates, or only `subset` (the paper's selective extraction).
   std::vector<GateExtraction> extract(
@@ -360,6 +377,11 @@ class PostOpcFlow {
   /// phase "journal" faults.
   std::vector<ReplayIssue> journal_issues() const;
 
+  /// Content-addressed window caches (see CacheOptions).  Defined in
+  /// flow.cpp; declared public only so the file-local disk-tier codecs
+  /// there can name the entry types — the caches_ handle stays private.
+  struct WindowCaches;
+
  private:
   /// One instance's OPC window, computed without touching shared state so
   /// windows can run concurrently; run_opc merges the stats in instance
@@ -386,8 +408,11 @@ class PostOpcFlow {
   /// Drawn (uncorrected) mask for one instance window: the degradation
   /// fallback when every OPC attempt faulted.
   std::vector<Rect> drawn_mask_for_instance(std::size_t instance) const;
+  /// `subset`, when non-null, restricts the loop to those instance indices
+  /// (ascending); masks_/opc_degraded_ stay design-sized either way.
   void run_opc_windows(
-      const std::function<OpcMode(std::size_t)>& mode_for_instance);
+      const std::function<OpcMode(std::size_t)>& mode_for_instance,
+      const std::vector<std::size_t>* subset = nullptr);
   GateExtraction extract_gate(GateIdx gate, const Image2D& latent,
                               double threshold) const;
   std::vector<GateExtraction> extract_impl(
@@ -455,11 +480,10 @@ class PostOpcFlow {
   struct HealthState;
   std::shared_ptr<HealthState> health_state_;
 
-  /// Content-addressed window caches (see CacheOptions); null when
-  /// disabled.  shared_ptr so flow copies share one cache — the memoized
-  /// values are pure functions of the fingerprinted inputs, so sharing is
-  /// always sound.
-  struct WindowCaches;
+  /// Window-cache storage (see WindowCaches above); null when disabled.
+  /// shared_ptr so flow copies share one cache — the memoized values are
+  /// pure functions of the fingerprinted inputs, so sharing is always
+  /// sound.
   std::shared_ptr<WindowCaches> caches_;
 
   /// Write-ahead run journal (see JournalOptions); null when disabled or

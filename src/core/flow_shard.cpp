@@ -1,0 +1,289 @@
+#include "src/core/flow_shard.h"
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "src/common/log.h"
+
+namespace poc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// One phase-"shard" fault for the out-of-band health report.
+FlowHealth::WindowFault shard_fault(std::uint64_t worker, FaultCode code,
+                                    std::string origin, bool recovered,
+                                    bool degraded) {
+  FlowHealth::WindowFault f;
+  f.phase = "shard";
+  f.index = worker;
+  f.code = code;
+  f.origin = std::move(origin);
+  f.attempts = 1;
+  f.recovered = recovered;
+  f.degraded = degraded;
+  return f;
+}
+
+/// Gates whose instances the shard owns — the extraction half of the
+/// shard's window space.  The gate->instance map is many-to-one, so this
+/// partitions gates exactly like partition_shards partitions instances.
+std::vector<GateIdx> shard_gates(const PlacedDesign& design,
+                                 const ShardSpec& spec) {
+  std::vector<GateIdx> gates;
+  for (GateIdx g = 0; g < design.gate_to_instance.size(); ++g) {
+    if (shard_owns(spec, design.gate_to_instance[g])) gates.push_back(g);
+  }
+  return gates;
+}
+
+}  // namespace
+
+std::string shard_worker_dir(const std::string& work_dir,
+                             std::uint32_t worker) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "w%02u", worker);
+  return work_dir + "/" + buf;
+}
+
+std::string shard_stats_name(std::uint32_t worker) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "run.w%02u.stats", worker);
+  return buf;
+}
+
+bool run_shard_worker(const PlacedDesign& design, const StdCellLibrary& lib,
+                      const LithoSimulator& sim, FlowOptions base,
+                      const ShardWorkerOptions& options) {
+  const ShardSpec& spec = options.spec;
+  const std::string worker_dir = shard_worker_dir(options.work_dir, spec.worker);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // The worker's durability story is its private write-ahead journal: every
+  // completed window lands there first, so even a SIGKILL mid-run leaves a
+  // salvageable record of everything durably finished.
+  FlowOptions opts = std::move(base);
+  opts.journal.enabled = true;
+  opts.journal.path = worker_dir + "/journal";
+  opts.journal.kill_after_appends = options.kill_after_appends;
+
+  const std::vector<std::size_t> instances = shard_indices(spec);
+  const std::vector<GateIdx> gates = shard_gates(design, spec);
+
+  Fingerprint config_fp;
+  PostOpcFlow::FlowCacheCounters counters;
+  {
+    PostOpcFlow flow(design, lib, sim, opts);
+    config_fp = flow.config_fingerprint();
+    flow.run_opc_subset(options.opc_mode, instances);
+    (void)flow.extract(options.exposure, gates);
+    counters = flow.cache_counters();
+    // Flow destruction seals the journal's active segment.
+  }
+
+  // Publish: re-read the sealed journal (replay validates every record and
+  // truncates any torn tail) and write its records as this worker's shard
+  // segment, temp-file + atomic rename.
+  JournalOptions reopen;
+  reopen.enabled = true;
+  reopen.path = worker_dir + "/journal";
+  std::vector<JournalRecord> records;
+  try {
+    RunJournal journal(reopen, config_fp);
+    records = journal.loaded_records();
+  } catch (const FlowException& e) {
+    log_warn("shard worker ", spec.worker,
+             ": cannot re-read journal for publish: ", e.error().to_string());
+    return false;
+  }
+
+  ShardSegmentHeader header;
+  header.worker = spec.worker;
+  header.workers = spec.workers;
+  header.policy = spec.policy;
+  header.lo = spec.lo;
+  header.hi = spec.hi;
+  header.config_fp = config_fp;
+  std::string error;
+  const std::string segment_path =
+      options.work_dir + "/" + shard_segment_name(spec.worker);
+  if (!write_shard_segment(segment_path, header, records, &error)) {
+    log_warn("shard worker ", spec.worker, ": publish failed: ", error);
+    return false;
+  }
+
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  struct rusage ru = {};
+  ::getrusage(RUSAGE_SELF, &ru);
+  const CacheCounters total = counters.total();
+  std::ofstream stats(options.work_dir + "/" + shard_stats_name(spec.worker),
+                      std::ios::trunc);
+  stats << "worker " << spec.worker << "\n"
+        << "windows " << instances.size() << "\n"
+        << "gates " << gates.size() << "\n"
+        << "records " << records.size() << "\n"
+        << "wall_ms " << wall_ms << "\n"
+        << "maxrss_kb " << ru.ru_maxrss << "\n"
+        << "mem_hits " << total.hits << "\n"
+        << "disk_hits " << total.disk_hits << "\n"
+        << "misses " << total.misses << "\n"
+        << "insertions " << total.insertions << "\n";
+  log_info("SHARD_WORKER worker=", spec.worker, " windows=", instances.size(),
+           " gates=", gates.size(), " records=", records.size(),
+           " disk_hits=", total.disk_hits, " maxrss_kb=", ru.ru_maxrss);
+  return stats.good();
+}
+
+ShardFlowResult run_sharded_flow(const PlacedDesign& design,
+                                 const StdCellLibrary& lib,
+                                 const LithoSimulator& sim, FlowOptions base,
+                                 const ShardFlowOptions& options) {
+  POC_EXPECTS(options.workers >= 1);
+  POC_EXPECTS(!options.work_dir.empty());
+  ShardFlowResult result;
+  std::error_code ec;
+  fs::create_directories(options.work_dir, ec);
+
+  if (options.share_disk_cache && base.cache.enabled) {
+    base.cache.disk_path = options.work_dir + "/cache";
+  }
+
+  // Config fingerprint for segment validation/merge — from a journal-less
+  // flow over the same config (the fingerprint covers neither journal nor
+  // cache knobs, so this matches every worker's stamp).
+  Fingerprint config_fp;
+  {
+    FlowOptions probe = base;
+    probe.journal.enabled = false;
+    config_fp = PostOpcFlow(design, lib, sim, probe).config_fingerprint();
+  }
+
+  const std::vector<ShardSpec> specs = partition_shards(
+      design.layout.num_instances(), options.workers, options.policy);
+
+  if (options.worker_command != nullptr) {
+    std::vector<WorkerCommand> commands;
+    commands.reserve(specs.size());
+    for (const ShardSpec& spec : specs) {
+      commands.push_back({spec.worker, options.worker_command(spec)});
+    }
+    result.exits = run_worker_processes(commands);
+    for (const WorkerExit& ex : result.exits) {
+      if (ex.ok()) continue;
+      const std::string detail =
+          !ex.spawned ? "spawn failed"
+          : ex.signal != 0
+              ? "killed by signal " + std::to_string(ex.signal)
+              : "exit code " + std::to_string(ex.exit_code);
+      log_warn("shard worker ", ex.worker, ": ", detail);
+      result.shard_health.faults.push_back(
+          shard_fault(ex.worker, FaultCode::kUnknown, detail,
+                      /*recovered=*/false, /*degraded=*/false));
+    }
+  } else {
+    // In-process mode: one thread per worker, same shard/segment/merge
+    // machinery minus process isolation.  Workers share nothing in memory
+    // (each thread builds its own flow); the disk cache is the only
+    // cross-worker channel, exactly as in the multi-process case.
+    std::vector<char> ok(specs.size(), 0);
+    std::vector<std::thread> threads;
+    threads.reserve(specs.size());
+    for (std::size_t w = 0; w < specs.size(); ++w) {
+      threads.emplace_back([&, w] {
+        ShardWorkerOptions wo;
+        wo.spec = specs[w];
+        wo.work_dir = options.work_dir;
+        wo.opc_mode = options.opc_mode;
+        wo.exposure = options.exposure;
+        try {
+          ok[w] = run_shard_worker(design, lib, sim, base, wo) ? 1 : 0;
+        } catch (const std::exception& e) {
+          log_warn("shard worker ", w, " (in-process): ", e.what());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (std::size_t w = 0; w < specs.size(); ++w) {
+      if (!ok[w]) {
+        result.shard_health.faults.push_back(shard_fault(
+            static_cast<std::uint32_t>(w), FaultCode::kUnknown,
+            "in-process worker failed", /*recovered=*/false,
+            /*degraded=*/false));
+      }
+    }
+  }
+
+  // Collect + merge, salvaging dead workers' private journals.
+  std::vector<std::string> salvage_dirs;
+  salvage_dirs.reserve(specs.size());
+  for (const ShardSpec& spec : specs) {
+    salvage_dirs.push_back(shard_worker_dir(options.work_dir, spec.worker) +
+                           "/journal");
+  }
+  result.merge = collect_and_merge_segments(options.work_dir, options.workers,
+                                            config_fp, salvage_dirs);
+  for (const WorkerSegmentOutcome& wo : result.merge.workers) {
+    if (wo.torn) {
+      result.shard_health.faults.push_back(
+          shard_fault(wo.worker, FaultCode::kJournalMismatch,
+                      wo.segment_path + " (torn tail sealed)",
+                      /*recovered=*/wo.records > 0, /*degraded=*/false));
+    }
+    if (wo.salvaged) {
+      result.shard_health.faults.push_back(shard_fault(
+          wo.worker, FaultCode::kJournalIo,
+          wo.segment_path + " (missing; salvaged private journal)",
+          /*recovered=*/wo.records > 0, /*degraded=*/wo.records == 0));
+    } else if (!wo.segment_found && !wo.torn) {
+      result.shard_health.faults.push_back(shard_fault(
+          wo.worker, FaultCode::kJournalIo,
+          wo.segment_path + " (missing)", /*recovered=*/false,
+          /*degraded=*/true));
+    }
+    for (const ReplayIssue& issue : wo.issues) {
+      result.shard_health.faults.push_back(
+          shard_fault(wo.worker, issue.code,
+                      issue.segment + ": " + issue.detail,
+                      /*recovered=*/false, /*degraded=*/false));
+    }
+  }
+
+  // Merged restore + residual recompute + one final STA.  A failed merge
+  // write degrades to a full recompute (journal off) — slower, same bits.
+  FlowOptions fin = base;
+  fin.journal.enabled = true;
+  fin.journal.path = options.work_dir + "/merged";
+  fin.journal.kill_after_appends = 0;
+  std::string error;
+  if (!write_merged_journal(fin.journal.path, config_fp, result.merge.records,
+                            &error)) {
+    log_warn("shard coordinator: merged journal write failed: ", error);
+    result.shard_health.faults.push_back(
+        shard_fault(kNoWindowId, FaultCode::kJournalIo, error,
+                    /*recovered=*/false, /*degraded=*/true));
+    fin.journal.enabled = false;
+  }
+
+  PostOpcFlow flow(design, lib, sim, fin);
+  flow.run_opc(options.opc_mode);
+  result.comparison = flow.compare_timing(options.exposure);
+  result.merged_stats = flow.journal_stats();
+  result.residual_windows = result.merged_stats.appended_records;
+  result.cache = flow.cache_counters();
+  log_info("SHARD_RUN workers=", options.workers, " policy=",
+           shard_policy_name(options.policy), " merged_records=",
+           result.merge.records.size(), " residual_windows=",
+           result.residual_windows, " shard_faults=",
+           result.shard_health.faults.size());
+  return result;
+}
+
+}  // namespace poc

@@ -1,0 +1,117 @@
+// Flow-level driver for sharded multi-process full-chip runs.
+//
+// A full-chip run is window-shaped (per-instance OPC, per-gate extraction),
+// and windows only communicate through the journal and the content-
+// addressed caches — so the run splits across *processes* the same way it
+// splits across threads.  The coordinator partitions the instance index
+// space into one shard per worker (src/run/shard), each worker runs the
+// existing flow over its shard — private write-ahead journal, shared
+// spill-to-disk window cache — and publishes its completed records as one
+// shard segment.  The coordinator merges surviving segments into a single
+// standard journal in global window-index order and replays it through the
+// unmodified restore path: residual windows (worker died, segment torn)
+// are simply journal misses and recompute in-process, then STA runs once.
+//
+// Determinism: the merged restore is bit-identical to an uninterrupted
+// 1-worker run — same TimingComparison (worst slack, annotations, health)
+// for any worker count, any thread count, and any kill point.  Worker
+// failures are reported out-of-band in ShardFlowResult::shard_health
+// (phase "shard"), never folded into the comparison's health, precisely so
+// the comparison stays bit-identical across legs.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/flow.h"
+#include "src/run/coordinator.h"
+#include "src/run/shard.h"
+
+namespace poc {
+
+/// Per-worker directory under the run's work dir ("<work_dir>/w00").  The
+/// worker's private journal lives at "<dir>/journal".
+std::string shard_worker_dir(const std::string& work_dir,
+                             std::uint32_t worker);
+
+/// Worker-side stats published next to the segment ("run.w00.stats"), one
+/// "key value" line each — the bench harness and smoke scripts parse them.
+std::string shard_stats_name(std::uint32_t worker);
+
+struct ShardWorkerOptions {
+  ShardSpec spec;
+  std::string work_dir;  ///< shared run directory (segments, cache, w<NN>/)
+  OpcMode opc_mode = OpcMode::kModelBased;
+  Exposure exposure;  ///< the exposure the coordinator will compare at
+  /// Crash hook passed to the worker's journal (see JournalOptions): after
+  /// this many appends the worker flushes and SIGKILLs itself.  Used by
+  /// the failure-injection tests/CI; 0 = off.
+  std::size_t kill_after_appends = 0;
+};
+
+/// Runs one worker's share of the flow: OPC over the shard's instance
+/// windows, extraction over the gates those instances carry, every
+/// completed window journaled to the worker's private write-ahead journal,
+/// then the journal's records published as "<work_dir>/run.wNN.seg" (temp
+/// + atomic rename) with per-worker stats beside it.  Returns false when
+/// the segment could not be published (the run itself is already durable
+/// in the private journal, which the coordinator salvages).
+bool run_shard_worker(const PlacedDesign& design, const StdCellLibrary& lib,
+                      const LithoSimulator& sim, FlowOptions base,
+                      const ShardWorkerOptions& options);
+
+struct ShardFlowOptions {
+  std::size_t workers = 1;
+  ShardPolicy policy = ShardPolicy::kContiguous;
+  /// Run directory: worker segments + stats, per-worker journal dirs, the
+  /// shared disk cache ("cache/"), and the merged journal ("merged/").
+  /// Use a fresh directory per run.
+  std::string work_dir;
+  OpcMode opc_mode = OpcMode::kModelBased;
+  Exposure exposure;
+  /// Share the spill-to-disk window cache across workers and the final
+  /// residual pass (CacheOptions::disk_path = "<work_dir>/cache").
+  bool share_disk_cache = true;
+  /// Builds the argv for one worker process (fork/exec path — see
+  /// examples/shard_worker.cpp, which re-execs itself in worker mode).
+  /// Null runs every worker in-process on its own thread instead: same
+  /// shard/segment/merge machinery, no process isolation — the mode the
+  /// unit tests and the TSan leg use.
+  std::function<std::vector<std::string>(const ShardSpec&)> worker_command;
+};
+
+struct ShardFlowResult {
+  /// The headline result, replayed from the merged journal + residual
+  /// recompute.  Bit-identical across worker counts.
+  TimingComparison comparison;
+  /// Out-of-band shard faults (phase "shard", index = worker id): worker
+  /// died, segment missing/torn, records salvaged from a private journal.
+  /// Deliberately NOT merged into comparison.health.
+  FlowHealth shard_health;
+  /// Per-worker segment collection detail (torn/salvaged/record counts).
+  MergeResult merge;
+  /// Exit status per worker (fork/exec path; empty for in-process).
+  std::vector<WorkerExit> exits;
+  /// Windows the final pass recomputed because no worker durably finished
+  /// them (journal appends of the merged restore).
+  std::size_t residual_windows = 0;
+  /// Journal replay stats of the final pass (replayed vs appended).
+  RunJournal::Stats merged_stats;
+  /// Final-pass window-cache counters; disk_hits counts cross-process
+  /// reuse from the shared cache.
+  PostOpcFlow::FlowCacheCounters cache;
+};
+
+/// Full sharded run: partition -> spawn workers -> collect/merge segments
+/// (tolerating dead workers and torn tails) -> merged replay + residual
+/// recompute -> one final STA.  `base` carries the flow config (the same
+/// options a 1-worker PostOpcFlow run would use); its journal/cache paths
+/// are overridden per the work-dir layout above.
+ShardFlowResult run_sharded_flow(const PlacedDesign& design,
+                                 const StdCellLibrary& lib,
+                                 const LithoSimulator& sim, FlowOptions base,
+                                 const ShardFlowOptions& options);
+
+}  // namespace poc

@@ -296,6 +296,36 @@ Netlist make_carry_select_adder(std::size_t bits, std::size_t block) {
   return nl;
 }
 
+Netlist make_tiled(std::size_t tiles) {
+  POC_EXPECTS(tiles >= 1);
+  Netlist nl("tiled" + std::to_string(tiles));
+  Builder b(nl);
+  // Shared inputs keep every tile's template byte-for-byte repeatable —
+  // only the chain net differs — so the placed windows collapse in the
+  // content-addressed caches.
+  const NetIdx x0 = b.pi("x0"), x1 = b.pi("x1"), x2 = b.pi("x2"),
+               x3 = b.pi("x3");
+  NetIdx chain = b.pi("cin");
+  for (std::size_t t = 0; t < tiles; ++t) {
+    switch (t % 3) {
+      case 0: {  // full-adder tile (9 NAND2)
+        const auto [sum, cout] = b.full_adder(x0, x1, chain);
+        if (t % 24 == 0) b.po(sum);
+        chain = cout;
+        break;
+      }
+      case 1:  // XOR tile (4 NAND2)
+        chain = b.xor2(x2, chain);
+        break;
+      default:  // NAND3/NOR cluster tile (NAND3 + NOR2 + INV)
+        chain = b.inv(b.nor2(b.nand3(x3, x0, chain), x1));
+        break;
+    }
+  }
+  b.po(chain);
+  return nl;
+}
+
 Netlist make_benchmark(const std::string& name) {
   if (name == "c17") return make_c17();
   if (name == "adder4") return make_ripple_adder(4);
@@ -309,6 +339,17 @@ Netlist make_benchmark(const std::string& name) {
   if (name == "rand100") return make_random_logic(100, 12, 0xABCD01);
   if (name == "rand200") return make_random_logic(200, 16, 0xABCD02);
   if (name == "rand400") return make_random_logic(400, 24, 0xABCD03);
+  if (name.rfind("tiled", 0) == 0 && name.size() > 5) {
+    std::size_t tiles = 0;
+    for (std::size_t i = 5; i < name.size(); ++i) {
+      const char c = name[i];
+      if (c < '0' || c > '9') {
+        check_fail("make_benchmark", name.c_str(), __FILE__, __LINE__);
+      }
+      tiles = tiles * 10 + static_cast<std::size_t>(c - '0');
+    }
+    return make_tiled(tiles);
+  }
   check_fail("make_benchmark", name.c_str(), __FILE__, __LINE__);
 }
 

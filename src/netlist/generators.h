@@ -33,9 +33,17 @@ Netlist make_decoder(std::size_t bits);
 /// selected by the rippled block carry through NAND-mapped 2:1 muxes.
 Netlist make_carry_select_adder(std::size_t bits, std::size_t block);
 
+/// Repeated-block "tiled" design: `tiles` copies of three small cell
+/// templates (full-adder / XOR / NAND-NOR cluster) cycled in order and
+/// chained through one carry-like net — the window-cache stress shape,
+/// where a placed row repeats the same local poly context thousands of
+/// times.  ~16 gates per 3 tiles, so tiles=2000 is a ~10k-instance chip.
+Netlist make_tiled(std::size_t tiles);
+
 /// Named lookup used by benches/examples: "c17", "adder4", "adder8",
 /// "adder16", "csel16", "mult4", "mult6", "parity16", "decoder4",
-/// "rand100", "rand200", "rand400".
+/// "rand100", "rand200", "rand400", and "tiledN" (N = tile count, e.g.
+/// "tiled2000") for the repeated-block design.
 Netlist make_benchmark(const std::string& name);
 
 }  // namespace poc

@@ -1,0 +1,153 @@
+#include "src/run/coordinator.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <unordered_set>
+
+#include "src/common/log.h"
+
+namespace poc {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool fp_less(const JournalRecord& a, const JournalRecord& b) {
+  if (a.phase != b.phase) return a.phase < b.phase;
+  if (a.index != b.index) return a.index < b.index;
+  if (a.fp.hi != b.fp.hi) return a.fp.hi < b.fp.hi;
+  return a.fp.lo < b.fp.lo;
+}
+
+}  // namespace
+
+std::vector<WorkerExit> run_worker_processes(
+    const std::vector<WorkerCommand>& commands) {
+  std::vector<WorkerExit> exits(commands.size());
+  for (std::size_t i = 0; i < commands.size(); ++i) {
+    const WorkerCommand& cmd = commands[i];
+    WorkerExit& ex = exits[i];
+    ex.worker = cmd.worker;
+    std::vector<char*> argv;
+    argv.reserve(cmd.argv.size() + 1);
+    for (const std::string& a : cmd.argv) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      log_warn("shard coordinator: fork failed for worker ", cmd.worker);
+      continue;
+    }
+    if (pid == 0) {
+      ::execv(argv[0], argv.data());
+      // exec failed; exit without running atexit handlers of the parent
+      // image's state.
+      std::perror("shard worker execv");
+      ::_exit(127);
+    }
+    ex.pid = pid;
+    ex.spawned = true;
+  }
+  for (WorkerExit& ex : exits) {
+    if (!ex.spawned) continue;
+    int status = 0;
+    while (::waitpid(ex.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    if (WIFEXITED(status)) {
+      ex.exit_code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      ex.signal = WTERMSIG(status);
+    }
+  }
+  return exits;
+}
+
+MergeResult collect_and_merge_segments(
+    const std::string& work_dir, std::size_t workers,
+    const Fingerprint& config_fp,
+    const std::vector<std::string>& salvage_journal_dirs) {
+  MergeResult merged;
+  std::unordered_set<Fingerprint, FingerprintHash> seen;
+
+  for (std::size_t w = 0; w < workers; ++w) {
+    WorkerSegmentOutcome outcome;
+    outcome.worker = static_cast<std::uint32_t>(w);
+    outcome.segment_path =
+        work_dir + "/" + shard_segment_name(static_cast<std::uint32_t>(w));
+
+    std::vector<JournalRecord> records;
+    std::error_code ec;
+    const bool exists = fs::exists(outcome.segment_path, ec) && !ec;
+    if (exists) {
+      const ShardReadResult read =
+          read_shard_segment(outcome.segment_path, config_fp, &records);
+      outcome.segment_found = read.header_ok && read.config_ok;
+      outcome.torn = read.torn;
+      outcome.issues = read.issues;
+      if (read.torn) {
+        // Truncate-and-seal the valid prefix (mirrors journal reopen);
+        // replay above already skipped the tail either way.
+        if (!seal_shard_segment(outcome.segment_path, read)) {
+          outcome.issues.push_back(
+              {FaultCode::kJournalIo, outcome.segment_path, read.valid_bytes,
+               "cannot truncate torn worker segment"});
+        }
+      }
+      if (!outcome.segment_found) records.clear();
+    }
+
+    // A worker that died before publishing its segment still left a
+    // write-ahead journal: replaying it through RunJournal truncates any
+    // torn tail and yields every durably completed window.
+    if (!outcome.segment_found && w < salvage_journal_dirs.size() &&
+        !salvage_journal_dirs[w].empty()) {
+      std::error_code ec2;
+      if (fs::exists(salvage_journal_dirs[w], ec2) && !ec2) {
+        try {
+          JournalOptions opts;
+          opts.enabled = true;
+          opts.path = salvage_journal_dirs[w];
+          RunJournal salvage(opts, config_fp);
+          records = salvage.loaded_records();
+          outcome.salvaged = true;
+          for (const ReplayIssue& issue : salvage.issues()) {
+            outcome.issues.push_back(issue);
+          }
+        } catch (const FlowException& e) {
+          outcome.issues.push_back({FaultCode::kJournalIo,
+                                    salvage_journal_dirs[w], 0,
+                                    e.error().to_string()});
+        }
+      }
+    }
+
+    for (JournalRecord& rec : records) {
+      if (!seen.insert(rec.fp).second) {
+        ++merged.duplicate_records;
+        continue;
+      }
+      merged.records.push_back(std::move(rec));
+    }
+    outcome.records = records.size();
+    merged.workers.push_back(std::move(outcome));
+  }
+
+  // Global window-index order: the merge contract that makes an N-worker
+  // journal indistinguishable from a 1-worker one.
+  std::sort(merged.records.begin(), merged.records.end(), fp_less);
+  return merged;
+}
+
+bool write_merged_journal(const std::string& merge_dir,
+                          const Fingerprint& config_fp,
+                          const std::vector<JournalRecord>& records,
+                          std::string* error) {
+  return journal_io::write_sealed_segment(merge_dir, /*seq=*/1, config_fp,
+                                          records, error);
+}
+
+}  // namespace poc

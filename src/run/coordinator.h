@@ -1,0 +1,94 @@
+// Coordinator side of sharded multi-process runs: spawn worker processes,
+// wait for them, collect their shard segments (tolerating death and torn
+// files), and merge every surviving record into one standard journal that
+// the flow's existing restore path replays.
+//
+// The coordinator is deliberately flow-agnostic — it moves journal records
+// and processes around, never window results — so it lives beside the
+// journal in src/run.  The flow-level driver (src/core/flow_shard) owns
+// what the windows *mean*: it partitions design indices, runs the merged
+// restore, and re-times once.
+//
+// Failure model: a worker that dies (crash, kill -9, nonzero exit) is a
+// contained fault, not a run abort.  Its published segment — or, when it
+// never published, its private write-ahead journal — is read back through
+// the same torn-tail-tolerant scanner journal replay uses; the valid
+// prefix merges, the tear is truncate-and-sealed and reported, and every
+// window the worker did not durably finish is recomputed in-process by the
+// merged restore (the journal simply misses those fingerprints).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "src/cache/fingerprint.h"
+#include "src/run/journal.h"
+#include "src/run/shard.h"
+
+namespace poc {
+
+/// One worker process to launch: a full argv (argv[0] = binary path).
+struct WorkerCommand {
+  std::uint32_t worker = 0;
+  std::vector<std::string> argv;
+};
+
+/// Exit status of one worker process.
+struct WorkerExit {
+  std::uint32_t worker = 0;
+  pid_t pid = -1;
+  bool spawned = false;
+  int exit_code = -1;    ///< valid when signal == 0
+  int signal = 0;        ///< terminating signal, 0 when exited normally
+  bool ok() const { return spawned && signal == 0 && exit_code == 0; }
+};
+
+/// fork/execs every command and waits for all of them.  Workers run
+/// concurrently; a spawn failure is reported in the result, never thrown.
+std::vector<WorkerExit> run_worker_processes(
+    const std::vector<WorkerCommand>& commands);
+
+/// What the coordinator found for one worker while collecting segments.
+struct WorkerSegmentOutcome {
+  std::uint32_t worker = 0;
+  std::string segment_path;
+  bool segment_found = false;  ///< run.wNN.seg existed with a valid header
+  bool torn = false;           ///< tail truncated-and-sealed
+  bool salvaged = false;       ///< records came from the private journal
+  std::size_t records = 0;     ///< records this worker contributed
+  std::vector<ReplayIssue> issues;
+};
+
+struct MergeResult {
+  /// Deduplicated records from every worker, sorted by (phase, global
+  /// window index) — the same deterministic order the thread pool's merge
+  /// step enforces in-process.
+  std::vector<JournalRecord> records;
+  std::vector<WorkerSegmentOutcome> workers;
+  std::size_t duplicate_records = 0;  ///< same fingerprint from two sources
+};
+
+/// Collects all worker segments under `work_dir` (files named
+/// shard_segment_name(w); workers that died may instead leave a private
+/// journal at work_dir/w<NN>/journal — pass its path via
+/// `salvage_journal_dirs[w]`, empty to skip salvage) and merges them.
+/// Records whose config fingerprint does not match `config_fp` are
+/// rejected segment-wholesale, exactly like journal replay.
+MergeResult collect_and_merge_segments(
+    const std::string& work_dir, std::size_t workers,
+    const Fingerprint& config_fp,
+    const std::vector<std::string>& salvage_journal_dirs);
+
+/// Writes merged records as the single sealed segment of a fresh journal
+/// directory at `merge_dir` (existing segments there are left alone; use a
+/// clean directory per merge).  The flow then restores by pointing its
+/// JournalOptions at `merge_dir`.
+bool write_merged_journal(const std::string& merge_dir,
+                          const Fingerprint& config_fp,
+                          const std::vector<JournalRecord>& records,
+                          std::string* error);
+
+}  // namespace poc

@@ -94,6 +94,18 @@ bool decode_record_body(const std::uint8_t* data, std::size_t size,
   return r.done();
 }
 
+/// Standard segment header bytes for `config_fp` (see kHeaderBytes).
+std::vector<std::uint8_t> make_segment_header(const Fingerprint& config_fp) {
+  ByteWriter header;
+  header.u64(kSegmentMagic);
+  header.u32(kFormatVersion);
+  header.u32(0);  // reserved
+  header.u64(config_fp.hi);
+  header.u64(config_fp.lo);
+  header.u64(crc64(header.data()));
+  return header.take();
+}
+
 [[noreturn]] void throw_journal_io(const std::string& what) {
   throw FlowException(
       FlowError{FaultCode::kJournalIo, kNoWindowId, "journal.open", what});
@@ -110,6 +122,122 @@ void sync_directory(const std::string& path) {
 }
 
 }  // namespace
+
+namespace journal_io {
+
+void append_record_frame(std::vector<std::uint8_t>& out,
+                         const JournalRecord& rec) {
+  ByteWriter w;
+  encode_record(rec, w);
+  const std::vector<std::uint8_t>& encoded = w.data();
+  out.insert(out.end(), encoded.begin(), encoded.end());
+}
+
+std::size_t scan_record_frames(const std::uint8_t* data, std::size_t size,
+                               std::size_t start,
+                               const std::string& segment_name,
+                               std::vector<JournalRecord>* out,
+                               std::vector<ReplayIssue>* issues) {
+  std::size_t valid_end = start;
+  std::size_t pos = start;
+  while (pos < size) {
+    if (size - pos < kFrameBytes) {
+      issues->push_back({FaultCode::kJournalMismatch, segment_name, pos,
+                         "truncated record tail (partial frame)"});
+      break;
+    }
+    ByteReader frame(data + pos, size - pos);
+    const std::uint32_t marker = frame.u32();
+    const std::uint32_t body_len = frame.u32();
+    if (marker != kRecordMarker) {
+      issues->push_back({FaultCode::kJournalMismatch, segment_name, pos,
+                         "bad record marker; stopping replay of segment"});
+      break;
+    }
+    if (frame.remaining() < static_cast<std::size_t>(body_len) + 8) {
+      issues->push_back({FaultCode::kJournalMismatch, segment_name, pos,
+                         "truncated record tail (body cut short)"});
+      break;
+    }
+    const std::uint8_t* body = data + pos + 8;
+    const std::uint64_t actual_crc = crc64(body, body_len);
+    std::uint64_t stored_crc;
+    std::memcpy(&stored_crc, body + body_len, sizeof stored_crc);
+    const std::size_t record_end = pos + kFrameBytes + body_len;
+    if (stored_crc != actual_crc) {
+      // A flipped bit inside one record: reject it, keep replaying the
+      // rest — the frame length still delimits the record.
+      issues->push_back({FaultCode::kJournalMismatch, segment_name, pos,
+                         "record checksum mismatch"});
+      pos = record_end;
+      continue;
+    }
+    JournalRecord rec;
+    if (!decode_record_body(body, body_len, rec)) {
+      issues->push_back({FaultCode::kJournalMismatch, segment_name, pos,
+                         "record body failed to decode"});
+      pos = record_end;
+      continue;
+    }
+    valid_end = record_end;
+    pos = record_end;
+    out->push_back(std::move(rec));
+  }
+  return valid_end;
+}
+
+bool write_sealed_segment(const std::string& dir, std::uint64_t seq,
+                          const Fingerprint& config_fp,
+                          const std::vector<JournalRecord>& records,
+                          std::string* error) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    if (error != nullptr) *error = "cannot create " + dir + ": " + ec.message();
+    return false;
+  }
+  std::vector<std::uint8_t> bytes = make_segment_header(config_fp);
+  for (const JournalRecord& rec : records) append_record_frame(bytes, rec);
+
+  const std::string final_path = dir + "/" + segment_name(seq, /*active=*/false);
+  const std::string tmp_path = final_path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "cannot create " + tmp_path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  const std::uint8_t* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd, p, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = "write to " + tmp_path + " failed: " + std::strerror(errno);
+      }
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return false;
+    }
+    p += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced || ::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "cannot publish " + final_path + ": " + std::strerror(errno);
+    }
+    ::unlink(tmp_path.c_str());
+    return false;
+  }
+  sync_directory(dir);
+  return true;
+}
+
+}  // namespace journal_io
 
 const char* journal_phase_name(JournalPhase phase) {
   switch (phase) {
@@ -245,54 +373,14 @@ void RunJournal::load_segment(const std::string& name, bool active) {
   }
 
   if (config_ok) {
-    std::size_t pos = kHeaderBytes;
-    while (pos < bytes.size()) {
-      if (bytes.size() - pos < kFrameBytes) {
-        issues_.push_back({FaultCode::kJournalMismatch, name, pos,
-                           "truncated record tail (partial frame)"});
-        ++stats_.rejected_records;
-        break;
-      }
-      ByteReader frame(bytes.data() + pos, bytes.size() - pos);
-      const std::uint32_t marker = frame.u32();
-      const std::uint32_t body_len = frame.u32();
-      if (marker != kRecordMarker) {
-        issues_.push_back({FaultCode::kJournalMismatch, name, pos,
-                           "bad record marker; stopping replay of segment"});
-        ++stats_.rejected_records;
-        break;
-      }
-      if (frame.remaining() < static_cast<std::size_t>(body_len) + 8) {
-        issues_.push_back({FaultCode::kJournalMismatch, name, pos,
-                           "truncated record tail (body cut short)"});
-        ++stats_.rejected_records;
-        break;
-      }
-      const std::uint8_t* body = bytes.data() + pos + 8;
-      const std::uint64_t actual_crc = crc64(body, body_len);
-      std::uint64_t stored_crc;
-      std::memcpy(&stored_crc, body + body_len, sizeof stored_crc);
-      const std::size_t record_end = pos + kFrameBytes + body_len;
-      if (stored_crc != actual_crc) {
-        // A flipped bit inside one record: reject it, keep replaying the
-        // rest — the frame length still delimits the record.
-        issues_.push_back({FaultCode::kJournalMismatch, name, pos,
-                           "record checksum mismatch"});
-        ++stats_.rejected_records;
-        pos = record_end;
-        continue;
-      }
-      JournalRecord rec;
-      if (!decode_record_body(body, body_len, rec)) {
-        issues_.push_back({FaultCode::kJournalMismatch, name, pos,
-                           "record body failed to decode"});
-        ++stats_.rejected_records;
-        pos = record_end;
-        continue;
-      }
-      valid_end = record_end;
-      pos = record_end;
-      if (loaded_.emplace(rec.fp, std::move(rec)).second) {
+    std::vector<JournalRecord> records;
+    const std::size_t before = issues_.size();
+    valid_end = journal_io::scan_record_frames(
+        bytes.data(), bytes.size(), kHeaderBytes, name, &records, &issues_);
+    stats_.rejected_records += issues_.size() - before;
+    for (JournalRecord& rec : records) {
+      const Fingerprint fp = rec.fp;
+      if (loaded_.emplace(fp, std::move(rec)).second) {
         ++stats_.loaded_records;
       }
     }
@@ -331,14 +419,7 @@ void RunJournal::open_active_segment() {
     throw_journal_io("cannot create active segment " + active_file_ + ": " +
                      std::strerror(errno));
   }
-  ByteWriter header;
-  header.u64(kSegmentMagic);
-  header.u32(kFormatVersion);
-  header.u32(0);  // reserved
-  header.u64(config_fp_.hi);
-  header.u64(config_fp_.lo);
-  header.u64(crc64(header.data()));
-  buffer_ = header.take();
+  buffer_ = make_segment_header(config_fp_);
   active_bytes_ = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -419,14 +500,7 @@ void RunJournal::seal_active_locked() {
                       std::strerror(errno));
     return;
   }
-  ByteWriter header;
-  header.u64(kSegmentMagic);
-  header.u32(kFormatVersion);
-  header.u32(0);  // reserved
-  header.u64(config_fp_.hi);
-  header.u64(config_fp_.lo);
-  header.u64(crc64(header.data()));
-  buffer_ = header.take();
+  buffer_ = make_segment_header(config_fp_);
   active_bytes_ = 0;
   write_buffer_locked(/*sync=*/true);
   sync_directory(options_.path);
@@ -476,6 +550,20 @@ void RunJournal::io_failure_locked(const std::string& what) {
 RunJournal::Stats RunJournal::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+std::vector<JournalRecord> RunJournal::loaded_records() const {
+  std::vector<JournalRecord> out;
+  out.reserve(loaded_.size());
+  for (const auto& [fp, rec] : loaded_) out.push_back(rec);
+  std::sort(out.begin(), out.end(),
+            [](const JournalRecord& a, const JournalRecord& b) {
+              if (a.phase != b.phase) return a.phase < b.phase;
+              if (a.index != b.index) return a.index < b.index;
+              if (a.fp.hi != b.fp.hi) return a.fp.hi < b.fp.hi;
+              return a.fp.lo < b.fp.lo;
+            });
+  return out;
 }
 
 }  // namespace poc

@@ -97,6 +97,39 @@ struct ReplayIssue {
   std::string detail;
 };
 
+/// Segment-file primitives shared by RunJournal and the shard worker
+/// segments (src/run/shard): the record frame codec, a tolerant frame
+/// scanner, and a sealed-standard-segment writer for the coordinator's
+/// merge step.  Framing is [marker "PRC1", body length, body, crc64(body)].
+namespace journal_io {
+
+/// Appends one framed record to `out` (a ByteWriter-compatible buffer).
+void append_record_frame(std::vector<std::uint8_t>& out,
+                         const JournalRecord& rec);
+
+/// Scans record frames in data[start, size), appending every valid record
+/// to `out` and one ReplayIssue per reject.  Returns the end offset of the
+/// last fully valid record — the truncate-and-seal point for a torn tail.
+/// Mid-stream checksum rejects skip the record and keep scanning (the
+/// frame length still delimits it); a bad marker or partial frame stops.
+std::size_t scan_record_frames(const std::uint8_t* data, std::size_t size,
+                               std::size_t start,
+                               const std::string& segment_name,
+                               std::vector<JournalRecord>* out,
+                               std::vector<ReplayIssue>* issues);
+
+/// Writes `records` as one sealed standard journal segment
+/// (journal-<seq>.seg with the standard config-stamped header) under
+/// `dir`, via temp-file + atomic rename.  The coordinator uses this to
+/// materialize the merged, global-window-index-ordered journal that the
+/// final restore replays.  False (with `error` set) on I/O failure.
+bool write_sealed_segment(const std::string& dir, std::uint64_t seq,
+                          const Fingerprint& config_fp,
+                          const std::vector<JournalRecord>& records,
+                          std::string* error);
+
+}  // namespace journal_io
+
 class RunJournal {
  public:
   /// Opens `options.path` (creating it if needed), replays every segment
@@ -139,6 +172,11 @@ class RunJournal {
 
   /// Replay problems (rejected records, I/O failures), in discovery order.
   const std::vector<ReplayIssue>& issues() const { return issues_; }
+
+  /// Every record replayed at open, sorted by (phase, index).  The shard
+  /// coordinator salvages a dead worker's private journal through this —
+  /// constructing the journal already truncate-and-sealed any torn tail.
+  std::vector<JournalRecord> loaded_records() const;
 
   const std::string& path() const { return options_.path; }
 

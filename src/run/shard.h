@@ -1,0 +1,107 @@
+// Window-index sharding for multi-process full-chip runs.
+//
+// The coordinator (coordinator.h) partitions the design's window index
+// space — instances, and through the gate->instance map, gates — into one
+// shard per worker process.  Two policies:
+//
+//   * kContiguous: static split by index range.  Shard w owns the w-th
+//     contiguous slice of [0, n); placement locality makes neighbouring
+//     windows similar, which concentrates cache hits inside a worker.
+//   * kInterleaved: round-robin by index (i % workers == w).  Repeated-
+//     block designs lay identical tiles out contiguously, so interleaving
+//     balances load when window cost varies along the chip.
+//
+// Either way every index belongs to exactly one shard, and the merged
+// result is bit-identical to a 1-worker run: workers only produce journal
+// records (keyed by content fingerprint, ordered by global window index at
+// merge), never partial aggregates.
+//
+// Worker segments: each worker publishes its completed shard as one
+// `run.wNN.seg` file — a shard-stamped header (magic "POCSHRD1", worker id,
+// shard parameters, the flow config fingerprint) followed by standard
+// journal record frames.  Publication is temp-file + atomic rename, and the
+// reader tolerates a torn tail exactly like journal replay: the valid
+// prefix is kept, the tear is reported, and the missing windows become
+// residual work for the coordinator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cache/fingerprint.h"
+#include "src/run/journal.h"
+
+namespace poc {
+
+enum class ShardPolicy : std::uint32_t { kContiguous = 0, kInterleaved = 1 };
+
+const char* shard_policy_name(ShardPolicy policy);
+
+/// One worker's slice of the window index space.  For kContiguous the
+/// shard is [lo, hi); for kInterleaved it is {i in [0, n) : i % workers ==
+/// worker} and lo/hi record the full range the stride walks.
+struct ShardSpec {
+  std::uint32_t worker = 0;
+  std::uint32_t workers = 1;
+  ShardPolicy policy = ShardPolicy::kContiguous;
+  std::uint64_t lo = 0;  ///< first index covered (inclusive)
+  std::uint64_t hi = 0;  ///< one past the last index covered
+};
+
+/// Splits [0, n) into `workers` shards under `policy`.  Every index lands
+/// in exactly one shard; contiguous shards differ in size by at most one.
+std::vector<ShardSpec> partition_shards(std::size_t n, std::size_t workers,
+                                        ShardPolicy policy);
+
+/// The indices `spec` owns, ascending.
+std::vector<std::size_t> shard_indices(const ShardSpec& spec);
+
+/// True when `index` belongs to `spec`.
+bool shard_owns(const ShardSpec& spec, std::size_t index);
+
+/// Worker segment file name: "run.w00.seg" for worker 0.
+std::string shard_segment_name(std::uint32_t worker);
+
+/// Header stamped at the front of every worker segment.
+struct ShardSegmentHeader {
+  std::uint32_t worker = 0;
+  std::uint32_t workers = 1;
+  ShardPolicy policy = ShardPolicy::kContiguous;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  Fingerprint config_fp;
+};
+
+/// Outcome of reading one worker segment.
+struct ShardReadResult {
+  bool header_ok = false;   ///< magic/version/CRC valid
+  bool config_ok = false;   ///< config fingerprint matched
+  bool torn = false;        ///< valid prefix ended before the file did
+  std::size_t valid_bytes = 0;  ///< truncate-and-seal point
+  ShardSegmentHeader header;
+  std::vector<ReplayIssue> issues;
+};
+
+/// Writes `records` as a sealed worker segment at `path` (temp + atomic
+/// rename).  False (with `error` set) on I/O failure.
+bool write_shard_segment(const std::string& path,
+                         const ShardSegmentHeader& header,
+                         const std::vector<JournalRecord>& records,
+                         std::string* error);
+
+/// Reads a worker segment, validating the header, the config fingerprint
+/// against `expect_config`, and every record frame.  Valid records append
+/// to `out`; a torn tail keeps the valid prefix and sets result.torn.  A
+/// missing file reports header_ok=false with one kJournalIo issue.
+ShardReadResult read_shard_segment(const std::string& path,
+                                   const Fingerprint& expect_config,
+                                   std::vector<JournalRecord>* out);
+
+/// Truncates a torn worker segment to its valid prefix (the coordinator's
+/// truncate-and-seal step, mirroring journal reopen).  No-op when the file
+/// is already clean.  False on I/O failure.
+bool seal_shard_segment(const std::string& path, const ShardReadResult& read);
+
+}  // namespace poc

@@ -4,6 +4,7 @@
 // change wall time, never a single output bit, at any thread count.
 // EXPECT_EQ on doubles below is deliberate, as in determinism_test.
 #include <cstddef>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <thread>
@@ -11,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/cache/disk_store.h"
 #include "src/cache/fingerprint.h"
 #include "src/cache/result_cache.h"
 #include "src/common/fault.h"
@@ -163,6 +165,140 @@ TEST(ShardedCache, ConcurrentMixedAccessIsSafe) {
   const CacheCounters c = cache.counters();
   EXPECT_EQ(c.hits + c.misses, static_cast<std::uint64_t>(kThreads) * kOps);
   EXPECT_LE(c.bytes, 256u);
+}
+
+// ---------------------------------------------------------------------------
+// Disk tier: the spill-to-disk store shared across worker processes
+
+struct CacheTempDir {
+  std::filesystem::path path;
+  explicit CacheTempDir(const std::string& name)
+      : path(std::filesystem::temp_directory_path() / name) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~CacheTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+std::vector<std::uint8_t> encode_int(const int& v) {
+  std::vector<std::uint8_t> bytes(sizeof v);
+  std::memcpy(bytes.data(), &v, sizeof v);
+  return bytes;
+}
+
+std::shared_ptr<int> decode_int(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() != sizeof(int)) return nullptr;  // structural mismatch
+  int v;
+  std::memcpy(&v, bytes.data(), sizeof v);
+  return std::make_shared<int>(v);
+}
+
+TEST(ShardedCacheDisk, SpillsOnInsertAndServesAFreshInstance) {
+  CacheTempDir dir("poc_cache_disk_roundtrip");
+  const auto store = std::make_shared<DiskCacheStore>(dir.path.string());
+  ASSERT_TRUE(store->ok());
+
+  // Instance A (worker 0) computes and inserts: write-through spill.
+  ShardedCache<int> a(1 << 12, 4);
+  a.attach_disk(store, encode_int, decode_int);
+  a.insert(key(1), std::make_shared<int>(41), 8);
+  EXPECT_TRUE(store->contains(key(1)));
+
+  // Instance B (worker 1, fresh memory) finds it on disk: a disk hit that
+  // promotes into memory, so the second find is a plain memory hit.
+  ShardedCache<int> b(1 << 12, 4);
+  b.attach_disk(std::make_shared<DiskCacheStore>(dir.path.string()),
+                encode_int, decode_int);
+  const auto first = b.find(key(1));
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(*first, 41);
+  ASSERT_NE(b.find(key(1)), nullptr);
+  const CacheCounters c = b.counters();
+  EXPECT_EQ(c.disk_hits, 1u);
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 0u);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 1.0);  // disk hits count as hits
+
+  // Structurally invalid published bytes (wrong size for the codec) must
+  // read as a miss — the caller recomputes, never consumes garbage.
+  const std::uint8_t junk[3] = {1, 2, 3};
+  store->put(key(2), junk, sizeof junk);
+  EXPECT_EQ(b.find(key(2)), nullptr);
+  EXPECT_EQ(b.counters().misses, 1u);
+}
+
+TEST(ShardedCacheDisk, PeekPromotesFromDiskWithoutCounters) {
+  CacheTempDir dir("poc_cache_disk_peek");
+  const auto store = std::make_shared<DiskCacheStore>(dir.path.string());
+  {
+    ShardedCache<int> seed(1 << 12, 1);
+    seed.attach_disk(store, encode_int, decode_int);
+    seed.insert(key(9), std::make_shared<int>(99), 8);
+  }
+  ShardedCache<int> cache(1 << 12, 1);
+  cache.attach_disk(store, encode_int, decode_int);
+  const auto peeked = cache.peek(key(9));
+  ASSERT_NE(peeked, nullptr);
+  EXPECT_EQ(*peeked, 99);
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.hits + c.disk_hits + c.misses, 0u)
+      << "peek must not perturb lookup counters";
+}
+
+TEST(ShardedCacheDisk, CounterIdentityIsExactUnderConcurrentLookups) {
+  // The satellite contract: with the disk tier attached, every find()
+  // increments exactly one of hits / disk_hits / misses, so under any
+  // interleaving the three sum to the exact number of lookups.
+  CacheTempDir dir("poc_cache_disk_identity");
+  const auto store = std::make_shared<DiskCacheStore>(dir.path.string());
+  constexpr std::uint64_t kOnDisk = 32;  // keys [0, 32) pre-published
+  constexpr std::uint64_t kKeys = 64;    // keys [32, 64) exist nowhere
+  for (std::uint64_t k = 0; k < kOnDisk; ++k) {
+    const std::vector<std::uint8_t> bytes = encode_int(static_cast<int>(k));
+    store->put(key(k), bytes.data(), bytes.size());
+  }
+
+  ShardedCache<int> cache(1 << 16, 4);
+  cache.attach_disk(store, encode_int, decode_int);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int op = 0; op < kOps; ++op) {
+        const std::uint64_t k =
+            (static_cast<std::uint64_t>(t) * 2654435761u + op) % kKeys;
+        const auto hit = cache.find(key(k));
+        if (k < kOnDisk) {
+          ASSERT_NE(hit, nullptr);
+          EXPECT_EQ(*hit, static_cast<int>(k));
+        } else {
+          EXPECT_EQ(hit, nullptr);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.hits + c.disk_hits + c.misses,
+            static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_GT(c.disk_hits, 0u) << "first touch of each disk key";
+  EXPECT_GT(c.hits, 0u) << "promoted entries serve from memory";
+  // Exactly the lookups of absent keys miss; lookups of published keys
+  // never do (they land as disk hits or, once promoted, memory hits).
+  std::uint64_t absent_lookups = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int op = 0; op < kOps; ++op) {
+      const std::uint64_t k =
+          (static_cast<std::uint64_t>(t) * 2654435761u + op) % kKeys;
+      if (k >= kOnDisk) ++absent_lookups;
+    }
+  }
+  EXPECT_EQ(c.misses, absent_lookups);
 }
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,8 @@
 // benchmark generator via logic simulation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/common/check.h"
 #include "src/common/rng.h"
 #include "src/netlist/generators.h"
@@ -230,12 +232,63 @@ TEST(RandomLogic, OnlyLibraryCells) {
   }
 }
 
+TEST(Tiled, FunctionMatchesReference) {
+  // Reference-simulate the chained tiles: FA carry, XOR, then the
+  // NAND3/NOR/INV cluster chain = !( !(x3 x0 c) + x1 ) ... inverted.
+  const Netlist nl = make_tiled(9);
+  Rng rng(99);
+  for (int t = 0; t < 10; ++t) {
+    std::vector<bool> pi;
+    for (int i = 0; i < 5; ++i) pi.push_back(rng.chance(0.5));
+    const bool x0 = pi[0], x1 = pi[1], x2 = pi[2], x3 = pi[3];
+    bool chain = pi[4];
+    std::vector<bool> expect_pos;
+    for (std::size_t tile = 0; tile < 9; ++tile) {
+      switch (tile % 3) {
+        case 0: {
+          const bool sum = x0 ^ x1 ^ chain;
+          const bool cout = (x0 && x1) || (chain && (x0 ^ x1));
+          if (tile % 24 == 0) expect_pos.push_back(sum);
+          chain = cout;
+          break;
+        }
+        case 1:
+          chain = x2 ^ chain;
+          break;
+        default:  // INV(NOR2(NAND3(x3, x0, c), x1)) = !(x3 x0 c) + x1
+          chain = !(x3 && x0 && chain) || x1;
+          break;
+      }
+    }
+    expect_pos.push_back(chain);
+    EXPECT_EQ(simulate_logic(nl, pi), expect_pos);
+  }
+}
+
+TEST(Tiled, ScalesToRepeatedBlocksDeterministically) {
+  const Netlist a = make_tiled(2000);
+  // ~16 gates per 3 tiles: the 10k-instance repeated-block chip.
+  EXPECT_GT(a.num_gates(), 10000u);
+  EXPECT_EQ(a.topological_order().size(), a.num_gates());
+  EXPECT_EQ(verilog_to_string(a), verilog_to_string(make_tiled(2000)));
+  // Only a handful of distinct cell templates — the whole point: placed
+  // windows repeat, so sharded workers hit each other's published results.
+  std::vector<std::string> cells;
+  for (GateIdx g = 0; g < a.num_gates(); ++g) cells.push_back(a.gate(g).cell);
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  EXPECT_LE(cells.size(), 5u);
+}
+
 TEST(Benchmarks, NamedLookup) {
   EXPECT_EQ(make_benchmark("c17").num_gates(), 6u);
   EXPECT_GT(make_benchmark("adder8").num_gates(), 60u);
   EXPECT_GT(make_benchmark("mult4").num_gates(), 100u);
   EXPECT_GE(make_benchmark("rand100").num_gates(), 100u);
+  EXPECT_GT(make_benchmark("tiled60").num_gates(), 300u);
   EXPECT_THROW(make_benchmark("nonsense"), CheckError);
+  EXPECT_THROW(make_benchmark("tiled"), CheckError);
+  EXPECT_THROW(make_benchmark("tiled12x"), CheckError);
 }
 
 TEST(Verilog, RoundTripPreservesStructureAndFunction) {

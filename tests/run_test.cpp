@@ -6,6 +6,7 @@
 // thread count, reproduces the uninterrupted TimingComparison bit for bit
 // (EXPECT_EQ on doubles, as in determinism_test).
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <csignal>
 #include <cstdint>
@@ -14,16 +15,21 @@
 #include <fstream>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/cache/disk_store.h"
 #include "src/common/error.h"
 #include "src/common/serialize.h"
 #include "src/core/flow.h"
+#include "src/core/flow_shard.h"
 #include "src/netlist/generators.h"
 #include "src/par/thread_pool.h"
+#include "src/run/coordinator.h"
 #include "src/run/journal.h"
+#include "src/run/shard.h"
 #include "src/run/shutdown.h"
 
 namespace poc {
@@ -737,6 +743,331 @@ TEST(FlowJournalRejects, BitFlippedRecordIsReportedAndTimingUnaffected) {
   EXPECT_EQ(cmp.annotated.worst_slack, reference_cmp().annotated.worst_slack);
   EXPECT_EQ(cmp.annotated.total_leakage_ua,
             reference_cmp().annotated.total_leakage_ua);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded multi-process runs: partitioning, segment merge, failure
+// containment, and the bit-identity contract across worker counts.
+
+TEST(ShardPartition, EveryIndexOwnedByExactlyOneShard) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+    for (const std::size_t workers :
+         {std::size_t{1}, std::size_t{3}, std::size_t{4}}) {
+      for (const ShardPolicy policy :
+           {ShardPolicy::kContiguous, ShardPolicy::kInterleaved}) {
+        const std::vector<ShardSpec> shards =
+            partition_shards(n, workers, policy);
+        ASSERT_EQ(shards.size(), workers);
+        std::vector<int> owners(n, 0);
+        for (const ShardSpec& s : shards) {
+          for (const std::size_t i : shard_indices(s)) {
+            ASSERT_LT(i, n);
+            ++owners[i];
+            EXPECT_TRUE(shard_owns(s, i));
+          }
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(owners[i], 1)
+              << "index " << i << " n=" << n << " workers=" << workers
+              << " policy=" << shard_policy_name(policy);
+          // shard_owns must agree with shard_indices for every shard.
+          int claims = 0;
+          for (const ShardSpec& s : shards) claims += shard_owns(s, i) ? 1 : 0;
+          EXPECT_EQ(claims, 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardPartition, ContiguousShardSizesDifferByAtMostOne) {
+  const std::vector<ShardSpec> shards =
+      partition_shards(10, 4, ShardPolicy::kContiguous);
+  std::size_t min_sz = 10, max_sz = 0;
+  for (const ShardSpec& s : shards) {
+    const std::size_t sz = static_cast<std::size_t>(s.hi - s.lo);
+    min_sz = std::min(min_sz, sz);
+    max_sz = std::max(max_sz, sz);
+  }
+  EXPECT_LE(max_sz - min_sz, 1u);
+}
+
+JournalRecord synth_record(JournalPhase phase, std::uint64_t index,
+                           std::uint64_t salt) {
+  JournalRecord rec;
+  rec.phase = phase;
+  rec.index = index;
+  rec.fp.hi = 0x5EED5EED00000000ull + salt;
+  rec.fp.lo = index * 1315423911ull + salt;
+  rec.payload.assign(24 + index % 7,
+                     static_cast<std::uint8_t>(index * 31 + salt));
+  return rec;
+}
+
+TEST(ShardMerge, ShuffledArrivalsMergeInGlobalWindowOrderAndDedup) {
+  TempDir dir("poc_shard_merge_order");
+  Fingerprint cfg;
+  cfg.hi = 0xC0FFEEull;
+  cfg.lo = 42;
+
+  // Workers publish records in whatever order their threads finished; the
+  // merge must impose (phase, global window index) order regardless.  The
+  // two workers also overlap on one fingerprint (a window both computed):
+  // dedup is first-insert-wins, same as the in-memory cache.
+  const std::vector<JournalRecord> w0 = {
+      synth_record(JournalPhase::kOpc, 4, 0),
+      synth_record(JournalPhase::kOpc, 0, 0),
+      synth_record(JournalPhase::kExtract, 2, 0),
+  };
+  const std::vector<JournalRecord> w1 = {
+      synth_record(JournalPhase::kOpc, 3, 1),
+      synth_record(JournalPhase::kOpc, 1, 1),
+      synth_record(JournalPhase::kOpc, 4, 0),  // duplicate of w0's first
+  };
+  std::string error;
+  ShardSegmentHeader h0{0, 2, ShardPolicy::kInterleaved, 0, 5, cfg};
+  ShardSegmentHeader h1{1, 2, ShardPolicy::kInterleaved, 0, 5, cfg};
+  ASSERT_TRUE(write_shard_segment((dir.path / shard_segment_name(0)).string(),
+                                  h0, w0, &error))
+      << error;
+  ASSERT_TRUE(write_shard_segment((dir.path / shard_segment_name(1)).string(),
+                                  h1, w1, &error))
+      << error;
+
+  const MergeResult merge =
+      collect_and_merge_segments(dir.path.string(), 2, cfg, {"", ""});
+  EXPECT_EQ(merge.duplicate_records, 1u);
+  ASSERT_EQ(merge.records.size(), 5u);
+  ASSERT_EQ(merge.workers.size(), 2u);
+  EXPECT_TRUE(merge.workers[0].segment_found);
+  EXPECT_TRUE(merge.workers[1].segment_found);
+  EXPECT_FALSE(merge.workers[0].torn);
+  for (std::size_t i = 1; i < merge.records.size(); ++i) {
+    const JournalRecord& a = merge.records[i - 1];
+    const JournalRecord& b = merge.records[i];
+    const bool ordered =
+        a.phase < b.phase || (a.phase == b.phase && a.index <= b.index);
+    EXPECT_TRUE(ordered) << "merge order violated at record " << i;
+  }
+  // OPC windows 0,1,3,4 then the extraction record — global index order
+  // inside each phase, exactly what the single-process merge step emits.
+  EXPECT_EQ(merge.records[0].index, 0u);
+  EXPECT_EQ(merge.records[1].index, 1u);
+  EXPECT_EQ(merge.records[2].index, 3u);
+  EXPECT_EQ(merge.records[3].index, 4u);
+  EXPECT_EQ(merge.records[4].phase, JournalPhase::kExtract);
+}
+
+TEST(ShardMerge, TornSegmentKeepsValidPrefixAndSeals) {
+  TempDir dir("poc_shard_torn_seal");
+  Fingerprint cfg;
+  cfg.hi = 7;
+  cfg.lo = 9;
+  std::vector<JournalRecord> records;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    records.push_back(synth_record(JournalPhase::kOpc, i, 5));
+  }
+  const std::string path = (dir.path / shard_segment_name(0)).string();
+  std::string error;
+  ShardSegmentHeader header{0, 1, ShardPolicy::kContiguous, 0, 3, cfg};
+  ASSERT_TRUE(write_shard_segment(path, header, records, &error)) << error;
+
+  // Tear mid-frame: the last record loses part of its checksum.
+  fs::resize_file(path, fs::file_size(path) - 5);
+
+  std::vector<JournalRecord> out;
+  const ShardReadResult torn = read_shard_segment(path, cfg, &out);
+  EXPECT_TRUE(torn.header_ok);
+  EXPECT_TRUE(torn.config_ok);
+  EXPECT_TRUE(torn.torn);
+  ASSERT_EQ(out.size(), 2u) << "valid prefix must survive the tear";
+  EXPECT_EQ(out[0].fp, records[0].fp);
+  EXPECT_EQ(out[1].payload, records[1].payload);
+
+  // Truncate-and-seal, then a clean re-read of the prefix.
+  ASSERT_TRUE(seal_shard_segment(path, torn));
+  EXPECT_EQ(fs::file_size(path), torn.valid_bytes);
+  std::vector<JournalRecord> again;
+  const ShardReadResult sealed = read_shard_segment(path, cfg, &again);
+  EXPECT_FALSE(sealed.torn);
+  EXPECT_EQ(again.size(), 2u);
+
+  // A segment written under different flow options is rejected wholesale.
+  Fingerprint other = cfg;
+  other.lo ^= 1;
+  std::vector<JournalRecord> rejected;
+  const ShardReadResult mismatch = read_shard_segment(path, other, &rejected);
+  EXPECT_TRUE(mismatch.header_ok);
+  EXPECT_FALSE(mismatch.config_ok);
+  EXPECT_TRUE(rejected.empty());
+}
+
+TEST(DiskCacheStore, ConcurrentPublishIsFirstInsertWins) {
+  TempDir dir("poc_disk_store_race");
+  Fingerprint fp;
+  fp.hi = 0xD15C0000ull;
+  fp.lo = 77;
+  const std::vector<std::uint8_t> first(256, 0xAA);
+  const std::vector<std::uint8_t> second(256, 0xBB);
+
+  // Sequential: the second publish of a fingerprint loses and the winner's
+  // bytes stay — entries are immutable once published.
+  {
+    DiskCacheStore store((dir.path / "seq").string());
+    ASSERT_TRUE(store.ok());
+    EXPECT_TRUE(store.put(fp, first.data(), first.size()));
+    EXPECT_FALSE(store.put(fp, second.data(), second.size()));
+    std::vector<std::uint8_t> got;
+    ASSERT_TRUE(store.get(fp, &got));
+    EXPECT_EQ(got, first);
+    EXPECT_EQ(store.counters().publishes, 1u);
+    EXPECT_EQ(store.counters().races_lost, 1u);
+  }
+
+  // Two writers racing on one fingerprint: exactly one entry appears,
+  // whole, and the loser is accounted — never torn, never replaced.
+  for (int round = 0; round < 8; ++round) {
+    DiskCacheStore store((dir.path / ("race" + std::to_string(round))).string());
+    ASSERT_TRUE(store.ok());
+    std::atomic<int> wins{0};
+    std::thread a([&] {
+      if (store.put(fp, first.data(), first.size())) wins.fetch_add(1);
+    });
+    std::thread b([&] {
+      if (store.put(fp, second.data(), second.size())) wins.fetch_add(1);
+    });
+    a.join();
+    b.join();
+    EXPECT_EQ(wins.load(), 1);
+    const DiskCacheStore::Counters c = store.counters();
+    EXPECT_EQ(c.publishes, 1u);
+    EXPECT_EQ(c.races_lost, 1u);
+    EXPECT_EQ(c.io_errors, 0u);
+    std::vector<std::uint8_t> got;
+    ASSERT_TRUE(store.get(fp, &got));
+    EXPECT_TRUE(got == first || got == second) << "entry must be whole";
+  }
+}
+
+TEST(ShardFlow, InProcessWorkersBitIdenticalAcrossWorkerCounts) {
+  // worker_command unset runs every worker on its own thread — the same
+  // shard/segment/merge machinery as fork/exec, and the leg TSan covers.
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+    TempDir dir("poc_shard_inproc_" + std::to_string(workers));
+    ShardFlowOptions so;
+    so.workers = workers;
+    so.work_dir = dir.path.string();
+    const ShardFlowResult result = run_sharded_flow(
+        design(), lib(), LithoSimulator{}, run_flow_options(2), so);
+    expect_same_comparison(result.comparison, reference_cmp());
+    EXPECT_TRUE(result.comparison.health.clean());
+    EXPECT_TRUE(result.shard_health.faults.empty());
+    EXPECT_EQ(result.residual_windows, 0u)
+        << "a clean run must replay every window from the merged journal";
+    EXPECT_EQ(result.merge.duplicate_records, 0u);
+    ASSERT_EQ(result.merge.workers.size(), workers);
+    for (const WorkerSegmentOutcome& wo : result.merge.workers) {
+      EXPECT_TRUE(wo.segment_found);
+      EXPECT_FALSE(wo.torn);
+      EXPECT_GT(wo.records, 0u);
+    }
+  }
+}
+
+TEST(ShardFlow, InterleavedPolicyMatchesContiguous) {
+  TempDir dir("poc_shard_interleaved");
+  ShardFlowOptions so;
+  so.workers = 2;
+  so.policy = ShardPolicy::kInterleaved;
+  so.work_dir = dir.path.string();
+  const ShardFlowResult result = run_sharded_flow(
+      design(), lib(), LithoSimulator{}, run_flow_options(1), so);
+  expect_same_comparison(result.comparison, reference_cmp());
+  EXPECT_TRUE(result.shard_health.faults.empty());
+  EXPECT_EQ(result.residual_windows, 0u);
+}
+
+TEST(ShardFlow, SharedDiskCachePublishesWindowEntries) {
+  TempDir dir("poc_shard_diskcache");
+  FlowOptions base = run_flow_options(2);
+  base.cache.enabled = true;  // the disk tier hangs off the window caches
+  ShardFlowOptions so;
+  so.workers = 2;
+  so.work_dir = dir.path.string();
+  const ShardFlowResult result =
+      run_sharded_flow(design(), lib(), LithoSimulator{}, base, so);
+  expect_same_comparison(result.comparison, reference_cmp());
+  // Workers spilled completed windows into the shared content-addressed
+  // store under <work_dir>/cache — that is what a second worker (or a
+  // rerun) hits instead of recomputing.
+  EXPECT_TRUE(fs::exists(dir.path / "cache" / "opc"));
+  EXPECT_FALSE(fs::is_empty(dir.path / "cache" / "opc"));
+}
+
+TEST(ShardFlow, TornWorkerSegmentRecomputesResidualBitIdentical) {
+  TempDir dir("poc_shard_torn_residual");
+  const std::vector<ShardSpec> shards = partition_shards(
+      design().layout.num_instances(), 2, ShardPolicy::kContiguous);
+  for (const ShardSpec& spec : shards) {
+    ShardWorkerOptions wo;
+    wo.spec = spec;
+    wo.work_dir = dir.path.string();
+    ASSERT_TRUE(run_shard_worker(design(), lib(), LithoSimulator{},
+                                 run_flow_options(2), wo));
+  }
+
+  // Tear worker 1's published segment mid-frame and delete its private
+  // journal, so neither the tail record nor salvage can save it — the
+  // coordinator must recompute those windows in the final pass.
+  const fs::path seg1 = dir.path / shard_segment_name(1);
+  ASSERT_TRUE(fs::exists(seg1));
+  fs::resize_file(seg1, fs::file_size(seg1) - 7);
+  fs::remove_all(dir.path / "w01");
+
+  Fingerprint config_fp;
+  {
+    PostOpcFlow probe(design(), lib(), LithoSimulator{}, run_flow_options(1));
+    config_fp = probe.config_fingerprint();
+  }
+  const MergeResult merge =
+      collect_and_merge_segments(dir.path.string(), 2, config_fp, {"", ""});
+  ASSERT_EQ(merge.workers.size(), 2u);
+  EXPECT_FALSE(merge.workers[0].torn);
+  EXPECT_TRUE(merge.workers[1].torn);
+  EXPECT_GT(merge.records.size(), 0u);
+
+  std::string error;
+  ASSERT_TRUE(write_merged_journal((dir.path / "merged").string(), config_fp,
+                                   merge.records, &error))
+      << error;
+  PostOpcFlow fin(design(), lib(), LithoSimulator{},
+                  journaled_options(2, dir.path / "merged"));
+  fin.run_opc(OpcMode::kModelBased);
+  const TimingComparison cmp = fin.compare_timing({});
+  expect_same_comparison(cmp, reference_cmp());
+  EXPECT_TRUE(cmp.health.clean());
+  const RunJournal::Stats s = fin.journal_stats();
+  EXPECT_GT(s.replayed_hits, 0u) << "surviving records must replay";
+  EXPECT_GT(s.appended_records, 0u)
+      << "the torn-off windows must recompute as residual work";
+
+  // Losing the segment entirely (worker never published, no private
+  // journal either) degrades further but stays bit-identical: every one
+  // of that worker's windows becomes residual work.
+  fs::remove(seg1);
+  const MergeResult merge2 =
+      collect_and_merge_segments(dir.path.string(), 2, config_fp, {"", ""});
+  EXPECT_FALSE(merge2.workers[1].segment_found);
+  EXPECT_LT(merge2.records.size(), merge.records.size() + 1);
+  ASSERT_TRUE(write_merged_journal((dir.path / "merged2").string(), config_fp,
+                                   merge2.records, &error))
+      << error;
+  PostOpcFlow fin2(design(), lib(), LithoSimulator{},
+                   journaled_options(1, dir.path / "merged2"));
+  fin2.run_opc(OpcMode::kModelBased);
+  expect_same_comparison(fin2.compare_timing({}), reference_cmp());
+  EXPECT_GE(fin2.journal_stats().appended_records,
+            s.appended_records);
 }
 
 }  // namespace
