@@ -4,15 +4,21 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <utility>
 
+#include "src/common/fault.h"
 #include "src/common/serialize.h"
+#include "src/common/vfs.h"
 
 namespace poc {
 namespace {
+
+namespace fs = std::filesystem;
 
 // Entry layout: magic "POCDCHE1", payload length, payload, crc64(payload).
 constexpr std::uint64_t kEntryMagic = 0x3145484344434F50ULL;  // "POCDCHE1"
@@ -26,26 +32,32 @@ std::string fp_hex(const Fingerprint& fp) {
   return buf;
 }
 
-bool write_all(int fd, const std::uint8_t* p, std::size_t left) {
-  while (left > 0) {
-    const ssize_t wrote = ::write(fd, p, left);
-    if (wrote < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += wrote;
-    left -= static_cast<std::size_t>(wrote);
-  }
-  return true;
+bool is_entry_name(const std::string& name) {
+  return name.size() > 6 && name.rfind(".entry") == name.size() - 6;
 }
 
 }  // namespace
 
-DiskCacheStore::DiskCacheStore(std::string dir) : dir_(std::move(dir)) {
+DiskCacheStore::DiskCacheStore(std::string dir)
+    : DiskCacheStore(std::move(dir), Options{}) {}
+
+DiskCacheStore::DiskCacheStore(std::string dir, const Options& options)
+    : dir_(std::move(dir)), options_(options) {
   std::error_code ec;
-  std::filesystem::create_directories(dir_, ec);
+  fs::create_directories(dir_, ec);
   ok_ = !ec;
-  if (!ok_) io_errors_.fetch_add(1, std::memory_order_relaxed);
+  if (!ok_) {
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (options_.max_bytes == 0) return;
+  // Quota accounting starts from what previous runs left behind.
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    if (!is_entry_name(entry.path().filename().string())) continue;
+    std::error_code size_ec;
+    const std::uintmax_t size = entry.file_size(size_ec);
+    if (!size_ec) stored_bytes_ += static_cast<std::uint64_t>(size);
+  }
 }
 
 std::string DiskCacheStore::entry_path(const Fingerprint& fp) const {
@@ -53,14 +65,14 @@ std::string DiskCacheStore::entry_path(const Fingerprint& fp) const {
 }
 
 bool DiskCacheStore::contains(const Fingerprint& fp) const {
-  if (!ok_) return false;
+  if (!ok_ || degraded()) return false;
   probes_.fetch_add(1, std::memory_order_relaxed);
   return ::access(entry_path(fp).c_str(), F_OK) == 0;
 }
 
 bool DiskCacheStore::get(const Fingerprint& fp,
                          std::vector<std::uint8_t>* out) const {
-  if (!ok_) return false;
+  if (!ok_ || degraded()) return false;
   probes_.fetch_add(1, std::memory_order_relaxed);
   const std::string path = entry_path(fp);
   const int fd = ::open(path.c_str(), O_RDONLY);
@@ -97,7 +109,7 @@ bool DiskCacheStore::get(const Fingerprint& fp,
 
 bool DiskCacheStore::put(const Fingerprint& fp, const std::uint8_t* data,
                          std::size_t size) {
-  if (!ok_) return false;
+  if (!ok_ || degraded()) return false;
   const std::string final_path = entry_path(fp);
   if (::access(final_path.c_str(), F_OK) == 0) {
     races_lost_.fetch_add(1, std::memory_order_relaxed);
@@ -111,65 +123,120 @@ bool DiskCacheStore::put(const Fingerprint& fp, const std::uint8_t* data,
   framed.u64(crc64(data, size));
   const std::vector<std::uint8_t>& bytes = framed.data();
 
+  fault::Scope io_scope(fault::Domain::kDiskCacheIo,
+                        op_seq_.fetch_add(1, std::memory_order_relaxed));
+  bool published = false;
+
   // Preferred publish path: an unlinked O_TMPFILE linked under the final
   // name — the entry either appears whole or not at all, and a lost race
   // (linkat EEXIST) leaves no residue.
   int fd = ::open(dir_.c_str(), O_TMPFILE | O_WRONLY, 0644);
   if (fd >= 0) {
-    if (!write_all(fd, bytes.data(), bytes.size()) || ::fsync(fd) != 0) {
-      io_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (!vfs::write_all(fd, bytes.data(), bytes.size()) ||
+        vfs::fsync(fd) != 0) {
       ::close(fd);
+      publish_io_error();
       return false;
     }
     char proc_path[64];
     std::snprintf(proc_path, sizeof proc_path, "/proc/self/fd/%d", fd);
-    const int rc = ::linkat(AT_FDCWD, proc_path, AT_FDCWD, final_path.c_str(),
-                            AT_SYMLINK_FOLLOW);
+    const int rc = vfs::linkat(AT_FDCWD, proc_path, AT_FDCWD,
+                               final_path.c_str(), AT_SYMLINK_FOLLOW);
     ::close(fd);
     if (rc != 0) {
       if (errno == EEXIST) {
         races_lost_.fetch_add(1, std::memory_order_relaxed);
       } else {
-        io_errors_.fetch_add(1, std::memory_order_relaxed);
+        publish_io_error();
       }
       return false;
     }
-    publishes_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+    published = true;
+  } else {
+    // Fallback (filesystems without O_TMPFILE): private temp file +
+    // link(2), which also refuses to replace an existing entry atomically.
+    char tmp_name[64];
+    std::snprintf(tmp_name, sizeof tmp_name, "/.tmp-%ld-%llx",
+                  static_cast<long>(::getpid()),
+                  static_cast<unsigned long long>(fp.lo));
+    const std::string tmp_path = dir_ + tmp_name;
+    fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      publish_io_error();
+      return false;
+    }
+    const bool wrote = vfs::write_all(fd, bytes.data(), bytes.size()) &&
+                       vfs::fsync(fd) == 0;
+    ::close(fd);
+    if (!wrote) {
+      ::unlink(tmp_path.c_str());
+      publish_io_error();
+      return false;
+    }
+    const int rc = vfs::link(tmp_path.c_str(), final_path.c_str());
+    ::unlink(tmp_path.c_str());
+    if (rc != 0) {
+      if (errno == EEXIST) {
+        races_lost_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        publish_io_error();
+      }
+      return false;
+    }
+    published = true;
   }
 
-  // Fallback (filesystems without O_TMPFILE): private temp file + link(2),
-  // which also refuses to replace an existing entry atomically.
-  char tmp_name[64];
-  std::snprintf(tmp_name, sizeof tmp_name, "/.tmp-%ld-%llx",
-                static_cast<long>(::getpid()),
-                static_cast<unsigned long long>(fp.lo));
-  const std::string tmp_path = dir_ + tmp_name;
-  fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    io_errors_.fetch_add(1, std::memory_order_relaxed);
-    return false;
-  }
-  const bool wrote = write_all(fd, bytes.data(), bytes.size()) &&
-                     ::fsync(fd) == 0;
-  ::close(fd);
-  if (!wrote) {
-    io_errors_.fetch_add(1, std::memory_order_relaxed);
-    ::unlink(tmp_path.c_str());
-    return false;
-  }
-  const int rc = ::link(tmp_path.c_str(), final_path.c_str());
-  ::unlink(tmp_path.c_str());
-  if (rc != 0) {
-    if (errno == EEXIST) {
-      races_lost_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      io_errors_.fetch_add(1, std::memory_order_relaxed);
+  if (published) {
+    publishes_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.max_bytes > 0) {
+      std::lock_guard<std::mutex> lock(quota_mutex_);
+      stored_bytes_ += bytes.size();
+      if (stored_bytes_ > options_.max_bytes) prune_locked(final_path);
     }
-    return false;
   }
-  publishes_.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  return published;
+}
+
+void DiskCacheStore::publish_io_error() {
+  io_errors_.fetch_add(1, std::memory_order_relaxed);
+  // The disk is misbehaving; stop touching it.  Counters freeze here so a
+  // degraded run's cache accounting matches a run with no disk tier.
+  tier_down_.store(true, std::memory_order_relaxed);
+}
+
+void DiskCacheStore::prune_locked(const std::string& keep_path) {
+  // Oldest-first eviction: (mtime, name) ascending — the name tiebreak
+  // keeps the order deterministic when a burst of publishes lands inside
+  // one mtime granule.  The entry just published is never pruned.
+  struct Victim {
+    fs::file_time_type mtime;
+    std::string path;
+    std::uint64_t size;
+  };
+  std::vector<Victim> victims;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string path = entry.path().string();
+    if (!is_entry_name(entry.path().filename().string())) continue;
+    if (path == keep_path) continue;
+    std::error_code stat_ec;
+    const fs::file_time_type mtime = entry.last_write_time(stat_ec);
+    const std::uintmax_t size = entry.file_size(stat_ec);
+    if (stat_ec) continue;
+    victims.push_back({mtime, path, static_cast<std::uint64_t>(size)});
+  }
+  std::sort(victims.begin(), victims.end(), [](const Victim& a,
+                                               const Victim& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path < b.path;
+  });
+  for (const Victim& v : victims) {
+    if (stored_bytes_ <= options_.max_bytes) break;
+    if (::unlink(v.path.c_str()) != 0) continue;
+    stored_bytes_ -= std::min(stored_bytes_, v.size);
+    pruned_entries_.fetch_add(1, std::memory_order_relaxed);
+    pruned_bytes_.fetch_add(v.size, std::memory_order_relaxed);
+  }
 }
 
 DiskCacheStore::Counters DiskCacheStore::counters() const {
@@ -180,6 +247,8 @@ DiskCacheStore::Counters DiskCacheStore::counters() const {
   c.publishes = publishes_.load(std::memory_order_relaxed);
   c.races_lost = races_lost_.load(std::memory_order_relaxed);
   c.io_errors = io_errors_.load(std::memory_order_relaxed);
+  c.pruned_entries = pruned_entries_.load(std::memory_order_relaxed);
+  c.pruned_bytes = pruned_bytes_.load(std::memory_order_relaxed);
   return c;
 }
 

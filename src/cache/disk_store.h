@@ -12,12 +12,18 @@
 //
 // Failure policy mirrors the run journal: an I/O error never perturbs
 // results.  get() misses, put() drops the entry, and the counters record
-// what happened — the store is a pure performance layer.
+// what happened — the store is a pure performance layer.  A *publish* I/O
+// error (EIO, ENOSPC — not a lost race) additionally takes the whole disk
+// tier down for the rest of the run: the disk is misbehaving, so every
+// subsequent probe/publish short-circuits to a miss/no-op with counters
+// frozen, and the in-memory tier keeps serving alone.  degraded() reports
+// the tier-down so the flow can surface a phase-"cache" health entry.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,16 +33,31 @@ namespace poc {
 
 class DiskCacheStore {
  public:
+  struct Options {
+    /// Size quota over the published entry files.  When a publish pushes
+    /// the store past the quota, the oldest entries (mtime, then name) are
+    /// pruned until it fits — first-insert-wins makes a pruned entry just
+    /// a future recompute-and-republish.  0 = unbounded.
+    std::uint64_t max_bytes = 0;
+  };
+
   /// Opens (creating if needed) the store directory.  A directory that
   /// cannot be created parks the store inert: every probe misses, every
   /// publish is dropped, and ok() reports false.
   explicit DiskCacheStore(std::string dir);
+  DiskCacheStore(std::string dir, const Options& options);
 
   DiskCacheStore(const DiskCacheStore&) = delete;
   DiskCacheStore& operator=(const DiskCacheStore&) = delete;
 
   bool ok() const { return ok_; }
   const std::string& dir() const { return dir_; }
+
+  /// True once a publish I/O error has taken the disk tier down: the
+  /// memory tier keeps serving, this store answers nothing.
+  bool degraded() const {
+    return tier_down_.load(std::memory_order_relaxed);
+  }
 
   /// True when an entry for `fp` has been published (by any process).
   bool contains(const Fingerprint& fp) const;
@@ -58,6 +79,8 @@ class DiskCacheStore {
     std::uint64_t publishes = 0;      ///< entries this process created
     std::uint64_t races_lost = 0;     ///< entry appeared first elsewhere
     std::uint64_t io_errors = 0;
+    std::uint64_t pruned_entries = 0;  ///< entries evicted by the quota
+    std::uint64_t pruned_bytes = 0;    ///< bytes evicted by the quota
   };
   Counters counters() const;
 
@@ -65,8 +88,19 @@ class DiskCacheStore {
   std::string entry_path(const Fingerprint& fp) const;
 
  private:
+  /// Takes the tier down after a publish I/O error.
+  void publish_io_error();
+  /// Evicts oldest entries (never `keep_path`) until the quota fits.
+  void prune_locked(const std::string& keep_path);
+
   std::string dir_;
+  Options options_;
   bool ok_ = false;
+  std::atomic<bool> tier_down_{false};
+
+  /// Quota bookkeeping (only maintained when max_bytes > 0).
+  std::mutex quota_mutex_;
+  std::uint64_t stored_bytes_ = 0;  ///< guarded by quota_mutex_
 
   mutable std::atomic<std::uint64_t> probes_{0};
   mutable std::atomic<std::uint64_t> loads_{0};
@@ -74,6 +108,9 @@ class DiskCacheStore {
   std::atomic<std::uint64_t> publishes_{0};
   std::atomic<std::uint64_t> races_lost_{0};
   mutable std::atomic<std::uint64_t> io_errors_{0};
+  std::atomic<std::uint64_t> pruned_entries_{0};
+  std::atomic<std::uint64_t> pruned_bytes_{0};
+  std::atomic<std::uint64_t> op_seq_{0};  ///< fault::Scope index per publish
 };
 
 }  // namespace poc

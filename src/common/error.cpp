@@ -27,6 +27,10 @@ const char* fault_code_name(FaultCode code) {
       return "journal_io";
     case FaultCode::kJournalMismatch:
       return "journal_mismatch";
+    case FaultCode::kStalled:
+      return "stalled";
+    case FaultCode::kCacheIo:
+      return "cache_io";
   }
   return "invalid";
 }

@@ -38,6 +38,10 @@ enum class FaultCode : std::uint8_t {
   kJournalIo,       ///< run-journal I/O failure (open/write/fsync/rename)
   kJournalMismatch, ///< journal record rejected: bad checksum, truncated
                     ///< tail, or config-fingerprint mismatch
+  // Appended in PR 10 (codes are serialized in journal records as u8 —
+  // this enum is append-only).
+  kStalled,         ///< worker made no progress within the watchdog window
+  kCacheIo,         ///< disk-cache tier failed and was taken down
 };
 
 const char* fault_code_name(FaultCode code);

@@ -85,7 +85,8 @@ bool should(Kind kind) {
 
   bool selected = false;
   for (const Target& t : g_config.targets) {
-    if (t.kind == kind && t.domain == domain && t.index == index) {
+    if (t.kind == kind && t.domain == domain &&
+        (t.index == index || t.index == kAnyIndex)) {
       selected = true;
       break;
     }
@@ -115,6 +116,13 @@ void maybe_throw(Kind kind) {
     case Kind::kNanPixel:
       // Data-corruption kind: sites use should() and poison the image
       // themselves so the isfinite guard is what raises the fault.
+      break;
+    case Kind::kIoEnospc:
+    case Kind::kIoEio:
+    case Kind::kIoShortWrite:
+      // Errno kinds: the vfs shim uses should() and returns the matching
+      // syscall failure itself — injection must exercise the caller's
+      // real error path, not an exception path it does not have.
       break;
   }
 }

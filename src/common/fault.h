@@ -27,6 +27,12 @@ enum class Kind : std::uint8_t {
   kNanPixel,              ///< a NaN written into a latent image
   kCacheInsert,           ///< result-cache insert fails (bad_alloc)
   kAlloc,                 ///< allocation failure inside a window body
+  // I/O faults, probed by the vfs shim (src/common/vfs) inside the
+  // durability stack's I/O domains below.  Never thrown: the shim returns
+  // the matching errno failure, so the caller's real error path runs.
+  kIoEnospc,      ///< write(2) fails with ENOSPC
+  kIoEio,         ///< write/fsync/rename/link/truncate fails with EIO
+  kIoShortWrite,  ///< write(2) accepts only part of the buffer
 };
 
 /// Which hot loop the probing code is running under.  kNone (no Scope on
@@ -36,10 +42,21 @@ enum class Domain : std::uint8_t {
   kOpc,      ///< per-instance OPC window
   kExtract,  ///< per-gate CD extraction
   kScan,     ///< per-window ORC scan
+  // I/O domains: the durability stack wraps its syscalls in a Scope naming
+  // which component is touching disk, so a test can break exactly one
+  // layer (journal appends, disk-cache publishes, segment publishes).
+  kJournalIo,    ///< run-journal appends/fsyncs/seals (src/run/journal)
+  kDiskCacheIo,  ///< disk-cache entry publishes (src/cache/disk_store)
+  kSegmentIo,    ///< shard segment publish/seal (src/run/shard)
 };
 
+/// Target index wildcard: fault every probe of the (kind, domain) pair
+/// regardless of its index — "the disk is full", not "this one write
+/// fails".  Sequence-numbered I/O probes are targeted this way.
+inline constexpr std::uint64_t kAnyIndex = ~std::uint64_t{0};
+
 /// An explicit injection target: fault `kind` when probed under
-/// (`domain`, `index`).
+/// (`domain`, `index`).  `index` may be kAnyIndex to match every index.
 struct Target {
   Kind kind;
   Domain domain;

@@ -530,15 +530,17 @@ PostOpcFlow::PostOpcFlow(const PlacedDesign& design, const StdCellLibrary& lib,
       // a pure performance layer: entries round-trip bit-exactly, so a
       // cross-worker hit is indistinguishable from an in-process recompute.
       const std::string& root = options_.cache.disk_path;
+      const DiskCacheStore::Options store_options{
+          options_.cache.disk_max_bytes};
       caches_->opc.attach_disk(
-          std::make_shared<DiskCacheStore>(root + "/opc"), encode_opc_entry,
-          decode_opc_entry);
+          std::make_shared<DiskCacheStore>(root + "/opc", store_options),
+          encode_opc_entry, decode_opc_entry);
       caches_->latent.attach_disk(
-          std::make_shared<DiskCacheStore>(root + "/latent"),
+          std::make_shared<DiskCacheStore>(root + "/latent", store_options),
           encode_latent_entry, decode_latent_entry);
       caches_->orc.attach_disk(
-          std::make_shared<DiskCacheStore>(root + "/orc"), encode_orc_entry,
-          decode_orc_entry);
+          std::make_shared<DiskCacheStore>(root + "/orc", store_options),
+          encode_orc_entry, decode_orc_entry);
     }
   }
   health_state_ = std::make_shared<HealthState>();
@@ -556,6 +558,9 @@ PostOpcFlow::PostOpcFlow(const PlacedDesign& design, const StdCellLibrary& lib,
       f.code = err.code;
       f.origin = err.origin;
       f.attempts = 1;
+      // Same rule health() applies to append-time issues: losing the
+      // journal means losing durability — a degraded mode.
+      f.degraded = err.code == FaultCode::kJournalIo;
       health_state_->faults.push_back(std::move(f));
     }
     if (journal_) {
@@ -565,18 +570,9 @@ PostOpcFlow::PostOpcFlow(const PlacedDesign& design, const StdCellLibrary& lib,
                  " records from ", options_.journal.path, ", rejected ",
                  js.rejected_records);
       }
-      // Rejected records are a reportable event, not a silent skip: every
-      // replay issue lands in health as a phase-"journal" fault.
-      std::lock_guard<std::mutex> lock(health_state_->mutex);
-      for (const ReplayIssue& issue : journal_->issues()) {
-        FlowHealth::WindowFault f;
-        f.phase = "journal";
-        f.index = issue.offset;
-        f.code = issue.code;
-        f.origin = issue.segment;
-        f.attempts = 1;
-        health_state_->faults.push_back(std::move(f));
-      }
+      // Replay and append-time issues are surfaced by health(), which reads
+      // journal_->issues() live — so an append failure mid-run (ENOSPC)
+      // shows up without a second mirroring pass here.
     }
   }
 }
@@ -707,10 +703,48 @@ Fingerprint PostOpcFlow::scan_record_fp(
 }
 
 FlowHealth PostOpcFlow::health() const {
-  std::lock_guard<std::mutex> lock(health_state_->mutex);
   FlowHealth h;
-  h.faults = health_state_->faults;
-  h.degraded_gates = health_state_->degraded_gates;
+  {
+    std::lock_guard<std::mutex> lock(health_state_->mutex);
+    h.faults = health_state_->faults;
+    h.degraded_gates = health_state_->degraded_gates;
+  }
+  // Journal issues are read live, so an append-time failure (ENOSPC mid-
+  // run parking the journal inert) surfaces the same way a replay reject
+  // does: one phase-"journal" fault per issue.  kJournalIo means the run
+  // lost durability — a degraded mode; kJournalMismatch records were
+  // recomputed, which is containment working as designed.
+  if (journal_) {
+    for (const ReplayIssue& issue : journal_->issues()) {
+      FlowHealth::WindowFault f;
+      f.phase = "journal";
+      f.index = issue.offset;
+      f.code = issue.code;
+      f.origin = issue.segment;
+      f.attempts = 1;
+      f.degraded = issue.code == FaultCode::kJournalIo;
+      h.faults.push_back(std::move(f));
+    }
+  }
+  // A disk-cache tier that went down after a publish I/O error keeps the
+  // run bit-identical (the memory tier serves alone) but is a degraded
+  // mode worth one phase-"cache" entry per store, in fixed order.
+  if (caches_) {
+    const DiskCacheStore* stores[] = {caches_->opc.disk_store(),
+                                      caches_->latent.disk_store(),
+                                      caches_->orc.disk_store()};
+    for (const DiskCacheStore* store : stores) {
+      if (store == nullptr || !store->degraded()) continue;
+      FlowHealth::WindowFault f;
+      f.phase = "cache";
+      f.index = kNoWindowId;
+      f.code = FaultCode::kCacheIo;
+      f.origin = store->dir();
+      f.attempts = 1;
+      f.degraded = true;
+      h.faults.push_back(std::move(f));
+    }
+  }
   for (const FlowHealth::WindowFault& f : h.faults) {
     if (f.attempts > 1) h.retries += f.attempts - 1;
     if (f.recovered) ++h.recovered_windows;

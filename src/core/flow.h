@@ -82,6 +82,10 @@ struct CacheOptions {
   /// processes.  Purely a performance knob: a disk hit restores the exact
   /// bits a recompute would produce.  Empty = no disk tier.
   std::string disk_path;
+  /// Size quota per disk store (there are three under disk_path).  When a
+  /// publish pushes a store past the quota, its oldest entries are pruned
+  /// — a pruned window is just a future recompute.  0 = unbounded.
+  std::uint64_t disk_max_bytes = 0;
 };
 
 /// Per-window fault containment policy for the hot loops.  When enabled

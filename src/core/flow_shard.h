@@ -49,7 +49,49 @@ struct ShardWorkerOptions {
   /// this many appends the worker flushes and SIGKILLs itself.  Used by
   /// the failure-injection tests/CI; 0 = off.
   std::size_t kill_after_appends = 0;
+  /// Heartbeat cadence: after every N journal appends the worker appends
+  /// one "hb <count>" line to its stats file — the progress channel the
+  /// coordinator watchdog reads (file size).  0 = no heartbeats.
+  std::size_t heartbeat_every_appends = 1;
+  /// Deterministic hang hook: after this many appends the worker stops
+  /// making progress (spins, still alive) — the stall the watchdog must
+  /// detect.  0 = off.
+  std::size_t stall_after_appends = 0;
+  /// Stall only once across attempts (a "stall.done" marker in the worker
+  /// dir): the respawned worker resumes and completes.  False re-stalls
+  /// every attempt, forcing the retries-exhausted path.
+  bool stall_once = true;
+  /// Cancellation for the in-process worker mode: the stall loop and the
+  /// flow's chunk boundaries poll it, so a supervisor "kill" is a prompt
+  /// cooperative cancel.  Null = the flow's global token.
+  const CancelToken* cancel = nullptr;
 };
+
+/// Worker stats parsed back from "run.wNN.stats".  The file is written in
+/// two regimes — heartbeat lines while the worker runs, one final
+/// key-value block on completion — and a killed worker leaves anything
+/// from nothing to a torn final block.  Parsing therefore *classifies*
+/// rather than fails: `present` = the file existed, `complete` = a full
+/// final block was read (an un-newline-terminated tail line is ignored,
+/// unknown or torn lines are skipped).
+struct ShardWorkerStats {
+  bool present = false;
+  bool complete = false;
+  std::uint32_t worker = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t gates = 0;
+  std::uint64_t records = 0;
+  double wall_ms = 0.0;
+  std::uint64_t maxrss_kb = 0;
+  std::uint64_t mem_hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t last_heartbeat = 0;  ///< highest "hb N" seen
+};
+
+/// Parses a worker stats file (tolerant, see ShardWorkerStats).
+ShardWorkerStats parse_shard_stats(const std::string& path);
 
 /// Runs one worker's share of the flow: OPC over the shard's instance
 /// windows, extraction over the gates those instances carry, every
@@ -61,6 +103,20 @@ struct ShardWorkerOptions {
 bool run_shard_worker(const PlacedDesign& design, const StdCellLibrary& lib,
                       const LithoSimulator& sim, FlowOptions base,
                       const ShardWorkerOptions& options);
+
+/// Watchdog knobs of the self-healing driver — a thin rename of the
+/// supervision knobs (SupervisorOptions) the shard driver forwards.
+struct ShardWatchdogOptions {
+  bool enabled = false;
+  std::uint64_t no_progress_timeout_ms = 60000;
+  std::uint64_t poll_interval_ms = 20;
+  std::uint32_t max_respawns = 1;
+  std::uint64_t backoff_initial_ms = 50;
+  std::uint64_t backoff_max_ms = 1000;
+};
+
+/// Sentinel for ShardFlowOptions::stall_worker: no stall injection.
+inline constexpr std::uint32_t kNoStallWorker = ~std::uint32_t{0};
 
 struct ShardFlowOptions {
   std::size_t workers = 1;
@@ -80,6 +136,19 @@ struct ShardFlowOptions {
   /// shard/segment/merge machinery, no process isolation — the mode the
   /// unit tests and the TSan leg use.
   std::function<std::vector<std::string>(const ShardSpec&)> worker_command;
+  /// Self-healing: heartbeat-driven stall detection, kill + bounded
+  /// backoff respawn (workers resume from their sealed journal), then
+  /// residual redistribution across fresh sub-shards when retries run out.
+  ShardWatchdogOptions watchdog;
+  /// Heartbeat cadence forwarded to every worker (in-process mode; the
+  /// fork/exec path carries it on the worker argv).
+  std::size_t heartbeat_every_appends = 1;
+  /// Deterministic stall injection, in-process mode only: the worker with
+  /// this id hangs after `stall_after_appends` journal appends.  The
+  /// fork/exec path injects via worker argv instead (--stall-after).
+  std::uint32_t stall_worker = kNoStallWorker;
+  std::size_t stall_after_appends = 0;
+  bool stall_once = true;  ///< see ShardWorkerOptions::stall_once
 };
 
 struct ShardFlowResult {
@@ -92,8 +161,19 @@ struct ShardFlowResult {
   FlowHealth shard_health;
   /// Per-worker segment collection detail (torn/salvaged/record counts).
   MergeResult merge;
-  /// Exit status per worker (fork/exec path; empty for in-process).
+  /// Final exit status per worker attempt-chain, both modes (in-process
+  /// workers report exit_code 0/1 for ok/failed).  Redistribution
+  /// sub-shards append after the original workers.
   std::vector<WorkerExit> exits;
+  /// Every coordinator intervention (stall kills, respawns, signal
+  /// forwarding), sorted by (worker, attempt, kind) — deterministic.
+  std::vector<WorkerIntervention> interventions;
+  /// Parsed per-worker stats files (positional: original workers then
+  /// redistribution sub-shards).  Torn/missing files classify, not fail.
+  std::vector<ShardWorkerStats> worker_stats;
+  /// Windows re-run on fresh sub-shards after a worker exhausted its
+  /// respawn budget (the redistributed residual range's window count).
+  std::size_t redistributed_windows = 0;
   /// Windows the final pass recomputed because no worker durably finished
   /// them (journal appends of the merged restore).
   std::size_t residual_windows = 0;

@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <sys/types.h>
 #include <vector>
@@ -48,8 +49,103 @@ struct WorkerExit {
 
 /// fork/execs every command and waits for all of them.  Workers run
 /// concurrently; a spawn failure is reported in the result, never thrown.
+/// Legacy wrapper over supervise_worker_processes with the watchdog and
+/// signal forwarding off — fail-and-salvage semantics.
 std::vector<WorkerExit> run_worker_processes(
     const std::vector<WorkerCommand>& commands);
+
+// ---------------------------------------------------------------------------
+// Supervision: watchdog, bounded respawn, signal forwarding.
+
+/// Knobs of the supervision loop.  Defaults are fail-and-salvage (PR 8
+/// semantics): no watchdog, no forwarding — a dead worker's windows become
+/// residual work.
+struct SupervisorOptions {
+  /// Detect stalled workers via the progress callback and kill/respawn
+  /// them.  Requires `progress`.
+  bool watchdog = false;
+  /// A worker whose progress value has not changed for this long is
+  /// declared stalled and killed.  Spawn counts as progress.
+  std::uint64_t no_progress_timeout_ms = 60000;
+  /// Supervision tick: reap exits, probe progress, fire respawns.
+  std::uint64_t poll_interval_ms = 20;
+  /// Respawn budget per worker after a failed exit (stall kill, crash,
+  /// nonzero exit).  0 = never respawn.
+  std::uint32_t max_respawns = 1;
+  /// Exponential backoff before each respawn: initial delay, doubling per
+  /// attempt, capped.
+  std::uint64_t backoff_initial_ms = 50;
+  std::uint64_t backoff_max_ms = 1000;
+  /// Forward SIGINT/SIGTERM to live workers (first signal) and escalate to
+  /// SIGKILL (second signal).  Pending respawns are cancelled; the loop
+  /// then just reaps exits.
+  bool forward_signals = false;
+  /// Progress counter per worker id — any change (not just increase)
+  /// resets the stall timer.  The shard driver probes the worker's stats-
+  /// file size, which grows with every heartbeat line.
+  std::function<std::uint64_t(std::uint32_t)> progress;
+};
+
+/// One supervisable worker: callbacks let the same loop drive forked
+/// processes and in-process threads.  All callbacks are invoked from the
+/// supervision loop's thread only.
+struct SupervisedTask {
+  std::uint32_t worker = 0;
+  /// Spawns attempt `attempt` (1-based).  False = spawn failure (the task
+  /// is finished with spawned=false).
+  std::function<bool(std::uint32_t)> start;
+  /// Polls the current attempt; fills `*exit` and returns true when it
+  /// finished.  Must not block.
+  std::function<bool(WorkerExit*)> poll;
+  /// Hard-stops the current attempt (SIGKILL / cancel token).  The exit
+  /// still arrives through poll().
+  std::function<void()> kill;
+  /// Delivers a forwarded signal to the current attempt (null = kill() on
+  /// escalation only).
+  std::function<void(int)> deliver;
+};
+
+/// One coordinator intervention, reported deterministically (details are
+/// built from configuration values, never wall-clock readings).
+struct WorkerIntervention {
+  enum class Kind : std::uint8_t {
+    kStallKilled = 0,    ///< watchdog killed a no-progress worker
+    kRespawned,          ///< worker respawned after backoff
+    kRetriesExhausted,   ///< final attempt failed; residual redistribution
+    kSignalForwarded,    ///< SIGINT/SIGTERM forwarded to the worker
+    kSignalEscalated,    ///< second signal: SIGKILL
+  };
+  Kind kind = Kind::kStallKilled;
+  std::uint32_t worker = 0;
+  std::uint32_t attempt = 0;  ///< 1-based attempt the intervention hit
+  std::string detail;
+};
+
+const char* worker_intervention_name(WorkerIntervention::Kind kind);
+
+struct SupervisionResult {
+  /// Final exit per task (same order as the task list).
+  std::vector<WorkerExit> exits;
+  /// Every intervention, sorted by (worker, attempt, kind).
+  std::vector<WorkerIntervention> interventions;
+  /// Total spawn attempts per task (same order as the task list).
+  std::vector<std::uint32_t> attempts;
+  /// Signal observed and forwarded (0 = none).
+  int forwarded_signal = 0;
+};
+
+/// Runs every task to completion under the supervision loop: spawn all,
+/// reap exits, detect stalls (watchdog), respawn with exponential backoff
+/// up to max_respawns, forward/escalate signals.  A task whose final
+/// attempt fails is left failed — redistribution is the caller's job.
+SupervisionResult supervise_tasks(std::vector<SupervisedTask>& tasks,
+                                  const SupervisorOptions& options);
+
+/// Process adapter: fork/execs commands and supervises them (stall kill =
+/// SIGKILL, deliver = kill(pid, sig)).
+SupervisionResult supervise_worker_processes(
+    const std::vector<WorkerCommand>& commands,
+    const SupervisorOptions& options);
 
 /// What the coordinator found for one worker while collecting segments.
 struct WorkerSegmentOutcome {
@@ -79,6 +175,15 @@ struct MergeResult {
 /// rejected segment-wholesale, exactly like journal replay.
 MergeResult collect_and_merge_segments(
     const std::string& work_dir, std::size_t workers,
+    const Fingerprint& config_fp,
+    const std::vector<std::string>& salvage_journal_dirs);
+
+/// Same, for an explicit worker-id list (not necessarily 0..N-1): the
+/// self-healing driver re-merges after spawning redistribution sub-shards
+/// whose ids continue past the original worker count.
+/// `salvage_journal_dirs` is positional against `worker_ids`.
+MergeResult collect_and_merge_segments(
+    const std::string& work_dir, const std::vector<std::uint32_t>& worker_ids,
     const Fingerprint& config_fp,
     const std::vector<std::string>& salvage_journal_dirs);
 

@@ -13,7 +13,9 @@
 #include <filesystem>
 #include <utility>
 
+#include "src/common/fault.h"
 #include "src/common/serialize.h"
+#include "src/common/vfs.h"
 
 namespace poc {
 namespace {
@@ -208,25 +210,18 @@ bool write_sealed_segment(const std::string& dir, std::uint64_t seq,
     }
     return false;
   }
-  const std::uint8_t* p = bytes.data();
-  std::size_t left = bytes.size();
-  while (left > 0) {
-    const ssize_t wrote = ::write(fd, p, left);
-    if (wrote < 0) {
-      if (errno == EINTR) continue;
-      if (error != nullptr) {
-        *error = "write to " + tmp_path + " failed: " + std::strerror(errno);
-      }
-      ::close(fd);
-      ::unlink(tmp_path.c_str());
-      return false;
+  fault::Scope io_scope(fault::Domain::kJournalIo, seq);
+  if (!vfs::write_all(fd, bytes.data(), bytes.size())) {
+    if (error != nullptr) {
+      *error = "write to " + tmp_path + " failed: " + std::strerror(errno);
     }
-    p += wrote;
-    left -= static_cast<std::size_t>(wrote);
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return false;
   }
-  const bool synced = ::fsync(fd) == 0;
+  const bool synced = vfs::fsync(fd) == 0;
   ::close(fd);
-  if (!synced || ::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+  if (!synced || vfs::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
     if (error != nullptr) {
       *error = "cannot publish " + final_path + ": " + std::strerror(errno);
     }
@@ -391,8 +386,9 @@ void RunJournal::load_segment(const std::string& name, bool active) {
   // Seal the previous run's active segment: drop any torn tail past the
   // last valid record, then atomically rename .open -> .seg.  A crash
   // between truncate and rename just repeats this step on the next open.
+  fault::Scope io_scope(fault::Domain::kJournalIo, io_ops_++);
   if (config_ok && valid_end < bytes.size()) {
-    if (::truncate(path.c_str(), static_cast<off_t>(valid_end)) != 0) {
+    if (vfs::truncate(path.c_str(), static_cast<off_t>(valid_end)) != 0) {
       issues_.push_back({FaultCode::kJournalIo, name, valid_end,
                          std::string("cannot truncate torn tail: ") +
                              std::strerror(errno)});
@@ -402,7 +398,7 @@ void RunJournal::load_segment(const std::string& name, bool active) {
   std::string sealed_name = name;
   sealed_name.replace(sealed_name.size() - 5, 5, ".seg");
   const std::string sealed_path = options_.path + "/" + sealed_name;
-  if (::rename(path.c_str(), sealed_path.c_str()) != 0) {
+  if (vfs::rename(path.c_str(), sealed_path.c_str()) != 0) {
     issues_.push_back({FaultCode::kJournalIo, name, 0,
                        std::string("cannot seal segment: ") +
                            std::strerror(errno)});
@@ -443,33 +439,45 @@ const JournalRecord* RunJournal::find(const Fingerprint& fp) {
 }
 
 bool RunJournal::append(JournalRecord record) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (inert_ || fd_ < 0) return false;
-  if (loaded_.count(record.fp) != 0 || !appended_.emplace(record.fp, true).second) {
-    return false;  // already durable (replayed or appended this run)
-  }
+  bool written = false;
+  std::size_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (inert_ || fd_ < 0) return false;
+    if (loaded_.count(record.fp) != 0 ||
+        !appended_.emplace(record.fp, true).second) {
+      return false;  // already durable (replayed or appended this run)
+    }
 
-  ByteWriter out;
-  encode_record(record, out);
-  const std::vector<std::uint8_t>& encoded = out.data();
-  buffer_.insert(buffer_.end(), encoded.begin(), encoded.end());
-  ++buffered_records_;
-  ++stats_.appended_records;
+    ByteWriter out;
+    encode_record(record, out);
+    const std::vector<std::uint8_t>& encoded = out.data();
+    buffer_.insert(buffer_.end(), encoded.begin(), encoded.end());
+    ++buffered_records_;
+    ++stats_.appended_records;
+    total = stats_.appended_records;
 
-  const bool kill_now = options_.kill_after_appends != 0 &&
-                        stats_.appended_records >= options_.kill_after_appends;
-  if (buffered_records_ >= options_.flush_every_records || kill_now) {
-    write_buffer_locked(/*sync=*/true);
-  }
-  if (kill_now) {
-    // Deterministic crash hook: every appended record is durable, the
-    // process dies at an exact window boundary.  SIGKILL on purpose — no
-    // unwinding, no flush-at-exit, exactly what a kill -9 or OOM does.
-    ::raise(SIGKILL);
-  }
+    const bool kill_now = options_.kill_after_appends != 0 &&
+                          stats_.appended_records >= options_.kill_after_appends;
+    if (buffered_records_ >= options_.flush_every_records || kill_now) {
+      write_buffer_locked(/*sync=*/true);
+    }
+    if (kill_now) {
+      // Deterministic crash hook: every appended record is durable, the
+      // process dies at an exact window boundary.  SIGKILL on purpose — no
+      // unwinding, no flush-at-exit, exactly what a kill -9 or OOM does.
+      ::raise(SIGKILL);
+    }
 
-  if (active_bytes_ >= options_.segment_bytes) seal_active_locked();
-  return !inert_;
+    if (active_bytes_ >= options_.segment_bytes) seal_active_locked();
+    written = !inert_;
+  }
+  // Progress callback outside the mutex: the callback may do its own I/O
+  // (shard heartbeats) and must never deadlock against a concurrent
+  // append.  Fires even if this batch's flush just went inert — the
+  // window itself completed, which is what progress means.
+  if (options_.on_append) options_.on_append(total);
+  return written;
 }
 
 void RunJournal::flush() {
@@ -483,9 +491,10 @@ void RunJournal::seal_active_locked() {
   if (inert_) return;
   ::close(fd_);
   fd_ = -1;
+  fault::Scope io_scope(fault::Domain::kJournalIo, io_ops_++);
   std::string sealed = active_file_;
   sealed.replace(sealed.size() - 5, 5, ".seg");
-  if (::rename(active_file_.c_str(), sealed.c_str()) != 0) {
+  if (vfs::rename(active_file_.c_str(), sealed.c_str()) != 0) {
     io_failure_locked(std::string("cannot seal full segment: ") +
                       std::strerror(errno));
     return;
@@ -512,23 +521,16 @@ void RunJournal::write_buffer_locked(bool sync) {
     buffered_records_ = 0;
     return;
   }
-  const std::uint8_t* p = buffer_.data();
-  std::size_t left = buffer_.size();
-  while (left > 0) {
-    const ssize_t wrote = ::write(fd_, p, left);
-    if (wrote < 0) {
-      if (errno == EINTR) continue;
-      io_failure_locked(std::string("write failed: ") + std::strerror(errno));
-      return;
-    }
-    p += wrote;
-    left -= static_cast<std::size_t>(wrote);
+  fault::Scope io_scope(fault::Domain::kJournalIo, io_ops_++);
+  if (!vfs::write_all(fd_, buffer_.data(), buffer_.size())) {
+    io_failure_locked(std::string("write failed: ") + std::strerror(errno));
+    return;
   }
   active_bytes_ += buffer_.size();
   buffer_.clear();
   buffered_records_ = 0;
   if (sync) {
-    if (::fsync(fd_) != 0) {
+    if (vfs::fsync(fd_) != 0) {
       io_failure_locked(std::string("fsync failed: ") + std::strerror(errno));
       return;
     }

@@ -32,6 +32,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -57,6 +58,10 @@ struct JournalOptions {
   /// SIGKILL — a kill at an exact window boundary.  0 = off.  The
   /// POC_JOURNAL_KILL_AFTER environment variable overrides this value.
   std::size_t kill_after_appends = 0;
+  /// Progress hook, invoked after each successful append with the total
+  /// appended-record count — outside the journal mutex, so the callback
+  /// may itself do I/O (shard workers emit heartbeats through it).
+  std::function<void(std::size_t)> on_append;
 };
 
 /// Which hot loop a record belongs to.  Part of the record fingerprint, so
@@ -207,6 +212,7 @@ class RunJournal {
   std::vector<std::uint8_t> buffer_;  ///< records awaiting the next fsync
   std::size_t buffered_records_ = 0;
   bool inert_ = false;              ///< append I/O failed; journaling off
+  std::uint64_t io_ops_ = 0;        ///< fault::Scope index per I/O batch
 };
 
 }  // namespace poc

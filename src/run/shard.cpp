@@ -4,12 +4,15 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/common/fault.h"
 #include "src/common/serialize.h"
+#include "src/common/vfs.h"
 
 namespace poc {
 namespace {
@@ -34,19 +37,6 @@ std::vector<std::uint8_t> encode_shard_header(const ShardSegmentHeader& h) {
   w.u64(h.config_fp.lo);
   w.u64(crc64(w.data()));
   return w.take();
-}
-
-bool write_all(int fd, const std::uint8_t* p, std::size_t left) {
-  while (left > 0) {
-    const ssize_t wrote = ::write(fd, p, left);
-    if (wrote < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += wrote;
-    left -= static_cast<std::size_t>(wrote);
-  }
-  return true;
 }
 
 }  // namespace
@@ -87,6 +77,44 @@ std::vector<ShardSpec> partition_shards(std::size_t n, std::size_t workers,
   return shards;
 }
 
+std::uint32_t shard_residue_class(const ShardSpec& spec) {
+  return spec.residue == kShardResidueSelf ? spec.worker : spec.residue;
+}
+
+std::vector<ShardSpec> partition_residual_range(
+    const ShardSpec& dead, std::uint64_t res_lo, std::uint64_t res_hi,
+    const std::vector<std::uint32_t>& new_worker_ids) {
+  POC_EXPECTS(!new_worker_ids.empty());
+  // The residual set: every index the dead shard owns inside the range.
+  std::vector<std::uint64_t> owned;
+  const std::uint64_t lo = std::max(res_lo, dead.lo);
+  const std::uint64_t hi = std::min(res_hi, dead.hi);
+  for (std::uint64_t i = lo; i < hi; ++i) {
+    if (shard_owns(dead, static_cast<std::size_t>(i))) owned.push_back(i);
+  }
+  std::vector<ShardSpec> subs;
+  if (owned.empty()) return subs;
+
+  const std::size_t parts = new_worker_ids.size();
+  const std::size_t base = owned.size() / parts;
+  const std::size_t extra = owned.size() % parts;
+  std::size_t next = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t size = base + (p < extra ? 1 : 0);
+    if (size == 0) continue;
+    ShardSpec s;
+    s.worker = new_worker_ids[p];
+    s.workers = dead.workers;
+    s.policy = dead.policy;
+    s.lo = owned[next];
+    s.hi = owned[next + size - 1] + 1;
+    s.residue = shard_residue_class(dead);
+    subs.push_back(s);
+    next += size;
+  }
+  return subs;
+}
+
 std::vector<std::size_t> shard_indices(const ShardSpec& spec) {
   std::vector<std::size_t> out;
   if (spec.policy == ShardPolicy::kContiguous) {
@@ -95,8 +123,11 @@ std::vector<std::size_t> shard_indices(const ShardSpec& spec) {
       out.push_back(static_cast<std::size_t>(i));
     }
   } else {
-    for (std::uint64_t i = spec.lo + spec.worker; i < spec.hi;
-         i += spec.workers) {
+    // First owned index at or after lo in the shard's residue class.
+    const std::uint64_t r = shard_residue_class(spec);
+    std::uint64_t first = (spec.lo / spec.workers) * spec.workers + r;
+    if (first < spec.lo) first += spec.workers;
+    for (std::uint64_t i = first; i < spec.hi; i += spec.workers) {
       out.push_back(static_cast<std::size_t>(i));
     }
   }
@@ -106,7 +137,7 @@ std::vector<std::size_t> shard_indices(const ShardSpec& spec) {
 bool shard_owns(const ShardSpec& spec, std::size_t index) {
   if (index < spec.lo || index >= spec.hi) return false;
   if (spec.policy == ShardPolicy::kContiguous) return true;
-  return (index - spec.lo) % spec.workers == spec.worker;
+  return index % spec.workers == shard_residue_class(spec);
 }
 
 std::string shard_segment_name(std::uint32_t worker) {
@@ -131,10 +162,11 @@ bool write_shard_segment(const std::string& path,
     }
     return false;
   }
-  const bool wrote = write_all(fd, bytes.data(), bytes.size()) &&
-                     ::fsync(fd) == 0;
+  fault::Scope io_scope(fault::Domain::kSegmentIo, header.worker);
+  const bool wrote = vfs::write_all(fd, bytes.data(), bytes.size()) &&
+                     vfs::fsync(fd) == 0;
   ::close(fd);
-  if (!wrote || ::rename(tmp_path.c_str(), path.c_str()) != 0) {
+  if (!wrote || vfs::rename(tmp_path.c_str(), path.c_str()) != 0) {
     if (error != nullptr) {
       *error = "cannot publish " + path + ": " + std::strerror(errno);
     }
@@ -216,8 +248,9 @@ ShardReadResult read_shard_segment(const std::string& path,
 bool seal_shard_segment(const std::string& path,
                         const ShardReadResult& read) {
   if (!read.header_ok || !read.torn) return true;
-  return ::truncate(path.c_str(),
-                    static_cast<off_t>(read.valid_bytes)) == 0;
+  fault::Scope io_scope(fault::Domain::kSegmentIo, read.header.worker);
+  return vfs::truncate(path.c_str(),
+                       static_cast<off_t>(read.valid_bytes)) == 0;
 }
 
 }  // namespace poc

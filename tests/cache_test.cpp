@@ -3,6 +3,7 @@
 // off — or shrinking it until it evicts or rejects everything — may only
 // change wall time, never a single output bit, at any thread count.
 // EXPECT_EQ on doubles below is deliberate, as in determinism_test.
+#include <chrono>
 #include <cstddef>
 #include <cstring>
 #include <filesystem>
@@ -602,6 +603,96 @@ TEST(CacheFlowSocs, SocsFlowBitIdenticalCacheOnOffAndThreaded) {
   const CacheCounters before = cached.cache_counters().latent;
   expect_same_extraction(cached.extract({}), uncached.extract({}));
   EXPECT_GT(cached.cache_counters().latent.hits, before.hits);
+}
+
+// ---------------------------------------------------------------------------
+// Disk-store robustness: size quota and publish-I/O tier-down (PR 10)
+
+std::size_t fs_dir_entry_count(const std::filesystem::path& dir) {
+  std::size_t n = 0;
+  std::error_code ec;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator(dir, ec)) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(DiskCacheQuota, PrunesOldestEntriesPastTheQuota) {
+  CacheTempDir dir("poc_cache_quota");
+  DiskCacheStore::Options opts;
+  // Each framed entry is 24 bytes of envelope + 100 bytes of payload = 124
+  // bytes, so the third publish pushes past the quota by exactly one entry.
+  opts.max_bytes = 300;
+  DiskCacheStore store(dir.path.string(), opts);
+  ASSERT_TRUE(store.ok());
+
+  const std::vector<std::uint8_t> payload(100, 0xAB);
+  const Fingerprint oldest = key(1);
+  const Fingerprint middle = key(2);
+  const Fingerprint newest = key(3);
+  const auto backdate = [&](const Fingerprint& fp, int hours) {
+    std::filesystem::last_write_time(
+        store.entry_path(fp),
+        std::filesystem::file_time_type::clock::now() -
+            std::chrono::hours(hours));
+  };
+  ASSERT_TRUE(store.put(oldest, payload.data(), payload.size()));
+  backdate(oldest, 2);
+  ASSERT_TRUE(store.put(middle, payload.data(), payload.size()));
+  backdate(middle, 1);
+  ASSERT_TRUE(store.put(newest, payload.data(), payload.size()));
+
+  const DiskCacheStore::Counters c = store.counters();
+  EXPECT_EQ(c.publishes, 3u);
+  EXPECT_EQ(c.pruned_entries, 1u);
+  EXPECT_EQ(c.pruned_bytes, 124u);
+  EXPECT_FALSE(store.degraded()) << "pruning is policy, not failure";
+  EXPECT_FALSE(store.contains(oldest)) << "oldest entry must be evicted";
+  EXPECT_TRUE(store.contains(middle));
+  EXPECT_TRUE(store.contains(newest))
+      << "the entry that triggered the prune is never its victim";
+
+  // A pruned entry is just a future recompute-and-republish.
+  EXPECT_TRUE(store.put(oldest, payload.data(), payload.size()));
+  EXPECT_TRUE(store.contains(oldest));
+}
+
+TEST(DiskCacheFaults, PublishEioTakesTheTierDownWithCountersFrozen) {
+  CacheTempDir dir("poc_cache_eio");
+  DiskCacheStore store(dir.path.string());
+  ASSERT_TRUE(store.ok());
+
+  const std::vector<std::uint8_t> payload(64, 0x5C);
+  ASSERT_TRUE(store.put(key(1), payload.data(), payload.size()));
+
+  fault::Config cfg;
+  cfg.enabled = true;
+  cfg.targets.push_back(
+      {fault::Kind::kIoEio, fault::Domain::kDiskCacheIo, fault::kAnyIndex});
+  fault::configure(cfg);
+  EXPECT_FALSE(store.put(key(2), payload.data(), payload.size()));
+  fault::reset();
+
+  EXPECT_TRUE(store.degraded());
+  const DiskCacheStore::Counters after = store.counters();
+  EXPECT_EQ(after.io_errors, 1u);
+  EXPECT_EQ(after.publishes, 1u);
+
+  // Tier down: every subsequent probe and publish short-circuits and the
+  // counters freeze, so a degraded run's cache accounting is identical to a
+  // run that never had a disk tier.
+  EXPECT_FALSE(store.contains(key(1)));
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(store.get(key(1), &out));
+  EXPECT_FALSE(store.put(key(3), payload.data(), payload.size()));
+  const DiskCacheStore::Counters frozen = store.counters();
+  EXPECT_EQ(frozen.probes, after.probes);
+  EXPECT_EQ(frozen.loads, after.loads);
+  EXPECT_EQ(frozen.io_errors, 1u);
+  EXPECT_EQ(frozen.publishes, 1u);
+  EXPECT_EQ(fs_dir_entry_count(dir.path), 1u)
+      << "no partial entry may survive a failed publish";
 }
 
 }  // namespace

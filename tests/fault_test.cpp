@@ -7,9 +7,14 @@
 // never thread id or call order, so every containment assertion below is
 // made at 1 *and* 4 threads and expects bit-identical outcomes —
 // EXPECT_EQ on doubles is deliberate, as in determinism_test.
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstddef>
 #include <filesystem>
+#include <fstream>
 #include <ios>
 #include <memory>
 #include <new>
@@ -24,12 +29,15 @@
 #include "src/common/check.h"
 #include "src/common/error.h"
 #include "src/common/fault.h"
+#include "src/common/vfs.h"
 #include "src/core/flow.h"
 #include "src/netlist/generators.h"
 #include "src/par/thread_pool.h"
 
 namespace poc {
 namespace {
+
+namespace fs = std::filesystem;
 
 /// Installs a fault plan for the enclosing scope and always cleans up, so
 /// a failing assertion cannot leak an active plan into the next test.
@@ -582,6 +590,100 @@ TEST_F(FaultFlowFixture, DisabledRecoveryRestoresFailFast) {
   PostOpcFlow flow(design(), lib(), LithoSimulator{}, opts);
   flow.run_opc(OpcMode::kModelBased);
   EXPECT_THROW(flow.extract({}), std::bad_alloc);
+}
+
+// ---------------------------------------------------------------------------
+// I/O fault domains: wildcard targets + the vfs shim
+
+TEST(FaultInjector, AnyIndexWildcardMatchesEveryScopedIndex) {
+  fault::Config cfg;
+  cfg.enabled = true;
+  cfg.targets.push_back(
+      {fault::Kind::kIoEnospc, fault::Domain::kJournalIo, fault::kAnyIndex});
+  ScopedFault plan(cfg);
+
+  // "The disk is full": every index under the domain faults...
+  for (const std::uint64_t index : {0ull, 1ull, 17ull, 123456789ull}) {
+    fault::Scope scope(fault::Domain::kJournalIo, index);
+    EXPECT_TRUE(fault::should(fault::Kind::kIoEnospc)) << index;
+  }
+  // ...but only that domain, and only that kind.
+  {
+    fault::Scope scope(fault::Domain::kDiskCacheIo, 0);
+    EXPECT_FALSE(fault::should(fault::Kind::kIoEnospc));
+  }
+  {
+    fault::Scope scope(fault::Domain::kJournalIo, 0);
+    EXPECT_FALSE(fault::should(fault::Kind::kIoEio));
+  }
+  // No Scope: probes stay inert even against a wildcard.
+  EXPECT_FALSE(fault::should(fault::Kind::kIoEnospc));
+}
+
+TEST(VfsShim, InjectsErrnoFailuresInsideScopeOnly) {
+  const fs::path path = fs::temp_directory_path() / "poc_vfs_fault_probe";
+  fs::remove(path);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  const char payload[] = "0123456789";
+
+  fault::Config cfg;
+  cfg.enabled = true;
+  cfg.targets.push_back(
+      {fault::Kind::kIoEnospc, fault::Domain::kJournalIo, fault::kAnyIndex});
+  cfg.targets.push_back(
+      {fault::Kind::kIoEio, fault::Domain::kDiskCacheIo, fault::kAnyIndex});
+  ScopedFault plan(cfg);
+
+  {
+    fault::Scope scope(fault::Domain::kJournalIo, 0);
+    errno = 0;
+    EXPECT_EQ(vfs::write(fd, payload, sizeof payload), -1);
+    EXPECT_EQ(errno, ENOSPC);
+  }
+  {
+    fault::Scope scope(fault::Domain::kDiskCacheIo, 3);
+    errno = 0;
+    EXPECT_EQ(vfs::fsync(fd), -1);
+    EXPECT_EQ(errno, EIO);
+  }
+  // Outside any scope the shim is a pass-through.
+  EXPECT_EQ(vfs::write(fd, payload, sizeof payload),
+            static_cast<ssize_t>(sizeof payload));
+  EXPECT_EQ(vfs::fsync(fd), 0);
+  ::close(fd);
+  fs::remove(path);
+}
+
+TEST(VfsShim, StickyShortWritesStillCompleteWriteAll) {
+  const fs::path path = fs::temp_directory_path() / "poc_vfs_short_write";
+  fs::remove(path);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+
+  fault::Config cfg;
+  cfg.enabled = true;  // sticky: every write is short
+  cfg.targets.push_back({fault::Kind::kIoShortWrite, fault::Domain::kJournalIo,
+                         fault::kAnyIndex});
+  ScopedFault plan(cfg);
+
+  std::vector<std::uint8_t> payload(1000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i);
+  }
+  {
+    fault::Scope scope(fault::Domain::kJournalIo, 0);
+    // Each injected call accepts only half the remainder, but always at
+    // least one byte — so the retry loop terminates with the full buffer.
+    EXPECT_TRUE(vfs::write_all(fd, payload.data(), payload.size()));
+  }
+  ::close(fd);
+  ASSERT_EQ(fs::file_size(path), payload.size());
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::uint8_t> got((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  EXPECT_EQ(got, payload);
+  fs::remove(path);
 }
 
 }  // namespace

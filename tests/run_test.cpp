@@ -22,6 +22,7 @@
 
 #include "src/cache/disk_store.h"
 #include "src/common/error.h"
+#include "src/common/fault.h"
 #include "src/common/serialize.h"
 #include "src/core/flow.h"
 #include "src/core/flow_shard.h"
@@ -1068,6 +1069,432 @@ TEST(ShardFlow, TornWorkerSegmentRecomputesResidualBitIdentical) {
   expect_same_comparison(fin2.compare_timing({}), reference_cmp());
   EXPECT_GE(fin2.journal_stats().appended_records,
             s.appended_records);
+}
+
+// ---------------------------------------------------------------------------
+// PR 10: self-healing sharded runs + injectable I/O faults
+
+TEST(ShardResidual, ResidualPartitionCoversResidueExactlyOnce) {
+  // Contiguous dead shard [20,60): the residual [33,60) re-partitioned
+  // across two fresh worker ids covers each residual index exactly once
+  // (sorted-equal against the expected set rules out both gaps and
+  // overlaps), nothing outside the range.
+  ShardSpec dead;
+  dead.worker = 1;
+  dead.workers = 3;
+  dead.policy = ShardPolicy::kContiguous;
+  dead.lo = 20;
+  dead.hi = 60;
+  {
+    const std::vector<ShardSpec> subs =
+        partition_residual_range(dead, 33, 60, {5, 6});
+    ASSERT_EQ(subs.size(), 2u);
+    std::vector<std::size_t> covered;
+    for (const ShardSpec& sub : subs) {
+      EXPECT_EQ(sub.policy, dead.policy);
+      const std::vector<std::size_t> idx = shard_indices(sub);
+      EXPECT_FALSE(idx.empty()) << "empty sub-shards must be dropped";
+      covered.insert(covered.end(), idx.begin(), idx.end());
+    }
+    std::sort(covered.begin(), covered.end());
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 33; i < 60; ++i) expected.push_back(i);
+    EXPECT_EQ(covered, expected);
+  }
+
+  // Interleaved: the sub-shards keep walking the dead worker's stride and
+  // residue class even though their own worker ids differ.
+  ShardSpec idead;
+  idead.worker = 1;
+  idead.workers = 4;
+  idead.policy = ShardPolicy::kInterleaved;
+  idead.lo = 0;
+  idead.hi = 101;
+  {
+    const std::vector<ShardSpec> subs =
+        partition_residual_range(idead, 40, 101, {4, 5, 6});
+    ASSERT_FALSE(subs.empty());
+    std::vector<std::size_t> covered;
+    for (const ShardSpec& sub : subs) {
+      EXPECT_EQ(shard_residue_class(sub), 1u)
+          << "sub-shards must keep the dead worker's residue class";
+      const std::vector<std::size_t> idx = shard_indices(sub);
+      covered.insert(covered.end(), idx.begin(), idx.end());
+    }
+    std::sort(covered.begin(), covered.end());
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 40; i < 101; ++i) {
+      if (i % 4 == 1) expected.push_back(i);
+    }
+    EXPECT_EQ(covered, expected);
+  }
+
+  // An empty residual range needs no sub-shards.
+  EXPECT_TRUE(partition_residual_range(dead, 42, 42, {9}).empty());
+}
+
+TEST(ShardStats, TornStatsFilesClassifyInsteadOfFailing) {
+  TempDir dir("poc_shard_stats_torn");
+  const auto write_file = [&](const std::string& name,
+                              const std::string& content) {
+    std::ofstream out(dir.path / name, std::ios::binary);
+    out << content;
+    return (dir.path / name).string();
+  };
+
+  // Missing file: absent, nothing else claimed.
+  EXPECT_FALSE(parse_shard_stats((dir.path / "none").string()).present);
+
+  // Heartbeats only — a worker killed mid-run: present, not complete, the
+  // highest heartbeat survives.
+  const ShardWorkerStats hb =
+      parse_shard_stats(write_file("hb_only", "hb 0\nhb 4\nhb 9\n"));
+  EXPECT_TRUE(hb.present);
+  EXPECT_FALSE(hb.complete);
+  EXPECT_EQ(hb.last_heartbeat, 9u);
+
+  // A file torn mid-write with no newline at all parses as present/empty.
+  const ShardWorkerStats torn_head = parse_shard_stats(write_file("torn0", "hb"));
+  EXPECT_TRUE(torn_head.present);
+  EXPECT_EQ(torn_head.last_heartbeat, 0u);
+
+  // Torn final block: the un-newline-terminated tail line is dropped, a
+  // malformed value line is skipped, everything before still parses.
+  const ShardWorkerStats torn = parse_shard_stats(write_file(
+      "torn1",
+      "hb 3\nworker 1\nwindows 17\nbogus notanumber\nwall_ms 12.5\nrecords 2"));
+  EXPECT_TRUE(torn.present);
+  EXPECT_FALSE(torn.complete) << "no insertions line = no complete block";
+  EXPECT_EQ(torn.worker, 1u);
+  EXPECT_EQ(torn.windows, 17u);
+  EXPECT_DOUBLE_EQ(torn.wall_ms, 12.5);
+  EXPECT_EQ(torn.records, 0u) << "the torn tail line must be dropped";
+  EXPECT_EQ(torn.last_heartbeat, 3u);
+
+  // Complete block: every field lands, heartbeat lines coexist.
+  const ShardWorkerStats full = parse_shard_stats(write_file(
+      "full",
+      "hb 2\nworker 3\nwindows 10\ngates 5\nrecords 15\nwall_ms 3.25\n"
+      "maxrss_kb 1000\nmem_hits 1\ndisk_hits 2\nmisses 4\ninsertions 6\n"));
+  EXPECT_TRUE(full.present);
+  EXPECT_TRUE(full.complete);
+  EXPECT_EQ(full.worker, 3u);
+  EXPECT_EQ(full.windows, 10u);
+  EXPECT_EQ(full.gates, 5u);
+  EXPECT_EQ(full.records, 15u);
+  EXPECT_DOUBLE_EQ(full.wall_ms, 3.25);
+  EXPECT_EQ(full.maxrss_kb, 1000u);
+  EXPECT_EQ(full.mem_hits, 1u);
+  EXPECT_EQ(full.disk_hits, 2u);
+  EXPECT_EQ(full.misses, 4u);
+  EXPECT_EQ(full.insertions, 6u);
+}
+
+// TSan stretches a window's wall time 5-20x, and on a single-vCPU gate a
+// no-progress timeout that is comfortable natively will stall-kill
+// *healthy* workers mid-window.  The injected stall stays silent forever,
+// so a longer timeout only delays detection — it can never miss it.
+#if defined(__SANITIZE_THREAD__)
+#define POC_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define POC_TSAN_BUILD 1
+#endif
+#endif
+#ifndef POC_TSAN_BUILD
+#define POC_TSAN_BUILD 0
+#endif
+constexpr std::uint64_t kSelfHealTimeoutMs = POC_TSAN_BUILD ? 20000 : 2500;
+
+TEST(ShardSelfHeal, StalledWorkerDetectedRespawnedResumesBitIdentical) {
+  // A worker that hangs mid-run (deterministic stall hook after its first
+  // journal append) must be detected via its silent heartbeat channel,
+  // killed, and respawned; the respawn resumes from the sealed private
+  // journal and the whole run stays bit-identical to the unfaulted
+  // single-worker reference — at 2 and at 4 workers.
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{4}}) {
+    TempDir dir("poc_shard_selfheal_" + std::to_string(workers));
+    ShardFlowOptions so;
+    so.workers = workers;
+    so.work_dir = dir.path.string();
+    so.watchdog.enabled = true;
+    so.watchdog.no_progress_timeout_ms = kSelfHealTimeoutMs;
+    so.watchdog.poll_interval_ms = 25;
+    so.watchdog.max_respawns = 3;
+    so.watchdog.backoff_initial_ms = 10;
+    so.watchdog.backoff_max_ms = 50;
+    so.stall_worker = 0;
+    so.stall_after_appends = 1;
+    so.stall_once = true;  // the respawned attempt completes
+
+    const ShardFlowResult result = run_sharded_flow(
+        design(), lib(), LithoSimulator{}, run_flow_options(1), so);
+
+    expect_same_comparison(result.comparison, reference_cmp());
+    EXPECT_TRUE(result.comparison.health.clean())
+        << "shard interventions must never leak into the comparison";
+    for (const WorkerExit& ex : result.exits) {
+      EXPECT_TRUE(ex.ok()) << "worker " << ex.worker;
+    }
+    EXPECT_EQ(result.redistributed_windows, 0u)
+        << "a successful respawn needs no redistribution";
+
+    std::size_t stall_kills = 0;
+    std::size_t respawns = 0;
+    for (const WorkerIntervention& iv : result.interventions) {
+      if (iv.worker != 0) continue;
+      stall_kills += iv.kind == WorkerIntervention::Kind::kStallKilled;
+      respawns += iv.kind == WorkerIntervention::Kind::kRespawned;
+    }
+    EXPECT_GE(stall_kills, 1u);
+    EXPECT_GE(respawns, 1u);
+
+    bool stall_reported = false;
+    for (const FlowHealth::WindowFault& f : result.shard_health.faults) {
+      EXPECT_EQ(f.phase, "shard");
+      EXPECT_FALSE(f.degraded);
+      if (f.index == 0 && f.code == FaultCode::kStalled && f.recovered) {
+        stall_reported = true;
+      }
+    }
+    EXPECT_TRUE(stall_reported)
+        << "the healed stall must surface as a recovered kStalled fault";
+
+    ASSERT_EQ(result.worker_stats.size(), workers);
+    for (const ShardWorkerStats& stats : result.worker_stats) {
+      EXPECT_TRUE(stats.present);
+      EXPECT_TRUE(stats.complete);
+    }
+  }
+}
+
+TEST(ShardSelfHeal, RetriesExhaustedRedistributeResidualAcrossSurvivors) {
+  // A worker that stalls on every attempt burns its respawn budget; the
+  // coordinator then re-partitions its unfinished window range across
+  // fresh sub-shards run by surviving capacity — and the result is still
+  // bit-identical.
+  TempDir dir("poc_shard_redistribute");
+  ShardFlowOptions so;
+  so.workers = 2;
+  so.work_dir = dir.path.string();
+  so.watchdog.enabled = true;
+  so.watchdog.no_progress_timeout_ms = kSelfHealTimeoutMs;
+  so.watchdog.poll_interval_ms = 25;
+  so.watchdog.max_respawns = 1;
+  so.watchdog.backoff_initial_ms = 10;
+  so.watchdog.backoff_max_ms = 50;
+  so.stall_worker = 0;
+  so.stall_after_appends = 1;
+  so.stall_once = false;  // re-stall every attempt: the budget must run out
+
+  const ShardFlowResult result = run_sharded_flow(
+      design(), lib(), LithoSimulator{}, run_flow_options(1), so);
+
+  expect_same_comparison(result.comparison, reference_cmp());
+  EXPECT_GT(result.redistributed_windows, 0u);
+
+  // Worker 0's final exit failed; the redistribution sub-shard (id >= 2)
+  // ran and completed.
+  ASSERT_GE(result.exits.size(), 3u);
+  bool w0_failed = false;
+  bool sub_shard_ok = false;
+  for (const WorkerExit& ex : result.exits) {
+    if (ex.worker == 0) w0_failed = !ex.ok();
+    if (ex.worker >= 2 && ex.ok()) sub_shard_ok = true;
+  }
+  EXPECT_TRUE(w0_failed);
+  EXPECT_TRUE(sub_shard_ok);
+
+  std::size_t stall_kills = 0;
+  std::size_t respawns = 0;
+  std::size_t exhausted = 0;
+  for (const WorkerIntervention& iv : result.interventions) {
+    if (iv.worker != 0) continue;
+    stall_kills += iv.kind == WorkerIntervention::Kind::kStallKilled;
+    respawns += iv.kind == WorkerIntervention::Kind::kRespawned;
+    exhausted += iv.kind == WorkerIntervention::Kind::kRetriesExhausted;
+  }
+  EXPECT_GE(stall_kills, 2u) << "both attempts must be stall-killed";
+  EXPECT_GE(respawns, 1u);
+  EXPECT_EQ(exhausted, 1u);
+
+  bool redistribution_reported = false;
+  for (const FlowHealth::WindowFault& f : result.shard_health.faults) {
+    if (f.index == 0 && f.code == FaultCode::kStalled && f.recovered &&
+        f.origin.find("redistributed") != std::string::npos) {
+      redistribution_reported = true;
+    }
+  }
+  EXPECT_TRUE(redistribution_reported);
+
+  // Positional stats: two originals plus the sub-shard(s).
+  EXPECT_GT(result.worker_stats.size(), 2u);
+}
+
+TEST(FlowJournalFaults, StickyEnospcKeepsResultsLosesDurabilityOnly) {
+  // Every journal write fails with ENOSPC for the whole run: the flow must
+  // complete bit-identically (the journal is a pure durability layer) and
+  // report the lost durability as a degraded phase-"journal" health entry.
+  TempDir dir("poc_run_journal_enospc");
+  fault::Config cfg;
+  cfg.enabled = true;
+  cfg.targets.push_back(
+      {fault::Kind::kIoEnospc, fault::Domain::kJournalIo, fault::kAnyIndex});
+  fault::configure(cfg);
+  TimingComparison cmp;
+  FlowHealth health;
+  {
+    PostOpcFlow flow(design(), lib(), LithoSimulator{},
+                     journaled_options(2, dir.path));
+    flow.run_opc(OpcMode::kModelBased);
+    cmp = flow.compare_timing({});
+    health = flow.health();
+  }
+  fault::reset();
+
+  expect_same_comparison(cmp, reference_cmp());
+  EXPECT_TRUE(cmp.health.degraded_gates.empty());
+  bool reported = false;
+  for (const FlowHealth::WindowFault& f : health.faults) {
+    if (f.phase == "journal" && f.code == FaultCode::kJournalIo &&
+        f.degraded) {
+      reported = true;
+    }
+  }
+  EXPECT_TRUE(reported)
+      << "an undurable run must carry a degraded journal health entry";
+
+  // Whatever the failed appends left on disk must not mislead a later run:
+  // it replays what is valid, recomputes the rest, same bits.
+  PostOpcFlow again(design(), lib(), LithoSimulator{},
+                    journaled_options(1, dir.path));
+  again.run_opc(OpcMode::kModelBased);
+  expect_same_comparison(again.compare_timing({}), reference_cmp());
+}
+
+TEST(FlowCacheFaults, DiskTierEioDegradesToMemoryTierBitIdentical) {
+  // EIO on the first disk-cache publish takes the disk tier down; the
+  // memory tier keeps serving alone.  Results and the memory-tier cache
+  // accounting must be exactly those of a run that never had a disk tier.
+  TempDir dir("poc_run_cache_eio");
+  FlowOptions mem = run_flow_options(1);
+  mem.cache.enabled = true;
+  PostOpcFlow memory_only(design(), lib(), LithoSimulator{}, mem);
+  memory_only.run_opc(OpcMode::kModelBased);
+  const TimingComparison mem_cmp = memory_only.compare_timing({});
+
+  FlowOptions dsk = run_flow_options(1);
+  dsk.cache.enabled = true;
+  dsk.cache.disk_path = (dir.path / "cache").string();
+  fault::Config cfg;
+  cfg.enabled = true;
+  cfg.targets.push_back(
+      {fault::Kind::kIoEio, fault::Domain::kDiskCacheIo, fault::kAnyIndex});
+  fault::configure(cfg);
+  PostOpcFlow faulted(design(), lib(), LithoSimulator{}, dsk);
+  faulted.run_opc(OpcMode::kModelBased);
+  const TimingComparison fault_cmp = faulted.compare_timing({});
+  const FlowHealth health = faulted.health();
+  fault::reset();
+
+  expect_same_comparison(fault_cmp, reference_cmp());
+  expect_same_comparison(fault_cmp, mem_cmp);
+
+  const PostOpcFlow::FlowCacheCounters cm = memory_only.cache_counters();
+  const PostOpcFlow::FlowCacheCounters cf = faulted.cache_counters();
+  const auto expect_same_counters = [](const CacheCounters& a,
+                                       const CacheCounters& b,
+                                       const char* which) {
+    EXPECT_EQ(a.hits, b.hits) << which;
+    EXPECT_EQ(a.misses, b.misses) << which;
+    EXPECT_EQ(a.insertions, b.insertions) << which;
+    EXPECT_EQ(a.disk_hits, 0u) << which
+                               << ": a downed tier must serve nothing";
+  };
+  expect_same_counters(cf.opc, cm.opc, "opc");
+  expect_same_counters(cf.latent, cm.latent, "latent");
+  expect_same_counters(cf.orc, cm.orc, "orc");
+
+  bool cache_fault = false;
+  for (const FlowHealth::WindowFault& f : health.faults) {
+    if (f.phase == "cache" && f.code == FaultCode::kCacheIo) {
+      cache_fault = true;
+    }
+  }
+  EXPECT_TRUE(cache_fault)
+      << "the tier-down must surface as a phase-\"cache\" health entry";
+}
+
+TEST(SupervisorSignals, ForwardsFirstSignalAndEscalatesRepeats) {
+  // Leg 1: one SIGTERM is forwarded to every live worker; default-handler
+  // workers die by that signal, nothing escalates.
+  {
+    std::vector<WorkerCommand> cmds;
+    cmds.push_back({0, {"/bin/sh", "-c", "sleep 30"}});
+    cmds.push_back({1, {"/bin/sh", "-c", "sleep 30"}});
+    SupervisorOptions so;
+    so.watchdog = true;
+    so.no_progress_timeout_ms = 600000;  // the watchdog must stay out
+    so.poll_interval_ms = 10;
+    so.max_respawns = 0;
+    so.forward_signals = true;
+    std::atomic<int> probes{0};
+    so.progress = [&probes](std::uint32_t) -> std::uint64_t {
+      // The probe doubles as a deterministic tick source: a few ticks in
+      // (workers long since spawned), the "user" hits ctrl-C once.
+      if (probes.fetch_add(1) == 6) (void)std::raise(SIGTERM);
+      return 1;
+    };
+    const SupervisionResult r = supervise_worker_processes(cmds, so);
+    EXPECT_EQ(r.forwarded_signal, SIGTERM);
+    ASSERT_EQ(r.exits.size(), 2u);
+    for (const WorkerExit& ex : r.exits) {
+      EXPECT_TRUE(ex.spawned);
+      EXPECT_EQ(ex.signal, SIGTERM) << "worker " << ex.worker;
+    }
+    std::size_t forwarded = 0;
+    std::size_t escalated = 0;
+    for (const WorkerIntervention& iv : r.interventions) {
+      forwarded += iv.kind == WorkerIntervention::Kind::kSignalForwarded;
+      escalated += iv.kind == WorkerIntervention::Kind::kSignalEscalated;
+    }
+    EXPECT_EQ(forwarded, 2u);
+    EXPECT_EQ(escalated, 0u);
+  }
+
+  // Leg 2: a TERM-immune worker ignores the forwarded signal; the second
+  // signal escalates to SIGKILL.  Back-to-back raises must escalate in
+  // steps, not collapse into one delivery.
+  {
+    std::vector<WorkerCommand> cmds;
+    cmds.push_back({0, {"/bin/sh", "-c", "trap '' TERM; sleep 30"}});
+    SupervisorOptions so;
+    so.watchdog = true;
+    so.no_progress_timeout_ms = 600000;
+    so.poll_interval_ms = 10;
+    so.max_respawns = 0;
+    so.forward_signals = true;
+    std::atomic<int> probes{0};
+    so.progress = [&probes](std::uint32_t) -> std::uint64_t {
+      if (probes.fetch_add(1) == 6) {
+        (void)std::raise(SIGTERM);
+        (void)std::raise(SIGTERM);
+      }
+      return 1;
+    };
+    const SupervisionResult r = supervise_worker_processes(cmds, so);
+    EXPECT_EQ(r.forwarded_signal, SIGTERM);
+    ASSERT_EQ(r.exits.size(), 1u);
+    EXPECT_EQ(r.exits[0].signal, SIGKILL);
+    std::size_t forwarded = 0;
+    std::size_t escalated = 0;
+    for (const WorkerIntervention& iv : r.interventions) {
+      forwarded += iv.kind == WorkerIntervention::Kind::kSignalForwarded;
+      escalated += iv.kind == WorkerIntervention::Kind::kSignalEscalated;
+    }
+    EXPECT_EQ(forwarded, 1u);
+    EXPECT_EQ(escalated, 1u);
+  }
 }
 
 }  // namespace
